@@ -1,0 +1,51 @@
+// Ablation (Section III-D): the MA-stage ISAX interface vs. stock Rocket's
+// post-commit custom-instruction port.
+//
+// The paper motivates its tightly coupled interface by Rocket's >= 3-cycle
+// (up to 13 under hazards) post-commit routing; this ablation quantifies the
+// end-to-end cost of keeping the stock interface (PMC and ASan, 4 µcores).
+#include "bench_common.h"
+
+namespace fgbench {
+namespace {
+
+void register_all() {
+  struct K {
+    const char* name;
+    kernels::KernelKind kind;
+  };
+  for (const K k : {K{"pmc", kernels::KernelKind::kPmc},
+                    K{"sanitizer", kernels::KernelKind::kAsan}}) {
+    for (bool ma : {true, false}) {
+      const std::string mode = ma ? "ma_stage" : "post_commit";
+      for (const std::string& w : workloads()) {
+        benchmark::RegisterBenchmark(
+            ("ablation_isax/" + std::string(k.name) + "/" + mode + "/" + w)
+                .c_str(),
+            [k, ma, mode, w](benchmark::State& st) {
+              for (auto _ : st) {
+                soc::SocConfig sc = soc::table2_soc();
+                sc.ucore.isax_ma_stage = ma;
+                sc.kernels = {soc::deploy(k.kind, 4)};
+                const double s = fireguard_slowdown(make_wl(w), sc);
+                st.counters["slowdown"] = s;
+                SeriesSummary::instance().add(std::string(k.name) + "/" + mode, s);
+              }
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fgbench
+
+int main(int argc, char** argv) {
+  fgbench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  fgbench::SeriesSummary::instance().print("ISAX placement ablation");
+  return 0;
+}

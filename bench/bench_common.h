@@ -1,0 +1,87 @@
+// Shared scaffolding for the paper-reproduction benchmarks. Each bench
+// binary regenerates one table or figure: it runs the relevant
+// configurations on all nine PARSEC-like workloads and reports the same
+// quantities the paper plots (slowdowns, latencies, stall fractions), via
+// google-benchmark counters plus a printed summary table.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/soc/experiment.h"
+
+namespace fgbench {
+
+using namespace fg;  // NOLINT: bench-local convenience
+
+inline const std::vector<std::string>& workloads() {
+  static const std::vector<std::string> kNames = {
+      "blackscholes", "bodytrack",     "dedup",     "ferret", "fluidanimate",
+      "freqmine",     "streamcluster", "swaptions", "x264"};
+  return kNames;
+}
+
+inline soc::BaselineCache& baseline_cache() {
+  static soc::BaselineCache cache;
+  return cache;
+}
+
+inline trace::WorkloadConfig make_wl(
+    const std::string& name,
+    std::vector<std::pair<trace::AttackKind, u32>> attacks = {}) {
+  trace::WorkloadConfig wl;
+  wl.profile = trace::profile_by_name(name);
+  wl.seed = 42;
+  wl.n_insts = soc::default_trace_len();
+  wl.warmup_insts = wl.n_insts / 10;
+  wl.attacks = std::move(attacks);
+  return wl;
+}
+
+/// Slowdown of a FireGuard configuration vs. the unmonitored baseline on the
+/// identical trace.
+inline double fireguard_slowdown(const trace::WorkloadConfig& wl,
+                                 const soc::SocConfig& sc,
+                                 soc::RunResult* out = nullptr) {
+  const Cycle base = baseline_cache().get(wl, sc);
+  soc::RunResult r = soc::run_fireguard(wl, sc);
+  if (out != nullptr) *out = r;
+  return static_cast<double>(r.cycles) / static_cast<double>(base);
+}
+
+inline double software_slowdown(const trace::WorkloadConfig& wl,
+                                baseline::SwScheme scheme,
+                                const soc::SocConfig& sc) {
+  const Cycle base = baseline_cache().get(wl, sc);
+  const soc::RunResult r = soc::run_software(wl, scheme, sc);
+  return static_cast<double>(r.cycles) / static_cast<double>(base);
+}
+
+/// Collects per-series slowdowns so the summary can print geomeans the way
+/// the figures report them.
+class SeriesSummary {
+ public:
+  static SeriesSummary& instance() {
+    static SeriesSummary s;
+    return s;
+  }
+  void add(const std::string& series, double slowdown) {
+    data_[series].push_back(slowdown);
+  }
+  void print(const char* title) const {
+    std::printf("\n=== %s: geomean slowdowns ===\n", title);
+    for (const auto& [series, values] : data_) {
+      std::printf("  %-36s %6.3f  (n=%zu)\n", series.c_str(), geomean(values),
+                  values.size());
+    }
+  }
+
+ private:
+  std::map<std::string, std::vector<double>> data_;
+};
+
+}  // namespace fgbench

@@ -1,0 +1,75 @@
+// Figure 7(b): combining safeguards. Multiple guardian kernels run
+// simultaneously (4 µcores each; the shadow stack becomes a hardware
+// accelerator when three kernels are deployed, as in the paper).
+//
+// Paper shape to check: the heaviest kernel dominates; slowdowns do not
+// multiply when kernels are combined.
+#include "bench_common.h"
+
+namespace fgbench {
+namespace {
+
+using kernels::KernelKind;
+
+struct Combo {
+  const char* name;
+  std::vector<std::pair<KernelKind, bool>> kernels;  // kind, use_ha
+};
+
+const std::vector<Combo>& combos() {
+  static const std::vector<Combo> kCombos = {
+      {"ss+pmc", {{KernelKind::kShadowStack, false}, {KernelKind::kPmc, false}}},
+      {"as+pmc", {{KernelKind::kAsan, false}, {KernelKind::kPmc, false}}},
+      {"uaf+pmc", {{KernelKind::kUaf, false}, {KernelKind::kPmc, false}}},
+      {"uaf+as", {{KernelKind::kUaf, false}, {KernelKind::kAsan, false}}},
+      {"ss+as", {{KernelKind::kShadowStack, false}, {KernelKind::kAsan, false}}},
+      // Three kernels: SS runs as a HA (paper's configuration).
+      {"ss_ha+pmc+as",
+       {{KernelKind::kShadowStack, true},
+        {KernelKind::kPmc, false},
+        {KernelKind::kAsan, false}}},
+      {"ss_ha+pmc+uaf",
+       {{KernelKind::kShadowStack, true},
+        {KernelKind::kPmc, false},
+        {KernelKind::kUaf, false}}},
+  };
+  return kCombos;
+}
+
+soc::SocConfig combo_soc(const Combo& c) {
+  soc::SocConfig sc = soc::table2_soc();
+  for (const auto& [kind, ha] : c.kernels) {
+    sc.kernels.push_back(
+        soc::deploy(kind, ha ? 1 : 4, kernels::ProgModel::kHybrid, ha));
+  }
+  return sc;
+}
+
+void register_all() {
+  for (const Combo& c : combos()) {
+    for (const std::string& w : workloads()) {
+      benchmark::RegisterBenchmark(
+          ("fig07b/" + std::string(c.name) + "/" + w).c_str(),
+          [c, w](benchmark::State& st) {
+            for (auto _ : st) {
+              const double s = fireguard_slowdown(make_wl(w), combo_soc(c));
+              st.counters["slowdown"] = s;
+              SeriesSummary::instance().add(c.name, s);
+            }
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fgbench
+
+int main(int argc, char** argv) {
+  fgbench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  fgbench::SeriesSummary::instance().print("Figure 7(b) combinations");
+  return 0;
+}

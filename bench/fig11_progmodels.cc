@@ -1,0 +1,50 @@
+// Figure 11: programming models (PMC on 4 µcores).
+//
+// The same PMC kernel generated in the four dispatch-loop styles of Section
+// III-D: conventional single-iteration loop, Duff's device, pure unrolling,
+// and the paper's hybrid.
+//
+// Paper shape to check: conventional worst (large outliers on the busiest
+// workloads), Duff better, unrolling better still, hybrid uniformly best.
+#include "bench_common.h"
+
+namespace fgbench {
+namespace {
+
+const std::vector<kernels::ProgModel>& models() {
+  static const std::vector<kernels::ProgModel> kModels = {
+      kernels::ProgModel::kConventional, kernels::ProgModel::kDuff,
+      kernels::ProgModel::kUnrolled, kernels::ProgModel::kHybrid};
+  return kModels;
+}
+
+void register_all() {
+  for (kernels::ProgModel m : models()) {
+    for (const std::string& w : workloads()) {
+      benchmark::RegisterBenchmark(
+          ("fig11/" + std::string(kernels::prog_model_name(m)) + "/" + w).c_str(),
+          [m, w](benchmark::State& st) {
+            for (auto _ : st) {
+              soc::SocConfig sc = soc::table2_soc();
+              sc.kernels = {soc::deploy(kernels::KernelKind::kPmc, 4, m)};
+              const double s = fireguard_slowdown(make_wl(w), sc);
+              st.counters["slowdown"] = s;
+              SeriesSummary::instance().add(kernels::prog_model_name(m), s);
+            }
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fgbench
+
+int main(int argc, char** argv) {
+  fgbench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  fgbench::SeriesSummary::instance().print("Figure 11 (programming models)");
+  return 0;
+}

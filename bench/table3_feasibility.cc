@@ -1,0 +1,43 @@
+// Table III + Section IV-F: hardware overhead and feasibility in commercial
+// SoCs (analytical model; no simulation).
+#include <cstdio>
+
+#include "src/area/area_model.h"
+
+int main() {
+  using namespace fg::area;
+
+  std::printf("=== Section IV-F: physical implementation (14nm) ===\n");
+  const PhysicalBreakdown b = physical_breakdown();
+  std::printf("SoC %.2f mm^2 | BOOM %.3f | Rocket %.3f | filter %.3f | "
+              "mapper %.3f\n",
+              kSocArea, kBoomArea, kRocketArea, kFilterArea4Way, kMapperArea);
+  std::printf("transport        : %.3f mm^2 = %.2f%% of BOOM, %.2f%% of SoC  "
+              "(paper: 0.043 / 3.88%% / 1.48%%)\n",
+              b.transport_mm2, b.transport_pct_boom, b.transport_pct_soc);
+  std::printf("4-ucore FireGuard: %.3f mm^2 = %.1f%% of BOOM, %.2f%% of SoC  "
+              "(paper: 0.287 / 25.9%% / 9.86%%)\n\n",
+              b.fireguard4_mm2, b.fireguard4_pct_boom, b.fireguard4_pct_soc);
+
+  std::printf("=== Table III: feasibility in commercial SoCs ===\n");
+  std::printf("%-14s %-16s %6s %6s %8s %6s %8s %10s %8s\n", "SoC", "core",
+              "freq", "tech", "area@14", "IPC", "#ucores", "ovh mm^2",
+              "%/core");
+  for (const SocSpec& soc : table3_socs()) {
+    for (const CoreSpec& core : soc.cores) {
+      const FireGuardCost c = per_core_cost(core);
+      std::printf("%-14s %-16s %5.1fG %5unm %8.2f %6.2f %8u %10.3f %7.1f%%\n",
+                  soc.name.c_str(), core.name.c_str(), core.freq_ghz,
+                  core.tech_nm, c.core_area_14nm, core.ipc, c.n_ucores,
+                  c.overhead_mm2, c.pct_of_core);
+    }
+  }
+  std::printf("\nAn independent kernel for all cores (SoC level):\n");
+  for (const SocSpec& soc : table3_socs()) {
+    std::printf("  %-12s overhead %6.2f mm^2 = %5.2f%% of SoC\n",
+                soc.name.c_str(), soc_overhead_mm2(soc), soc_overhead_pct(soc));
+  }
+  std::printf("(paper: BOOM 0.29/9.86%%, M1-Pro 6.10/0.47%%, Kirin 1.23/0.57%%, "
+              "i7-12700F 6.67/0.99%%)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Section IV-G (closing claim): energy overhead of FireGuard.
+//
+// Prints, for each Table III SoC's performance core, the per-core area
+// overhead next to the modeled power overhead, plus the single-clock-domain
+// counterfactual that shows what the two-domain split saves. Activity
+// factors are derived from a measured FireGuard run (ASan on the ferret
+// profile) rather than assumed.
+#include "bench_common.h"
+
+#include "src/area/energy_model.h"
+
+namespace fgbench {
+namespace {
+
+area::ActivityFactors measured_activity() {
+  // One representative run to extract IPC, filtered-packet fraction and
+  // µcore duty cycle.
+  soc::SocConfig sc = soc::table2_soc();
+  sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+  const soc::RunResult r = soc::run_fireguard(make_wl("ferret"), sc);
+  const double packets_per_commit =
+      r.committed > 0 ? static_cast<double>(r.packets) / (4.0 * r.committed)
+                      : 0.3;
+  // µcore duty: packets * per-packet work (~8 µcycles) over the slow cycles.
+  const double slow_cycles = static_cast<double>(r.cycles) / 2.0;
+  const double busy =
+      slow_cycles > 0 ? 8.0 * static_cast<double>(r.packets) / 4.0 / slow_cycles
+                      : 0.6;
+  return area::activity_from_run(r.ipc, 4, packets_per_commit, busy);
+}
+
+void register_all() {
+  benchmark::RegisterBenchmark("table_energy/rows", [](benchmark::State& st) {
+    for (auto _ : st) {
+      const area::ActivityFactors af = measured_activity();
+      const auto rows = area::table3_energy_rows(af);
+      std::printf(
+          "\n%-12s %-14s %12s %12s %16s\n", "SoC", "Core", "area ovh %",
+          "energy ovh %", "1-domain ovh %");
+      for (const auto& r : rows) {
+        std::printf("%-12s %-14s %12.2f %12.2f %16.2f\n", r.soc.c_str(),
+                    r.core.c_str(), r.area_overhead_pct, r.energy_overhead_pct,
+                    r.single_domain_pct);
+        st.counters[r.soc + "_energy_pct"] = r.energy_overhead_pct;
+      }
+    }
+  })->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace fgbench
+
+int main(int argc, char** argv) {
+  fgbench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Scalability explorer: sweep µcore counts for a kernel/workload pair and
+// print the slowdown curve plus where the bottleneck sits (the Figure 9/10
+// analysis as an interactive tool).
+//
+//   $ ./scaling_explorer [kernel] [workload] [max_ucores]
+//   kernels: pmc | ss | asan | uaf
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/soc/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace fg;
+
+  const std::string kernel = argc > 1 ? argv[1] : "asan";
+  const std::string workload = argc > 2 ? argv[2] : "x264";
+  const u32 max_ucores = argc > 3 ? static_cast<u32>(std::atoi(argv[3])) : 12;
+
+  kernels::KernelKind kind;
+  if (kernel == "pmc") {
+    kind = kernels::KernelKind::kPmc;
+  } else if (kernel == "ss") {
+    kind = kernels::KernelKind::kShadowStack;
+  } else if (kernel == "asan") {
+    kind = kernels::KernelKind::kAsan;
+  } else if (kernel == "uaf") {
+    kind = kernels::KernelKind::kUaf;
+  } else {
+    std::fprintf(stderr, "unknown kernel '%s' (pmc|ss|asan|uaf)\n", kernel.c_str());
+    return 1;
+  }
+
+  trace::WorkloadConfig wl;
+  wl.profile = trace::profile_by_name(workload);
+  wl.seed = 42;
+  wl.n_insts = soc::default_trace_len();
+
+  soc::SocConfig sc = soc::table2_soc();
+  const Cycle base = soc::run_baseline_cycles(wl, sc);
+  std::printf("%s on %s — baseline %llu cycles (IPC %.2f)\n\n", kernel.c_str(),
+              workload.c_str(), static_cast<unsigned long long>(base),
+              static_cast<double>(wl.n_insts) / static_cast<double>(base));
+  std::printf("%8s %10s %10s %28s\n", "ucores", "slowdown", "packets",
+              "commit stalls (f/m/c/e %)");
+
+  for (u32 n = 2; n <= max_ucores; n += 2) {
+    soc::SocConfig s2 = sc;
+    s2.kernels = {soc::deploy(kind, n)};
+    const soc::RunResult r = soc::run_fireguard(wl, s2);
+    const double slow = static_cast<double>(r.cycles) / static_cast<double>(base);
+    std::printf("%8u %9.3fx %10llu %9.1f %5.1f %5.1f %5.1f\n", n, slow,
+                static_cast<unsigned long long>(r.packets),
+                100 * r.stall_fractions[static_cast<size_t>(core::StallCause::kFilter)],
+                100 * r.stall_fractions[static_cast<size_t>(core::StallCause::kMapper)],
+                100 * r.stall_fractions[static_cast<size_t>(core::StallCause::kCdc)],
+                100 * r.stall_fractions[static_cast<size_t>(core::StallCause::kEngines)]);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Hardware-overhead and feasibility model (Sections IV-F and IV-G).
+//
+// Section IV-F's constants come from the paper's 14nm physical
+// implementation (Synopsys Design Compiler + IC Compiler 2):
+//   SoC 2.91 mm², BOOM 1.107 mm², Rocket µcore 0.061 mm²,
+//   event filter (4-way) 0.032 mm², mapper 0.011 mm².
+//
+// Section IV-G scales FireGuard onto commercial out-of-order cores: core
+// areas are estimated from die shots, normalized to 14nm by published
+// density ratios, and the µcore count is scaled with the core's normalized
+// throughput (IPC × peak frequency relative to BOOM) — throughput needs only
+// a *linear* increase in µcores while big cores pay superlinear area for
+// their single-thread performance, which is why FireGuard gets relatively
+// cheaper on bigger cores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg::area {
+
+// --- Section IV-F constants (mm² at 14nm) ---
+inline constexpr double kSocArea = 2.91;
+inline constexpr double kBoomArea = 1.107;
+inline constexpr double kRocketArea = 0.061;
+inline constexpr double kFilterArea4Way = 0.032;
+inline constexpr double kMapperArea = 0.011;
+
+/// BOOM reference point for throughput normalization (Table III).
+inline constexpr double kBoomIpc = 1.3;
+inline constexpr double kBoomFreqGhz = 3.2;
+inline constexpr u32 kBoomUcores = 4;
+
+/// Area scale factor to 14nm for a given technology node (density ratios
+/// derived from the paper's own normalized areas in Table III).
+double scale_to_14nm(u32 tech_nm);
+
+struct CoreSpec {
+  std::string name;
+  double freq_ghz = 3.2;
+  u32 tech_nm = 14;
+  double area_native_mm2 = 1.11;
+  double ipc = 1.3;
+  u32 commit_width = 4;  // determines the filter width FireGuard needs
+  u32 count = 1;         // instances of this core in the SoC
+  /// Measured normalized throughput (Table III's row), when it differs from
+  /// the analytic IPC x frequency product. 0 = derive from ipc/freq.
+  double norm_throughput_override = 0.0;
+};
+
+struct SocSpec {
+  std::string name;
+  std::vector<CoreSpec> cores;
+  /// Total SoC area normalized to 14nm (derived from die measurements).
+  double soc_area_14nm = kSocArea;
+};
+
+struct FireGuardCost {
+  u32 filter_width = 4;
+  u32 n_ucores = 4;
+  double transport_mm2 = 0.0;  // filter + mapper
+  double overhead_mm2 = 0.0;   // µcores + transport
+  double core_area_14nm = 0.0;
+  double pct_of_core = 0.0;
+  double norm_throughput = 1.0;
+};
+
+/// Normalized throughput of a core relative to BOOM (IPC × peak frequency).
+double normalized_throughput(double ipc, double freq_ghz);
+
+/// µcores needed to attain the Section IV-A service rate on a faster core
+/// (linear scaling with normalized throughput).
+u32 ucores_needed(double norm_throughput);
+
+/// Per-core FireGuard cost (the middle block of Table III).
+FireGuardCost per_core_cost(const CoreSpec& core);
+
+/// SoC-level overhead when every core gets an independent kernel's worth of
+/// FireGuard (the bottom block of Table III). Returns mm² at 14nm.
+double soc_overhead_mm2(const SocSpec& soc);
+double soc_overhead_pct(const SocSpec& soc);
+
+/// The four systems of Table III: BOOM, Apple M1-Pro (FireStorm), HiSilicon
+/// Kirin (Cortex-A76) and Intel i7-12700F (AlderLake-S P-cores).
+std::vector<SocSpec> table3_socs();
+
+// --- Section IV-F roll-ups ---
+struct PhysicalBreakdown {
+  double transport_mm2;        // filter + mapper
+  double transport_pct_boom;   // 3.88% in the paper
+  double transport_pct_soc;    // 1.48%
+  double fireguard4_mm2;       // 0.287 (4 µcores + transport)
+  double fireguard4_pct_boom;  // 25.9%
+  double fireguard4_pct_soc;   // 9.86%
+};
+PhysicalBreakdown physical_breakdown();
+
+}  // namespace fg::area

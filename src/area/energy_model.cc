@@ -1,0 +1,97 @@
+#include "src/area/energy_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::area {
+
+namespace {
+constexpr double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+BlockPower block(std::string name, double area_mm2, double freq_ghz,
+                 double alpha, const PowerConstants& pc) {
+  BlockPower b;
+  b.name = std::move(name);
+  b.area_mm2 = area_mm2;
+  b.freq_ghz = freq_ghz;
+  b.alpha = alpha;
+  b.dynamic_mw = area_mm2 * freq_ghz * alpha * pc.k_dyn_mw_per_mm2_ghz;
+  b.leakage_mw = area_mm2 * pc.k_leak_mw_per_mm2;
+  return b;
+}
+}  // namespace
+
+ActivityFactors activity_from_run(double ipc, u32 commit_width,
+                                  double packets_per_commit, double ucore_busy) {
+  FG_CHECK(commit_width > 0);
+  ActivityFactors af;
+  af.main_core = clamp01(0.5 + 0.5 * ipc / commit_width);
+  // Each mini-filter lane fires when its commit slot retires.
+  af.filter = clamp01(ipc / commit_width);
+  // The scalar mapper toggles once per *valid* (filtered-in) packet.
+  af.mapper = clamp01(ipc * clamp01(packets_per_commit));
+  af.cdc = af.mapper;
+  af.ucores = clamp01(ucore_busy);
+  af.noc = clamp01(0.1 * ucore_busy);
+  return af;
+}
+
+EnergyBreakdown estimate_energy(const CoreSpec& core, const FireGuardCost& cost,
+                                const ActivityFactors& af, double slow_ghz,
+                                const PowerConstants& pc) {
+  FG_CHECK(slow_ghz > 0 && core.freq_ghz > 0);
+  const double fast = core.freq_ghz;
+  // Transport splits into the filter (scales with width) and the mapper
+  // (fixed, shared); both live in the fast domain. The CDC is folded into
+  // the mapper area constant, consistent with Section IV-F's accounting.
+  const double filter_mm2 =
+      kFilterArea4Way * static_cast<double>(cost.filter_width) / 4.0;
+  const double mapper_mm2 = kMapperArea;
+  const double ucores_mm2 = kRocketArea * static_cast<double>(cost.n_ucores);
+  // The mesh + multicast channel wiring is folded into the mapper constant
+  // at IV-F granularity; give the slow-domain share its own line so the
+  // domain split is visible, at 20% of the mapper area.
+  const double noc_mm2 = 0.2 * mapper_mm2;
+
+  EnergyBreakdown e;
+  e.blocks.push_back(
+      block(core.name, cost.core_area_14nm, fast, af.main_core, pc));
+  e.blocks.push_back(block("filter", filter_mm2, fast, af.filter, pc));
+  e.blocks.push_back(block("mapper", mapper_mm2 - noc_mm2, fast, af.mapper, pc));
+  e.blocks.push_back(block("cdc", 0.0, fast, af.cdc, pc));  // area in mapper
+  e.blocks.push_back(block("ucores", ucores_mm2, slow_ghz, af.ucores, pc));
+  e.blocks.push_back(block("noc", noc_mm2, slow_ghz, af.noc, pc));
+
+  e.core_mw = e.blocks[0].total_mw();
+  for (size_t i = 1; i < e.blocks.size(); ++i) e.fireguard_mw += e.blocks[i].total_mw();
+  e.overhead_pct = 100.0 * e.fireguard_mw / e.core_mw;
+  e.area_overhead_pct = cost.pct_of_core;
+
+  // Counterfactual: everything at the fast clock.
+  double single = 0.0;
+  single += block("filter", filter_mm2, fast, af.filter, pc).total_mw();
+  single += block("mapper", mapper_mm2 - noc_mm2, fast, af.mapper, pc).total_mw();
+  single += block("ucores", ucores_mm2, fast, af.ucores, pc).total_mw();
+  single += block("noc", noc_mm2, fast, af.noc, pc).total_mw();
+  e.single_domain_overhead_pct = 100.0 * single / e.core_mw;
+  return e;
+}
+
+std::vector<SocEnergyRow> table3_energy_rows(const ActivityFactors& af,
+                                             double slow_ratio) {
+  FG_CHECK(slow_ratio > 0 && slow_ratio <= 1.0);
+  std::vector<SocEnergyRow> rows;
+  for (const SocSpec& soc : table3_socs()) {
+    // Row per SoC: its performance core is the first (highest-area) entry.
+    const CoreSpec& core = soc.cores.front();
+    const FireGuardCost cost = per_core_cost(core);
+    const EnergyBreakdown e =
+        estimate_energy(core, cost, af, core.freq_ghz * slow_ratio);
+    rows.push_back({soc.name, core.name, e.area_overhead_pct, e.overhead_pct,
+                    e.single_domain_overhead_pct});
+  }
+  return rows;
+}
+
+}  // namespace fg::area

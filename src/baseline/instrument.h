@@ -1,0 +1,61 @@
+// Software-technique baselines (Figure 7a's comparison points).
+//
+// The paper compares FireGuard against compiler-inserted checks: LLVM's
+// shadow stack (AArch64), AddressSanitizer (AArch64 and x86-64), and DangSan
+// (x86-64). We model each as *trace instrumentation*: the same workload
+// trace is expanded with the dynamic instruction sequence the tool would
+// insert (shadow-address arithmetic, shadow loads, compare-and-branch,
+// bookkeeping on calls/returns/allocations), and the expanded trace runs
+// through the identical OoO core model. The slowdown is then measured the
+// same way as FireGuard's, on the same hardware — which is exactly the
+// paper's experimental design, with the ISA-specific expansion factors
+// reflecting each tool's published per-access sequences.
+#pragma once
+
+#include <memory>
+
+#include "src/common/ring_queue.h"
+#include "src/trace/trace.h"
+
+namespace fg::baseline {
+
+enum class SwScheme : u8 {
+  kShadowStackLlvm,  // AArch64 LLVM shadow stack
+  kAsanAarch64,      // AddressSanitizer, AArch64 codegen
+  kAsanX8664,        // AddressSanitizer, x86-64 codegen
+  kDangSan,          // DangSan use-after-free tracking, x86-64
+};
+
+const char* sw_scheme_name(SwScheme s);
+
+/// Wraps a TraceSource and interleaves the instrumentation instructions.
+class InstrumentedSource final : public trace::TraceSource {
+ public:
+  InstrumentedSource(trace::TraceSource& inner, SwScheme scheme);
+
+  bool next(trace::TraceInst& out) override;
+  void reset() override;
+
+  u64 original_insts() const { return original_; }
+  u64 added_insts() const { return added_; }
+  double expansion() const {
+    return original_ ? 1.0 + static_cast<double>(added_) / static_cast<double>(original_)
+                     : 1.0;
+  }
+
+ private:
+  void expand(const trace::TraceInst& ti);
+  void push_alu(u64 pc);
+  void push_shadow_load(u64 pc, u64 shadow_addr);
+  void push_shadow_store(u64 pc, u64 shadow_addr);
+  void push_check_branch(u64 pc);
+
+  trace::TraceSource& inner_;
+  SwScheme scheme_;
+  RingQueue<trace::TraceInst> pending_;
+  u64 original_ = 0;
+  u64 added_ = 0;
+  u64 sstack_sp_ = 0x7e00'0000'0000ull;  // software shadow-stack region
+};
+
+}  // namespace fg::baseline

@@ -1,0 +1,162 @@
+#include "src/boom/branch_pred.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace fg::boom {
+
+BranchPredictor::BranchPredictor(const PredictorConfig& cfg) : cfg_(cfg) {
+  FG_CHECK(is_pow2(cfg_.bimodal_entries));
+  FG_CHECK(is_pow2(cfg_.tage_entries));
+  FG_CHECK(is_pow2(cfg_.btb_entries));
+  bimodal_.assign(cfg_.bimodal_entries, 0);
+  tables_.resize(cfg_.tage_tables);
+  history_lengths_.resize(cfg_.tage_tables);
+  // Geometric history lengths from min to max (2, 5, 10, 19, 34, 64 for the
+  // default configuration).
+  for (u32 t = 0; t < cfg_.tage_tables; ++t) {
+    const double ratio = static_cast<double>(cfg_.max_history) / cfg_.min_history;
+    const double len =
+        cfg_.min_history *
+        std::pow(ratio, static_cast<double>(t) / std::max<u32>(1, cfg_.tage_tables - 1));
+    history_lengths_[t] = std::max<u32>(cfg_.min_history, static_cast<u32>(len + 0.5));
+    tables_[t].assign(cfg_.tage_entries, TageEntry{});
+  }
+  btb_.assign(cfg_.btb_entries, BtbEntry{});
+  ras_.assign(cfg_.ras_entries, 0);
+}
+
+u64 BranchPredictor::folded_history(u32 bits, u32 fold_to) const {
+  u64 h = bits >= 64 ? ghr_ : (ghr_ & ((u64{1} << bits) - 1));
+  u64 folded = 0;
+  while (bits > 0) {
+    folded ^= h & ((u64{1} << fold_to) - 1);
+    h >>= fold_to;
+    bits = bits > fold_to ? bits - fold_to : 0;
+  }
+  return folded;
+}
+
+u32 BranchPredictor::table_index(u64 pc, u32 table) const {
+  const u32 idx_bits = log2_exact(cfg_.tage_entries);
+  const u64 h = folded_history(history_lengths_[table], idx_bits);
+  return static_cast<u32>((pc >> 2) ^ (pc >> (idx_bits + 2)) ^ h ^ (table * salt_)) &
+         (cfg_.tage_entries - 1);
+}
+
+u16 BranchPredictor::table_tag(u64 pc, u32 table) const {
+  const u64 h = folded_history(history_lengths_[table], 8);
+  return static_cast<u16>(((pc >> 2) ^ (h << 1) ^ (table * 0x85ebca6bu)) & 0xff);
+}
+
+bool BranchPredictor::btb_lookup_update(u64 pc, u64 target) {
+  ++stats_.btb_lookups;
+  BtbEntry& e = btb_[(pc >> 2) & (cfg_.btb_entries - 1)];
+  const bool hit = e.valid && e.pc == pc && e.target == target;
+  if (!hit) ++stats_.btb_misses;
+  e = {pc, target, true};
+  return hit;
+}
+
+bool BranchPredictor::predict_cond(u64 pc, bool taken, u64 target) {
+  ++stats_.cond_lookups;
+
+  // Provider = longest-history tagged table that matches; fall back to
+  // bimodal.
+  int provider = -1;
+  u32 pidx = 0;
+  for (int t = static_cast<int>(cfg_.tage_tables) - 1; t >= 0; --t) {
+    const u32 idx = table_index(pc, static_cast<u32>(t));
+    const TageEntry& e = tables_[static_cast<size_t>(t)][idx];
+    if (e.valid && e.tag == table_tag(pc, static_cast<u32>(t))) {
+      provider = t;
+      pidx = idx;
+      break;
+    }
+  }
+
+  const u32 bidx = static_cast<u32>(pc >> 2) & (cfg_.bimodal_entries - 1);
+  bool pred;
+  if (provider >= 0) {
+    pred = tables_[static_cast<size_t>(provider)][pidx].ctr >= 0;
+  } else {
+    pred = bimodal_[bidx] >= 0;
+  }
+
+  bool correct = (pred == taken);
+  // A correctly predicted taken branch still needs the target from the BTB.
+  if (correct && taken) {
+    correct = btb_lookup_update(pc, target);
+  } else if (taken) {
+    btb_lookup_update(pc, target);
+  }
+
+  // Update provider (or bimodal).
+  auto bump = [](i8& c, bool up, i8 lo, i8 hi) {
+    c = static_cast<i8>(std::clamp<int>(c + (up ? 1 : -1), lo, hi));
+  };
+  if (provider >= 0) {
+    TageEntry& e = tables_[static_cast<size_t>(provider)][pidx];
+    bump(e.ctr, taken, -4, 3);
+    if (pred == taken && e.useful < 3) ++e.useful;
+  } else {
+    bump(bimodal_[bidx], taken, -2, 1);
+  }
+
+  // On a direction mispredict, allocate in a longer-history table.
+  if (pred != taken) {
+    for (u32 t = static_cast<u32>(provider + 1); t < cfg_.tage_tables; ++t) {
+      const u32 idx = table_index(pc, t);
+      TageEntry& e = tables_[t][idx];
+      if (!e.valid || e.useful == 0) {
+        e.valid = true;
+        e.tag = table_tag(pc, t);
+        e.ctr = taken ? 0 : -1;
+        e.useful = 0;
+        break;
+      }
+      if (e.useful > 0) --e.useful;
+    }
+    ++stats_.cond_mispredicts;
+  } else if (!correct) {
+    ++stats_.cond_mispredicts;  // right direction, wrong/absent target
+  }
+
+  ghr_ = (ghr_ << 1) | (taken ? 1 : 0);
+  return correct;
+}
+
+bool BranchPredictor::predict_direct(u64 pc, u64 target) {
+  return btb_lookup_update(pc, target);
+}
+
+bool BranchPredictor::predict_indirect(u64 pc, u64 target) {
+  const bool hit = btb_lookup_update(pc, target);
+  ghr_ = (ghr_ << 1) | 1;
+  return hit;
+}
+
+void BranchPredictor::push_ras(u64 return_pc) {
+  ras_top_ = (ras_top_ + 1) % cfg_.ras_entries;
+  ras_[ras_top_] = return_pc;
+  if (ras_count_ < cfg_.ras_entries) ++ras_count_;
+}
+
+bool BranchPredictor::predict_ret(u64 target) {
+  if (ras_count_ == 0) {
+    ++stats_.ras_mispredicts;
+    return false;
+  }
+  const u64 predicted = ras_[ras_top_];
+  ras_top_ = (ras_top_ + cfg_.ras_entries - 1) % cfg_.ras_entries;
+  --ras_count_;
+  if (predicted != target) {
+    ++stats_.ras_mispredicts;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fg::boom

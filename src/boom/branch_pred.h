@@ -1,0 +1,98 @@
+// Branch prediction for the main core, per Table II of the paper:
+// TAGE (6 tagged tables, 2..64-bit history) over a bimodal base, a 256-entry
+// BTB for taken-target prediction, and a 32-entry return-address stack.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg::boom {
+
+struct PredictorConfig {
+  u32 bimodal_entries = 4096;
+  u32 tage_tables = 6;
+  u32 tage_entries = 512;   // per tagged table
+  u32 min_history = 2;
+  u32 max_history = 64;
+  u32 btb_entries = 256;
+  u32 ras_entries = 32;
+};
+
+struct PredictorStats {
+  u64 cond_lookups = 0;
+  u64 cond_mispredicts = 0;
+  u64 btb_lookups = 0;
+  u64 btb_misses = 0;
+  u64 ras_mispredicts = 0;
+  double cond_accuracy() const {
+    return cond_lookups ? 1.0 - static_cast<double>(cond_mispredicts) /
+                                    static_cast<double>(cond_lookups)
+                        : 1.0;
+  }
+};
+
+/// TAGE conditional predictor with BTB and RAS. The caller drives it with
+/// actual outcomes from the trace; the predictor reports whether the
+/// prediction would have been correct (the core charges redirect penalties
+/// for mispredictions).
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const PredictorConfig& cfg = {});
+
+  /// Predict + update a conditional branch; returns true if predicted
+  /// correctly (direction and, when taken, BTB target).
+  bool predict_cond(u64 pc, bool taken, u64 target);
+
+  /// Direct unconditional jump/call: target known at decode; returns true if
+  /// the BTB had the target (otherwise a short fetch bubble, not a full
+  /// mispredict).
+  bool predict_direct(u64 pc, u64 target);
+
+  /// Indirect jump/call via the BTB; returns true if predicted correctly.
+  bool predict_indirect(u64 pc, u64 target);
+
+  /// Call: push the return address onto the RAS.
+  void push_ras(u64 return_pc);
+
+  /// Return: pop and compare; returns true if the RAS had the right target.
+  bool predict_ret(u64 target);
+
+  const PredictorStats& stats() const { return stats_; }
+
+ private:
+  struct TageEntry {
+    u16 tag = 0;
+    i8 ctr = 0;      // signed 3-bit counter (-4..3); >= 0 predicts taken
+    u8 useful = 0;
+    bool valid = false;
+  };
+
+  u32 table_index(u64 pc, u32 table) const;
+  u16 table_tag(u64 pc, u32 table) const;
+  u64 folded_history(u32 bits, u32 fold_to) const;
+
+  PredictorConfig cfg_;
+  std::vector<i8> bimodal_;                    // 2-bit counters (-2..1)
+  std::vector<std::vector<TageEntry>> tables_;
+  std::vector<u32> history_lengths_;
+  u64 ghr_ = 0;  // 64-bit global history
+
+  struct BtbEntry {
+    u64 pc = 0;
+    u64 target = 0;
+    bool valid = false;
+  };
+  std::vector<BtbEntry> btb_;
+  bool btb_lookup_update(u64 pc, u64 target);
+
+  std::vector<u64> ras_;
+  u32 ras_top_ = 0;
+  u32 ras_count_ = 0;
+
+  PredictorStats stats_;
+  u64 salt_ = 0x9e3779b9u;
+};
+
+}  // namespace fg::boom

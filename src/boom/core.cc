@@ -1,0 +1,299 @@
+#include "src/boom/core.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::boom {
+
+BoomCore::BoomCore(const CoreConfig& cfg, mem::MemHierarchy& mem,
+                   trace::TraceSource& src)
+    : cfg_(cfg),
+      mem_(mem),
+      src_(src),
+      pred_(cfg.predictor),
+      rob_(cfg.rob_entries),
+      rename_(cfg.phys_regs),
+      lsq_(LsqConfig{cfg.ldq_entries, cfg.stq_entries,
+                     cfg.store_load_forwarding, cfg.stlf_latency}),
+      fu_int_(cfg.n_int_alu, 0),
+      fu_fp_(cfg.n_fp, 0),
+      fu_mem_(cfg.n_mem, 0),
+      fu_jmp_(cfg.n_jmp, 0),
+      fu_csr_(cfg.n_csr, 0) {
+  preg_ready_.assign(cfg.phys_regs, 0);
+}
+
+Cycle BoomCore::fu_schedule(std::vector<Cycle>& units, Cycle ready) {
+  // Pick the unit that frees earliest; execution starts when both the unit
+  // and the operands are ready.
+  auto it = std::min_element(units.begin(), units.end());
+  const Cycle start = std::max(*it, ready);
+  return start;
+}
+
+void BoomCore::do_commit(CommitSink* sink) {
+  // Model PRF read-port contention from the data-forwarding channel: each
+  // port the sink preempts this cycle delays one integer-FU availability by
+  // a cycle (Figure 2 d: Mini-Filter[x] has priority on Read_Ctrl[x]).
+  if (sink != nullptr) {
+    const u32 preempted = sink->prf_ports_preempted();
+    for (u32 i = 0; i < preempted && i < fu_int_.size(); ++i) {
+      // The preempted read port pushes the next issue on this pipe back by
+      // one cycle ("an instruction attempting to use the same port will be
+      // delayed until the next cycle").
+      Cycle& next_free = fu_int_[i];
+      next_free = std::max(next_free, now_) + 1;
+      ++stats_.prf_contention_delays;
+    }
+  }
+
+  for (u32 lane = 0; lane < cfg_.commit_width; ++lane) {
+    if (rob_.empty()) {
+      ++stats_.commit_stall_empty;
+      return;
+    }
+    RobEntry& head = rob_.front();
+    if (head.done_at > now_) {
+      ++stats_.commit_stall_empty;
+      return;
+    }
+    if (sink != nullptr && !sink->can_commit(lane, head.inst)) {
+      ++stats_.commit_stall_fireguard;
+      return;  // in-order commit: younger lanes stall too
+    }
+    if (head.is_load) lsq_.commit_load();
+    if (head.is_store) lsq_.commit_store();
+    rename_.commit(head.ren);
+    if (sink != nullptr) sink->on_commit(lane, head.inst, now_);
+    ++stats_.committed;
+    if (stats_.committed == warmup_target_) warmup_cycle_ = now_;
+    rob_.pop();
+  }
+}
+
+u32 BoomCore::exec_latency_class(const trace::TraceInst& ti) const {
+  using isa::InstClass;
+  switch (ti.cls) {
+    case InstClass::kIntMul: return cfg_.lat_mul;
+    case InstClass::kIntDiv: return cfg_.lat_div;
+    case InstClass::kFpAlu: return cfg_.lat_fp;
+    case InstClass::kFpMulDiv: return cfg_.lat_fp_muldiv;
+    case InstClass::kBranch:
+    case InstClass::kJump:
+    case InstClass::kCall:
+    case InstClass::kRet: return cfg_.lat_jmp;
+    default: return cfg_.lat_int;
+  }
+}
+
+bool BoomCore::fetch_next() {
+  if (have_pending_ || trace_done_) return have_pending_;
+  if (!src_.next(pending_)) {
+    trace_done_ = true;
+    return false;
+  }
+  have_pending_ = true;
+
+  // Instruction-cache model: crossing into a new 64B line costs an i-cache
+  // access; the frontend cannot deliver the instruction earlier.
+  const u64 line = pending_.pc / 64;
+  if (line != cur_fetch_line_) {
+    cur_fetch_line_ = line;
+    const u32 lat = mem_.access_inst(pending_.pc, now_);
+    if (lat > 2) frontend_ready_ = std::max(frontend_ready_, now_ + (lat - 2));
+  }
+  return true;
+}
+
+void BoomCore::do_dispatch(CommitSink*) {
+  using isa::InstClass;
+  for (u32 slot = 0; slot < cfg_.fetch_width; ++slot) {
+    if (!fetch_next()) return;
+    if (frontend_ready_ > now_) return;
+
+    // Structural hazards.
+    if (rob_.full()) {
+      ++stats_.dispatch_stall_rob;
+      return;
+    }
+    // Issue-queue occupancy: release entries whose execution has started.
+    while (!iq_release_.empty() && iq_release_.top() <= now_) iq_release_.pop();
+    if (iq_release_.size() >= cfg_.iq_entries) {
+      ++stats_.dispatch_stall_iq;
+      return;
+    }
+    const trace::TraceInst& ti = pending_;
+    const bool is_load = ti.cls == InstClass::kLoad;
+    const bool is_store = ti.cls == InstClass::kStore;
+    if (is_load && lsq_.ldq_full()) {
+      ++stats_.dispatch_stall_lsq;
+      return;
+    }
+    if (is_store && lsq_.stq_full()) {
+      ++stats_.dispatch_stall_lsq;
+      return;
+    }
+    const bool has_dst = ti.rd != kNoReg && ti.rd != 0;
+    if (has_dst && !rename_.can_allocate()) {
+      ++stats_.dispatch_stall_pregs;
+      return;
+    }
+
+    // Rename: map sources through the RAT, allocate a physical destination.
+    const Renamed ren = rename_.rename(has_dst ? ti.rd : kNoReg, ti.rs1, ti.rs2);
+
+    // Operand readiness from the physical registers.
+    Cycle ready = now_ + 1;
+    if (ren.ps1 != kNoPreg) ready = std::max(ready, preg_ready_[ren.ps1]);
+    if (ren.ps2 != kNoPreg) ready = std::max(ready, preg_ready_[ren.ps2]);
+
+    // Schedule on a functional unit.
+    Cycle start;
+    Cycle done;
+    switch (ti.cls) {
+      case InstClass::kLoad: {
+        start = fu_schedule(fu_mem_, ready);
+        const LoadPlan plan = lsq_.dispatch_load(ti.mem_addr, ti.mem_size, start);
+        if (plan.forwarded) {
+          // Data comes straight from the STQ; no cache access.
+          done = plan.earliest_start;
+          ++stats_.stlf_forwards;
+        } else {
+          start = plan.earliest_start;  // partial-overlap ordering, if any
+          const u32 lat = mem_.access_data(ti.mem_addr, false, start);
+          done = start + lat;
+        }
+        break;
+      }
+      case InstClass::kStore: {
+        start = fu_schedule(fu_mem_, ready);
+        // Stores write at commit; address generation + STQ insert only.
+        mem_.access_data(ti.mem_addr, true, start);
+        lsq_.dispatch_store(ti.mem_addr, ti.mem_size, ready, mem_seq_++);
+        done = start + 1;
+        break;
+      }
+      case InstClass::kFpAlu:
+      case InstClass::kFpMulDiv:
+      case InstClass::kIntMul:
+      case InstClass::kIntDiv: {
+        auto& pool = (ti.cls == InstClass::kFpAlu || ti.cls == InstClass::kFpMulDiv)
+                         ? fu_fp_
+                         : (fu_fp_.empty() ? fu_int_ : fu_fp_);  // shared unit
+        start = fu_schedule(pool, ready);
+        done = start + exec_latency_class(ti);
+        break;
+      }
+      case InstClass::kBranch:
+      case InstClass::kJump:
+      case InstClass::kCall:
+      case InstClass::kRet: {
+        start = fu_schedule(fu_jmp_, ready);
+        done = start + cfg_.lat_jmp;
+        break;
+      }
+      case InstClass::kCsr:
+      case InstClass::kGuardEvent: {
+        start = fu_schedule(fu_csr_, ready);
+        done = start + 1;
+        break;
+      }
+      default: {
+        start = fu_schedule(fu_int_, ready);
+        done = start + cfg_.lat_int;
+        break;
+      }
+    }
+
+    // Occupy the chosen unit (rough: one cycle of issue bandwidth).
+    auto occupy = [start](std::vector<Cycle>& units) {
+      auto it = std::min_element(units.begin(), units.end());
+      *it = start + 1;
+    };
+    switch (ti.cls) {
+      case InstClass::kLoad:
+      case InstClass::kStore: occupy(fu_mem_); break;
+      case InstClass::kFpAlu:
+      case InstClass::kFpMulDiv: occupy(fu_fp_); break;
+      case InstClass::kIntMul:
+      case InstClass::kIntDiv: occupy(fu_fp_); break;
+      case InstClass::kBranch:
+      case InstClass::kJump:
+      case InstClass::kCall:
+      case InstClass::kRet: occupy(fu_jmp_); break;
+      case InstClass::kCsr:
+      case InstClass::kGuardEvent: occupy(fu_csr_); break;
+      default: occupy(fu_int_); break;
+    }
+
+    // Writeback: the physical destination becomes ready at completion.
+    if (ren.pd != kNoPreg) preg_ready_[ren.pd] = done;
+
+    // Branch prediction: a mispredict prevents younger instructions from
+    // dispatching until the branch resolves and the frontend refills.
+    bool mispredict = false;
+    bool btb_bubble = false;
+    switch (ti.cls) {
+      case InstClass::kBranch:
+        mispredict = !pred_.predict_cond(ti.pc, ti.taken, ti.target);
+        break;
+      case InstClass::kJump:
+        if (isa::opcode_of(ti.enc) == isa::kOpJalr) {
+          mispredict = !pred_.predict_indirect(ti.pc, ti.target);
+        } else {
+          btb_bubble = !pred_.predict_direct(ti.pc, ti.target);
+        }
+        break;
+      case InstClass::kCall:
+        if (isa::opcode_of(ti.enc) == isa::kOpJalr) {
+          mispredict = !pred_.predict_indirect(ti.pc, ti.target);
+        } else {
+          btb_bubble = !pred_.predict_direct(ti.pc, ti.target);
+        }
+        pred_.push_ras(ti.pc + 4);
+        break;
+      case InstClass::kRet:
+        mispredict = !pred_.predict_ret(ti.target);
+        break;
+      default:
+        break;
+    }
+    if (mispredict) {
+      ++stats_.mispredicts;
+      frontend_ready_ = done + cfg_.redirect_penalty;
+      cur_fetch_line_ = ~u64{0};
+    } else if (btb_bubble) {
+      frontend_ready_ = std::max(frontend_ready_, now_ + cfg_.btb_bubble);
+    }
+
+    // Enter the ROB / IQ / LSQ.
+    RobEntry e;
+    e.inst = ti;
+    e.ren = ren;
+    e.done_at = done;
+    e.has_dst = has_dst;
+    e.is_load = is_load;
+    e.is_store = is_store;
+    rob_.push(e);
+    iq_release_.push(start);
+    if (is_load) lsq_.note_load_dispatched();
+    have_pending_ = false;
+
+    if (mispredict) return;  // nothing younger dispatches this cycle
+  }
+}
+
+void BoomCore::tick(CommitSink* sink) {
+  do_commit(sink);
+  do_dispatch(sink);
+  ++now_;
+  ++stats_.cycles;
+}
+
+Cycle BoomCore::run_to_end(CommitSink* sink, u64 max_cycles) {
+  while (!done() && now_ < max_cycles) tick(sink);
+  return now_;
+}
+
+}  // namespace fg::boom

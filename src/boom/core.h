@@ -1,0 +1,183 @@
+// Trace-driven cycle model of a 4-wide out-of-order superscalar core in the
+// SonicBOOM configuration of Table II:
+//
+//   128-entry ROB, 96-entry issue queue, 32-entry LDQ/STQ, 128 physical
+//   registers, 2 integer ALUs, 1 FP/mul/div unit, 2 memory pipes, 1 jump
+//   unit, 1 CSR unit, TAGE branch prediction, and the Table II cache
+//   hierarchy.
+//
+// The model is timestamp-based: at dispatch each instruction's execution
+// start/completion times are computed from operand readiness, functional-unit
+// availability and memory latency; the reorder buffer then retires
+// instructions in order, up to commit-width per cycle. FireGuard attaches at
+// exactly the point the paper instruments the real BOOM: the commit stage. A
+// CommitSink can refuse a commit lane (its mini-filter FIFO is full), which
+// stalls the core — this is the *only* mechanism by which monitoring slows
+// the main core down, plus modeled PRF read-port contention.
+#pragma once
+
+#include <array>
+#include <queue>
+#include <vector>
+
+#include "src/boom/branch_pred.h"
+#include "src/boom/lsq.h"
+#include "src/boom/rename.h"
+#include "src/common/ring_queue.h"
+#include "src/common/types.h"
+#include "src/mem/hierarchy.h"
+#include "src/trace/trace.h"
+
+namespace fg::boom {
+
+struct CoreConfig {
+  u32 fetch_width = 4;
+  u32 commit_width = 4;
+  u32 rob_entries = 128;
+  u32 iq_entries = 96;
+  u32 ldq_entries = 32;
+  u32 stq_entries = 32;
+  u32 phys_regs = 128;
+
+  u32 n_int_alu = 2;
+  u32 n_fp = 1;  // shared FP / mul / div unit
+  u32 n_mem = 2;
+  u32 n_jmp = 1;
+  u32 n_csr = 1;
+
+  u32 lat_int = 1;
+  u32 lat_mul = 3;
+  u32 lat_div = 12;
+  u32 lat_fp = 3;
+  u32 lat_fp_muldiv = 8;
+  u32 lat_jmp = 1;
+
+  u32 front_depth = 6;         // fetch→dispatch pipeline depth
+  u32 redirect_penalty = 8;    // extra cycles to refill after a mispredict
+  u32 btb_bubble = 2;          // short bubble for a BTB-missing direct branch
+
+  /// Store-to-load forwarding in the LSQ. Off by default: the paper's
+  /// reproduction was calibrated without it; the ablation bench and the LSQ
+  /// unit tests exercise it.
+  bool store_load_forwarding = false;
+  u32 stlf_latency = 1;
+
+  PredictorConfig predictor{};
+};
+
+/// Interface by which FireGuard observes (and can stall) the commit stage.
+class CommitSink {
+ public:
+  virtual ~CommitSink() = default;
+
+  /// May lane `lane` retire instruction `ti` this cycle? Returning false
+  /// stalls this and all younger lanes (commit is in order).
+  virtual bool can_commit(u32 lane, const trace::TraceInst& ti) = 0;
+
+  /// Lane `lane` retired `ti` at cycle `now`.
+  virtual void on_commit(u32 lane, const trace::TraceInst& ti, Cycle now) = 0;
+
+  /// Number of PRF read ports the sink preempts this cycle (data-forwarding
+  /// channel reads of committed operand data; Figure 2's added contention).
+  virtual u32 prf_ports_preempted() = 0;
+};
+
+struct CoreStats {
+  u64 cycles = 0;
+  u64 committed = 0;
+  u64 commit_stall_fireguard = 0;  // commit-lane stalls caused by the sink
+  u64 commit_stall_empty = 0;      // nothing ready to retire
+  u64 dispatch_stall_rob = 0;
+  u64 dispatch_stall_iq = 0;
+  u64 dispatch_stall_lsq = 0;
+  u64 dispatch_stall_pregs = 0;
+  u64 mispredicts = 0;
+  u64 prf_contention_delays = 0;
+  u64 stlf_forwards = 0;  // loads served from the store queue
+  double ipc() const {
+    return cycles ? static_cast<double>(committed) / static_cast<double>(cycles) : 0.0;
+  }
+};
+
+class BoomCore {
+ public:
+  BoomCore(const CoreConfig& cfg, mem::MemHierarchy& mem, trace::TraceSource& src);
+
+  /// Advance one core cycle. `sink` may be null (baseline, no monitoring).
+  void tick(CommitSink* sink);
+
+  /// True once the trace is exhausted and the ROB has drained.
+  bool done() const { return trace_done_ && rob_.empty(); }
+
+  Cycle now() const { return now_; }
+  const CoreStats& stats() const { return stats_; }
+  const BranchPredictor& predictor() const { return pred_; }
+  const RenameStage& rename() const { return rename_; }
+  const LoadStoreQueues& lsq() const { return lsq_; }
+
+  /// Run to completion (baseline convenience). Returns total cycles.
+  Cycle run_to_end(CommitSink* sink = nullptr, u64 max_cycles = ~u64{0});
+
+  /// Mark the cycle at which the k-th instruction commits (the measurement
+  /// window starts there; earlier instructions warm predictors and caches).
+  void set_warmup_mark(u64 committed_insts) { warmup_target_ = committed_insts; }
+  Cycle warmup_cycle() const { return warmup_cycle_; }
+  /// Cycles spent after the warmup mark.
+  Cycle measured_cycles() const {
+    return now_ > warmup_cycle_ ? now_ - warmup_cycle_ : now_;
+  }
+
+ private:
+  struct RobEntry {
+    trace::TraceInst inst;
+    Renamed ren;  // physical registers; stale preg freed at commit
+    Cycle done_at = 0;
+    bool has_dst = false;
+    bool is_load = false;
+    bool is_store = false;
+  };
+
+  void do_commit(CommitSink* sink);
+  void do_dispatch(CommitSink* sink);
+  bool fetch_next();
+  Cycle fu_schedule(std::vector<Cycle>& units, Cycle ready);
+  u32 exec_latency_class(const trace::TraceInst& ti) const;
+
+  CoreConfig cfg_;
+  mem::MemHierarchy& mem_;
+  trace::TraceSource& src_;
+  BranchPredictor pred_;
+
+  Cycle now_ = 0;
+  RingQueue<RobEntry> rob_;
+  RenameStage rename_;
+  LoadStoreQueues lsq_;
+  u64 mem_seq_ = 0;  // dispatch order of memory operations (LSQ dependence)
+
+  // Issue-queue occupancy: entries leave the IQ when execution starts.
+  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>> iq_release_;
+
+  // Per-class FU next-free times.
+  std::vector<Cycle> fu_int_;
+  std::vector<Cycle> fu_fp_;
+  std::vector<Cycle> fu_mem_;
+  std::vector<Cycle> fu_jmp_;
+  std::vector<Cycle> fu_csr_;
+
+  // Physical-register ready times (written at schedule, read via the RAT).
+  std::vector<Cycle> preg_ready_;
+
+  // Frontend state.
+  trace::TraceInst pending_{};
+  bool have_pending_ = false;
+  bool trace_done_ = false;
+  Cycle frontend_ready_ = 0;  // earliest dispatch cycle for the next inst
+  u64 cur_fetch_line_ = ~u64{0};
+
+  u64 warmup_target_ = 0;
+  Cycle warmup_cycle_ = 0;
+
+  CoreStats stats_;
+};
+
+}  // namespace fg::boom

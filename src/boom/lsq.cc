@@ -1,0 +1,54 @@
+#include "src/boom/lsq.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::boom {
+
+void LoadStoreQueues::dispatch_store(u64 addr, u8 size, Cycle data_ready,
+                                     u64 seq) {
+  FG_CHECK(!stq_full());
+  stq_.push_back({addr, size, data_ready, seq});
+  ++stats_.stores;
+}
+
+LoadPlan LoadStoreQueues::dispatch_load(u64 addr, u8 size, Cycle start) {
+  ++stats_.loads;
+  LoadPlan plan;
+  plan.earliest_start = start;
+  if (!cfg_.store_load_forwarding) return plan;
+  // Scan younger→older is irrelevant here: the trace is in program order and
+  // the queue holds only older stores, so the *youngest matching* store (the
+  // back-most) supplies the data.
+  for (auto it = stq_.rbegin(); it != stq_.rend(); ++it) {
+    if (contains(*it, addr, size)) {
+      plan.forwarded = true;
+      plan.earliest_start =
+          std::max(start, it->data_ready) + cfg_.forward_latency;
+      ++stats_.forwards;
+      return plan;
+    }
+    if (overlaps(*it, addr, size)) {
+      // Partial overlap: wait for the store's data, then access memory
+      // normally (conservative, replay-free).
+      plan.earliest_start = std::max(start, it->data_ready + 1);
+      ++stats_.partial_stalls;
+      return plan;
+    }
+  }
+  return plan;
+}
+
+void LoadStoreQueues::commit_load() {
+  FG_CHECK(ldq_used_ > 0);
+  --ldq_used_;
+}
+
+void LoadStoreQueues::commit_store() {
+  FG_CHECK(!stq_.empty());
+  last_committed_store_addr_ = stq_.front().addr;
+  stq_.pop_front();
+}
+
+}  // namespace fg::boom

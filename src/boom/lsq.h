@@ -1,0 +1,94 @@
+// Load/store queues with store-to-load forwarding and memory-dependence
+// ordering.
+//
+// The base core model accounts LDQ/STQ occupancy only (Table II structure
+// sizes); this module adds the dataflow the paper's bypass circuits sit next
+// to: in-flight stores hold their address/data until commit, a younger load
+// that fully overlaps an older store's bytes takes the data from the STQ
+// (forwarding latency instead of a cache access), and a partial overlap
+// forces the load to wait until the store drains (the conservative
+// replay-free policy BOOM uses for misaligned overlap). FireGuard's LSQ/STQ
+// bypass reads "the tops of these queues" at commit (paper footnote 3) —
+// exposed here as `committed_top`.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "src/common/types.h"
+
+namespace fg::boom {
+
+struct LsqConfig {
+  u32 ldq_entries = 32;
+  u32 stq_entries = 32;
+  bool store_load_forwarding = true;
+  u32 forward_latency = 1;  // STQ read + bypass mux
+};
+
+struct LsqStats {
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 forwards = 0;         // loads served from the STQ
+  u64 partial_stalls = 0;   // loads delayed by partial overlap
+};
+
+/// What a dispatched load should do.
+struct LoadPlan {
+  bool forwarded = false;    // take data from the STQ
+  Cycle earliest_start = 0;  // ordering constraint (partial overlaps)
+};
+
+class LoadStoreQueues {
+ public:
+  explicit LoadStoreQueues(const LsqConfig& cfg) : cfg_(cfg) {}
+
+  bool ldq_full() const { return ldq_used_ >= cfg_.ldq_entries; }
+  bool stq_full() const { return stq_.size() >= cfg_.stq_entries; }
+  u32 ldq_used() const { return ldq_used_; }
+  u32 stq_used() const { return static_cast<u32>(stq_.size()); }
+
+  /// Dispatch a store: occupies an STQ slot until commit. `data_ready` is
+  /// when its data operand is available (forwardable from then on).
+  void dispatch_store(u64 addr, u8 size, Cycle data_ready, u64 seq);
+
+  /// Dispatch a load against the current STQ contents.
+  LoadPlan dispatch_load(u64 addr, u8 size, Cycle start);
+  void note_load_dispatched() { ++ldq_used_; }
+
+  /// Commit events free the queue heads (in program order).
+  void commit_load();
+  void commit_store();
+
+  /// The STQ head (most recently committed store data lives here one more
+  /// cycle) — the paper's bypass point for store addresses.
+  std::optional<u64> committed_top() const {
+    return last_committed_store_addr_;
+  }
+
+  const LsqStats& stats() const { return stats_; }
+  const LsqConfig& config() const { return cfg_; }
+
+ private:
+  struct StoreEntry {
+    u64 addr = 0;
+    u8 size = 0;
+    Cycle data_ready = 0;
+    u64 seq = 0;
+  };
+
+  static bool contains(const StoreEntry& st, u64 addr, u8 size) {
+    return st.addr <= addr && addr + size <= st.addr + st.size;
+  }
+  static bool overlaps(const StoreEntry& st, u64 addr, u8 size) {
+    return st.addr < addr + size && addr < st.addr + st.size;
+  }
+
+  LsqConfig cfg_;
+  std::deque<StoreEntry> stq_;  // program order, front = oldest
+  u32 ldq_used_ = 0;
+  std::optional<u64> last_committed_store_addr_;
+  LsqStats stats_;
+};
+
+}  // namespace fg::boom

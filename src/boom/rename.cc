@@ -1,0 +1,43 @@
+#include "src/boom/rename.h"
+
+#include "src/common/check.h"
+
+namespace fg::boom {
+
+RenameStage::RenameStage(u32 n_phys) {
+  FG_CHECK(n_phys >= 33);
+  rat_.resize(32);
+  for (u16 a = 0; a < 32; ++a) rat_[a] = a;
+  free_list_.reserve(n_phys - 32);
+  // Highest-numbered pregs are handed out first (LIFO), matching the common
+  // free-list implementation; any order is architecturally equivalent.
+  for (u16 p = 32; p < n_phys; ++p) free_list_.push_back(p);
+}
+
+Renamed RenameStage::rename(u8 rd, u8 rs1, u8 rs2) {
+  Renamed r;
+  if (rs1 != kNoReg && (rs1 & 31) != 0) r.ps1 = rat_[rs1 & 31];
+  if (rs2 != kNoReg && (rs2 & 31) != 0) r.ps2 = rat_[rs2 & 31];
+  if (rd != kNoReg && (rd & 31) != 0) {
+    FG_CHECK(!free_list_.empty());
+    r.pd = free_list_.back();
+    free_list_.pop_back();
+    r.stale = rat_[rd & 31];
+    rat_[rd & 31] = r.pd;
+  }
+  return r;
+}
+
+void RenameStage::commit(const Renamed& r) {
+  if (r.stale != kNoPreg) free_list_.push_back(r.stale);
+}
+
+void RenameStage::rollback(u8 rd, const Renamed& r) {
+  if (r.pd != kNoPreg) {
+    FG_CHECK(rat_[rd & 31] == r.pd);
+    rat_[rd & 31] = r.stale;
+    free_list_.push_back(r.pd);
+  }
+}
+
+}  // namespace fg::boom

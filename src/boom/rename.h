@@ -1,0 +1,63 @@
+// Explicit register renaming: a Register Alias Table over the architectural
+// integer space and a physical-register free list.
+//
+// The paper's data-forwarding channel reads committed operand data out of the
+// PRFs by physical index (Figure 2: "address registers storing the PRF
+// indices accessed by each instruction"), so the model carries real physical
+// indices through dispatch and commit rather than a free-register counter.
+// Renaming follows the standard BOOM scheme: dispatch allocates a new
+// physical destination and remembers the previous mapping; commit frees the
+// *previous* mapping (the new one becomes architectural); a pipeline flush
+// would roll back to the committed RAT (the trace-driven model never
+// squashes mid-flight, so rollback appears only in the unit tests).
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg::boom {
+
+inline constexpr u16 kNoPreg = 0xffff;
+
+/// Result of renaming one instruction.
+struct Renamed {
+  u16 ps1 = kNoPreg;    // physical source 1 (kNoPreg if unused)
+  u16 ps2 = kNoPreg;    // physical source 2
+  u16 pd = kNoPreg;     // newly allocated destination
+  u16 stale = kNoPreg;  // previous mapping of rd, freed at commit
+};
+
+class RenameStage {
+ public:
+  /// `n_phys` total physical registers; the 32 architectural registers are
+  /// mapped 1:1 at reset, so `n_phys - 32` are initially free.
+  explicit RenameStage(u32 n_phys);
+
+  /// True if a destination register can be allocated this cycle.
+  bool can_allocate() const { return !free_list_.empty(); }
+  size_t free_count() const { return free_list_.size(); }
+
+  /// Rename an instruction. Register index 0 (x0) and kNoReg (0xff) sources
+  /// are wired to the always-ready zero register and return kNoPreg.
+  /// `rd` == 0 / kNoReg allocates nothing. Caller must check can_allocate()
+  /// when rd is a real register.
+  Renamed rename(u8 rd, u8 rs1, u8 rs2);
+
+  /// Commit the oldest instruction's rename: its stale physical register
+  /// returns to the free list.
+  void commit(const Renamed& r);
+
+  /// Roll a (not-yet-committed) rename back in reverse dispatch order:
+  /// restore the previous mapping and free the young allocation.
+  void rollback(u8 rd, const Renamed& r);
+
+  /// Current mapping of an architectural register.
+  u16 map(u8 arch) const { return rat_[arch & 31]; }
+
+ private:
+  std::vector<u16> rat_;        // arch -> phys
+  std::vector<u16> free_list_;  // LIFO free pool
+};
+
+}  // namespace fg::boom

@@ -1,0 +1,21 @@
+// Lightweight always-on invariant checking.
+//
+// Simulator state machines have many internal invariants (queue occupancy,
+// bitmap consistency, in-order commit) whose violation should abort loudly in
+// every build type, not silently corrupt results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fg::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "FG_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace fg::detail
+
+#define FG_CHECK(expr)                                           \
+  do {                                                           \
+    if (!(expr)) ::fg::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic elements of the simulator (workload synthesis, attack
+// injection, scheduling jitter) draw from explicitly seeded xorshift64*
+// streams so that every experiment is bit-reproducible.
+#pragma once
+
+#include "src/common/types.h"
+
+namespace fg {
+
+/// xorshift64* generator. Deliberately tiny and header-only: the simulator
+/// creates many independent streams (one per workload, one per injector).
+class Rng {
+ public:
+  explicit Rng(u64 seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  /// Next raw 64-bit value.
+  u64 next() {
+    u64 x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 below(u64 bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Geometric-ish positive length with the given mean (>= 1).
+  u64 geometric(double mean) {
+    if (mean <= 1.0) return 1;
+    u64 n = 1;
+    const double cont = 1.0 - 1.0 / mean;
+    while (chance(cont) && n < 64 * static_cast<u64>(mean)) ++n;
+    return n;
+  }
+
+  /// Fork an independent stream (e.g. per subcomponent).
+  Rng fork() { return Rng(next() ^ 0xd1342543de82ef95ull); }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace fg

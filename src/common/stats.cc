@@ -1,0 +1,83 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace fg {
+
+void Summary::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++n_;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::min() const {
+  FG_CHECK(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  FG_CHECK(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::mean() const {
+  FG_CHECK(!samples_.empty());
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::percentile(double p) const {
+  FG_CHECK(!samples_.empty());
+  FG_CHECK(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double geomean(const std::vector<double>& values) {
+  FG_CHECK(!values.empty());
+  double acc = 0.0;
+  for (double v : values) {
+    FG_CHECK(v > 0.0);
+    acc += std::log(v);
+  }
+  return std::exp(acc / static_cast<double>(values.size()));
+}
+
+std::string table_row(const std::string& name, const std::vector<double>& cols,
+                      int name_width, int col_width, int precision) {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-*s", name_width, name.c_str());
+  out += buf;
+  for (double c : cols) {
+    std::snprintf(buf, sizeof(buf), "%*.*f", col_width, precision, c);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fg

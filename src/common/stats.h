@@ -1,0 +1,57 @@
+// Statistics helpers used by the experiment harness: running summaries,
+// log-scale latency histograms (Figure 8), and geometric means (every
+// slowdown table in the paper reports geomean).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg {
+
+/// Running summary of a scalar sample stream.
+class Summary {
+ public:
+  void add(double v);
+  size_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile calculator that retains samples (used for detection-latency
+/// distributions, which are small: 50-100 attacks per run).
+class SampleSet {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// p in [0,100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Geometric mean of a vector of positive values (slowdowns).
+double geomean(const std::vector<double>& values);
+
+/// Render a fixed-width table row: name then columns with given precision.
+std::string table_row(const std::string& name, const std::vector<double>& cols,
+                      int name_width = 16, int col_width = 10, int precision = 3);
+
+}  // namespace fg

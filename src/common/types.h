@@ -1,0 +1,47 @@
+// Fundamental integer aliases and shared simple types used across FireGuard.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fg {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulation time, in cycles of whichever clock domain the holder lives in.
+using Cycle = u64;
+
+/// Marker for "no register" in trace records.
+inline constexpr u8 kNoReg = 0xff;
+
+/// Extract bits [hi:lo] of a 64-bit value (inclusive, hi >= lo, hi < 64).
+constexpr u64 bits(u64 v, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  if (width >= 64) return v >> lo;
+  return (v >> lo) & ((u64{1} << width) - 1);
+}
+
+/// True if v is a power of two (v > 0).
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Integer log2 for powers of two.
+constexpr unsigned log2_exact(u64 v) {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Ceiling division for unsigned integers.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace fg

@@ -1,0 +1,120 @@
+#include "src/core/allocator.h"
+
+#include "src/common/check.h"
+
+namespace fg::core {
+
+const char* sched_policy_name(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFixed: return "fixed";
+    case SchedPolicy::kRoundRobin: return "round_robin";
+    case SchedPolicy::kBlock: return "block";
+  }
+  return "?";
+}
+
+SchedulingEngine::SchedulingEngine(u16 ae_mask, SchedPolicy policy)
+    : ae_mask_(ae_mask), policy_(policy) {
+  // Start at the lowest engine in the mask.
+  for (u8 i = 0; i < kMaxEngines; ++i) {
+    if (ae_mask_ & (1u << i)) {
+      pt_ = ct_ = i;
+      break;
+    }
+  }
+}
+
+u8 SchedulingEngine::next_engine_after(u8 from) const {
+  for (u8 step = 1; step <= kMaxEngines; ++step) {
+    const u8 idx = static_cast<u8>((from + step) % kMaxEngines);
+    if (ae_mask_ & (1u << idx)) return idx;
+  }
+  return from;
+}
+
+u16 SchedulingEngine::pick(const QueueStatus& status) {
+  if (ae_mask_ == 0) return 0;
+  switch (policy_) {
+    case SchedPolicy::kFixed:
+      ct_ = pt_;
+      break;
+    case SchedPolicy::kRoundRobin: {
+      // Advance past full queues: the checks these kernels run are
+      // stateless, so any engine of the group may take the packet and a
+      // busy engine must not head-of-line block the multicast channel.
+      ct_ = next_engine_after(pt_);
+      for (u32 tries = 0; tries < kMaxEngines && status.engine_queue_full(ct_);
+           ++tries) {
+        ct_ = next_engine_after(ct_);
+      }
+      break;
+    }
+    case SchedPolicy::kBlock: {
+      // Stay on the previous target until its queue is full, then move to
+      // the next engine of this kernel (message locality).
+      ct_ = pt_;
+      if (status.engine_queue_full(ct_)) ct_ = next_engine_after(ct_);
+      break;
+    }
+  }
+  return static_cast<u16>(1u << ct_);
+}
+
+void SchedulingEngine::advance() { pt_ = ct_; }
+
+void Allocator::configure_se(u32 se, u16 ae_mask, SchedPolicy policy, u8 gid) {
+  FG_CHECK(gid < kMaxGids);
+  if (se >= ses_.size()) ses_.resize(se + 1);
+  ses_[se] = SchedulingEngine(ae_mask, policy);
+  se_bitmap_[gid] |= static_cast<u16>(1u << se);
+}
+
+void Allocator::subscribe(u32 se, u8 gid) {
+  FG_CHECK(se < ses_.size());
+  FG_CHECK(gid < kMaxGids);
+  se_bitmap_[gid] |= static_cast<u16>(1u << se);
+}
+
+u16 Allocator::route(Packet& p, const QueueStatus& status) {
+  const u16 ses = plan(p, status);
+  commit_plan(ses);
+  return p.ae_bitmap;
+}
+
+u16 Allocator::plan(Packet& p, const QueueStatus& status) {
+  // Distributor: OR the SE bitmaps of every GID carried by the packet.
+  u16 interested = 0;
+  for (u8 gid = 0; gid < kMaxGids; ++gid) {
+    if (p.gid_bitmap & (1u << gid)) interested |= se_bitmap_[gid];
+  }
+  // Each activated SE schedules independently; the AE bitmaps are combined
+  // with OR gates (Figure 5 b). pick() only latches CT_reg, so an abandoned
+  // plan leaves the scheduling state untouched.
+  u16 ae = 0;
+  for (u32 s = 0; s < ses_.size(); ++s) {
+    if (!(interested & (1u << s))) continue;
+    ae |= ses_[s].pick(status);
+    if (ses_[s].policy() == SchedPolicy::kBlock &&
+        ses_[s].ct_reg() != ses_[s].pt_reg()) {
+      // Block-mode target switch: the old engine must hand its state token
+      // to the new one (the SoC delivers the marker with this packet).
+      p.marker_from = ses_[s].pt_reg();
+      p.marker_to = ses_[s].ct_reg();
+    }
+  }
+  p.ae_bitmap = ae;
+  return interested;
+}
+
+void Allocator::commit_plan(u16 interested_ses) {
+  int n_se = 0;
+  for (u32 s = 0; s < ses_.size(); ++s) {
+    if (!(interested_ses & (1u << s))) continue;
+    ses_[s].advance();
+    ++n_se;
+  }
+  ++stats_.packets_routed;
+  if (n_se > 1) ++stats_.multi_se_packets;
+}
+
+}  // namespace fg::core

@@ -1,0 +1,108 @@
+// The scalable allocator (Section III-C, Figure 5).
+//
+// The allocator is the first half of FireGuard's broadcast-free mapper. A
+// *distributor* holds one SE_Bitmap register per Group ID, naming the
+// Scheduling Engines interested in that GID. Each *Scheduling Engine* (SE)
+// is one-to-one associated with a guardian kernel; it owns an AE_Bitmap of
+// the analysis engines running that kernel and a scheduling circuit
+// (fixed / round-robin / block mode) with PT_reg ("previous target") and
+// CT_reg ("current target"). The AE bitmaps returned by all activated SEs
+// are OR-combined into the final per-packet routing decision, so a packet
+// reaches every interested kernel without any broadcast.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/core/packet.h"
+
+namespace fg::core {
+
+/// Scheduling policies implemented by the SE scheduling circuit. Block mode
+/// keeps streaming to one engine until its queue fills (message locality —
+/// the shadow stack's pipelined parallelism needs it).
+enum class SchedPolicy : u8 { kFixed, kRoundRobin, kBlock };
+
+const char* sched_policy_name(SchedPolicy p);
+
+/// Occupancy feedback from the analysis engines' message queues (block mode
+/// advances targets on fullness; the multicast channel stalls on fullness).
+class QueueStatus {
+ public:
+  virtual ~QueueStatus() = default;
+  virtual bool engine_queue_full(u32 engine) const = 0;
+  virtual size_t engine_queue_free(u32 engine) const = 0;
+};
+
+/// One Scheduling Engine.
+class SchedulingEngine {
+ public:
+  SchedulingEngine() = default;
+  SchedulingEngine(u16 ae_mask, SchedPolicy policy);
+
+  /// Scheduling decision for one packet: returns the AE_Bitmap with the
+  /// chosen target bit(s) set. `status` supplies queue occupancy for block
+  /// mode. Returns 0 if the SE owns no engines.
+  u16 pick(const QueueStatus& status);
+
+  /// Commit the decision (CT_reg -> PT_reg) after the packet is sent.
+  void advance();
+
+  u16 ae_mask() const { return ae_mask_; }
+  SchedPolicy policy() const { return policy_; }
+  u8 pt_reg() const { return pt_; }
+  u8 ct_reg() const { return ct_; }
+
+ private:
+  u8 next_engine_after(u8 from) const;
+
+  u16 ae_mask_ = 0;
+  SchedPolicy policy_ = SchedPolicy::kRoundRobin;
+  u8 pt_ = 0;  // previous target (engine index)
+  u8 ct_ = 0;  // current target
+};
+
+struct AllocatorStats {
+  u64 packets_routed = 0;
+  u64 multi_se_packets = 0;  // packets fanned out to more than one SE
+};
+
+/// The distributor + SE array.
+class Allocator {
+ public:
+  Allocator() = default;
+
+  /// Create SE `se` with its engine set and policy, and subscribe it to GID
+  /// `gid` in the distributor bitmap.
+  void configure_se(u32 se, u16 ae_mask, SchedPolicy policy, u8 gid);
+
+  /// Subscribe an existing SE to an additional GID.
+  void subscribe(u32 se, u8 gid);
+
+  /// Route one packet (the mapper is scalar: one packet per cycle). Fills
+  /// p.ae_bitmap; returns it (0 means no SE was interested).
+  u16 route(Packet& p, const QueueStatus& status);
+
+  /// Two-phase routing for the superscalar mapper (paper footnote 5: a wider
+  /// core duplicates communication channels and SEs, with extra arbiters to
+  /// manage contention when several packets target the same engine).
+  /// `plan` runs the distributor and the SE scheduling circuits — filling
+  /// p.ae_bitmap and any block-mode handoff markers — without latching
+  /// PT_reg, and returns the set of SEs that participated. The caller either
+  /// `commit_plan`s that set (packet issued) or abandons the plan (packet
+  /// stays at the arbiter and is re-planned next cycle).
+  u16 plan(Packet& p, const QueueStatus& status);
+  void commit_plan(u16 interested_ses);
+
+  size_t n_ses() const { return ses_.size(); }
+  const SchedulingEngine& se(u32 i) const { return ses_[i]; }
+  u16 se_bitmap(u8 gid) const { return se_bitmap_[gid]; }
+  const AllocatorStats& stats() const { return stats_; }
+
+ private:
+  std::array<u16, kMaxGids> se_bitmap_{};  // GID -> interested SEs
+  std::vector<SchedulingEngine> ses_;
+  AllocatorStats stats_;
+};
+
+}  // namespace fg::core

@@ -1,0 +1,31 @@
+#include "src/core/cdc.h"
+
+#include "src/common/check.h"
+
+namespace fg::core {
+
+CdcFifo::CdcFifo(u32 depth, u32 ratio) : ratio_(ratio), q_(depth) {
+  FG_CHECK(ratio_ >= 1);
+}
+
+void CdcFifo::push(const Packet& p, Cycle now_fast) {
+  FG_CHECK(!q_.full());
+  // The slow domain observes the write pointer one full slow cycle after the
+  // fast-domain push (two-flop synchronizer + valid/ready handshake).
+  const Cycle slow_now = now_fast / ratio_;
+  q_.push(Entry{p, slow_now + 1});
+  ++stats_.pushes;
+}
+
+bool CdcFifo::can_pop(Cycle now_slow) const {
+  return !q_.empty() && q_.front().ready_slow <= now_slow;
+}
+
+Packet CdcFifo::pop() {
+  FG_CHECK(!q_.empty());
+  Packet p = q_.pop().p;
+  ++stats_.pops;
+  return p;
+}
+
+}  // namespace fg::core

@@ -1,0 +1,56 @@
+// Handshake-based clock-domain crossing (footnote 2 of the paper).
+//
+// FireGuard splits the design into a high-frequency domain (main core,
+// forwarding channel, filter, allocator) and a low-frequency domain (fabric
+// network and µcores). The CDC FIFO carries packets between them: a push in
+// the fast domain becomes visible to the slow domain only after the
+// handshake settles (one slow-domain cycle), and capacity is small
+// (Table II: 8-entry CDC).
+#pragma once
+
+#include "src/common/ring_queue.h"
+#include "src/core/packet.h"
+
+namespace fg::core {
+
+struct CdcStats {
+  u64 pushes = 0;
+  u64 pops = 0;
+  u64 full_rejects = 0;
+};
+
+class CdcFifo {
+ public:
+  /// `depth`: FIFO capacity. `ratio`: fast cycles per slow cycle.
+  CdcFifo(u32 depth, u32 ratio);
+
+  bool can_push() const { return !q_.full(); }
+
+  /// Push from the fast domain at fast-cycle `now_fast`.
+  void push(const Packet& p, Cycle now_fast);
+
+  /// True if the slow domain can pop an entry at slow-cycle `now_slow`
+  /// (handshake settled).
+  bool can_pop(Cycle now_slow) const;
+
+  const Packet& front() const { return q_.front().p; }
+  Packet pop();
+
+  size_t size() const { return q_.size(); }
+  bool full() const { return q_.full(); }
+  bool empty() const { return q_.empty(); }
+  void note_reject() { ++stats_.full_rejects; }
+  const CdcStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Packet p;
+    Cycle ready_slow = 0;  // first slow cycle the consumer may take it
+  };
+
+  u32 ratio_;
+  RingQueue<Entry> q_;
+  CdcStats stats_;
+};
+
+}  // namespace fg::core

@@ -1,0 +1,83 @@
+#include "src/core/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace fg::core {
+
+NocMesh::NocMesh(u32 n_engines, u32 hop_latency)
+    : n_engines_(std::max<u32>(1, n_engines)), hop_latency_(hop_latency) {
+  // Near-square grid: width = ceil(sqrt(n)), height = ceil(n / width).
+  width_ = static_cast<u32>(std::ceil(std::sqrt(static_cast<double>(n_engines_))));
+  height_ = (n_engines_ + width_ - 1) / width_;
+  // Four directed link classes per router position.
+  link_free_.assign(static_cast<size_t>(width_) * height_ * 4, 0);
+  inbox_.resize(n_engines_);
+}
+
+u32 NocMesh::link_id(u32 x, u32 y, u32 dir) const {
+  return (y * width_ + x) * 4 + dir;
+}
+
+u32 NocMesh::hops(u32 a, u32 b) const {
+  FG_CHECK(a < n_engines_ && b < n_engines_);
+  const Coord ca = coord(a), cb = coord(b);
+  const u32 dx = ca.x > cb.x ? ca.x - cb.x : cb.x - ca.x;
+  const u32 dy = ca.y > cb.y ? ca.y - cb.y : cb.y - ca.y;
+  return dx + dy;
+}
+
+Cycle NocMesh::send(u32 src, u32 dst, u64 payload, Cycle now) {
+  FG_CHECK(src < n_engines_ && dst < n_engines_);
+  // XY routing: walk X first, then Y, serializing on each directed link.
+  Coord c = coord(src);
+  const Coord target = coord(dst);
+  Cycle t = now;
+  auto traverse = [&](u32 dir) {
+    Cycle& free_at = link_free_[link_id(c.x, c.y, dir)];
+    const Cycle start = std::max(t, free_at);
+    stats_.link_contention_cycles += start - t;
+    free_at = start + 1;  // one flit per cycle per link
+    t = start + hop_latency_;
+    ++stats_.total_hops;
+  };
+  while (c.x != target.x) {
+    const u32 dir = c.x < target.x ? 0u : 1u;
+    traverse(dir);
+    c.x = c.x < target.x ? c.x + 1 : c.x - 1;
+  }
+  while (c.y != target.y) {
+    const u32 dir = c.y < target.y ? 3u : 2u;
+    traverse(dir);
+    c.y = c.y < target.y ? c.y + 1 : c.y - 1;
+  }
+  if (t == now) t = now + 1;  // local delivery still takes a cycle
+
+  NocMessage m{src, dst, payload, now, t};
+  auto& box = inbox_[dst];
+  box.push_back(m);
+  std::push_heap(box.begin(), box.end(),
+                 [](const NocMessage& a, const NocMessage& b) {
+                   return a.arrives_at > b.arrives_at;
+                 });
+  ++stats_.messages;
+  return t;
+}
+
+std::optional<NocMessage> NocMesh::deliver(u32 engine, Cycle now) {
+  FG_CHECK(engine < n_engines_);
+  auto& box = inbox_[engine];
+  if (box.empty()) return std::nullopt;
+  auto cmp = [](const NocMessage& a, const NocMessage& b) {
+    return a.arrives_at > b.arrives_at;
+  };
+  if (box.front().arrives_at > now) return std::nullopt;
+  std::pop_heap(box.begin(), box.end(), cmp);
+  NocMessage m = box.back();
+  box.pop_back();
+  return m;
+}
+
+}  // namespace fg::core

@@ -1,0 +1,74 @@
+// The distributed fabric network (Section III-C, Figure 1 d).
+//
+// Two channels:
+//  * a half-duplex *multicast* (1-to-N) channel: multiplexers steered by the
+//    allocator deliver each packet from the event filter to the message
+//    queues of every engine in its AE bitmap, atomically (all targets must
+//    have room, preserving per-engine ordering);
+//  * a full-duplex *routing* (N-to-N) channel: a Manhattan-grid mesh NoC over
+//    which analysis engines exchange packets (the shadow stack's block-mode
+//    ownership token travels here). Five bi-directional ports per router
+//    (N/S/E/W + local engine), XY dimension-ordered routing, one hop per
+//    slow-domain cycle per router stage, with per-link serialization.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/ring_queue.h"
+#include "src/common/types.h"
+
+namespace fg::core {
+
+struct NocMessage {
+  u32 src = 0;
+  u32 dst = 0;
+  u64 payload = 0;
+  Cycle sent_at = 0;     // slow-domain cycle the message entered the mesh
+  Cycle arrives_at = 0;  // slow-domain delivery cycle (computed by the mesh)
+};
+
+struct NocStats {
+  u64 messages = 0;
+  u64 total_hops = 0;
+  u64 link_contention_cycles = 0;
+};
+
+/// Manhattan-grid mesh with XY routing. Geometry is chosen from the engine
+/// count (near-square grid). Timing: router pipeline of `hop_latency` cycles
+/// per hop; each directed link carries one message per cycle, so messages
+/// sharing links queue behind each other.
+class NocMesh {
+ public:
+  explicit NocMesh(u32 n_engines, u32 hop_latency = 2);
+
+  /// Inject a message at slow cycle `now`; returns its delivery cycle.
+  Cycle send(u32 src, u32 dst, u64 payload, Cycle now);
+
+  /// Pop one message destined for `engine` that has arrived by `now`.
+  std::optional<NocMessage> deliver(u32 engine, Cycle now);
+
+  /// Number of mesh hops between two engines (Manhattan distance).
+  u32 hops(u32 a, u32 b) const;
+
+  u32 width() const { return width_; }
+  u32 height() const { return height_; }
+  const NocStats& stats() const { return stats_; }
+
+ private:
+  struct Coord {
+    u32 x, y;
+  };
+  Coord coord(u32 engine) const { return {engine % width_, engine / width_}; }
+  u32 link_id(u32 x, u32 y, u32 dir) const;  // dir: 0=E,1=W,2=N,3=S
+
+  u32 n_engines_;
+  u32 width_;
+  u32 height_;
+  u32 hop_latency_;
+  std::vector<Cycle> link_free_;                 // next-free cycle per link
+  std::vector<std::vector<NocMessage>> inbox_;   // per-engine, sorted by arrival
+  NocStats stats_;
+};
+
+}  // namespace fg::core

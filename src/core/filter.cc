@@ -1,0 +1,136 @@
+#include "src/core/filter.h"
+
+#include "src/common/check.h"
+
+namespace fg::core {
+
+void FilterTable::program(u8 opcode, u8 funct3, u16 gid_bitmap, u8 dp_sel) {
+  FG_CHECK(opcode < 128 && funct3 < 8);
+  table_[(static_cast<u16>(funct3) << 7) | opcode] = {gid_bitmap, dp_sel};
+}
+
+void FilterTable::program_opcode(u8 opcode, u16 gid_bitmap, u8 dp_sel) {
+  for (u8 f3 = 0; f3 < 8; ++f3) program(opcode, f3, gid_bitmap, dp_sel);
+}
+
+void FilterTable::add_interest(u8 opcode, u8 funct3, u8 gid, u8 dp_sel) {
+  FG_CHECK(gid < kMaxGids);
+  FilterEntry& e = table_[(static_cast<u16>(funct3) << 7) | opcode];
+  e.gid_bitmap |= static_cast<u16>(1u << gid);
+  e.dp_sel |= dp_sel;
+}
+
+void FilterTable::add_interest_opcode(u8 opcode, u8 gid, u8 dp_sel) {
+  for (u8 f3 = 0; f3 < 8; ++f3) add_interest(opcode, f3, gid, dp_sel);
+}
+
+void FilterTable::clear() { table_.fill(FilterEntry{}); }
+
+EventFilter::EventFilter(const EventFilterConfig& cfg) : cfg_(cfg) {
+  FG_CHECK(cfg_.width >= 1);
+  FG_CHECK(cfg_.fifo_depth >= 2);
+  fifos_.reserve(cfg_.width);
+  for (u32 i = 0; i < cfg_.width; ++i) fifos_.emplace_back(cfg_.fifo_depth);
+}
+
+bool EventFilter::lane_ready(u32 lane) const {
+  if (lane >= cfg_.width) return false;  // narrower filter than commit width
+  return !fifos_[lane].full();
+}
+
+void EventFilter::offer(u32 lane, const Packet& p_in) {
+  FG_CHECK(lane < cfg_.width);
+  FG_CHECK(!fifos_[lane].full());
+  ++stats_.committed_seen;
+  Packet p = p_in;
+  const FilterEntry& e = table_.lookup(p.inst);
+  if (e.gid_bitmap != 0) {
+    p.valid = true;
+    p.gid_bitmap = e.gid_bitmap;
+    p.dp_sel = e.dp_sel;
+    // "avoiding reads of information not selected": unselected data paths
+    // are never read, so those packet fields stay empty.
+    if (!(e.dp_sel & kDpPrf)) p.data = 0;
+    if (!(e.dp_sel & (kDpLsq | kDpFtq))) p.addr = 0;
+    ++stats_.valid_packets;
+  } else {
+    // Ordering placeholder (footnote 4): pushed so that the arbiter can
+    // prove commit order across lanes, skipped at zero cost on output.
+    p.valid = false;
+    p.gid_bitmap = 0;
+    p.dp_sel = 0;
+    ++stats_.invalid_packets;
+  }
+  fifos_[lane].push(p);
+}
+
+void EventFilter::drop_placeholders() {
+  // A placeholder at a FIFO head can be discarded only once we know no
+  // *older* packet can still arrive: since pushes happen in commit order,
+  // the head with the globally smallest seq is always safe to resolve.
+  for (;;) {
+    int best = -1;
+    u64 best_seq = ~u64{0};
+    bool any = false;
+    for (u32 i = 0; i < cfg_.width; ++i) {
+      if (fifos_[i].empty()) continue;
+      any = true;
+      if (fifos_[i].front().seq < best_seq) {
+        best_seq = fifos_[i].front().seq;
+        best = static_cast<int>(i);
+      }
+    }
+    if (!any || best < 0) return;
+    if (fifos_[static_cast<u32>(best)].front().valid) return;
+    fifos_[static_cast<u32>(best)].pop();
+  }
+}
+
+bool EventFilter::arbiter_peek(Packet& out) {
+  drop_placeholders();
+  int best = -1;
+  u64 best_seq = ~u64{0};
+  for (u32 i = 0; i < cfg_.width; ++i) {
+    if (fifos_[i].empty()) continue;
+    if (fifos_[i].front().seq < best_seq) {
+      best_seq = fifos_[i].front().seq;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return false;
+  const Packet& p = fifos_[static_cast<u32>(best)].front();
+  FG_CHECK(p.valid);
+  out = p;
+  return true;
+}
+
+void EventFilter::arbiter_pop() {
+  int best = -1;
+  u64 best_seq = ~u64{0};
+  for (u32 i = 0; i < cfg_.width; ++i) {
+    if (fifos_[i].empty()) continue;
+    if (fifos_[i].front().seq < best_seq) {
+      best_seq = fifos_[i].front().seq;
+      best = static_cast<int>(i);
+    }
+  }
+  FG_CHECK(best >= 0);
+  FG_CHECK(fifos_[static_cast<u32>(best)].front().valid);
+  fifos_[static_cast<u32>(best)].pop();
+  ++stats_.arbiter_output;
+}
+
+size_t EventFilter::buffered() const {
+  size_t n = 0;
+  for (const auto& f : fifos_) n += f.size();
+  return n;
+}
+
+bool EventFilter::any_fifo_full() const {
+  for (const auto& f : fifos_) {
+    if (f.full()) return true;
+  }
+  return false;
+}
+
+}  // namespace fg::core

@@ -1,0 +1,116 @@
+// The superscalar event filter (Section III-B, Figures 3 and 4).
+//
+// One SRAM-based mini-filter hangs off each commit lane of the ROB. The
+// 10-bit SRAM index is {funct3, opcode} of the committing instruction; the
+// entry holds the Group-ID bitmap (which guardian kernels want this
+// instruction) and DP_Sel (which data paths the forwarding channel should
+// read). Filtered packets are buffered in paired FIFO queues — one per lane —
+// and a shared arbiter re-serializes them into commit order, consuming one
+// cycle per valid packet and skipping invalid placeholders for free.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/common/ring_queue.h"
+#include "src/core/packet.h"
+#include "src/isa/riscv.h"
+
+namespace fg::core {
+
+/// One SRAM entry of a mini-filter's look-up table.
+struct FilterEntry {
+  u16 gid_bitmap = 0;  // zero means: no kernel cares, drop the instruction
+  u8 dp_sel = 0;
+};
+
+/// The programmable SRAM look-up table shared by all mini-filters (each lane
+/// has a physical copy; contents are identical, so we model one table).
+class FilterTable {
+ public:
+  FilterTable() = default;
+
+  /// Program a single {funct3, opcode} slot.
+  void program(u8 opcode, u8 funct3, u16 gid_bitmap, u8 dp_sel);
+
+  /// Program all eight funct3 slots of an opcode (e.g. JAL, where the funct3
+  /// bits are immediate bits and all patterns must match).
+  void program_opcode(u8 opcode, u16 gid_bitmap, u8 dp_sel);
+
+  /// Add a kernel's interest to existing entries (OR semantics, so several
+  /// kernels can watch the same instruction).
+  void add_interest(u8 opcode, u8 funct3, u8 gid, u8 dp_sel);
+  void add_interest_opcode(u8 opcode, u8 gid, u8 dp_sel);
+
+  void clear();
+
+  const FilterEntry& lookup(u32 enc) const { return table_[isa::filter_index(enc)]; }
+  const FilterEntry& entry(u16 index) const { return table_[index]; }
+
+ private:
+  std::array<FilterEntry, isa::kFilterTableSize> table_{};
+};
+
+struct EventFilterConfig {
+  u32 width = 4;       // number of mini-filters (== lanes it can pre-check)
+  u32 fifo_depth = 16; // paired FIFO depth per lane (Table II: 16-entry FIFO)
+};
+
+struct EventFilterStats {
+  u64 committed_seen = 0;
+  u64 valid_packets = 0;
+  u64 invalid_packets = 0;
+  u64 lane_rejects_width = 0;  // commits refused because lane >= width
+  u64 lane_rejects_full = 0;   // commits refused because the lane FIFO is full
+  u64 arbiter_output = 0;
+  u64 arbiter_blocked = 0;     // cycles the arbiter had a packet but no room
+};
+
+/// Superscalar event filter: per-lane mini-filters + paired FIFOs + the
+/// reordering arbiter.
+class EventFilter {
+ public:
+  explicit EventFilter(const EventFilterConfig& cfg);
+
+  FilterTable& table() { return table_; }
+  const FilterTable& table() const { return table_; }
+
+  /// Can commit lane `lane` hand an instruction to its mini-filter this
+  /// cycle? (False ⇒ the core must stall this commit slot.)
+  bool lane_ready(u32 lane) const;
+
+  /// Why lane_ready() failed (for stall attribution).
+  bool lane_blocked_by_width(u32 lane) const { return lane >= cfg_.width; }
+
+  /// Commit lane `lane` retires `p_in`: run the mini-filter look-up and push
+  /// a (valid or ordering-placeholder) packet. Caller must have checked
+  /// lane_ready().
+  void offer(u32 lane, const Packet& p_in);
+
+  /// Arbiter: peek the next in-order valid packet, if any is ready this
+  /// cycle. Invalid placeholders are skipped (and popped) for free.
+  bool arbiter_peek(Packet& out);
+
+  /// Consume the packet previously peeked (downstream accepted it).
+  void arbiter_pop();
+
+  /// Record that the arbiter was blocked this cycle (stats only).
+  void note_blocked() { ++stats_.arbiter_blocked; }
+
+  /// Total buffered packets (valid + placeholders) across lane FIFOs.
+  size_t buffered() const;
+  bool any_fifo_full() const;
+
+  const EventFilterConfig& config() const { return cfg_; }
+  const EventFilterStats& stats() const { return stats_; }
+
+ private:
+  void drop_placeholders();
+
+  EventFilterConfig cfg_;
+  FilterTable table_;
+  std::vector<RingQueue<Packet>> fifos_;
+  EventFilterStats stats_;
+};
+
+}  // namespace fg::core

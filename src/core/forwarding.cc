@@ -1,0 +1,40 @@
+#include "src/core/forwarding.h"
+
+namespace fg::core {
+
+Packet DataForwardingChannel::extract(const trace::TraceInst& ti, Cycle now,
+                                      u64 seq) const {
+  Packet p;
+  p.pc = ti.pc;                 // ROB commit path
+  p.inst = ti.enc;              // ROB commit path
+  p.data = ti.wb_value;         // PRF bypass (if selected)
+  if (isa::is_mem(ti.cls)) {
+    p.addr = ti.mem_addr;       // LDQ/STQ top bypass
+  } else if (isa::is_ctrl(ti.cls)) {
+    p.addr = ti.target;         // FTQ top bypass
+  }
+  p.sem = ti.sem;
+  p.sem_addr = ti.sem_addr;
+  p.sem_size = ti.sem_size;
+  p.seq = seq;
+  p.commit_cycle = now;
+  p.attack_id = ti.attack_id;
+  return p;
+}
+
+void DataForwardingChannel::note_selected(u8 dp_sel) {
+  if (dp_sel & kDpPrf) {
+    ++stats_.prf_reads;
+    ++pending_prf_preemptions_;
+  }
+  if (dp_sel & kDpLsq) ++stats_.lsq_reads;
+  if (dp_sel & kDpFtq) ++stats_.ftq_reads;
+}
+
+u32 DataForwardingChannel::take_prf_preemptions() {
+  const u32 n = pending_prf_preemptions_;
+  pending_prf_preemptions_ = 0;
+  return n;
+}
+
+}  // namespace fg::core

@@ -1,0 +1,48 @@
+// The buffer-free data-forwarding channel (Section III-A, Figure 2).
+//
+// Read-only bypass circuits at the ROB, PRFs, LSQ and FTQ extract debug data
+// for committing instructions without adding intermediate storage between
+// execute and commit. PRF reads preempt the statically multiplexed read
+// controllers (Mini-Filter[x] has priority on Read_Ctrl[x]), so an issuing
+// instruction that wanted the same port is delayed by one cycle — the only
+// contention the design admits. LSQ/FTQ forwards always read the queue top
+// (the most recently retired entry) and are contention-free (footnote 3).
+//
+// In the simulator the committed values travel with the trace record; this
+// class assembles them into packet fields and accounts for the PRF port
+// preemptions that the core model turns into issue delays.
+#pragma once
+
+#include "src/core/packet.h"
+#include "src/trace/trace.h"
+
+namespace fg::core {
+
+struct ForwardingStats {
+  u64 prf_reads = 0;
+  u64 lsq_reads = 0;
+  u64 ftq_reads = 0;
+};
+
+class DataForwardingChannel {
+ public:
+  /// Assemble the raw (unfiltered) packet for a committing instruction. The
+  /// mini-filter decides which of these fields survive (dp_sel masking).
+  Packet extract(const trace::TraceInst& ti, Cycle now, u64 seq) const;
+
+  /// Record which data paths a selected packet actually read; PRF reads
+  /// preempt a read port in the following cycle.
+  void note_selected(u8 dp_sel);
+
+  /// Ports preempted since the last call (consumed by the core model once
+  /// per cycle).
+  u32 take_prf_preemptions();
+
+  const ForwardingStats& stats() const { return stats_; }
+
+ private:
+  ForwardingStats stats_;
+  u32 pending_prf_preemptions_ = 0;
+};
+
+}  // namespace fg::core

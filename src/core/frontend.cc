@@ -1,0 +1,68 @@
+#include "src/core/frontend.h"
+
+namespace fg::core {
+
+Frontend::Frontend(const FrontendConfig& cfg)
+    : cfg_(cfg), filter_(cfg.filter), cdc_(cfg.cdc_depth, cfg.freq_ratio) {}
+
+StallCause Frontend::classify_stall(u32 lane, bool engines_blocked) const {
+  if (filter_.lane_blocked_by_width(lane)) return StallCause::kFilter;
+  // The lane FIFO is full; find the deepest full structure downstream.
+  if (cdc_.full()) {
+    return engines_blocked ? StallCause::kEngines : StallCause::kCdc;
+  }
+  // CDC has room but the FIFO could not drain: the scalar mapper (one packet
+  // per cycle through arbiter + allocator) is the limit.
+  return StallCause::kMapper;
+}
+
+bool Frontend::can_commit(u32 lane, const trace::TraceInst&) {
+  if (filter_.lane_ready(lane)) return true;
+  const StallCause c = classify_stall(lane, engines_blocked_hint_);
+  ++stats_.stall_by_cause[static_cast<size_t>(c)];
+  return false;
+}
+
+void Frontend::on_commit(u32 lane, const trace::TraceInst& ti, Cycle now) {
+  ++stats_.commits_observed;
+  Packet p = fwd_.extract(ti, now, seq_++);
+  filter_.offer(lane, p);
+  // The mini-filter decided; account the data-path reads it selected.
+  const FilterEntry& e = filter_.table().lookup(ti.enc);
+  if (e.gid_bitmap != 0) fwd_.note_selected(e.dp_sel);
+}
+
+u32 Frontend::prf_ports_preempted() { return fwd_.take_prf_preemptions(); }
+
+void Frontend::tick_fast(Cycle now_fast, const QueueStatus& status,
+                         bool engines_blocked) {
+  engines_blocked_hint_ = engines_blocked;
+  u16 issued_engines = 0;
+  for (u32 slot = 0; slot < cfg_.mapper_width; ++slot) {
+    Packet p;
+    if (!filter_.arbiter_peek(p)) return;
+    if (!cdc_.can_push()) {
+      cdc_.note_reject();
+      filter_.note_blocked();
+      return;
+    }
+    const u16 ses = allocator_.plan(p, status);
+    if (slot > 0 && (p.ae_bitmap & issued_engines) != 0) {
+      // Footnote 5's per-engine arbiter: a second packet to an engine already
+      // written this cycle must wait. The plan is abandoned (PT_reg unlatched)
+      // and the packet re-planned next cycle.
+      ++stats_.mapper_port_conflicts;
+      return;
+    }
+    allocator_.commit_plan(ses);
+    filter_.arbiter_pop();
+    if (p.ae_bitmap == 0) {
+      ++stats_.dropped_unrouted;
+      continue;
+    }
+    issued_engines |= p.ae_bitmap;
+    cdc_.push(p, now_fast);
+  }
+}
+
+}  // namespace fg::core

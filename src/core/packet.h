@@ -1,0 +1,72 @@
+// The packet encapsulation format of Figure 4(b):
+//   { G_ID | Inst | PC | Addr | Debug_Data }
+//
+// Packets are produced by the mini-filters at commit, ordered by the
+// arbiter, routed by the allocator, crossed into the low-frequency domain,
+// and finally consumed by guardian kernels through the µcores' message
+// queues. Invalid packets exist only to preserve commit order inside the
+// paired FIFOs (footnote 4 of the paper) and are skipped by the arbiter.
+#pragma once
+
+#include "src/common/types.h"
+#include "src/trace/trace.h"
+
+namespace fg::core {
+
+inline constexpr u32 kMaxGids = 16;
+inline constexpr u32 kMaxEngines = 16;  // AE_Bitmap is 16-bit in Figure 5
+
+/// Data-path selection bits stored in the mini-filter SRAM (DP_Sel).
+enum DpSel : u8 {
+  kDpPrf = 1 << 0,  // operand / writeback data from the physical register file
+  kDpLsq = 1 << 1,  // memory address from the LDQ/STQ top
+  kDpFtq = 1 << 2,  // jump/branch target from the FTQ
+};
+
+struct Packet {
+  bool valid = false;
+  u16 gid_bitmap = 0;  // all guardian kernels interested in this instruction
+  u8 dp_sel = 0;       // which data paths were read for this packet
+
+  u64 pc = 0;
+  u32 inst = 0;    // raw RISC-V encoding
+  u64 addr = 0;    // memory address or control-flow target (per dp_sel)
+  u64 data = 0;    // PRF debug data (committed value)
+
+  // Allocator-sourced allocation metadata (guard.alloc / guard.free).
+  trace::SemEvent sem = trace::SemEvent::kNone;
+  u64 sem_addr = 0;
+  u32 sem_size = 0;
+
+  u64 seq = 0;           // global commit sequence number (ordering checks)
+  Cycle commit_cycle = 0;  // main-core cycle of commit (latency measurement)
+  u32 attack_id = 0;       // nonzero for injected attacks (bookkeeping only)
+
+  // Filled by the allocator: which analysis engines receive this packet.
+  u16 ae_bitmap = 0;
+
+  // Block-mode handoff: when a block-scheduled SE switches engines on this
+  // packet, the multicast channel delivers a marker packet to the *old*
+  // engine (marker_from) naming the successor (marker_to), atomically with
+  // this packet, so the kernel can pass its state token over the routing
+  // channel in stream order. 0xff = no handoff.
+  u8 marker_from = 0xff;
+  u8 marker_to = 0xff;
+};
+
+/// Pack the four 64-bit message-queue words a µcore reads via top/pop/recent.
+/// Word layout (offset in bits passed to the queue instructions):
+///   word 0 [  0.. 63]: pc
+///   word 1 [ 64..127]: inst (low 32) | sem_size (high 32)
+///   word 2 [128..191]: addr (or sem_addr for allocator events)
+///   word 3 [192..255]: data
+inline u64 packet_word(const Packet& p, u32 word) {
+  switch (word & 3) {
+    case 0: return p.pc;
+    case 1: return static_cast<u64>(p.inst) | (static_cast<u64>(p.sem_size) << 32);
+    case 2: return p.sem == trace::SemEvent::kNone ? p.addr : p.sem_addr;
+    default: return p.data;
+  }
+}
+
+}  // namespace fg::core

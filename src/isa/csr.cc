@@ -1,0 +1,44 @@
+#include "src/isa/csr.h"
+
+namespace fg::isa {
+
+std::optional<const char*> csr_name(u16 addr) {
+  switch (addr) {
+    case kCsrFflags: return "fflags";
+    case kCsrFrm: return "frm";
+    case kCsrFcsr: return "fcsr";
+    case kCsrCycle: return "cycle";
+    case kCsrTime: return "time";
+    case kCsrInstret: return "instret";
+    case kCsrSstatus: return "sstatus";
+    case kCsrSie: return "sie";
+    case kCsrStvec: return "stvec";
+    case kCsrSscratch: return "sscratch";
+    case kCsrSepc: return "sepc";
+    case kCsrScause: return "scause";
+    case kCsrStval: return "stval";
+    case kCsrSip: return "sip";
+    case kCsrSatp: return "satp";
+    case kCsrMstatus: return "mstatus";
+    case kCsrMisa: return "misa";
+    case kCsrMie: return "mie";
+    case kCsrMtvec: return "mtvec";
+    case kCsrMscratch: return "mscratch";
+    case kCsrMepc: return "mepc";
+    case kCsrMcause: return "mcause";
+    case kCsrMtval: return "mtval";
+    case kCsrMip: return "mip";
+    case kCsrMcycle: return "mcycle";
+    case kCsrMinstret: return "minstret";
+    case kCsrMhartid: return "mhartid";
+    case kCsrFgFilterAddr: return "fg.filter_addr";
+    case kCsrFgFilterData: return "fg.filter_data";
+    case kCsrFgSeBitmap: return "fg.se_bitmap";
+    case kCsrFgAeBitmap: return "fg.ae_bitmap";
+    case kCsrFgSePolicy: return "fg.se_policy";
+    case kCsrFgInflight: return "fg.inflight";
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace fg::isa

@@ -1,0 +1,79 @@
+// Control-and-status-register address map (machine/supervisor/user subsets
+// relevant to the simulated SoC) plus the FireGuard-specific CSRs.
+//
+// The main core's CSR unit and the µcore status-register block both expose
+// state through this address space; the guardian-kernel drivers program the
+// event filter and the allocator bitmaps through the FireGuard block, which
+// a real implementation would expose as memory-mapped or CSR-mapped control
+// registers (we model the CSR-mapped variant, keeping configuration on the
+// ordinary instruction path so it is serialized against commits).
+#pragma once
+
+#include <optional>
+
+#include "src/common/types.h"
+
+namespace fg::isa {
+
+enum Csr : u16 {
+  // Unprivileged floating-point and counters.
+  kCsrFflags = 0x001,
+  kCsrFrm = 0x002,
+  kCsrFcsr = 0x003,
+  kCsrCycle = 0xc00,
+  kCsrTime = 0xc01,
+  kCsrInstret = 0xc02,
+  // Supervisor trap setup/handling (booted-Linux relevant subset).
+  kCsrSstatus = 0x100,
+  kCsrSie = 0x104,
+  kCsrStvec = 0x105,
+  kCsrSscratch = 0x140,
+  kCsrSepc = 0x141,
+  kCsrScause = 0x142,
+  kCsrStval = 0x143,
+  kCsrSip = 0x144,
+  kCsrSatp = 0x180,
+  // Machine information/trap.
+  kCsrMstatus = 0x300,
+  kCsrMisa = 0x301,
+  kCsrMie = 0x304,
+  kCsrMtvec = 0x305,
+  kCsrMscratch = 0x340,
+  kCsrMepc = 0x341,
+  kCsrMcause = 0x342,
+  kCsrMtval = 0x343,
+  kCsrMip = 0x344,
+  kCsrMcycle = 0xb00,
+  kCsrMinstret = 0xb02,
+  kCsrMhartid = 0xf14,
+
+  // --- FireGuard control block (custom, machine-level read/write). ---
+  // Filter-table programming port: write {row, gid, dp_sel} packed words.
+  kCsrFgFilterAddr = 0x7c0,  // row index (10-bit {funct3, opcode})
+  kCsrFgFilterData = 0x7c1,  // {valid, gid[7:0], dp_sel[3:0]}
+  // Allocator programming: SE_Bitmap[gid] and per-SE AE bitmap / policy.
+  kCsrFgSeBitmap = 0x7c2,    // write: gid in [63:56], bitmap in [15:0]
+  kCsrFgAeBitmap = 0x7c3,    // write: se in [63:56], bitmap in [15:0]
+  kCsrFgSePolicy = 0x7c4,    // write: se in [63:56], policy in [1:0]
+  // Status: sticky bit per kernel with in-flight checks (syscall gate, see
+  // paper §IV-B: syscalls must stall until no in-flight checks remain).
+  kCsrFgInflight = 0x7c5,
+};
+
+/// Canonical name for a CSR address, or std::nullopt if unassigned.
+std::optional<const char*> csr_name(u16 addr);
+
+/// True for addresses in the FireGuard control block.
+constexpr bool is_fireguard_csr(u16 addr) {
+  return addr >= kCsrFgFilterAddr && addr <= kCsrFgInflight;
+}
+
+/// True if the CSR is read-only by the ISA encoding convention
+/// (address bits [11:10] == 0b11).
+constexpr bool csr_is_readonly(u16 addr) { return (addr >> 10) == 0x3; }
+
+/// Minimal privilege level required by the encoding convention
+/// (address bits [9:8]): 0 = user, 1 = supervisor, 3 = machine.
+constexpr unsigned csr_privilege(u16 addr) { return (addr >> 8) & 0x3; }
+
+}  // namespace fg::isa

@@ -1,0 +1,830 @@
+#include "src/isa/decode.h"
+
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+
+namespace fg::isa {
+
+namespace {
+
+// Shorthand builders used by the decode switch. Each fills in the operand
+// plumbing for one instruction format; the caller supplies mnemonic/class.
+Decoded r_type(u32 enc, Mnemonic m, InstClass c) {
+  Decoded d;
+  d.mnemonic = m;
+  d.cls = c;
+  d.rd = rd_of(enc);
+  d.rs1 = rs1_of(enc);
+  d.rs2 = rs2_of(enc);
+  d.rd_file = d.rs1_file = d.rs2_file = RegFile::kInt;
+  return d;
+}
+
+Decoded i_type(u32 enc, Mnemonic m, InstClass c) {
+  Decoded d;
+  d.mnemonic = m;
+  d.cls = c;
+  d.rd = rd_of(enc);
+  d.rs1 = rs1_of(enc);
+  d.rd_file = d.rs1_file = RegFile::kInt;
+  d.imm_kind = ImmKind::kI;
+  d.imm = imm_i(enc);
+  return d;
+}
+
+Decoded shift_imm(u32 enc, Mnemonic m, unsigned shamt_bits) {
+  Decoded d = i_type(enc, m, InstClass::kIntAlu);
+  d.imm_kind = ImmKind::kShamt;
+  d.imm = static_cast<i64>(bits(enc, 20 + shamt_bits - 1, 20));
+  return d;
+}
+
+Decoded load(u32 enc, Mnemonic m, u8 bytes, bool uns) {
+  Decoded d = i_type(enc, m, InstClass::kLoad);
+  d.mem_bytes = bytes;
+  d.mem_unsigned = uns;
+  return d;
+}
+
+Decoded store(u32 enc, Mnemonic m, u8 bytes) {
+  Decoded d;
+  d.mnemonic = m;
+  d.cls = InstClass::kStore;
+  d.rs1 = rs1_of(enc);
+  d.rs2 = rs2_of(enc);
+  d.rs1_file = d.rs2_file = RegFile::kInt;
+  d.imm_kind = ImmKind::kS;
+  d.imm = imm_s(enc);
+  d.mem_bytes = bytes;
+  return d;
+}
+
+Decoded branch(u32 enc, Mnemonic m) {
+  Decoded d;
+  d.mnemonic = m;
+  d.cls = InstClass::kBranch;
+  d.rs1 = rs1_of(enc);
+  d.rs2 = rs2_of(enc);
+  d.rs1_file = d.rs2_file = RegFile::kInt;
+  d.imm_kind = ImmKind::kB;
+  d.imm = imm_b(enc);
+  return d;
+}
+
+Decoded amo(u32 enc, Mnemonic m, u8 bytes) {
+  Decoded d = r_type(enc, m, InstClass::kStore);
+  d.mem_bytes = bytes;
+  d.is_amo = true;
+  // LR reads no rs2.
+  if (m == Mnemonic::kLrW || m == Mnemonic::kLrD) {
+    d.rs2_file = RegFile::kNone;
+    d.cls = InstClass::kLoad;
+  }
+  return d;
+}
+
+Decoded fp_load(u32 enc, Mnemonic m, u8 bytes) {
+  Decoded d = i_type(enc, m, InstClass::kLoad);
+  d.rd_file = RegFile::kFp;
+  d.mem_bytes = bytes;
+  return d;
+}
+
+Decoded fp_store(u32 enc, Mnemonic m, u8 bytes) {
+  Decoded d = store(enc, m, bytes);
+  d.rs2_file = RegFile::kFp;
+  return d;
+}
+
+Decoded fp_rr(u32 enc, Mnemonic m, InstClass c) {
+  Decoded d = r_type(enc, m, c);
+  d.rd_file = d.rs1_file = d.rs2_file = RegFile::kFp;
+  return d;
+}
+
+Decoded fma(u32 enc, Mnemonic m) {
+  Decoded d = fp_rr(enc, m, InstClass::kFpMulDiv);
+  d.rs3 = static_cast<u8>(bits(enc, 31, 27));
+  d.rs3_file = RegFile::kFp;
+  return d;
+}
+
+Decoded decode_load(u32 enc) {
+  switch (funct3_of(enc)) {
+    case 0: return load(enc, Mnemonic::kLb, 1, false);
+    case 1: return load(enc, Mnemonic::kLh, 2, false);
+    case 2: return load(enc, Mnemonic::kLw, 4, false);
+    case 3: return load(enc, Mnemonic::kLd, 8, false);
+    case 4: return load(enc, Mnemonic::kLbu, 1, true);
+    case 5: return load(enc, Mnemonic::kLhu, 2, true);
+    case 6: return load(enc, Mnemonic::kLwu, 4, true);
+    default: return {};
+  }
+}
+
+Decoded decode_store(u32 enc) {
+  switch (funct3_of(enc)) {
+    case 0: return store(enc, Mnemonic::kSb, 1);
+    case 1: return store(enc, Mnemonic::kSh, 2);
+    case 2: return store(enc, Mnemonic::kSw, 4);
+    case 3: return store(enc, Mnemonic::kSd, 8);
+    default: return {};
+  }
+}
+
+Decoded decode_op_imm(u32 enc) {
+  switch (funct3_of(enc)) {
+    case 0: return i_type(enc, Mnemonic::kAddi, InstClass::kIntAlu);
+    case 1:
+      if (bits(enc, 31, 26) != 0) return {};
+      return shift_imm(enc, Mnemonic::kSlli, 6);
+    case 2: return i_type(enc, Mnemonic::kSlti, InstClass::kIntAlu);
+    case 3: return i_type(enc, Mnemonic::kSltiu, InstClass::kIntAlu);
+    case 4: return i_type(enc, Mnemonic::kXori, InstClass::kIntAlu);
+    case 5:
+      if (bits(enc, 31, 26) == 0x00) return shift_imm(enc, Mnemonic::kSrli, 6);
+      if (bits(enc, 31, 26) == 0x10) return shift_imm(enc, Mnemonic::kSrai, 6);
+      return {};
+    case 6: return i_type(enc, Mnemonic::kOri, InstClass::kIntAlu);
+    case 7: return i_type(enc, Mnemonic::kAndi, InstClass::kIntAlu);
+  }
+  return {};
+}
+
+Decoded decode_op_imm32(u32 enc) {
+  switch (funct3_of(enc)) {
+    case 0: return i_type(enc, Mnemonic::kAddiw, InstClass::kIntAlu);
+    case 1:
+      if (funct7_of(enc) != 0) return {};
+      return shift_imm(enc, Mnemonic::kSlliw, 5);
+    case 5:
+      if (funct7_of(enc) == 0x00) return shift_imm(enc, Mnemonic::kSrliw, 5);
+      if (funct7_of(enc) == 0x20) return shift_imm(enc, Mnemonic::kSraiw, 5);
+      return {};
+    default: return {};
+  }
+}
+
+Decoded decode_op(u32 enc) {
+  const u8 f3 = funct3_of(enc);
+  const u8 f7 = funct7_of(enc);
+  if (f7 == 0x01) {  // M extension
+    static constexpr Mnemonic kM[8] = {
+        Mnemonic::kMul, Mnemonic::kMulh, Mnemonic::kMulhsu, Mnemonic::kMulhu,
+        Mnemonic::kDiv, Mnemonic::kDivu, Mnemonic::kRem, Mnemonic::kRemu};
+    const InstClass c = f3 < 4 ? InstClass::kIntMul : InstClass::kIntDiv;
+    return r_type(enc, kM[f3], c);
+  }
+  if (f7 == 0x00) {
+    static constexpr Mnemonic kBase[8] = {
+        Mnemonic::kAdd, Mnemonic::kSll, Mnemonic::kSlt, Mnemonic::kSltu,
+        Mnemonic::kXor, Mnemonic::kSrl, Mnemonic::kOr, Mnemonic::kAnd};
+    return r_type(enc, kBase[f3], InstClass::kIntAlu);
+  }
+  if (f7 == 0x20) {
+    if (f3 == 0) return r_type(enc, Mnemonic::kSub, InstClass::kIntAlu);
+    if (f3 == 5) return r_type(enc, Mnemonic::kSra, InstClass::kIntAlu);
+  }
+  return {};
+}
+
+Decoded decode_op32(u32 enc) {
+  const u8 f3 = funct3_of(enc);
+  const u8 f7 = funct7_of(enc);
+  if (f7 == 0x01) {  // RV64M word forms
+    switch (f3) {
+      case 0: return r_type(enc, Mnemonic::kMulw, InstClass::kIntMul);
+      case 4: return r_type(enc, Mnemonic::kDivw, InstClass::kIntDiv);
+      case 5: return r_type(enc, Mnemonic::kDivuw, InstClass::kIntDiv);
+      case 6: return r_type(enc, Mnemonic::kRemw, InstClass::kIntDiv);
+      case 7: return r_type(enc, Mnemonic::kRemuw, InstClass::kIntDiv);
+      default: return {};
+    }
+  }
+  if (f7 == 0x00) {
+    switch (f3) {
+      case 0: return r_type(enc, Mnemonic::kAddw, InstClass::kIntAlu);
+      case 1: return r_type(enc, Mnemonic::kSllw, InstClass::kIntAlu);
+      case 5: return r_type(enc, Mnemonic::kSrlw, InstClass::kIntAlu);
+      default: return {};
+    }
+  }
+  if (f7 == 0x20) {
+    if (f3 == 0) return r_type(enc, Mnemonic::kSubw, InstClass::kIntAlu);
+    if (f3 == 5) return r_type(enc, Mnemonic::kSraw, InstClass::kIntAlu);
+  }
+  return {};
+}
+
+Decoded decode_amo(u32 enc) {
+  const u8 f3 = funct3_of(enc);
+  if (f3 != 2 && f3 != 3) return {};
+  const u8 bytes = f3 == 2 ? 4 : 8;
+  const bool w = f3 == 2;
+  switch (bits(enc, 31, 27)) {  // funct5 (aq/rl in bits 26:25 are timing hints)
+    case 0x02: return amo(enc, w ? Mnemonic::kLrW : Mnemonic::kLrD, bytes);
+    case 0x03: return amo(enc, w ? Mnemonic::kScW : Mnemonic::kScD, bytes);
+    case 0x01: return amo(enc, w ? Mnemonic::kAmoSwapW : Mnemonic::kAmoSwapD, bytes);
+    case 0x00: return amo(enc, w ? Mnemonic::kAmoAddW : Mnemonic::kAmoAddD, bytes);
+    case 0x04: return amo(enc, w ? Mnemonic::kAmoXorW : Mnemonic::kAmoXorD, bytes);
+    case 0x0c: return amo(enc, w ? Mnemonic::kAmoAndW : Mnemonic::kAmoAndD, bytes);
+    case 0x08: return amo(enc, w ? Mnemonic::kAmoOrW : Mnemonic::kAmoOrD, bytes);
+    case 0x10: return amo(enc, w ? Mnemonic::kAmoMinW : Mnemonic::kAmoMinD, bytes);
+    case 0x14: return amo(enc, w ? Mnemonic::kAmoMaxW : Mnemonic::kAmoMaxD, bytes);
+    case 0x18: return amo(enc, w ? Mnemonic::kAmoMinuW : Mnemonic::kAmoMinuD, bytes);
+    case 0x1c: return amo(enc, w ? Mnemonic::kAmoMaxuW : Mnemonic::kAmoMaxuD, bytes);
+    default: return {};
+  }
+}
+
+Decoded decode_system(u32 enc) {
+  const u8 f3 = funct3_of(enc);
+  if (f3 == 0) {
+    if (enc == 0x00000073) {
+      Decoded d;
+      d.mnemonic = Mnemonic::kEcall;
+      d.cls = InstClass::kCsr;
+      return d;
+    }
+    if (enc == 0x00100073) {
+      Decoded d;
+      d.mnemonic = Mnemonic::kEbreak;
+      d.cls = InstClass::kCsr;
+      return d;
+    }
+    return {};
+  }
+  static constexpr Mnemonic kCsrOps[8] = {
+      Mnemonic::kInvalid, Mnemonic::kCsrrw, Mnemonic::kCsrrs, Mnemonic::kCsrrc,
+      Mnemonic::kInvalid, Mnemonic::kCsrrwi, Mnemonic::kCsrrsi, Mnemonic::kCsrrci};
+  const Mnemonic m = kCsrOps[f3];
+  if (m == Mnemonic::kInvalid) return {};
+  Decoded d;
+  d.mnemonic = m;
+  d.cls = InstClass::kCsr;
+  d.rd = rd_of(enc);
+  d.rd_file = RegFile::kInt;
+  d.csr = static_cast<u16>(enc >> 20);
+  if (f3 < 4) {  // register form
+    d.rs1 = rs1_of(enc);
+    d.rs1_file = RegFile::kInt;
+  } else {  // immediate (zimm) form
+    d.imm_kind = ImmKind::kCsrZimm;
+    d.imm = rs1_of(enc);
+  }
+  return d;
+}
+
+Decoded decode_fp_op(u32 enc) {
+  const u8 f7 = funct7_of(enc);
+  const u8 fmt = f7 & 0x3;  // 00 = S, 01 = D
+  const u8 f5 = f7 >> 2;
+  const u8 f3 = funct3_of(enc);
+  if (fmt > 1) return {};
+  const bool dbl = fmt == 1;
+  auto pick = [&](Mnemonic s, Mnemonic d) { return dbl ? d : s; };
+  switch (f5) {
+    case 0x00: return fp_rr(enc, pick(Mnemonic::kFaddS, Mnemonic::kFaddD), InstClass::kFpAlu);
+    case 0x01: return fp_rr(enc, pick(Mnemonic::kFsubS, Mnemonic::kFsubD), InstClass::kFpAlu);
+    case 0x02: return fp_rr(enc, pick(Mnemonic::kFmulS, Mnemonic::kFmulD), InstClass::kFpMulDiv);
+    case 0x03: return fp_rr(enc, pick(Mnemonic::kFdivS, Mnemonic::kFdivD), InstClass::kFpMulDiv);
+    case 0x0b: {  // fsqrt (rs2 must be 0)
+      if (rs2_of(enc) != 0) return {};
+      Decoded d = fp_rr(enc, pick(Mnemonic::kFsqrtS, Mnemonic::kFsqrtD), InstClass::kFpMulDiv);
+      d.rs2_file = RegFile::kNone;
+      return d;
+    }
+    case 0x04:  // fsgnj/fsgnjn/fsgnjx
+      switch (f3) {
+        case 0: return fp_rr(enc, pick(Mnemonic::kFsgnjS, Mnemonic::kFsgnjD), InstClass::kFpAlu);
+        case 1: return fp_rr(enc, pick(Mnemonic::kFsgnjnS, Mnemonic::kFsgnjnD), InstClass::kFpAlu);
+        case 2: return fp_rr(enc, pick(Mnemonic::kFsgnjxS, Mnemonic::kFsgnjxD), InstClass::kFpAlu);
+        default: return {};
+      }
+    case 0x05:
+      if (f3 == 0) return fp_rr(enc, pick(Mnemonic::kFminS, Mnemonic::kFminD), InstClass::kFpAlu);
+      if (f3 == 1) return fp_rr(enc, pick(Mnemonic::kFmaxS, Mnemonic::kFmaxD), InstClass::kFpAlu);
+      return {};
+    case 0x14: {  // comparisons: write integer rd
+      Decoded d = fp_rr(enc, Mnemonic::kInvalid, InstClass::kFpAlu);
+      switch (f3) {
+        case 0: d.mnemonic = pick(Mnemonic::kFleS, Mnemonic::kFleD); break;
+        case 1: d.mnemonic = pick(Mnemonic::kFltS, Mnemonic::kFltD); break;
+        case 2: d.mnemonic = pick(Mnemonic::kFeqS, Mnemonic::kFeqD); break;
+        default: return {};
+      }
+      d.rd_file = RegFile::kInt;
+      return d;
+    }
+    case 0x18: {  // fcvt.{w,wu,l,lu}.{s,d}: fp -> int
+      Decoded d = fp_rr(enc, Mnemonic::kInvalid, InstClass::kFpAlu);
+      d.rs2_file = RegFile::kNone;
+      d.rd_file = RegFile::kInt;
+      static constexpr Mnemonic kS[4] = {Mnemonic::kFcvtWS, Mnemonic::kFcvtWuS,
+                                         Mnemonic::kFcvtLS, Mnemonic::kFcvtLuS};
+      static constexpr Mnemonic kD[4] = {Mnemonic::kFcvtWD, Mnemonic::kFcvtWuD,
+                                         Mnemonic::kFcvtLD, Mnemonic::kFcvtLuD};
+      const u8 sel = rs2_of(enc);
+      if (sel > 3) return {};
+      d.mnemonic = dbl ? kD[sel] : kS[sel];
+      return d;
+    }
+    case 0x1a: {  // fcvt.{s,d}.{w,wu,l,lu}: int -> fp
+      Decoded d = fp_rr(enc, Mnemonic::kInvalid, InstClass::kFpAlu);
+      d.rs2_file = RegFile::kNone;
+      d.rs1_file = RegFile::kInt;
+      static constexpr Mnemonic kS[4] = {Mnemonic::kFcvtSW, Mnemonic::kFcvtSWu,
+                                         Mnemonic::kFcvtSL, Mnemonic::kFcvtSLu};
+      static constexpr Mnemonic kD[4] = {Mnemonic::kFcvtDW, Mnemonic::kFcvtDWu,
+                                         Mnemonic::kFcvtDL, Mnemonic::kFcvtDLu};
+      const u8 sel = rs2_of(enc);
+      if (sel > 3) return {};
+      d.mnemonic = dbl ? kD[sel] : kS[sel];
+      return d;
+    }
+    case 0x08: {  // fcvt.s.d / fcvt.d.s
+      Decoded d = fp_rr(enc, Mnemonic::kInvalid, InstClass::kFpAlu);
+      d.rs2_file = RegFile::kNone;
+      if (dbl && rs2_of(enc) == 0) d.mnemonic = Mnemonic::kFcvtDS;
+      else if (!dbl && rs2_of(enc) == 1) d.mnemonic = Mnemonic::kFcvtSD;
+      else return {};
+      return d;
+    }
+    case 0x1c: {  // fmv.x.{w,d} / fclass
+      if (rs2_of(enc) != 0) return {};
+      Decoded d = fp_rr(enc, Mnemonic::kInvalid, InstClass::kFpAlu);
+      d.rs2_file = RegFile::kNone;
+      d.rd_file = RegFile::kInt;
+      if (f3 == 0) d.mnemonic = dbl ? Mnemonic::kFmvXD : Mnemonic::kFmvXW;
+      else if (f3 == 1) d.mnemonic = dbl ? Mnemonic::kFclassD : Mnemonic::kFclassS;
+      else return {};
+      return d;
+    }
+    case 0x1e: {  // fmv.{w,d}.x
+      if (rs2_of(enc) != 0 || f3 != 0) return {};
+      Decoded d = fp_rr(enc, dbl ? Mnemonic::kFmvDX : Mnemonic::kFmvWX,
+                        InstClass::kFpAlu);
+      d.rs2_file = RegFile::kNone;
+      d.rs1_file = RegFile::kInt;
+      return d;
+    }
+    default: return {};
+  }
+}
+
+Decoded decode_fma(u32 enc, u8 op) {
+  const u8 fmt = funct7_of(enc) & 0x3;
+  if (fmt > 1) return {};
+  const bool dbl = fmt == 1;
+  switch (op) {
+    case 0x43: return fma(enc, dbl ? Mnemonic::kFmaddD : Mnemonic::kFmaddS);
+    case 0x47: return fma(enc, dbl ? Mnemonic::kFmsubD : Mnemonic::kFmsubS);
+    case 0x4b: return fma(enc, dbl ? Mnemonic::kFnmsubD : Mnemonic::kFnmsubS);
+    case 0x4f: return fma(enc, dbl ? Mnemonic::kFnmaddD : Mnemonic::kFnmaddS);
+    default: return {};
+  }
+}
+
+}  // namespace
+
+Decoded decode(u32 enc) {
+  const u8 op = opcode_of(enc);
+  if ((enc & 0x3) != 0x3) return {};  // 16-bit / invalid length prefix
+  switch (op) {
+    case kOpLoad: return decode_load(enc);
+    case kOpStore: return decode_store(enc);
+    case kOpOpImm: return decode_op_imm(enc);
+    case kOpOpImm32: return decode_op_imm32(enc);
+    case kOpOp: return decode_op(enc);
+    case kOpOp32: return decode_op32(enc);
+    case kOpAmo: return decode_amo(enc);
+    case kOpLui: {
+      Decoded d;
+      d.mnemonic = Mnemonic::kLui;
+      d.cls = InstClass::kIntAlu;
+      d.rd = rd_of(enc);
+      d.rd_file = RegFile::kInt;
+      d.imm_kind = ImmKind::kU;
+      d.imm = imm_u(enc);
+      return d;
+    }
+    case kOpAuipc: {
+      Decoded d;
+      d.mnemonic = Mnemonic::kAuipc;
+      d.cls = InstClass::kIntAlu;
+      d.rd = rd_of(enc);
+      d.rd_file = RegFile::kInt;
+      d.imm_kind = ImmKind::kU;
+      d.imm = imm_u(enc);
+      return d;
+    }
+    case kOpJal: {
+      Decoded d;
+      d.mnemonic = Mnemonic::kJal;
+      d.rd = rd_of(enc);
+      d.rd_file = RegFile::kInt;
+      d.imm_kind = ImmKind::kJ;
+      d.imm = imm_j(enc);
+      d.cls = d.rd == 1 ? InstClass::kCall : InstClass::kJump;
+      return d;
+    }
+    case kOpJalr: {
+      if (funct3_of(enc) != 0) return {};
+      Decoded d = i_type(enc, Mnemonic::kJalr, InstClass::kJump);
+      if (is_call(enc)) d.cls = InstClass::kCall;
+      else if (is_ret(enc)) d.cls = InstClass::kRet;
+      return d;
+    }
+    case kOpBranch: {
+      static constexpr Mnemonic kB[8] = {
+          Mnemonic::kBeq, Mnemonic::kBne, Mnemonic::kInvalid, Mnemonic::kInvalid,
+          Mnemonic::kBlt, Mnemonic::kBge, Mnemonic::kBltu, Mnemonic::kBgeu};
+      const Mnemonic m = kB[funct3_of(enc)];
+      if (m == Mnemonic::kInvalid) return {};
+      return branch(enc, m);
+    }
+    case kOpMiscMem:
+      if (funct3_of(enc) == 0) {
+        Decoded d;
+        d.mnemonic = Mnemonic::kFence;
+        d.cls = InstClass::kNop;
+        return d;
+      }
+      if (funct3_of(enc) == 1) {
+        Decoded d;
+        d.mnemonic = Mnemonic::kFenceI;
+        d.cls = InstClass::kNop;
+        return d;
+      }
+      return {};
+    case kOpSystem: return decode_system(enc);
+    case kOpLoadFp:
+      if (funct3_of(enc) == 2) return fp_load(enc, Mnemonic::kFlw, 4);
+      if (funct3_of(enc) == 3) return fp_load(enc, Mnemonic::kFld, 8);
+      return {};
+    case kOpStoreFp:
+      if (funct3_of(enc) == 2) return fp_store(enc, Mnemonic::kFsw, 4);
+      if (funct3_of(enc) == 3) return fp_store(enc, Mnemonic::kFsd, 8);
+      return {};
+    case kOpFp: return decode_fp_op(enc);
+    case 0x43: case 0x47: case 0x4b: case 0x4f: return decode_fma(enc, op);
+    case kOpCustom0: {
+      Decoded d;
+      d.cls = InstClass::kGuardEvent;
+      if (funct3_of(enc) == kGuardAllocFunct3) d.mnemonic = Mnemonic::kGuardAlloc;
+      else if (funct3_of(enc) == kGuardFreeFunct3) d.mnemonic = Mnemonic::kGuardFree;
+      else return {};
+      return d;
+    }
+    default: return {};
+  }
+}
+
+const char* mnemonic_name(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kInvalid: return "<invalid>";
+    case Mnemonic::kLui: return "lui";
+    case Mnemonic::kAuipc: return "auipc";
+    case Mnemonic::kJal: return "jal";
+    case Mnemonic::kJalr: return "jalr";
+    case Mnemonic::kBeq: return "beq";
+    case Mnemonic::kBne: return "bne";
+    case Mnemonic::kBlt: return "blt";
+    case Mnemonic::kBge: return "bge";
+    case Mnemonic::kBltu: return "bltu";
+    case Mnemonic::kBgeu: return "bgeu";
+    case Mnemonic::kLb: return "lb";
+    case Mnemonic::kLh: return "lh";
+    case Mnemonic::kLw: return "lw";
+    case Mnemonic::kLd: return "ld";
+    case Mnemonic::kLbu: return "lbu";
+    case Mnemonic::kLhu: return "lhu";
+    case Mnemonic::kLwu: return "lwu";
+    case Mnemonic::kSb: return "sb";
+    case Mnemonic::kSh: return "sh";
+    case Mnemonic::kSw: return "sw";
+    case Mnemonic::kSd: return "sd";
+    case Mnemonic::kAddi: return "addi";
+    case Mnemonic::kSlti: return "slti";
+    case Mnemonic::kSltiu: return "sltiu";
+    case Mnemonic::kXori: return "xori";
+    case Mnemonic::kOri: return "ori";
+    case Mnemonic::kAndi: return "andi";
+    case Mnemonic::kSlli: return "slli";
+    case Mnemonic::kSrli: return "srli";
+    case Mnemonic::kSrai: return "srai";
+    case Mnemonic::kAdd: return "add";
+    case Mnemonic::kSub: return "sub";
+    case Mnemonic::kSll: return "sll";
+    case Mnemonic::kSlt: return "slt";
+    case Mnemonic::kSltu: return "sltu";
+    case Mnemonic::kXor: return "xor";
+    case Mnemonic::kSrl: return "srl";
+    case Mnemonic::kSra: return "sra";
+    case Mnemonic::kOr: return "or";
+    case Mnemonic::kAnd: return "and";
+    case Mnemonic::kAddiw: return "addiw";
+    case Mnemonic::kSlliw: return "slliw";
+    case Mnemonic::kSrliw: return "srliw";
+    case Mnemonic::kSraiw: return "sraiw";
+    case Mnemonic::kAddw: return "addw";
+    case Mnemonic::kSubw: return "subw";
+    case Mnemonic::kSllw: return "sllw";
+    case Mnemonic::kSrlw: return "srlw";
+    case Mnemonic::kSraw: return "sraw";
+    case Mnemonic::kFence: return "fence";
+    case Mnemonic::kFenceI: return "fence.i";
+    case Mnemonic::kEcall: return "ecall";
+    case Mnemonic::kEbreak: return "ebreak";
+    case Mnemonic::kCsrrw: return "csrrw";
+    case Mnemonic::kCsrrs: return "csrrs";
+    case Mnemonic::kCsrrc: return "csrrc";
+    case Mnemonic::kCsrrwi: return "csrrwi";
+    case Mnemonic::kCsrrsi: return "csrrsi";
+    case Mnemonic::kCsrrci: return "csrrci";
+    case Mnemonic::kMul: return "mul";
+    case Mnemonic::kMulh: return "mulh";
+    case Mnemonic::kMulhsu: return "mulhsu";
+    case Mnemonic::kMulhu: return "mulhu";
+    case Mnemonic::kDiv: return "div";
+    case Mnemonic::kDivu: return "divu";
+    case Mnemonic::kRem: return "rem";
+    case Mnemonic::kRemu: return "remu";
+    case Mnemonic::kMulw: return "mulw";
+    case Mnemonic::kDivw: return "divw";
+    case Mnemonic::kDivuw: return "divuw";
+    case Mnemonic::kRemw: return "remw";
+    case Mnemonic::kRemuw: return "remuw";
+    case Mnemonic::kLrW: return "lr.w";
+    case Mnemonic::kScW: return "sc.w";
+    case Mnemonic::kAmoSwapW: return "amoswap.w";
+    case Mnemonic::kAmoAddW: return "amoadd.w";
+    case Mnemonic::kAmoXorW: return "amoxor.w";
+    case Mnemonic::kAmoAndW: return "amoand.w";
+    case Mnemonic::kAmoOrW: return "amoor.w";
+    case Mnemonic::kAmoMinW: return "amomin.w";
+    case Mnemonic::kAmoMaxW: return "amomax.w";
+    case Mnemonic::kAmoMinuW: return "amominu.w";
+    case Mnemonic::kAmoMaxuW: return "amomaxu.w";
+    case Mnemonic::kLrD: return "lr.d";
+    case Mnemonic::kScD: return "sc.d";
+    case Mnemonic::kAmoSwapD: return "amoswap.d";
+    case Mnemonic::kAmoAddD: return "amoadd.d";
+    case Mnemonic::kAmoXorD: return "amoxor.d";
+    case Mnemonic::kAmoAndD: return "amoand.d";
+    case Mnemonic::kAmoOrD: return "amoor.d";
+    case Mnemonic::kAmoMinD: return "amomin.d";
+    case Mnemonic::kAmoMaxD: return "amomax.d";
+    case Mnemonic::kAmoMinuD: return "amominu.d";
+    case Mnemonic::kAmoMaxuD: return "amomaxu.d";
+    case Mnemonic::kFlw: return "flw";
+    case Mnemonic::kFld: return "fld";
+    case Mnemonic::kFsw: return "fsw";
+    case Mnemonic::kFsd: return "fsd";
+    case Mnemonic::kFaddS: return "fadd.s";
+    case Mnemonic::kFsubS: return "fsub.s";
+    case Mnemonic::kFmulS: return "fmul.s";
+    case Mnemonic::kFdivS: return "fdiv.s";
+    case Mnemonic::kFsqrtS: return "fsqrt.s";
+    case Mnemonic::kFaddD: return "fadd.d";
+    case Mnemonic::kFsubD: return "fsub.d";
+    case Mnemonic::kFmulD: return "fmul.d";
+    case Mnemonic::kFdivD: return "fdiv.d";
+    case Mnemonic::kFsqrtD: return "fsqrt.d";
+    case Mnemonic::kFsgnjS: return "fsgnj.s";
+    case Mnemonic::kFsgnjnS: return "fsgnjn.s";
+    case Mnemonic::kFsgnjxS: return "fsgnjx.s";
+    case Mnemonic::kFsgnjD: return "fsgnj.d";
+    case Mnemonic::kFsgnjnD: return "fsgnjn.d";
+    case Mnemonic::kFsgnjxD: return "fsgnjx.d";
+    case Mnemonic::kFminS: return "fmin.s";
+    case Mnemonic::kFmaxS: return "fmax.s";
+    case Mnemonic::kFminD: return "fmin.d";
+    case Mnemonic::kFmaxD: return "fmax.d";
+    case Mnemonic::kFmaddS: return "fmadd.s";
+    case Mnemonic::kFmsubS: return "fmsub.s";
+    case Mnemonic::kFnmsubS: return "fnmsub.s";
+    case Mnemonic::kFnmaddS: return "fnmadd.s";
+    case Mnemonic::kFmaddD: return "fmadd.d";
+    case Mnemonic::kFmsubD: return "fmsub.d";
+    case Mnemonic::kFnmsubD: return "fnmsub.d";
+    case Mnemonic::kFnmaddD: return "fnmadd.d";
+    case Mnemonic::kFcvtWS: return "fcvt.w.s";
+    case Mnemonic::kFcvtWuS: return "fcvt.wu.s";
+    case Mnemonic::kFcvtLS: return "fcvt.l.s";
+    case Mnemonic::kFcvtLuS: return "fcvt.lu.s";
+    case Mnemonic::kFcvtSW: return "fcvt.s.w";
+    case Mnemonic::kFcvtSWu: return "fcvt.s.wu";
+    case Mnemonic::kFcvtSL: return "fcvt.s.l";
+    case Mnemonic::kFcvtSLu: return "fcvt.s.lu";
+    case Mnemonic::kFcvtWD: return "fcvt.w.d";
+    case Mnemonic::kFcvtWuD: return "fcvt.wu.d";
+    case Mnemonic::kFcvtLD: return "fcvt.l.d";
+    case Mnemonic::kFcvtLuD: return "fcvt.lu.d";
+    case Mnemonic::kFcvtDW: return "fcvt.d.w";
+    case Mnemonic::kFcvtDWu: return "fcvt.d.wu";
+    case Mnemonic::kFcvtDL: return "fcvt.d.l";
+    case Mnemonic::kFcvtDLu: return "fcvt.d.lu";
+    case Mnemonic::kFcvtSD: return "fcvt.s.d";
+    case Mnemonic::kFcvtDS: return "fcvt.d.s";
+    case Mnemonic::kFmvXW: return "fmv.x.w";
+    case Mnemonic::kFmvWX: return "fmv.w.x";
+    case Mnemonic::kFmvXD: return "fmv.x.d";
+    case Mnemonic::kFmvDX: return "fmv.d.x";
+    case Mnemonic::kFeqS: return "feq.s";
+    case Mnemonic::kFltS: return "flt.s";
+    case Mnemonic::kFleS: return "fle.s";
+    case Mnemonic::kFeqD: return "feq.d";
+    case Mnemonic::kFltD: return "flt.d";
+    case Mnemonic::kFleD: return "fle.d";
+    case Mnemonic::kFclassS: return "fclass.s";
+    case Mnemonic::kFclassD: return "fclass.d";
+    case Mnemonic::kGuardAlloc: return "guard.alloc";
+    case Mnemonic::kGuardFree: return "guard.free";
+    case Mnemonic::kCount: break;
+  }
+  return "<invalid>";
+}
+
+namespace {
+std::string dfmt(const char* f, ...) {
+  char buf[128];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
+
+char reg_prefix(RegFile rf) { return rf == RegFile::kFp ? 'f' : 'x'; }
+}  // namespace
+
+std::string disassemble_full(u32 enc) {
+  const Decoded d = decode(enc);
+  if (!d.valid()) return dfmt(".word 0x%08x", enc);
+  const char* name = mnemonic_name(d.mnemonic);
+  const long long imm = static_cast<long long>(d.imm);
+
+  // Standard aliases.
+  if (d.mnemonic == Mnemonic::kAddi && d.rd == 0 && d.rs1 == 0 && d.imm == 0)
+    return "nop";
+  if (d.mnemonic == Mnemonic::kAddi && d.imm == 0)
+    return dfmt("mv x%d, x%d", d.rd, d.rs1);
+  if (d.mnemonic == Mnemonic::kJal && d.rd == 0) return dfmt("j %lld", imm);
+  if (d.mnemonic == Mnemonic::kJalr && d.cls == InstClass::kRet && d.imm == 0)
+    return "ret";
+  if (d.mnemonic == Mnemonic::kBeq && d.rs2 == 0)
+    return dfmt("beqz x%d, %lld", d.rs1, imm);
+  if (d.mnemonic == Mnemonic::kBne && d.rs2 == 0)
+    return dfmt("bnez x%d, %lld", d.rs1, imm);
+
+  switch (d.cls) {
+    case InstClass::kLoad:
+      if (d.is_amo) return dfmt("%s %c%d, (x%d)", name, reg_prefix(d.rd_file), d.rd, d.rs1);
+      return dfmt("%s %c%d, %lld(x%d)", name, reg_prefix(d.rd_file), d.rd, imm, d.rs1);
+    case InstClass::kStore:
+      if (d.is_amo)
+        return dfmt("%s x%d, x%d, (x%d)", name, d.rd, d.rs2, d.rs1);
+      return dfmt("%s %c%d, %lld(x%d)", name, reg_prefix(d.rs2_file), d.rs2, imm, d.rs1);
+    case InstClass::kBranch:
+      return dfmt("%s x%d, x%d, %lld", name, d.rs1, d.rs2, imm);
+    case InstClass::kCsr:
+      if (d.mnemonic == Mnemonic::kEcall || d.mnemonic == Mnemonic::kEbreak)
+        return name;
+      if (d.imm_kind == ImmKind::kCsrZimm)
+        return dfmt("%s x%d, 0x%x, %lld", name, d.rd, d.csr, imm);
+      return dfmt("%s x%d, 0x%x, x%d", name, d.rd, d.csr, d.rs1);
+    case InstClass::kGuardEvent:
+      return name;
+    case InstClass::kNop:
+      return name;  // fence / fence.i
+    default: break;
+  }
+
+  // Register-register / register-immediate computational forms.
+  if (d.reads_rs3())
+    return dfmt("%s f%d, f%d, f%d, f%d", name, d.rd, d.rs1, d.rs2, d.rs3);
+  if (d.imm_kind == ImmKind::kU)
+    return dfmt("%s x%d, 0x%llx", name, d.rd, static_cast<unsigned long long>(d.imm) >> 12);
+  if (d.imm_kind == ImmKind::kJ)
+    return dfmt("%s x%d, %lld", name, d.rd, imm);
+  if (d.imm_kind == ImmKind::kI || d.imm_kind == ImmKind::kShamt) {
+    if (d.mnemonic == Mnemonic::kJalr)
+      return dfmt("%s x%d, %lld(x%d)", name, d.rd, imm, d.rs1);
+    return dfmt("%s x%d, x%d, %lld", name, d.rd, d.rs1, imm);
+  }
+  if (d.reads_rs2())
+    return dfmt("%s %c%d, %c%d, %c%d", name, reg_prefix(d.rd_file), d.rd,
+                reg_prefix(d.rs1_file), d.rs1, reg_prefix(d.rs2_file), d.rs2);
+  if (d.reads_rs1())
+    return dfmt("%s %c%d, %c%d", name, reg_prefix(d.rd_file), d.rd,
+                reg_prefix(d.rs1_file), d.rs1);
+  return name;
+}
+
+unsigned mnemonics_sharing_filter_row(u16 row) {
+  // Enumerate all mnemonics via canonical encodings and count collisions.
+  // Only {funct3, opcode} feed the SRAM index, so mnemonics distinguished by
+  // funct7/funct5 (e.g. add vs sub vs mul) share a row by construction.
+  unsigned n = 0;
+  for (u16 m = 1; m < static_cast<u16>(Mnemonic::kCount); ++m) {
+    const auto r = canonical_filter_row(static_cast<Mnemonic>(m));
+    if (r && *r == row) ++n;
+  }
+  return n;
+}
+
+std::optional<u16> canonical_filter_row(Mnemonic m) {
+  // Build one representative encoding per mnemonic and report its row. FP
+  // computational ops vary funct3 with the rounding mode, so their canonical
+  // row uses rm = 0 (RNE); comparisons/sign-injections have fixed funct3.
+  auto row = [](u8 opcode, u8 f3) {
+    return static_cast<u16>((static_cast<u16>(f3) << 7) | opcode);
+  };
+  switch (m) {
+    case Mnemonic::kLb: return row(kOpLoad, 0);
+    case Mnemonic::kLh: return row(kOpLoad, 1);
+    case Mnemonic::kLw: return row(kOpLoad, 2);
+    case Mnemonic::kLd: return row(kOpLoad, 3);
+    case Mnemonic::kLbu: return row(kOpLoad, 4);
+    case Mnemonic::kLhu: return row(kOpLoad, 5);
+    case Mnemonic::kLwu: return row(kOpLoad, 6);
+    case Mnemonic::kSb: return row(kOpStore, 0);
+    case Mnemonic::kSh: return row(kOpStore, 1);
+    case Mnemonic::kSw: return row(kOpStore, 2);
+    case Mnemonic::kSd: return row(kOpStore, 3);
+    case Mnemonic::kFlw: return row(kOpLoadFp, 2);
+    case Mnemonic::kFld: return row(kOpLoadFp, 3);
+    case Mnemonic::kFsw: return row(kOpStoreFp, 2);
+    case Mnemonic::kFsd: return row(kOpStoreFp, 3);
+    case Mnemonic::kBeq: return row(kOpBranch, 0);
+    case Mnemonic::kBne: return row(kOpBranch, 1);
+    case Mnemonic::kBlt: return row(kOpBranch, 4);
+    case Mnemonic::kBge: return row(kOpBranch, 5);
+    case Mnemonic::kBltu: return row(kOpBranch, 6);
+    case Mnemonic::kBgeu: return row(kOpBranch, 7);
+    case Mnemonic::kJal: return row(kOpJal, 0);  // funct3 is imm bits; by
+    // convention the filter programs all 8 rows of JAL/JALR-class opcodes.
+    case Mnemonic::kJalr: return row(kOpJalr, 0);
+    case Mnemonic::kAddi: return row(kOpOpImm, 0);
+    case Mnemonic::kSlli: return row(kOpOpImm, 1);
+    case Mnemonic::kSlti: return row(kOpOpImm, 2);
+    case Mnemonic::kSltiu: return row(kOpOpImm, 3);
+    case Mnemonic::kXori: return row(kOpOpImm, 4);
+    case Mnemonic::kSrli: return row(kOpOpImm, 5);
+    case Mnemonic::kSrai: return row(kOpOpImm, 5);
+    case Mnemonic::kOri: return row(kOpOpImm, 6);
+    case Mnemonic::kAndi: return row(kOpOpImm, 7);
+    case Mnemonic::kAdd: case Mnemonic::kSub: case Mnemonic::kMul:
+      return row(kOpOp, 0);
+    case Mnemonic::kSll: case Mnemonic::kMulh: return row(kOpOp, 1);
+    case Mnemonic::kSlt: case Mnemonic::kMulhsu: return row(kOpOp, 2);
+    case Mnemonic::kSltu: case Mnemonic::kMulhu: return row(kOpOp, 3);
+    case Mnemonic::kXor: case Mnemonic::kDiv: return row(kOpOp, 4);
+    case Mnemonic::kSrl: case Mnemonic::kSra: case Mnemonic::kDivu:
+      return row(kOpOp, 5);
+    case Mnemonic::kOr: case Mnemonic::kRem: return row(kOpOp, 6);
+    case Mnemonic::kAnd: case Mnemonic::kRemu: return row(kOpOp, 7);
+    case Mnemonic::kAddiw: return row(kOpOpImm32, 0);
+    case Mnemonic::kSlliw: return row(kOpOpImm32, 1);
+    case Mnemonic::kSrliw: case Mnemonic::kSraiw: return row(kOpOpImm32, 5);
+    case Mnemonic::kAddw: case Mnemonic::kSubw: case Mnemonic::kMulw:
+      return row(kOpOp32, 0);
+    case Mnemonic::kSllw: return row(kOpOp32, 1);
+    case Mnemonic::kSrlw: case Mnemonic::kSraw: case Mnemonic::kDivuw:
+      return row(kOpOp32, 5);
+    case Mnemonic::kDivw: return row(kOpOp32, 4);
+    case Mnemonic::kRemw: return row(kOpOp32, 6);
+    case Mnemonic::kRemuw: return row(kOpOp32, 7);
+    case Mnemonic::kLrW: case Mnemonic::kScW: case Mnemonic::kAmoSwapW:
+    case Mnemonic::kAmoAddW: case Mnemonic::kAmoXorW: case Mnemonic::kAmoAndW:
+    case Mnemonic::kAmoOrW: case Mnemonic::kAmoMinW: case Mnemonic::kAmoMaxW:
+    case Mnemonic::kAmoMinuW: case Mnemonic::kAmoMaxuW:
+      return row(kOpAmo, 2);
+    case Mnemonic::kLrD: case Mnemonic::kScD: case Mnemonic::kAmoSwapD:
+    case Mnemonic::kAmoAddD: case Mnemonic::kAmoXorD: case Mnemonic::kAmoAndD:
+    case Mnemonic::kAmoOrD: case Mnemonic::kAmoMinD: case Mnemonic::kAmoMaxD:
+    case Mnemonic::kAmoMinuD: case Mnemonic::kAmoMaxuD:
+      return row(kOpAmo, 3);
+    case Mnemonic::kCsrrw: return row(kOpSystem, 1);
+    case Mnemonic::kCsrrs: return row(kOpSystem, 2);
+    case Mnemonic::kCsrrc: return row(kOpSystem, 3);
+    case Mnemonic::kCsrrwi: return row(kOpSystem, 5);
+    case Mnemonic::kCsrrsi: return row(kOpSystem, 6);
+    case Mnemonic::kCsrrci: return row(kOpSystem, 7);
+    case Mnemonic::kEcall: case Mnemonic::kEbreak: return row(kOpSystem, 0);
+    case Mnemonic::kFence: return row(kOpMiscMem, 0);
+    case Mnemonic::kFenceI: return row(kOpMiscMem, 1);
+    case Mnemonic::kGuardAlloc: return row(kOpCustom0, kGuardAllocFunct3);
+    case Mnemonic::kGuardFree: return row(kOpCustom0, kGuardFreeFunct3);
+    case Mnemonic::kLui: return row(kOpLui, 0);
+    case Mnemonic::kAuipc: return row(kOpAuipc, 0);
+    default:
+      // FP computational ops: funct3 is the rounding mode (dynamic in
+      // practice), so a single canonical row is not well-defined.
+      return std::nullopt;
+  }
+}
+
+}  // namespace fg::isa

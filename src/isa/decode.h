@@ -1,0 +1,122 @@
+// Full structured RV64 decoder.
+//
+// The minimal layer in riscv.h provides field extraction and the encoders the
+// workload generator needs. This module adds a complete instruction decoder
+// for RV64IMAFD + Zicsr + Zifencei: it classifies any 32-bit encoding into a
+// mnemonic, extracts its operands and immediate into a uniform record, and
+// renders exact disassembly. The guardian-kernel tooling uses it to validate
+// filter programming (a mini-filter row is keyed by {funct3, opcode}, and the
+// decoder answers "which architectural instructions share this row"), and the
+// tests use it as the ground truth for encoder round-trips.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/isa/riscv.h"
+
+namespace fg::isa {
+
+/// Every RV64IMAFD + Zicsr + Zifencei instruction, plus the two custom-0
+/// guard-event markers the synthetic workload emits.
+enum class Mnemonic : u16 {
+  kInvalid = 0,
+  // RV32I/RV64I base.
+  kLui, kAuipc,
+  kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLd, kLbu, kLhu, kLwu,
+  kSb, kSh, kSw, kSd,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kAddiw, kSlliw, kSrliw, kSraiw,
+  kAddw, kSubw, kSllw, kSrlw, kSraw,
+  kFence, kFenceI,
+  kEcall, kEbreak,
+  // Zicsr.
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // M extension.
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kMulw, kDivw, kDivuw, kRemw, kRemuw,
+  // A extension (RV64A: .w and .d forms).
+  kLrW, kScW, kAmoSwapW, kAmoAddW, kAmoXorW, kAmoAndW, kAmoOrW,
+  kAmoMinW, kAmoMaxW, kAmoMinuW, kAmoMaxuW,
+  kLrD, kScD, kAmoSwapD, kAmoAddD, kAmoXorD, kAmoAndD, kAmoOrD,
+  kAmoMinD, kAmoMaxD, kAmoMinuD, kAmoMaxuD,
+  // F/D loads and stores.
+  kFlw, kFld, kFsw, kFsd,
+  // F/D computational (fmt-split).
+  kFaddS, kFsubS, kFmulS, kFdivS, kFsqrtS,
+  kFaddD, kFsubD, kFmulD, kFdivD, kFsqrtD,
+  kFsgnjS, kFsgnjnS, kFsgnjxS, kFsgnjD, kFsgnjnD, kFsgnjxD,
+  kFminS, kFmaxS, kFminD, kFmaxD,
+  kFmaddS, kFmsubS, kFnmsubS, kFnmaddS,
+  kFmaddD, kFmsubD, kFnmsubD, kFnmaddD,
+  kFcvtWS, kFcvtWuS, kFcvtLS, kFcvtLuS,
+  kFcvtSW, kFcvtSWu, kFcvtSL, kFcvtSLu,
+  kFcvtWD, kFcvtWuD, kFcvtLD, kFcvtLuD,
+  kFcvtDW, kFcvtDWu, kFcvtDL, kFcvtDLu,
+  kFcvtSD, kFcvtDS,
+  kFmvXW, kFmvWX, kFmvXD, kFmvDX,
+  kFeqS, kFltS, kFleS, kFeqD, kFltD, kFleD,
+  kFclassS, kFclassD,
+  // Custom-0 guard-event markers (see riscv.h).
+  kGuardAlloc, kGuardFree,
+  kCount,
+};
+
+/// Which immediate format (if any) the instruction carries.
+enum class ImmKind : u8 { kNone, kI, kS, kB, kU, kJ, kShamt, kCsrZimm };
+
+/// Register file an operand field refers to.
+enum class RegFile : u8 { kNone, kInt, kFp };
+
+/// Uniform decoded-instruction record.
+struct Decoded {
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  InstClass cls = InstClass::kNop;
+  ImmKind imm_kind = ImmKind::kNone;
+  u8 rd = 0, rs1 = 0, rs2 = 0, rs3 = 0;
+  RegFile rd_file = RegFile::kNone;
+  RegFile rs1_file = RegFile::kNone;
+  RegFile rs2_file = RegFile::kNone;
+  RegFile rs3_file = RegFile::kNone;
+  i64 imm = 0;        // sign-extended immediate (or shamt / csr zimm)
+  u16 csr = 0;        // CSR address for Zicsr instructions
+  u8 mem_bytes = 0;   // access width for loads/stores/AMOs (0 otherwise)
+  bool mem_unsigned = false;  // zero-extending load
+  bool is_amo = false;
+
+  bool valid() const { return mnemonic != Mnemonic::kInvalid; }
+  bool reads_rs1() const { return rs1_file != RegFile::kNone; }
+  bool reads_rs2() const { return rs2_file != RegFile::kNone; }
+  bool reads_rs3() const { return rs3_file != RegFile::kNone; }
+  bool writes_rd() const { return rd_file != RegFile::kNone; }
+};
+
+/// Decode any 32-bit RV64IMAFD/Zicsr/Zifencei encoding. Returns a record with
+/// mnemonic == kInvalid (and cls == kNop) for undefined encodings; never
+/// aborts, so it is safe to feed arbitrary bit patterns (fuzzing, bad traces).
+Decoded decode(u32 enc);
+
+/// Assembly mnemonic text ("addw", "fmadd.d", "lr.w", ...).
+const char* mnemonic_name(Mnemonic m);
+
+/// Exact disassembly from the full decoder. Understands every instruction
+/// `decode` does, applies standard aliases (nop/mv/ret/j/beqz/...), and falls
+/// back to ".word 0x...." for invalid encodings.
+std::string disassemble_full(u32 enc);
+
+/// Number of distinct valid mnemonics that map to the given mini-filter SRAM
+/// row ({funct3, opcode} index, Figure 3). The filter cannot distinguish
+/// instructions that share a row; kernels use this to audit that a programmed
+/// row does not accidentally capture unrelated instructions.
+unsigned mnemonics_sharing_filter_row(u16 row);
+
+/// The mnemonic of a decoded instruction's canonical encoding row, i.e.
+/// filter_index() of any encoding of this mnemonic. Returns std::nullopt for
+/// mnemonics whose row depends on operand fields beyond {funct3, opcode}
+/// (e.g. OP vs OP-32 share nothing; FP ops share row 0x53 with all fmt).
+std::optional<u16> canonical_filter_row(Mnemonic m);
+
+}  // namespace fg::isa

@@ -1,0 +1,217 @@
+#include "src/isa/riscv.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace fg::isa {
+
+const char* class_name(InstClass c) {
+  switch (c) {
+    case InstClass::kIntAlu: return "int_alu";
+    case InstClass::kIntMul: return "int_mul";
+    case InstClass::kIntDiv: return "int_div";
+    case InstClass::kFpAlu: return "fp_alu";
+    case InstClass::kFpMulDiv: return "fp_muldiv";
+    case InstClass::kLoad: return "load";
+    case InstClass::kStore: return "store";
+    case InstClass::kBranch: return "branch";
+    case InstClass::kJump: return "jump";
+    case InstClass::kCall: return "call";
+    case InstClass::kRet: return "ret";
+    case InstClass::kCsr: return "csr";
+    case InstClass::kGuardEvent: return "guard_event";
+    case InstClass::kNop: return "nop";
+  }
+  return "?";
+}
+
+namespace {
+constexpr i64 sext(u64 v, unsigned bits_used) {
+  const u64 sign = u64{1} << (bits_used - 1);
+  return static_cast<i64>((v ^ sign) - sign);
+}
+}  // namespace
+
+i64 imm_i(u32 enc) { return sext(bits(enc, 31, 20), 12); }
+
+i64 imm_s(u32 enc) {
+  const u64 v = (bits(enc, 31, 25) << 5) | bits(enc, 11, 7);
+  return sext(v, 12);
+}
+
+i64 imm_b(u32 enc) {
+  const u64 v = (bits(enc, 31, 31) << 12) | (bits(enc, 7, 7) << 11) |
+                (bits(enc, 30, 25) << 5) | (bits(enc, 11, 8) << 1);
+  return sext(v, 13);
+}
+
+i64 imm_u(u32 enc) { return sext(bits(enc, 31, 12) << 12, 32); }
+
+i64 imm_j(u32 enc) {
+  const u64 v = (bits(enc, 31, 31) << 20) | (bits(enc, 19, 12) << 12) |
+                (bits(enc, 20, 20) << 11) | (bits(enc, 30, 21) << 1);
+  return sext(v, 21);
+}
+
+u32 enc_r(u8 opcode, u8 rd, u8 funct3, u8 rs1, u8 rs2, u8 funct7) {
+  FG_CHECK(rd < 32 && rs1 < 32 && rs2 < 32 && funct3 < 8);
+  return (u32{funct7} << 25) | (u32{rs2} << 20) | (u32{rs1} << 15) |
+         (u32{funct3} << 12) | (u32{rd} << 7) | opcode;
+}
+
+u32 enc_i(u8 opcode, u8 rd, u8 funct3, u8 rs1, i32 imm) {
+  FG_CHECK(rd < 32 && rs1 < 32 && funct3 < 8);
+  FG_CHECK(imm >= -2048 && imm < 2048);
+  return (static_cast<u32>(imm & 0xfff) << 20) | (u32{rs1} << 15) |
+         (u32{funct3} << 12) | (u32{rd} << 7) | opcode;
+}
+
+u32 enc_s(u8 opcode, u8 funct3, u8 rs1, u8 rs2, i32 imm) {
+  FG_CHECK(rs1 < 32 && rs2 < 32 && funct3 < 8);
+  FG_CHECK(imm >= -2048 && imm < 2048);
+  const u32 u = static_cast<u32>(imm & 0xfff);
+  return ((u >> 5) << 25) | (u32{rs2} << 20) | (u32{rs1} << 15) |
+         (u32{funct3} << 12) | ((u & 0x1f) << 7) | opcode;
+}
+
+u32 enc_b(u8 opcode, u8 funct3, u8 rs1, u8 rs2, i32 imm) {
+  FG_CHECK(rs1 < 32 && rs2 < 32 && funct3 < 8);
+  FG_CHECK(imm >= -4096 && imm < 4096 && (imm & 1) == 0);
+  const u32 u = static_cast<u32>(imm & 0x1fff);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+         (u32{rs2} << 20) | (u32{rs1} << 15) | (u32{funct3} << 12) |
+         (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | opcode;
+}
+
+u32 enc_u(u8 opcode, u8 rd, i32 imm) {
+  FG_CHECK(rd < 32);
+  return (static_cast<u32>(imm) & 0xfffff000u) | (u32{rd} << 7) | opcode;
+}
+
+u32 enc_j(u8 opcode, u8 rd, i32 imm) {
+  FG_CHECK(rd < 32);
+  FG_CHECK(imm >= -(1 << 20) && imm < (1 << 20) && (imm & 1) == 0);
+  const u32 u = static_cast<u32>(imm) & 0x1fffff;
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+         (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) |
+         (u32{rd} << 7) | opcode;
+}
+
+u32 make_load(u8 funct3, u8 rd, u8 rs1, i32 imm) {
+  return enc_i(kOpLoad, rd, funct3, rs1, imm);
+}
+u32 make_store(u8 funct3, u8 rs1, u8 rs2, i32 imm) {
+  return enc_s(kOpStore, funct3, rs1, rs2, imm);
+}
+u32 make_alu_rr(u8 funct3, u8 rd, u8 rs1, u8 rs2, bool alt) {
+  return enc_r(kOpOp, rd, funct3, rs1, rs2, alt ? 0x20 : 0x00);
+}
+u32 make_alu_ri(u8 funct3, u8 rd, u8 rs1, i32 imm) {
+  return enc_i(kOpOpImm, rd, funct3, rs1, imm);
+}
+u32 make_mul(u8 funct3, u8 rd, u8 rs1, u8 rs2) {
+  return enc_r(kOpOp, rd, funct3, rs1, rs2, 0x01);
+}
+u32 make_fp(u8 funct5, u8 rd, u8 rs1, u8 rs2) {
+  // OP-FP with fmt=D (01); funct7 = {funct5, fmt}.
+  return enc_r(kOpFp, rd, 0x0, rs1, rs2, static_cast<u8>((funct5 << 2) | 0x1));
+}
+u32 make_branch(u8 funct3, u8 rs1, u8 rs2, i32 off) {
+  return enc_b(kOpBranch, funct3, rs1, rs2, off);
+}
+u32 make_jal(u8 rd, i32 off) { return enc_j(kOpJal, rd, off); }
+u32 make_jalr(u8 rd, u8 rs1, i32 imm) { return enc_i(kOpJalr, rd, 0x0, rs1, imm); }
+u32 make_csrrw(u8 rd, u8 rs1, u16 csr) {
+  FG_CHECK(csr < 0x1000);
+  return (u32{csr} << 20) | (u32{rs1} << 15) | (u32{0x1} << 12) | (u32{rd} << 7) |
+         kOpSystem;
+}
+u32 make_guard_event(bool is_alloc) {
+  const u8 f3 = is_alloc ? kGuardAllocFunct3 : kGuardFreeFunct3;
+  return enc_r(kOpCustom0, 0, f3, 0, 0, 0);
+}
+
+bool is_call(u32 enc) {
+  const u8 op = opcode_of(enc);
+  if (op != kOpJal && op != kOpJalr) return false;
+  return rd_of(enc) == 1;  // links into ra
+}
+
+bool is_ret(u32 enc) {
+  return opcode_of(enc) == kOpJalr && rd_of(enc) == 0 && rs1_of(enc) == 1;
+}
+
+namespace {
+const char* load_name(u8 f3) {
+  static const char* names[8] = {"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu", "l?"};
+  return names[f3 & 7];
+}
+const char* store_name(u8 f3) {
+  static const char* names[8] = {"sb", "sh", "sw", "sd", "s?", "s?", "s?", "s?"};
+  return names[f3 & 7];
+}
+const char* branch_name(u8 f3) {
+  static const char* names[8] = {"beq", "bne", "b?", "b?", "blt", "bge", "bltu", "bgeu"};
+  return names[f3 & 7];
+}
+const char* alu_name(u8 f3, bool alt) {
+  if (alt) return f3 == 0 ? "sub" : (f3 == 5 ? "sra" : "op?");
+  static const char* names[8] = {"add", "sll", "slt", "sltu", "xor", "srl", "or", "and"};
+  return names[f3 & 7];
+}
+const char* mul_name(u8 f3) {
+  static const char* names[8] = {"mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu"};
+  return names[f3 & 7];
+}
+std::string fmt(const char* f, ...) {
+  char buf[96];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
+}  // namespace
+
+std::string disassemble(u32 enc) {
+  const u8 op = opcode_of(enc);
+  const u8 f3 = funct3_of(enc);
+  const u8 rd = rd_of(enc), rs1 = rs1_of(enc), rs2 = rs2_of(enc);
+  switch (op) {
+    case kOpLoad:
+      return fmt("%s x%d, %lld(x%d)", load_name(f3), rd,
+                 static_cast<long long>(imm_i(enc)), rs1);
+    case kOpStore:
+      return fmt("%s x%d, %lld(x%d)", store_name(f3), rs2,
+                 static_cast<long long>(imm_s(enc)), rs1);
+    case kOpOp:
+      if (funct7_of(enc) == 0x01) return fmt("%s x%d, x%d, x%d", mul_name(f3), rd, rs1, rs2);
+      return fmt("%s x%d, x%d, x%d", alu_name(f3, funct7_of(enc) == 0x20), rd, rs1, rs2);
+    case kOpOpImm:
+      return fmt("%si x%d, x%d, %lld", alu_name(f3, false), rd, rs1,
+                 static_cast<long long>(imm_i(enc)));
+    case kOpBranch:
+      return fmt("%s x%d, x%d, %lld", branch_name(f3), rs1, rs2,
+                 static_cast<long long>(imm_b(enc)));
+    case kOpJal:
+      if (rd == 0) return fmt("j %lld", static_cast<long long>(imm_j(enc)));
+      return fmt("jal x%d, %lld", rd, static_cast<long long>(imm_j(enc)));
+    case kOpJalr:
+      if (is_ret(enc)) return "ret";
+      return fmt("jalr x%d, %lld(x%d)", rd, static_cast<long long>(imm_i(enc)), rs1);
+    case kOpFp:
+      return fmt("fop.d f%d, f%d, f%d", rd, rs1, rs2);
+    case kOpSystem:
+      return fmt("csrrw x%d, 0x%x, x%d", rd, static_cast<unsigned>(enc >> 20), rs1);
+    case kOpCustom0:
+      return f3 == kGuardAllocFunct3 ? "guard.alloc" : "guard.free";
+    case kOpLui:
+      return fmt("lui x%d, %lld", rd, static_cast<long long>(imm_u(enc) >> 12));
+    default:
+      return fmt(".word 0x%08x", enc);
+  }
+}
+
+}  // namespace fg::isa

@@ -1,0 +1,135 @@
+// Minimal RV64 instruction layer.
+//
+// FireGuard's mini-filters index their SRAM look-up tables with the
+// concatenation {funct3[2:0], opcode[6:0]} of each committed instruction
+// (Figure 3 of the paper), so the trace carries real RISC-V encodings. This
+// module provides the encoders the workload generator uses, the field
+// extractors the filter and the guardian kernels use, and a disassembler for
+// debugging and logs.
+#pragma once
+
+#include <string>
+
+#include "src/common/types.h"
+
+namespace fg::isa {
+
+// ---------------------------------------------------------------------------
+// Major opcodes (RV64 base + M/F/D + custom-0 used for guard events).
+// ---------------------------------------------------------------------------
+enum Opcode : u8 {
+  kOpLoad = 0x03,
+  kOpLoadFp = 0x07,
+  kOpCustom0 = 0x0b,  // guard.alloc / guard.free markers (see below)
+  kOpMiscMem = 0x0f,
+  kOpOpImm = 0x13,
+  kOpAuipc = 0x17,
+  kOpOpImm32 = 0x1b,
+  kOpStore = 0x23,
+  kOpStoreFp = 0x27,
+  kOpAmo = 0x2f,
+  kOpOp = 0x33,
+  kOpLui = 0x37,
+  kOpOp32 = 0x3b,
+  kOpFp = 0x53,
+  kOpBranch = 0x63,
+  kOpJalr = 0x67,
+  kOpJal = 0x6f,
+  kOpSystem = 0x73,
+};
+
+// funct3 values for the custom-0 guard-event markers emitted by the
+// instrumented allocator in the synthetic workload. A real deployment would
+// reserve exactly such a custom opcode so the event filter can observe
+// allocator activity (the Guardian Council forwards function-call events; a
+// marker instruction is the equivalent that needs no symbol resolution).
+inline constexpr u8 kGuardAllocFunct3 = 0x0;
+inline constexpr u8 kGuardFreeFunct3 = 0x1;
+
+/// Broad behavioural classes used by the core timing model.
+enum class InstClass : u8 {
+  kIntAlu,
+  kIntMul,
+  kIntDiv,
+  kFpAlu,
+  kFpMulDiv,
+  kLoad,
+  kStore,
+  kBranch,  // conditional
+  kJump,    // unconditional, not linking (j)
+  kCall,    // jal/jalr with rd = ra
+  kRet,     // jalr x0, ra
+  kCsr,
+  kGuardEvent,  // custom-0 marker (alloc/free)
+  kNop,
+};
+
+/// Human-readable class name (tables, logs).
+const char* class_name(InstClass c);
+
+/// True if the class occupies a memory pipe.
+constexpr bool is_mem(InstClass c) {
+  return c == InstClass::kLoad || c == InstClass::kStore;
+}
+
+/// True if the class is a control-flow transfer.
+constexpr bool is_ctrl(InstClass c) {
+  return c == InstClass::kBranch || c == InstClass::kJump ||
+         c == InstClass::kCall || c == InstClass::kRet;
+}
+
+// ---------------------------------------------------------------------------
+// Field extraction.
+// ---------------------------------------------------------------------------
+constexpr u8 opcode_of(u32 enc) { return static_cast<u8>(enc & 0x7f); }
+constexpr u8 rd_of(u32 enc) { return static_cast<u8>((enc >> 7) & 0x1f); }
+constexpr u8 funct3_of(u32 enc) { return static_cast<u8>((enc >> 12) & 0x7); }
+constexpr u8 rs1_of(u32 enc) { return static_cast<u8>((enc >> 15) & 0x1f); }
+constexpr u8 rs2_of(u32 enc) { return static_cast<u8>((enc >> 20) & 0x1f); }
+constexpr u8 funct7_of(u32 enc) { return static_cast<u8>((enc >> 25) & 0x7f); }
+
+/// The 10-bit mini-filter SRAM index: {funct3, opcode} (Figure 3).
+constexpr u16 filter_index(u32 enc) {
+  return static_cast<u16>((static_cast<u16>(funct3_of(enc)) << 7) | opcode_of(enc));
+}
+inline constexpr u16 kFilterTableSize = 1u << 10;
+
+/// Immediate decoders (sign-extended).
+i64 imm_i(u32 enc);
+i64 imm_s(u32 enc);
+i64 imm_b(u32 enc);
+i64 imm_u(u32 enc);
+i64 imm_j(u32 enc);
+
+// ---------------------------------------------------------------------------
+// Encoders.
+// ---------------------------------------------------------------------------
+u32 enc_r(u8 opcode, u8 rd, u8 funct3, u8 rs1, u8 rs2, u8 funct7);
+u32 enc_i(u8 opcode, u8 rd, u8 funct3, u8 rs1, i32 imm);
+u32 enc_s(u8 opcode, u8 funct3, u8 rs1, u8 rs2, i32 imm);
+u32 enc_b(u8 opcode, u8 funct3, u8 rs1, u8 rs2, i32 imm);
+u32 enc_u(u8 opcode, u8 rd, i32 imm);
+u32 enc_j(u8 opcode, u8 rd, i32 imm);
+
+/// Convenience encoders for the instruction shapes the workload emits.
+u32 make_load(u8 funct3, u8 rd, u8 rs1, i32 imm);      // LB..LD / LBU..LWU
+u32 make_store(u8 funct3, u8 rs1, u8 rs2, i32 imm);    // SB..SD
+u32 make_alu_rr(u8 funct3, u8 rd, u8 rs1, u8 rs2, bool alt);  // ADD/SUB/...
+u32 make_alu_ri(u8 funct3, u8 rd, u8 rs1, i32 imm);    // ADDI/...
+u32 make_mul(u8 funct3, u8 rd, u8 rs1, u8 rs2);        // MUL/MULH/DIV/REM...
+u32 make_fp(u8 funct5, u8 rd, u8 rs1, u8 rs2);         // OP-FP (D)
+u32 make_branch(u8 funct3, u8 rs1, u8 rs2, i32 off);   // BEQ/BNE/...
+u32 make_jal(u8 rd, i32 off);
+u32 make_jalr(u8 rd, u8 rs1, i32 imm);
+u32 make_csrrw(u8 rd, u8 rs1, u16 csr);
+u32 make_guard_event(bool is_alloc);  // custom-0 marker
+
+/// True if the encoding is a call (jal/jalr that links into ra).
+bool is_call(u32 enc);
+/// True if the encoding is a return (jalr x0, 0(ra)).
+bool is_ret(u32 enc);
+
+/// Compact disassembly (mnemonic + registers; immediates in decimal).
+std::string disassemble(u32 enc);
+
+}  // namespace fg::isa

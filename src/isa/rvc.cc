@@ -1,0 +1,219 @@
+#include "src/isa/rvc.h"
+
+#include "src/isa/riscv.h"
+
+namespace fg::isa {
+
+namespace {
+
+// Map a 3-bit compressed register field to the architectural register x8-x15.
+constexpr u8 creg(u16 half, unsigned lo) {
+  return static_cast<u8>(8 + ((half >> lo) & 0x7));
+}
+
+constexpr u8 full_reg(u16 half, unsigned lo) {
+  return static_cast<u8>((half >> lo) & 0x1f);
+}
+
+constexpr i32 sext_i32(u32 v, unsigned bits_used) {
+  const u32 sign = u32{1} << (bits_used - 1);
+  return static_cast<i32>((v ^ sign) - sign);
+}
+
+// Scramble helpers: RVC immediates are stored in permuted bit order; each
+// decoder below reassembles the architectural immediate explicitly,
+// bit-range by bit-range, following the RVC spec tables.
+constexpr u32 b(u16 half, unsigned hi, unsigned lo) {
+  return static_cast<u32>(bits(half, hi, lo));
+}
+
+std::optional<u32> expand_q0(u16 h) {
+  switch (b(h, 15, 13)) {
+    case 0x0: {  // c.addi4spn -> addi rd', x2, nzuimm
+      const u32 imm = (b(h, 10, 7) << 6) | (b(h, 12, 11) << 4) |
+                      (b(h, 5, 5) << 3) | (b(h, 6, 6) << 2);
+      if (imm == 0) return std::nullopt;  // reserved
+      return make_alu_ri(0, creg(h, 2), 2, static_cast<i32>(imm));
+    }
+    case 0x1: {  // c.fld -> fld rd', offset(rs1')
+      const u32 imm = (b(h, 6, 5) << 6) | (b(h, 12, 10) << 3);
+      return enc_i(kOpLoadFp, creg(h, 2), 3, creg(h, 7), static_cast<i32>(imm));
+    }
+    case 0x2: {  // c.lw
+      const u32 imm = (b(h, 5, 5) << 6) | (b(h, 12, 10) << 3) | (b(h, 6, 6) << 2);
+      return make_load(2, creg(h, 2), creg(h, 7), static_cast<i32>(imm));
+    }
+    case 0x3: {  // c.ld (RV64)
+      const u32 imm = (b(h, 6, 5) << 6) | (b(h, 12, 10) << 3);
+      return make_load(3, creg(h, 2), creg(h, 7), static_cast<i32>(imm));
+    }
+    case 0x5: {  // c.fsd
+      const u32 imm = (b(h, 6, 5) << 6) | (b(h, 12, 10) << 3);
+      return enc_s(kOpStoreFp, 3, creg(h, 7), creg(h, 2), static_cast<i32>(imm));
+    }
+    case 0x6: {  // c.sw
+      const u32 imm = (b(h, 5, 5) << 6) | (b(h, 12, 10) << 3) | (b(h, 6, 6) << 2);
+      return make_store(2, creg(h, 7), creg(h, 2), static_cast<i32>(imm));
+    }
+    case 0x7: {  // c.sd (RV64)
+      const u32 imm = (b(h, 6, 5) << 6) | (b(h, 12, 10) << 3);
+      return make_store(3, creg(h, 7), creg(h, 2), static_cast<i32>(imm));
+    }
+    default: return std::nullopt;  // 0x4 reserved
+  }
+}
+
+std::optional<u32> expand_q1(u16 h) {
+  switch (b(h, 15, 13)) {
+    case 0x0: {  // c.addi (c.nop when rd=0, imm=0)
+      const i32 imm = sext_i32((b(h, 12, 12) << 5) | b(h, 6, 2), 6);
+      return make_alu_ri(0, full_reg(h, 7), full_reg(h, 7), imm);
+    }
+    case 0x1: {  // c.addiw (RV64; reserved when rd=0)
+      const u8 rd = full_reg(h, 7);
+      if (rd == 0) return std::nullopt;
+      const i32 imm = sext_i32((b(h, 12, 12) << 5) | b(h, 6, 2), 6);
+      return enc_i(kOpOpImm32, rd, 0, rd, imm);
+    }
+    case 0x2: {  // c.li -> addi rd, x0, imm
+      const i32 imm = sext_i32((b(h, 12, 12) << 5) | b(h, 6, 2), 6);
+      return make_alu_ri(0, full_reg(h, 7), 0, imm);
+    }
+    case 0x3: {
+      const u8 rd = full_reg(h, 7);
+      if (rd == 2) {  // c.addi16sp
+        const i32 imm = sext_i32((b(h, 12, 12) << 9) | (b(h, 4, 3) << 7) |
+                                     (b(h, 5, 5) << 6) | (b(h, 2, 2) << 5) |
+                                     (b(h, 6, 6) << 4),
+                                 10);
+        if (imm == 0) return std::nullopt;
+        return make_alu_ri(0, 2, 2, imm);
+      }
+      // c.lui (reserved when rd=0 or imm=0)
+      const i32 imm = sext_i32((b(h, 12, 12) << 17) | (b(h, 6, 2) << 12), 18);
+      if (rd == 0 || imm == 0) return std::nullopt;
+      return enc_u(kOpLui, rd, imm);
+    }
+    case 0x4: {  // ALU block
+      const u8 rd = creg(h, 7);
+      switch (b(h, 11, 10)) {
+        case 0x0: {  // c.srli
+          const u32 shamt = (b(h, 12, 12) << 5) | b(h, 6, 2);
+          return enc_i(kOpOpImm, rd, 5, rd, static_cast<i32>(shamt));
+        }
+        case 0x1: {  // c.srai
+          const u32 shamt = (b(h, 12, 12) << 5) | b(h, 6, 2);
+          return enc_i(kOpOpImm, rd, 5, rd,
+                       static_cast<i32>(shamt | 0x400));  // funct6=0x10 pattern
+        }
+        case 0x2: {  // c.andi
+          const i32 imm = sext_i32((b(h, 12, 12) << 5) | b(h, 6, 2), 6);
+          return make_alu_ri(7, rd, rd, imm);
+        }
+        case 0x3: {
+          const u8 rs2 = creg(h, 2);
+          if (b(h, 12, 12) == 0) {
+            switch (b(h, 6, 5)) {
+              case 0x0: return make_alu_rr(0, rd, rd, rs2, /*alt=*/true);   // c.sub
+              case 0x1: return make_alu_rr(4, rd, rd, rs2, /*alt=*/false);  // c.xor
+              case 0x2: return make_alu_rr(6, rd, rd, rs2, /*alt=*/false);  // c.or
+              case 0x3: return make_alu_rr(7, rd, rd, rs2, /*alt=*/false);  // c.and
+            }
+          } else {
+            switch (b(h, 6, 5)) {
+              case 0x0: return enc_r(kOpOp32, rd, 0, rd, rs2, 0x20);  // c.subw
+              case 0x1: return enc_r(kOpOp32, rd, 0, rd, rs2, 0x00);  // c.addw
+              default: return std::nullopt;
+            }
+          }
+          return std::nullopt;
+        }
+      }
+      return std::nullopt;
+    }
+    case 0x5: {  // c.j
+      const i32 off = sext_i32(
+          (b(h, 12, 12) << 11) | (b(h, 8, 8) << 10) | (b(h, 10, 9) << 8) |
+              (b(h, 6, 6) << 7) | (b(h, 7, 7) << 6) | (b(h, 2, 2) << 5) |
+              (b(h, 11, 11) << 4) | (b(h, 5, 3) << 1),
+          12);
+      return make_jal(0, off);
+    }
+    case 0x6: case 0x7: {  // c.beqz / c.bnez
+      const i32 off = sext_i32((b(h, 12, 12) << 8) | (b(h, 6, 5) << 6) |
+                                   (b(h, 2, 2) << 5) | (b(h, 11, 10) << 3) |
+                                   (b(h, 4, 3) << 1),
+                               9);
+      const u8 f3 = b(h, 15, 13) == 0x6 ? 0 : 1;  // beq / bne
+      return make_branch(f3, creg(h, 7), 0, off);
+    }
+    default: return std::nullopt;
+  }
+}
+
+std::optional<u32> expand_q2(u16 h) {
+  const u8 rd = full_reg(h, 7);
+  switch (b(h, 15, 13)) {
+    case 0x0: {  // c.slli
+      const u32 shamt = (b(h, 12, 12) << 5) | b(h, 6, 2);
+      return enc_i(kOpOpImm, rd, 1, rd, static_cast<i32>(shamt));
+    }
+    case 0x1: {  // c.fldsp
+      const u32 imm = (b(h, 4, 2) << 6) | (b(h, 12, 12) << 5) | (b(h, 6, 5) << 3);
+      return enc_i(kOpLoadFp, rd, 3, 2, static_cast<i32>(imm));
+    }
+    case 0x2: {  // c.lwsp (reserved when rd=0)
+      if (rd == 0) return std::nullopt;
+      const u32 imm = (b(h, 3, 2) << 6) | (b(h, 12, 12) << 5) | (b(h, 6, 4) << 2);
+      return make_load(2, rd, 2, static_cast<i32>(imm));
+    }
+    case 0x3: {  // c.ldsp (RV64; reserved when rd=0)
+      if (rd == 0) return std::nullopt;
+      const u32 imm = (b(h, 4, 2) << 6) | (b(h, 12, 12) << 5) | (b(h, 6, 5) << 3);
+      return make_load(3, rd, 2, static_cast<i32>(imm));
+    }
+    case 0x4: {
+      const u8 rs2 = full_reg(h, 2);
+      if (b(h, 12, 12) == 0) {
+        if (rs2 == 0) {  // c.jr (reserved when rs1=0)
+          if (rd == 0) return std::nullopt;
+          return make_jalr(0, rd, 0);
+        }
+        return make_alu_rr(0, rd, 0, rs2, /*alt=*/false);  // c.mv
+      }
+      if (rs2 == 0) {
+        if (rd == 0) return u32{0x00100073};  // c.ebreak
+        return make_jalr(1, rd, 0);           // c.jalr
+      }
+      return make_alu_rr(0, rd, rd, rs2, /*alt=*/false);  // c.add
+    }
+    case 0x5: {  // c.fsdsp
+      const u32 imm = (b(h, 9, 7) << 6) | (b(h, 12, 10) << 3);
+      return enc_s(kOpStoreFp, 3, 2, full_reg(h, 2), static_cast<i32>(imm));
+    }
+    case 0x6: {  // c.swsp
+      const u32 imm = (b(h, 8, 7) << 6) | (b(h, 12, 9) << 2);
+      return make_store(2, 2, full_reg(h, 2), static_cast<i32>(imm));
+    }
+    case 0x7: {  // c.sdsp (RV64)
+      const u32 imm = (b(h, 9, 7) << 6) | (b(h, 12, 10) << 3);
+      return make_store(3, 2, full_reg(h, 2), static_cast<i32>(imm));
+    }
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<u32> expand_rvc(u16 half) {
+  if (half == 0) return std::nullopt;  // defined illegal
+  if (!is_rvc(half)) return std::nullopt;
+  switch (half & 0x3) {
+    case 0x0: return expand_q0(half);
+    case 0x1: return expand_q1(half);
+    case 0x2: return expand_q2(half);
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace fg::isa

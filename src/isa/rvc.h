@@ -1,0 +1,29 @@
+// RVC (compressed, 16-bit) instruction expansion for RV64C.
+//
+// SonicBOOM fetches and decodes RVC; at commit the expanded 32-bit form is
+// what the data-forwarding channel observes (the ROB stores the expanded
+// micro-op). The workload generator emits only 32-bit encodings, but traces
+// captured from real binaries are roughly half compressed, so the trace
+// loader uses this module to normalize them before they reach the filter:
+// mini-filter rows are defined over expanded {funct3, opcode} indices only.
+#pragma once
+
+#include <optional>
+
+#include "src/common/types.h"
+
+namespace fg::isa {
+
+/// True if the low 2 bits mark a compressed (16-bit) encoding.
+constexpr bool is_rvc(u16 half) { return (half & 0x3) != 0x3; }
+
+/// Expand a 16-bit RVC encoding into its 32-bit equivalent. Returns
+/// std::nullopt for reserved/illegal encodings (including the all-zero
+/// pattern, which the ISA defines as illegal). Covers the RV64C subset:
+/// quadrant 0 (c.addi4spn, c.ld/c.lw/c.fld, c.sd/c.sw/c.fsd), quadrant 1
+/// (c.addi, c.addiw, c.li, c.lui/c.addi16sp, ALU ops, c.j, c.beqz, c.bnez),
+/// quadrant 2 (c.slli, c.ldsp/c.lwsp/c.fldsp, c.jr/c.jalr/c.mv/c.add/
+/// c.ebreak, c.sdsp/c.swsp/c.fsdsp).
+std::optional<u32> expand_rvc(u16 half);
+
+}  // namespace fg::isa

@@ -1,0 +1,93 @@
+// AddressSanitizer guardian kernel.
+//
+// Shadow byte per 8-byte granule at shadow_base + (addr >> 3). Allocator
+// events (guard.alloc / guard.free markers observed by the filter) maintain
+// the shadow: alloc unpoisons [base, base+size) and poisons the trailing
+// redzone; free poisons the whole object. Every monitored load/store checks
+// its shadow byte — nonzero means redzone or freed memory. Shadow writes go
+// 8 granules at a time (sd), like production ASan's word-wise poisoning.
+#include "src/kernels/kernel.h"
+#include "src/kernels/regs.h"
+
+namespace fg::kernels {
+
+namespace {
+constexpr i64 kRedzoneFill = 0xfafafafafafafafall;   // ASan heap-redzone magic
+constexpr i64 kFreedFill = 0xfdfdfdfdfdfdfdfdll;     // ASan heap-freed magic
+}  // namespace
+
+ucore::UProgram build_asan(ProgModel model, const KernelParams& p,
+                           bool event_engine) {
+  if (!event_engine) return build_shadow_check(model, p, "asan_check");
+  ucore::UProgramBuilder b("asan/" + std::string(prog_model_name(model)));
+
+  b.li(S0, static_cast<i64>(p.shadow_base));
+  b.li(S1, static_cast<i64>(p.shadow_timing_base - p.shadow_base));
+  b.li(S6, kRedzoneFill);
+  b.li(S7, kFreedFill);
+
+  const BodyEmitter body = [](ucore::UProgramBuilder& a, u8 addr) {
+    const auto done = a.new_label();
+    const auto viol = a.new_label();
+    const auto alloc_free = a.new_label();
+    const auto do_free = a.new_label();
+    const auto unpoison_loop = a.new_label();
+    const auto redzone = a.new_label();
+    const auto poison_loop = a.new_label();
+
+    // Fast path: shadow check with the allocator-event test interleaved so
+    // no late-producer result (pop, q.recent, lbu) is consumed in the very
+    // next instruction — the hazard-aware design pattern of Section III-D.
+    a.qrecent(T0, kOffInst);     // independent of `addr` (fills pop's slot)
+    a.srli(T3, addr, 3);
+    a.add(T3, T3, S0);
+    a.andi(T1, T0, 0x7f);        // opcode (fills q.recent's slot)
+    a.lbu(T4, T3, 0);
+    a.xori(T1, T1, 0x0b);        // event test (fills lbu's slot)
+    a.beqz(T1, alloc_free);      // custom-0: allocator event
+    a.bnez(T4, viol);
+    a.j(done);
+
+    a.bind(viol);
+    a.qrecent(A1, kOffData);
+    a.detect(A1, addr);
+    a.j(done);
+
+    a.bind(alloc_free);
+    // Event metadata: word1 high 32 bits = size; word2 (in `addr`) = base.
+    // Sizes are 64-byte granules, so size/64 exact 8-byte shadow words.
+    // End-pointer loops: 3 instructions per 64 bytes of object.
+    a.srli(A2, T0, 32);          // size in bytes
+    a.srli(T3, addr, 3);
+    a.add(T3, T3, S0);           // shadow cursor
+    a.add(T3, T3, S1);           // ... in the timing mirror (see prologue)
+    a.srli(A3, A2, 3);           // size/8 = shadow bytes
+    a.add(A3, A3, T3);           // end pointer
+    a.srli(T5, T0, 12);
+    a.andi(T5, T5, 0x7);         // funct3: 0 = alloc, 1 = free
+    a.bnez(T5, do_free);
+
+    // Alloc: unpoison the object word-wise, then poison the redzone.
+    a.bind(unpoison_loop);
+    a.sd(0, T3, 0);
+    a.addi(T3, T3, 8);
+    a.bltu(T3, A3, unpoison_loop);
+    a.bind(redzone);
+    a.sd(S6, T3, 0);             // 64-byte redzone = 1 shadow word
+    a.j(done);
+
+    // Free: poison the whole object.
+    a.bind(do_free);
+    a.bind(poison_loop);
+    a.sd(S7, T3, 0);
+    a.addi(T3, T3, 8);
+    a.bltu(T3, A3, poison_loop);
+
+    a.bind(done);
+  };
+
+  emit_dispatch_loop(b, model, kOffAddr, body, p.unroll);
+  return b.build();
+}
+
+}  // namespace fg::kernels

@@ -1,0 +1,46 @@
+#include "src/kernels/ha.h"
+
+#include "src/isa/riscv.h"
+#include "src/kernels/kernel.h"
+
+namespace fg::kernels {
+
+HardwareAccelerator::HardwareAccelerator(u32 engine_id, u32 queue_depth)
+    : engine_id_(engine_id), q_(queue_depth) {}
+
+void HardwareAccelerator::tick(Cycle now_slow) {
+  if (q_.empty()) return;
+  const core::Packet p = q_.pop();
+  ++processed_;
+  process(p, now_slow);
+}
+
+void HardwareAccelerator::report(u64 payload, u64 aux, Cycle now_slow) {
+  detections_.push_back(ucore::Detection{engine_id_, payload, aux, now_slow});
+}
+
+PmcHa::PmcHa(u32 engine_id, u64 text_lo, u64 text_hi)
+    : HardwareAccelerator(engine_id), lo_(text_lo), hi_(text_hi) {}
+
+void PmcHa::process(const core::Packet& p, Cycle now_slow) {
+  ++events_;
+  if (p.addr < lo_ || p.addr >= hi_) report(p.data, p.addr, now_slow);
+}
+
+ShadowStackHa::ShadowStackHa(u32 engine_id) : HardwareAccelerator(engine_id) {}
+
+void ShadowStackHa::process(const core::Packet& p, Cycle now_slow) {
+  if (p.inst == kSsMarkerInst) return;  // no handoff needed: single unit
+  if (isa::is_call(p.inst)) {
+    stack_.push_back(p.pc + 4);
+    return;
+  }
+  if (isa::is_ret(p.inst)) {
+    if (stack_.empty()) return;
+    const u64 expect = stack_.back();
+    stack_.pop_back();
+    if (expect != p.addr) report(p.data, p.addr, now_slow);
+  }
+}
+
+}  // namespace fg::kernels

@@ -1,0 +1,71 @@
+// Hardware accelerators (Figure 1 "HA", evaluated in Figure 7a).
+//
+// For fixed-function safeguards the paper replaces a kernel's µcores with a
+// single accelerator that keeps up with the packet stream by construction
+// (one packet per low-frequency cycle), driving the main-core overhead to
+// zero. We provide the two HAs the paper evaluates — PMC and shadow stack —
+// with exactly the same detection semantics as their µcore programs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/ring_queue.h"
+#include "src/core/packet.h"
+#include "src/ucore/ucore.h"
+
+namespace fg::kernels {
+
+class HardwareAccelerator {
+ public:
+  explicit HardwareAccelerator(u32 engine_id, u32 queue_depth = 32);
+  virtual ~HardwareAccelerator() = default;
+
+  bool input_full() const { return q_.full(); }
+  size_t input_free() const { return q_.free_slots(); }
+  size_t input_size() const { return q_.size(); }
+  void push_input(const core::Packet& p) { q_.push(p); }
+
+  /// Process at most one packet per low-frequency cycle.
+  void tick(Cycle now_slow);
+
+  bool quiescent() const { return q_.empty(); }
+  u32 engine_id() const { return engine_id_; }
+  u64 packets_processed() const { return processed_; }
+  const std::vector<ucore::Detection>& detections() const { return detections_; }
+
+ protected:
+  virtual void process(const core::Packet& p, Cycle now_slow) = 0;
+  void report(u64 payload, u64 aux, Cycle now_slow);
+
+ private:
+  u32 engine_id_;
+  RingQueue<core::Packet> q_;
+  u64 processed_ = 0;
+  std::vector<ucore::Detection> detections_;
+};
+
+/// PMC accelerator: event counting + jump-target bounds check.
+class PmcHa final : public HardwareAccelerator {
+ public:
+  PmcHa(u32 engine_id, u64 text_lo, u64 text_hi);
+  u64 event_count() const { return events_; }
+
+ private:
+  void process(const core::Packet& p, Cycle now_slow) override;
+  u64 lo_, hi_;
+  u64 events_ = 0;
+};
+
+/// Shadow-stack accelerator: a dedicated stack memory next to the unit.
+class ShadowStackHa final : public HardwareAccelerator {
+ public:
+  explicit ShadowStackHa(u32 engine_id);
+  size_t depth() const { return stack_.size(); }
+
+ private:
+  void process(const core::Packet& p, Cycle now_slow) override;
+  std::vector<u64> stack_;
+};
+
+}  // namespace fg::kernels

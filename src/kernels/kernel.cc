@@ -1,0 +1,67 @@
+#include "src/kernels/kernel.h"
+
+#include "src/common/check.h"
+#include "src/isa/riscv.h"
+
+namespace fg::kernels {
+
+const char* kernel_name(KernelKind k) {
+  switch (k) {
+    case KernelKind::kPmc: return "pmc";
+    case KernelKind::kShadowStack: return "shadow_stack";
+    case KernelKind::kAsan: return "asan";
+    case KernelKind::kUaf: return "uaf";
+  }
+  return "?";
+}
+
+void program_filter(core::FilterTable& table, KernelKind kind, u8 gid_checks,
+                    u8 gid_events) {
+  using namespace fg::isa;
+  const u8 dp_ctrl = core::kDpFtq | core::kDpPrf;  // target + debug data
+  const u8 dp_mem = core::kDpLsq | core::kDpPrf;   // address + debug data
+  switch (kind) {
+    case KernelKind::kPmc:
+      // All control-flow transfers: conditional branches, jumps, calls,
+      // returns (JAL's funct3 bits are immediate bits, so all 8 patterns).
+      table.add_interest_opcode(kOpBranch, gid_checks, dp_ctrl);
+      table.add_interest_opcode(kOpJal, gid_checks, dp_ctrl);
+      table.add_interest(kOpJalr, 0x0, gid_checks, dp_ctrl);
+      break;
+    case KernelKind::kShadowStack:
+      // Calls and returns only (JAL/JALR); the kernel decodes rd/rs1 itself.
+      table.add_interest_opcode(kOpJal, gid_checks, dp_ctrl);
+      table.add_interest(kOpJalr, 0x0, gid_checks, dp_ctrl);
+      break;
+    case KernelKind::kAsan:
+    case KernelKind::kUaf:
+      // Every load and store under the check GID; allocator guard events
+      // under their own GID (pinned to the group's event engine).
+      for (u8 f3 = 0; f3 <= 6; ++f3) {
+        table.add_interest(kOpLoad, f3, gid_checks, dp_mem);
+      }
+      for (u8 f3 = 0; f3 <= 3; ++f3) {
+        table.add_interest(kOpStore, f3, gid_checks, dp_mem);
+      }
+      table.add_interest(kOpCustom0, kGuardAllocFunct3, gid_events, dp_mem);
+      table.add_interest(kOpCustom0, kGuardFreeFunct3, gid_events, dp_mem);
+      break;
+  }
+}
+
+ucore::UProgram build_kernel_program(KernelKind kind, ProgModel model,
+                                     const KernelParams& params, u32 ordinal,
+                                     u32 group_size) {
+  FG_CHECK(is_pow2(params.quarantine_slots));
+  switch (kind) {
+    case KernelKind::kPmc: return build_pmc(model, params);
+    case KernelKind::kShadowStack:
+      return build_shadow_stack(model, params, ordinal, group_size);
+    case KernelKind::kAsan: return build_asan(model, params, ordinal == 0);
+    case KernelKind::kUaf: return build_uaf(model, params, ordinal == 0);
+  }
+  FG_CHECK(false);
+  __builtin_unreachable();
+}
+
+}  // namespace fg::kernels

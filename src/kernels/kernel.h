@@ -1,0 +1,102 @@
+// Guardian kernels: the paper's four evaluated safeguards.
+//
+//  * PMC  — custom performance counter with bounds check: counts monitored
+//           control-flow events and validates every jump/branch target
+//           against the legal text-segment range (detects PC hijacking).
+//  * SS   — shadow stack: pushes return addresses on calls, compares on
+//           returns (detects return-address corruption). Runs under the
+//           allocator's block-mode scheduling and hands its stack pointer to
+//           the next engine via a token over the fabric routing channel.
+//  * ASan — AddressSanitizer: shadow byte per 8-byte granule; allocator
+//           events unpoison objects and poison redzones; every load/store is
+//           checked (detects out-of-bounds accesses).
+//  * UaF  — use-after-free detector in the MineSweeper style: freed regions
+//           are quarantined (shadow-marked) and only released when old;
+//           every load/store is checked against the quarantine.
+//
+// Each kernel is generated as a real µcore program (src/ucore) in any of the
+// four programming models of Figure 11.
+#pragma once
+
+#include <string>
+
+#include "src/common/types.h"
+#include "src/core/filter.h"
+#include "src/kernels/progmodel.h"
+#include "src/ucore/uprog.h"
+
+namespace fg::kernels {
+
+enum class KernelKind : u8 { kPmc, kShadowStack, kAsan, kUaf };
+
+const char* kernel_name(KernelKind k);
+
+/// Message-queue word bit offsets (see core::packet_word).
+inline constexpr i64 kOffPc = 0;
+inline constexpr i64 kOffInst = 64;
+inline constexpr i64 kOffAddr = 128;
+inline constexpr i64 kOffData = 192;
+
+/// Marker "instruction" used by block-mode shadow-stack handoff packets
+/// (not a valid RISC-V encoding, so it cannot collide with real commits).
+inline constexpr u32 kSsMarkerInst = 0xffffffffu;
+
+/// Kernel-wide parameters baked into the generated programs.
+struct KernelParams {
+  // PMC bounds-check range (the workload's text segment).
+  u64 text_lo = 0;
+  u64 text_hi = 0;
+  // Shadow regions in the analysis engines' shared address space.
+  u64 shadow_base = 0x20'0000'0000ull;      // ASan/UaF shadow bytes
+  /// Timing mirror for the event engine's poison/unpoison loops. The
+  /// *authoritative* shadow is updated in commit order by the SoC (the
+  /// functional-first / timing-later split described in DESIGN.md §6); the
+  /// event engine's program performs the identical loop against this mirror
+  /// so its cycle cost is still paid where the paper pays it.
+  u64 shadow_timing_base = 0x28'0000'0000ull;
+  u64 sstack_base = 0x30'0000'0000ull;      // shadow stack storage
+  u64 quarantine_base = 0x38'0000'0000ull;  // UaF quarantine ring buffer
+  u32 quarantine_slots = 64;                // release oldest beyond this
+  u32 unroll = 12;                          // unrolled-loop factor
+};
+
+/// Program the event-filter SRAM with this kernel's instruction interests.
+/// ASan and UaF split their traffic across two Group IDs: the load/store
+/// *checks* (gid_checks, round-robined over all engines of the group) and
+/// the rare allocator *events* (gid_events, pinned to the group's first
+/// engine). The split keeps the check engines' inner loop free of the
+/// event-discrimination branch — the hot loop is then a hazard-free
+/// software-pipelined shadow probe. PMC and the shadow stack use only
+/// gid_checks.
+void program_filter(core::FilterTable& table, KernelKind kind, u8 gid_checks,
+                    u8 gid_events);
+
+/// True if the kernel uses a second GID/SE for allocator events.
+constexpr bool kernel_splits_events(KernelKind k) {
+  return k == KernelKind::kAsan || k == KernelKind::kUaf;
+}
+
+/// Build the µcore program for one engine of a kernel group. `ordinal` is
+/// the engine's position within the group (0-based; ordinal 0 is the event
+/// engine for ASan/UaF and the initial token owner for the shadow stack)
+/// and `group_size` the number of engines running this kernel.
+ucore::UProgram build_kernel_program(KernelKind kind, ProgModel model,
+                                     const KernelParams& params, u32 ordinal,
+                                     u32 group_size);
+
+// Per-kernel entry points (used directly by unit tests).
+ucore::UProgram build_pmc(ProgModel model, const KernelParams& p);
+ucore::UProgram build_shadow_stack(ProgModel model, const KernelParams& p,
+                                   u32 ordinal, u32 group_size);
+/// `event_engine`: include the allocator-event handling (shadow poisoning /
+/// quarantine bookkeeping) alongside the checks.
+ucore::UProgram build_asan(ProgModel model, const KernelParams& p,
+                           bool event_engine);
+ucore::UProgram build_uaf(ProgModel model, const KernelParams& p,
+                          bool event_engine);
+/// The shared check-only program (identical for ASan and UaF: probe the
+/// shadow byte, flag nonzero), with the software-pipelined fast path.
+ucore::UProgram build_shadow_check(ProgModel model, const KernelParams& p,
+                                   const std::string& name);
+
+}  // namespace fg::kernels

@@ -1,0 +1,36 @@
+// PMC: custom performance counter with bounds check (Guardian Council's PMC
+// kernel). Counts monitored control-flow events in a register and validates
+// every observed target against the legal text range [text_lo, text_hi):
+// a jump outside it is a hijacked PC.
+#include "src/kernels/kernel.h"
+#include "src/kernels/regs.h"
+
+namespace fg::kernels {
+
+ucore::UProgram build_pmc(ProgModel model, const KernelParams& p) {
+  ucore::UProgramBuilder b("pmc/" + std::string(prog_model_name(model)));
+
+  // Prologue: bounds and counter.
+  b.li(S1, static_cast<i64>(p.text_lo));
+  b.li(S2, static_cast<i64>(p.text_hi));
+  b.li(S8, 0);
+
+  const BodyEmitter body = [](ucore::UProgramBuilder& a, u8 target) {
+    // `target` = packet word 2 (FTQ jump/branch target).
+    const auto ok = a.new_label();
+    const auto viol = a.new_label();
+    a.addi(S8, S8, 1);           // event counter (the "PMC" part)
+    a.bltu(target, S1, viol);    // target below text
+    a.bgeu(target, S2, viol);    // target above text
+    a.j(ok);
+    a.bind(viol);
+    a.qrecent(A1, kOffData);     // debug data (carries the attack id)
+    a.detect(A1, target);
+    a.bind(ok);
+  };
+
+  emit_dispatch_loop(b, model, kOffAddr, body, p.unroll);
+  return b.build();
+}
+
+}  // namespace fg::kernels

@@ -1,0 +1,105 @@
+#include "src/kernels/progmodel.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fg::kernels {
+
+using ucore::UProgramBuilder;
+
+const char* prog_model_name(ProgModel m) {
+  switch (m) {
+    case ProgModel::kConventional: return "conventional";
+    case ProgModel::kDuff: return "duff";
+    case ProgModel::kUnrolled: return "unrolled";
+    case ProgModel::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+namespace {
+
+/// pop + body, once.
+void emit_one(UProgramBuilder& b, i64 off, const BodyEmitter& body) {
+  b.qpop(kBodyFirstReg, off);
+  body(b, kBodyFirstReg);
+}
+
+/// Duff's device: switch on min(count, unroll) into a chain of `unroll`
+/// pop+body units so exactly that many packets are processed per count read.
+void emit_duff(UProgramBuilder& b, UProgramBuilder::Label loop, i64 off,
+               const BodyEmitter& body, u32 unroll) {
+  // Table slot k = "process k packets": slot 0 returns to the loop head;
+  // slot k (k>=1) enters the chain at the unit that leaves k bodies to run.
+  std::vector<UProgramBuilder::Label> units(unroll);
+  for (auto& l : units) l = b.new_label();
+  std::vector<UProgramBuilder::Label> table;
+  table.push_back(loop);                          // count == 0
+  for (u32 k = 1; k <= unroll; ++k) table.push_back(units[unroll - k]);
+  b.switch_on(kLoopCountReg, table);              // clamps count to unroll
+  for (u32 u = 0; u < unroll; ++u) {
+    b.bind(units[u]);
+    emit_one(b, off, body);
+  }
+  b.j(loop);
+}
+
+}  // namespace
+
+void emit_dispatch_loop(UProgramBuilder& b, ProgModel model, i64 off,
+                        const BodyEmitter& body, u32 unroll) {
+  FG_CHECK(unroll >= 2);
+  const auto loop = b.new_label();
+
+  switch (model) {
+    case ProgModel::kConventional: {
+      // loop: count; beqz; pop; body; j loop  — hazards on count and pop
+      // every iteration.
+      b.bind(loop);
+      b.qcount(kLoopCountReg, 0);
+      b.beqz(kLoopCountReg, loop);
+      emit_one(b, off, body);
+      b.j(loop);
+      break;
+    }
+    case ProgModel::kDuff: {
+      b.bind(loop);
+      b.qcount(kLoopCountReg, 0);
+      emit_duff(b, loop, off, body, unroll);
+      break;
+    }
+    case ProgModel::kUnrolled: {
+      // Fast path: a straight N-unit block when the queue holds >= N;
+      // one-at-a-time fallback so the queue still drains when nearly empty.
+      const auto single = b.new_label();
+      b.li(kLoopTmpReg, unroll);
+      b.bind(loop);
+      b.qcount(kLoopCountReg, 0);
+      b.bltu(kLoopCountReg, kLoopTmpReg, single);
+      for (u32 u = 0; u < unroll; ++u) emit_one(b, off, body);
+      b.j(loop);
+      b.bind(single);
+      b.beqz(kLoopCountReg, loop);
+      emit_one(b, off, body);
+      b.j(loop);
+      break;
+    }
+    case ProgModel::kHybrid: {
+      // count >= N: unrolled block. 0 < count < N: Duff remainder. This is
+      // the paper's uniformly-best strategy.
+      const auto remainder = b.new_label();
+      b.li(kLoopTmpReg, unroll);
+      b.bind(loop);
+      b.qcount(kLoopCountReg, 0);
+      b.bltu(kLoopCountReg, kLoopTmpReg, remainder);
+      for (u32 u = 0; u < unroll; ++u) emit_one(b, off, body);
+      b.j(loop);
+      b.bind(remainder);
+      emit_duff(b, loop, off, body, unroll);
+      break;
+    }
+  }
+}
+
+}  // namespace fg::kernels

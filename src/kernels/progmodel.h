@@ -1,0 +1,45 @@
+// The four programming models of Figure 11 / Section III-D.
+//
+// Guardian kernels are dispatch loops around the message queue. How the loop
+// is written determines how many data-hazard bubbles the queue instructions
+// cause per packet:
+//
+//  * conventional — check count, pop one, process, branch back: pays the
+//    count→branch hazard and the loop overhead on *every* packet;
+//  * Duff's device — read count once and jump into an unrolled chain,
+//    processing exactly min(count, N) packets per count check;
+//  * pure unrolling — process N packets back to back when the queue is full
+//    enough, single-packet fallback otherwise;
+//  * hybrid (the paper's proposal) — unrolled fast path when count >= N,
+//    Duff's device for the remainder: uniformly best.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/ucore/uprog.h"
+
+namespace fg::kernels {
+
+enum class ProgModel : u8 { kConventional, kDuff, kUnrolled, kHybrid };
+
+const char* prog_model_name(ProgModel m);
+
+/// Registers the dispatch loop reserves for itself; bodies must not clobber.
+inline constexpr u8 kLoopCountReg = 28;  // packet count scratch
+inline constexpr u8 kLoopTmpReg = 29;    // loop bookkeeping
+inline constexpr u8 kBodyFirstReg = 12;  // first packet word handed to body
+
+/// Emits the per-packet processing code. The first packet word (at the
+/// kernel's chosen bit offset) has been popped into `first_reg`; further
+/// words of the same packet are available via q.recent.
+using BodyEmitter = std::function<void(ucore::UProgramBuilder&, u8 first_reg)>;
+
+/// Emit the complete dispatch loop (an endless program) in the given model.
+/// `first_word_off` is the bit offset popped into the body register.
+void emit_dispatch_loop(ucore::UProgramBuilder& b, ProgModel model,
+                        i64 first_word_off, const BodyEmitter& body,
+                        u32 unroll = 8);
+
+}  // namespace fg::kernels

@@ -1,0 +1,35 @@
+// µcore register conventions shared by the generated guardian kernels.
+// x28/x29 belong to the dispatch loop (progmodel.h); x12 carries the first
+// popped packet word into the body.
+#pragma once
+
+#include "src/common/types.h"
+
+namespace fg::kernels {
+
+inline constexpr u8 T0 = 5;
+inline constexpr u8 T1 = 6;
+inline constexpr u8 T2 = 7;
+inline constexpr u8 T3 = 8;
+inline constexpr u8 T4 = 9;
+inline constexpr u8 T5 = 10;
+inline constexpr u8 T6 = 11;
+// x12 = kBodyFirstReg (first packet word)
+inline constexpr u8 A1 = 13;
+inline constexpr u8 A2 = 14;
+inline constexpr u8 A3 = 15;
+// Callee-saved-style constants, loaded once in the program prologue.
+inline constexpr u8 S0 = 16;  // shadow base
+inline constexpr u8 S1 = 17;  // text_lo (PMC)
+inline constexpr u8 S2 = 18;  // text_hi (PMC)
+inline constexpr u8 S3 = 19;  // marker constant (SS)
+inline constexpr u8 S4 = 20;  // shadow-stack pointer (SS) / ring cursor (UaF)
+inline constexpr u8 S5 = 21;  // have-token flag (SS)
+inline constexpr u8 S6 = 22;  // redzone fill word (ASan)
+inline constexpr u8 S7 = 23;  // quarantine fill word (UaF/ASan free)
+inline constexpr u8 S8 = 24;  // event counter (PMC)
+inline constexpr u8 S9 = 25;  // quarantine ring base (UaF)
+inline constexpr u8 S10 = 26; // scratch constant
+inline constexpr u8 S11 = 27; // scratch constant
+
+}  // namespace fg::kernels

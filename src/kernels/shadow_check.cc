@@ -1,0 +1,133 @@
+// The shared check-only µcore program for the memory-safety kernels.
+//
+// ASan and UaF engines that do not own the allocator-event stream run this:
+// probe the shadow byte of every observed access and raise a violation on a
+// nonzero byte. The unrolled/hybrid fast path is *software pipelined* —
+// iteration i's queue reads are interleaved with iteration i-1's check so no
+// late-producer result (top / pop / lbu) is consumed by the very next
+// instruction. This is the end point of the hazard-minimizing design
+// patterns of Section III-D: ~6 µcore cycles per packet, zero bubbles.
+#include "src/kernels/kernel.h"
+#include "src/kernels/regs.h"
+
+namespace fg::kernels {
+
+namespace {
+
+using ucore::UProgramBuilder;
+
+/// Simple (non-pipelined) check body for the conventional/Duff paths and
+/// the remainder path: `data` holds the popped debug-data word.
+void emit_check_body(UProgramBuilder& a, u8 data) {
+  const auto done = a.new_label();
+  const auto viol = a.new_label();
+  a.qrecent(T0, kOffAddr);
+  a.srli(T3, T0, 3);
+  a.add(T3, T3, S0);
+  a.lbu(T4, T3, 0);
+  a.beqz(T4, done);
+  a.bind(viol);
+  a.detect(data, T0);
+  a.bind(done);
+}
+
+/// The software-pipelined unrolled block: processes exactly `n` packets in
+/// five µcore cycles each with zero hazard bubbles. Register double
+/// buffering: even iterations use {T0, T1, T3}, odd ones {T5, T2, T4}
+/// (= address word, shadow address, shadow byte). Steady-state schedule:
+///     pop addr / bnez(prev verdict) / srli / add / lbu
+/// Packet i's verdict branch executes *after* packet i+1's pop (that is what
+/// hides the queue-instruction latency), so q.recent no longer names the
+/// offender when a violation fires. The stub therefore reports the faulting
+/// *address* (still live in the double-buffered register); the host matches
+/// detections to injected attacks by address.
+void emit_pipelined_block(UProgramBuilder& a, u32 n) {
+  std::vector<UProgramBuilder::Label> viol(n);
+  std::vector<UProgramBuilder::Label> resume(n);
+  for (u32 i = 0; i < n; ++i) {
+    viol[i] = a.new_label();
+    resume[i] = a.new_label();
+  }
+  const auto epilogue = a.new_label();
+
+  for (u32 i = 0; i < n; ++i) {
+    const bool even = (i % 2) == 0;
+    const u8 addr = even ? T0 : T5;
+    const u8 saddr = even ? T1 : T2;
+    const u8 sbyte = even ? T3 : T4;
+    a.qpop(addr, kOffAddr);
+    if (i > 0) {
+      // Previous iteration's verdict: its lbu completed 2+ cycles ago, and
+      // q.recent still names packet i-1 here.
+      const bool peven = ((i - 1) % 2) == 0;
+      a.bnez(peven ? T3 : T4, viol[i - 1]);
+      a.bind(resume[i - 1]);
+    }
+    a.srli(saddr, addr, 3);
+    a.add(saddr, saddr, S0);
+    a.lbu(sbyte, saddr, 0);
+  }
+  // Drain the last verdict.
+  a.nop();
+  a.bnez(((n - 1) % 2) == 0 ? T3 : T4, viol[n - 1]);
+  a.bind(resume[n - 1]);
+  a.j(epilogue);
+
+  // Violation stubs: report the faulting address, resume.
+  for (u32 i = 0; i < n; ++i) {
+    const bool even = (i % 2) == 0;
+    a.bind(viol[i]);
+    a.detect(even ? T0 : T5, even ? T0 : T5);
+    a.j(resume[i]);
+  }
+  a.bind(epilogue);
+}
+
+}  // namespace
+
+ucore::UProgram build_shadow_check(ProgModel model, const KernelParams& p,
+                                   const std::string& name) {
+  UProgramBuilder b(name + "/" + prog_model_name(model));
+  b.li(S0, static_cast<i64>(p.shadow_base));
+
+  if (model == ProgModel::kConventional || model == ProgModel::kDuff) {
+    emit_dispatch_loop(b, model, kOffData, emit_check_body, p.unroll);
+    return b.build();
+  }
+
+  // Unrolled / hybrid: pipelined fast path, model-specific remainder. The
+  // unroll threshold lives in a register (hoisted out of the loop).
+  const auto loop = b.new_label();
+  const auto remainder = b.new_label();
+  b.li(kLoopTmpReg, p.unroll);
+  b.bind(loop);
+  b.qcount(kLoopCountReg, 0);
+  b.bltu(kLoopCountReg, kLoopTmpReg, remainder);
+  emit_pipelined_block(b, p.unroll);
+  b.j(loop);
+  b.bind(remainder);
+  if (model == ProgModel::kHybrid) {
+    // Duff's device on the residue: one count read, min(count, N) packets.
+    std::vector<UProgramBuilder::Label> units(p.unroll);
+    for (auto& l : units) l = b.new_label();
+    std::vector<UProgramBuilder::Label> table;
+    table.push_back(loop);
+    for (u32 k = 1; k <= p.unroll; ++k) table.push_back(units[p.unroll - k]);
+    b.switch_on(kLoopCountReg, table);
+    for (u32 u = 0; u < p.unroll; ++u) {
+      b.bind(units[u]);
+      b.qpop(kBodyFirstReg, kOffData);
+      emit_check_body(b, kBodyFirstReg);
+    }
+    b.j(loop);
+  } else {
+    // Pure unrolling: single-packet fallback.
+    b.beqz(kLoopCountReg, loop);
+    b.qpop(kBodyFirstReg, kOffData);
+    emit_check_body(b, kBodyFirstReg);
+    b.j(loop);
+  }
+  return b.build();
+}
+
+}  // namespace fg::kernels

@@ -1,0 +1,104 @@
+// Shadow stack kernel. Calls push pc+4 onto a shadow stack in the kernel's
+// shared memory; returns pop and compare against the observed return target.
+// A mismatch is a corrupted return address.
+//
+// The kernel runs under block-mode scheduling (message locality): exactly
+// one engine owns the stack-pointer token at a time. When the allocator
+// switches engines, the SoC appends a marker packet (inst == kSsMarkerInst,
+// word2 = next engine) to the old engine's queue; on consuming it the old
+// engine pushes the token {next_engine, sp} into its output queue, and the
+// fabric routing channel (mesh NoC) carries it to the successor, which spins
+// on noc.recv until the token arrives (pipelined parallelism as in the
+// Guardian Council's shadow stack).
+#include "src/kernels/kernel.h"
+#include "src/kernels/regs.h"
+
+namespace fg::kernels {
+
+ucore::UProgram build_shadow_stack(ProgModel model, const KernelParams& p,
+                                   u32 ordinal, u32 group_size) {
+  (void)group_size;
+  ucore::UProgramBuilder b("shadow_stack/" + std::string(prog_model_name(model)));
+
+  // Prologue: marker constant; engine 0 starts with the token.
+  b.li(S3, static_cast<i64>(kSsMarkerInst));
+  if (ordinal == 0) {
+    b.li(S4, static_cast<i64>(p.sstack_base));
+    b.li(S5, 1);
+  } else {
+    b.li(S4, 0);
+    b.li(S5, 0);
+  }
+
+  const BodyEmitter body = [](ucore::UProgramBuilder& a, u8 inst) {
+    const auto done = a.new_label();
+    const auto handoff = a.new_label();
+    const auto have_token = a.new_label();
+    const auto token_wait = a.new_label();
+    const auto not_call = a.new_label();
+    const auto do_ret = a.new_label();
+    const auto viol = a.new_label();
+
+    // Wait for the stack-pointer token if we do not own it yet.
+    a.bnez(S5, have_token);
+    a.bind(token_wait);
+    a.nocrecv(T5);
+    a.beqz(T5, token_wait);   // spin until the mesh delivers the token
+    a.add(S4, T5, 0);         // token payload = shadow stack pointer
+    a.li(S5, 1);
+    a.bind(have_token);
+
+    // Marker? hand the token to the named successor.
+    a.beq(inst, S3, handoff);
+
+    // Decode: rd field [11:7], opcode [6:0], rs1 [19:15].
+    a.srli(T0, inst, 7);
+    a.andi(T0, T0, 0x1f);     // rd
+    a.addi(T1, T0, -1);
+    a.bnez(T1, not_call);     // rd == ra (x1)  =>  a call
+
+    // Call: push pc + 4.
+    a.qrecent(A1, kOffPc);
+    a.addi(A1, A1, 4);
+    a.sd(A1, S4, 0);
+    a.addi(S4, S4, 8);
+    a.j(done);
+
+    a.bind(not_call);
+    // Return? opcode == JALR (0x67) && rd == 0 && rs1 == ra.
+    a.bnez(T0, done);         // rd != 0: not a return
+    a.andi(T1, inst, 0x7f);
+    a.addi(T1, T1, -0x67);
+    a.bnez(T1, done);         // not JALR
+    a.srli(T2, inst, 15);
+    a.andi(T2, T2, 0x1f);
+    a.addi(T2, T2, -1);
+    a.bnez(T2, done);         // rs1 != ra
+    a.j(do_ret);
+
+    a.bind(do_ret);
+    a.addi(S4, S4, -8);
+    a.ld(T3, S4, 0);          // shadow top
+    a.qrecent(A2, kOffAddr);  // observed return target (FTQ)
+    a.bne(T3, A2, viol);
+    a.j(done);
+
+    a.bind(viol);
+    a.qrecent(A1, kOffData);
+    a.detect(A1, A2);
+    a.j(done);
+
+    a.bind(handoff);
+    a.qrecent(T5, kOffAddr);  // word2 = successor engine id
+    a.slli(T5, T5, 56);
+    a.or_(T5, T5, S4);        // token = {dst engine, sp}
+    a.qpush(T5);
+    a.li(S5, 0);              // we no longer own the stack
+    a.bind(done);
+  };
+
+  emit_dispatch_loop(b, model, kOffInst, body, p.unroll);
+  return b.build();
+}
+
+}  // namespace fg::kernels

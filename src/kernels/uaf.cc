@@ -1,0 +1,126 @@
+// Use-after-free guardian kernel (MineSweeper-style quarantine).
+//
+// Freed objects are not merely marked: they enter a quarantine ring so the
+// allocator cannot hand them out while dangling pointers may still exist.
+// Every monitored load/store is checked against the quarantine shadow. The
+// ring-release work (clearing the shadow of the oldest quarantined object
+// when the ring is full) is the extra per-allocation cost that, as the paper
+// observes, "does not parallelize away" — it makes UaF the heaviest kernel
+// and keeps dedup's overhead flat regardless of µcore count.
+//
+// Shadow encoding at shadow_base + (addr >> 3): 0 = pristine/live,
+// 0xfd bytes = quarantined. Ring entry i (16 bytes at quarantine_base +
+// (i % slots) * 16): {base, size}.
+#include "src/kernels/kernel.h"
+#include "src/kernels/regs.h"
+
+namespace fg::kernels {
+
+namespace {
+constexpr i64 kQuarantineFill = 0xfdfdfdfdfdfdfdfdll;
+}
+
+ucore::UProgram build_uaf(ProgModel model, const KernelParams& p,
+                          bool event_engine) {
+  if (!event_engine) return build_shadow_check(model, p, "uaf_check");
+  ucore::UProgramBuilder b("uaf/" + std::string(prog_model_name(model)));
+
+  b.li(S0, static_cast<i64>(p.shadow_base));
+  b.li(S1, static_cast<i64>(p.shadow_timing_base - p.shadow_base));
+  b.li(S7, kQuarantineFill);
+  b.li(S9, static_cast<i64>(p.quarantine_base));
+  b.li(S4, 0);   // ring tail (next free slot index)
+  b.li(S10, 0);  // ring head (oldest quarantined index)
+  b.li(S11, static_cast<i64>(p.quarantine_slots));
+
+  const BodyEmitter body = [&p](ucore::UProgramBuilder& a, u8 addr) {
+    const auto done = a.new_label();
+    const auto viol = a.new_label();
+    const auto alloc_free = a.new_label();
+    const auto do_free = a.new_label();
+    const auto clear_loop = a.new_label();
+    const auto mark_loop = a.new_label();
+    const auto ring_store = a.new_label();
+    const auto release_clear = a.new_label();
+    const auto no_release = a.new_label();
+
+    // Fast path: quarantine shadow check, hazard-scheduled as in the ASan
+    // kernel (no late result consumed by its immediate successor).
+    a.qrecent(T0, kOffInst);
+    a.srli(T3, addr, 3);
+    a.add(T3, T3, S0);
+    a.andi(T1, T0, 0x7f);
+    a.lbu(T4, T3, 0);
+    a.xori(T1, T1, 0x0b);
+    a.beqz(T1, alloc_free);
+    a.bnez(T4, viol);      // quarantined byte => use after free
+    a.j(done);
+
+    a.bind(viol);
+    a.qrecent(A1, kOffData);
+    a.detect(A1, addr);
+    a.j(done);
+
+    a.bind(alloc_free);
+    a.srli(A2, T0, 32);    // size
+    a.srli(T3, addr, 3);
+    a.add(T3, T3, S0);     // shadow cursor
+    a.add(T3, T3, S1);     // ... in the timing mirror (see prologue)
+    a.srli(A3, A2, 3);     // shadow bytes
+    a.add(A3, A3, T3);     // end pointer
+    a.srli(T5, T0, 12);
+    a.andi(T5, T5, 0x7);
+    a.bnez(T5, do_free);
+
+    // Alloc: make the region live again (clear any stale quarantine marks).
+    a.bind(clear_loop);
+    a.sd(0, T3, 0);
+    a.addi(T3, T3, 8);
+    a.bltu(T3, A3, clear_loop);
+    a.j(done);
+
+    // Free: quarantine-mark the object...
+    a.bind(do_free);
+    a.bind(mark_loop);
+    a.sd(S7, T3, 0);
+    a.addi(T3, T3, 8);
+    a.bltu(T3, A3, mark_loop);
+
+    // ...record it in the quarantine ring...
+    a.bind(ring_store);
+    a.andi(T4, S4, static_cast<i64>(p.quarantine_slots - 1));
+    a.slli(T4, T4, 4);
+    a.add(T4, T4, S9);
+    a.sd(addr, T4, 0);     // base
+    a.sd(A2, T4, 8);       // size
+    a.addi(S4, S4, 1);
+
+    // ...and release the oldest entry if the ring is over capacity. This is
+    // MineSweeper's deferred sweep: real deallocation happens only when the
+    // object has aged out of quarantine.
+    a.sub(T4, S4, S10);
+    a.bltu(T4, S11, no_release);
+    a.andi(T4, S10, static_cast<i64>(p.quarantine_slots - 1));
+    a.slli(T4, T4, 4);
+    a.add(T4, T4, S9);
+    a.ld(T5, T4, 0);       // oldest base
+    a.ld(A3, T4, 8);       // oldest size
+    a.addi(S10, S10, 1);
+    a.srli(T5, T5, 3);
+    a.add(T5, T5, S0);
+    a.add(T5, T5, S1);     // release clears the timing mirror too
+    a.srli(A3, A3, 3);     // shadow bytes
+    a.add(A3, A3, T5);     // end pointer
+    a.bind(release_clear);
+    a.sd(0, T5, 0);
+    a.addi(T5, T5, 8);
+    a.bltu(T5, A3, release_clear);
+    a.bind(no_release);
+    a.bind(done);
+  };
+
+  emit_dispatch_loop(b, model, kOffAddr, body, p.unroll);
+  return b.build();
+}
+
+}  // namespace fg::kernels

@@ -1,0 +1,100 @@
+#include "src/mem/cache.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::mem {
+
+Cache::Cache(const CacheConfig& cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name)) {
+  FG_CHECK(is_pow2(cfg_.line_bytes));
+  FG_CHECK(cfg_.ways > 0);
+  n_sets_ = cfg_.size_bytes / cfg_.line_bytes / cfg_.ways;
+  FG_CHECK(n_sets_ > 0 && is_pow2(n_sets_));
+  lines_.assign(n_sets_ * cfg_.ways, Line{});
+  mshr_done_.reserve(cfg_.mshrs);
+}
+
+bool Cache::would_hit(u64 addr) const {
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    const Line& l = lines_[set * cfg_.ways + w];
+    if (l.valid && l.tag == tag) return true;
+  }
+  return false;
+}
+
+Cache::Result Cache::access(u64 addr, Cycle now, u32 miss_latency, bool write) {
+  ++stats_.accesses;
+  if (write) ++stats_.writes;
+  ++use_clock_;
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  Line* victim = nullptr;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Line& l = lines_[set * cfg_.ways + w];
+    if (l.valid && l.tag == tag) {
+      l.last_use = use_clock_;
+      l.dirty |= write;
+      return {cfg_.hit_latency, true};
+    }
+    if (!victim || !l.valid || (victim->valid && l.last_use < victim->last_use)) {
+      victim = &l;
+    }
+  }
+
+  // Miss: MSHR admission first.
+  ++stats_.misses;
+  u32 extra = 0;
+  std::erase_if(mshr_done_, [now](Cycle c) { return c <= now; });
+  if (mshr_done_.size() >= cfg_.mshrs) {
+    const Cycle oldest = *std::min_element(mshr_done_.begin(), mshr_done_.end());
+    extra = static_cast<u32>(oldest > now ? oldest - now : 0);
+    ++stats_.mshr_stalls;
+    std::erase_if(mshr_done_, [oldest](Cycle c) { return c <= oldest; });
+  }
+
+  FG_CHECK(victim != nullptr);
+  // Write-back: evicting a dirty victim occupies the fill path.
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    extra += cfg_.writeback_penalty;
+  }
+  const u32 total = cfg_.hit_latency + extra + miss_latency;
+  mshr_done_.push_back(now + total);
+
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = use_clock_;
+  victim->dirty = write;
+  return {total, false};
+}
+
+void Cache::warm_line(u64 addr) {
+  ++use_clock_;
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  Line* victim = nullptr;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Line& l = lines_[set * cfg_.ways + w];
+    if (l.valid && l.tag == tag) {
+      l.last_use = use_clock_;
+      return;
+    }
+    if (!victim || !l.valid || (victim->valid && l.last_use < victim->last_use)) {
+      victim = &l;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = use_clock_;
+}
+
+void Cache::flush() {
+  for (auto& l : lines_) l = Line{};
+  mshr_done_.clear();
+}
+
+}  // namespace fg::mem

@@ -1,0 +1,55 @@
+#include "src/mem/dram.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::mem {
+
+DramModel::DramModel(const DramConfig& cfg) : cfg_(cfg), banks_(cfg.n_banks) {
+  FG_CHECK(cfg_.n_banks > 0 && cfg_.max_requests > 0);
+  inflight_.reserve(cfg_.max_requests);
+}
+
+u32 DramModel::access(u64 addr, Cycle now) {
+  ++stats_.requests;
+
+  // Bounded request window: if 32 requests are outstanding at `now`, this
+  // one is accepted only when the oldest completes.
+  Cycle issue = now;
+  std::erase_if(inflight_, [now](Cycle c) { return c <= now; });
+  if (inflight_.size() >= cfg_.max_requests) {
+    const Cycle oldest = *std::min_element(inflight_.begin(), inflight_.end());
+    issue = std::max(issue, oldest);
+    ++stats_.queue_stalls;
+    std::erase_if(inflight_, [issue](Cycle c) { return c <= issue; });
+  }
+
+  Bank& bank = banks_[bank_of(addr)];
+  const u64 row = row_of(addr);
+  Cycle start = std::max(issue, bank.busy_until);
+  u32 array_lat;
+  if (bank.open_row == row) {
+    array_lat = cfg_.t_cas;
+    ++stats_.row_hits;
+  } else if (bank.open_row == ~u64{0}) {
+    array_lat = cfg_.t_rcd + cfg_.t_cas;
+    ++stats_.row_closed;
+  } else {
+    array_lat = cfg_.t_rp + cfg_.t_rcd + cfg_.t_cas;
+    ++stats_.row_conflicts;
+  }
+  bank.open_row = row;
+
+  // Data-bus serialization: the burst occupies the shared bus.
+  const Cycle data_start = std::max(start + array_lat, bus_free_);
+  const Cycle done = data_start + cfg_.burst_cycles;
+  bus_free_ = done;
+  bank.busy_until = start + array_lat;  // bank free after the column access
+
+  inflight_.push_back(done);
+  FG_CHECK(done >= now);
+  return static_cast<u32>(done - now);
+}
+
+}  // namespace fg::mem

@@ -1,0 +1,77 @@
+// Bank/row-aware DRAM timing model (Table II: 16 GB DDR3 @1066 MHz behind a
+// 1 GHz memory bus, at most 32 outstanding requests).
+//
+// The default hierarchy charges a flat post-LLC latency; this model replaces
+// it (HierarchyConfig::detailed_dram) with the three first-order DDR effects
+// that matter at simulation granularity: row-buffer locality (an open-row
+// hit costs tCAS only; a closed bank adds tRCD; a conflict adds tRP too),
+// per-bank and data-bus serialization, and the bounded request queue (the
+// 33rd concurrent request waits for the oldest to retire). All timings are
+// expressed in core cycles @3.2 GHz.
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg::mem {
+
+struct DramConfig {
+  u32 n_banks = 8;
+  u32 row_bytes = 8192;
+  // DDR3-1066 timings converted to 3.2 GHz core cycles (CL-CL-RP 7-7-7 at
+  // 533 MHz ≈ 13 ns each ≈ 42 core cycles).
+  u32 t_cas = 42;
+  u32 t_rcd = 42;
+  u32 t_rp = 42;
+  /// 64B line = 8 beats at 1066 MT/s ≈ 7.5 ns ≈ 24 core cycles of bus time.
+  u32 burst_cycles = 24;
+  u32 max_requests = 32;  // Table II: "max 32 requests"
+};
+
+struct DramStats {
+  u64 requests = 0;
+  u64 row_hits = 0;
+  u64 row_conflicts = 0;  // open-row mismatch (precharge + activate)
+  u64 row_closed = 0;     // bank idle (activate only)
+  u64 queue_stalls = 0;   // delayed by the 32-request window
+  double row_hit_rate() const {
+    return requests ? static_cast<double>(row_hits) / static_cast<double>(requests)
+                    : 0.0;
+  }
+};
+
+class DramModel {
+ public:
+  explicit DramModel(const DramConfig& cfg = {});
+
+  /// Latency (core cycles) of a line fill issued at `now`.
+  u32 access(u64 addr, Cycle now);
+
+  void reset_stats() { stats_ = DramStats{}; }
+  const DramStats& stats() const { return stats_; }
+  const DramConfig& config() const { return cfg_; }
+
+ private:
+  struct Bank {
+    u64 open_row = ~u64{0};
+    Cycle busy_until = 0;
+  };
+
+  u32 bank_of(u64 addr) const {
+    // Interleave banks on line granularity below the row bits so sequential
+    // lines hit alternating banks but stay in open rows.
+    return static_cast<u32>((addr / 64) % cfg_.n_banks);
+  }
+  u64 row_of(u64 addr) const {
+    return addr / (static_cast<u64>(cfg_.row_bytes) * cfg_.n_banks);
+  }
+
+  DramConfig cfg_;
+  std::vector<Bank> banks_;
+  std::vector<Cycle> inflight_;  // completion times (bounded request window)
+  Cycle bus_free_ = 0;
+  DramStats stats_;
+};
+
+}  // namespace fg::mem

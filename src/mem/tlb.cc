@@ -1,0 +1,48 @@
+#include "src/mem/tlb.h"
+
+#include "src/common/check.h"
+
+namespace fg::mem {
+
+Tlb::Tlb(const TlbConfig& cfg, std::string name) : cfg_(cfg), name_(std::move(name)) {
+  FG_CHECK(cfg_.entries > 0);
+  FG_CHECK(is_pow2(cfg_.page_bytes));
+  entries_.assign(cfg_.entries, Entry{});
+}
+
+bool Tlb::would_hit(u64 vaddr) const {
+  const u64 vpn = vaddr / cfg_.page_bytes;
+  for (const Entry& e : entries_) {
+    if (e.valid && e.vpn == vpn) return true;
+  }
+  return false;
+}
+
+u32 Tlb::access(u64 vaddr) {
+  return lookup_fill(vaddr) ? 0 : cfg_.walk_latency;
+}
+
+bool Tlb::lookup_fill(u64 vaddr) {
+  ++stats_.accesses;
+  ++use_clock_;
+  const u64 vpn = vaddr / cfg_.page_bytes;
+  Entry* victim = &entries_[0];
+  for (Entry& e : entries_) {
+    if (e.valid && e.vpn == vpn) {
+      e.last_use = use_clock_;
+      return true;
+    }
+    if (!e.valid || (victim->valid && e.last_use < victim->last_use)) victim = &e;
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->last_use = use_clock_;
+  return false;
+}
+
+void Tlb::flush() {
+  for (auto& e : entries_) e = Entry{};
+}
+
+}  // namespace fg::mem

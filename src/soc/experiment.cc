@@ -1,0 +1,136 @@
+#include "src/soc/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace fg::soc {
+
+SocConfig table2_soc() { return SocConfig{}; }
+
+KernelDeployment deploy(kernels::KernelKind kind, u32 n_engines,
+                        kernels::ProgModel model, bool use_ha) {
+  KernelDeployment d;
+  d.kind = kind;
+  d.n_engines = n_engines;
+  d.model = model;
+  d.use_ha = use_ha;
+  return d;
+}
+
+namespace {
+u64 env_u64(const char* name, u64 fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+}  // namespace
+
+u64 default_trace_len() { return env_u64("FG_TRACE_LEN", 150'000); }
+u32 default_attack_count() {
+  return static_cast<u32>(env_u64("FG_ATTACKS", 60));
+}
+
+namespace {
+/// The regions a long-running instance of this workload would have resident
+/// in L2/LLC: streaming buffers, hot globals, the live heap, code, and the
+/// top of the stack. Functionally warming them removes the compulsory-miss
+/// transient that a short trace window would otherwise be dominated by.
+std::vector<std::pair<u64, u64>> warm_regions_for(const trace::WorkloadGen& gen,
+                                                  const trace::WorkloadProfile& p) {
+  std::vector<std::pair<u64, u64>> v;
+  v.push_back({trace::kStreamBase, trace::kStreamBase + p.stream_footprint});
+  v.push_back({trace::kGlobalBase,
+               trace::kGlobalBase + 8ull * std::max<u32>(1, p.global_hot_words)});
+  const u64 heap_len =
+      std::min<u64>(4ull << 20, static_cast<u64>(p.live_target) *
+                                        (p.mean_alloc_size * 5 / 4 + 64) +
+                                    (64u << 10));
+  v.push_back({trace::kHeapBase, trace::kHeapBase + heap_len});
+  v.push_back({gen.text_lo(), gen.text_hi()});
+  v.push_back({trace::kStackBase - (64u << 10), trace::kStackBase});
+  return v;
+}
+}  // namespace
+
+Cycle run_baseline_cycles(const trace::WorkloadConfig& wl, const SocConfig& sc) {
+  trace::WorkloadGen gen(wl);
+  mem::MemHierarchy mem(sc.mem);
+  for (const auto& [lo, hi] : warm_regions_for(gen, wl.profile)) {
+    mem.warm_region(lo, hi);
+  }
+  mem.reset_stats();
+  boom::BoomCore core(sc.core, mem, gen);
+  core.run_to_end(nullptr, sc.max_fast_cycles);
+  return core.now();
+}
+
+RunResult run_fireguard(const trace::WorkloadConfig& wl, SocConfig sc) {
+  trace::WorkloadGen gen(wl);
+  sc.kparams.text_lo = gen.text_lo();
+  sc.kparams.text_hi = gen.text_hi();
+  sc.warm_regions = warm_regions_for(gen, wl.profile);
+  Soc soc(sc, gen);
+  soc.run();
+
+  RunResult r;
+  r.cycles = soc.core_cycles();
+  r.committed = soc.committed();
+  r.ipc = r.cycles ? static_cast<double>(r.committed) / static_cast<double>(r.cycles)
+                   : 0.0;
+  r.stall_fractions = soc.stall_fractions();
+  r.detections = soc.detections();
+  r.spurious = soc.spurious_detections();
+  r.packets = soc.total_packets_processed();
+  r.planned_attacks = gen.planned_attacks();
+  return r;
+}
+
+RunResult run_software(const trace::WorkloadConfig& wl, baseline::SwScheme scheme,
+                       const SocConfig& sc) {
+  trace::WorkloadGen gen(wl);
+  baseline::InstrumentedSource inst(gen, scheme);
+  mem::MemHierarchy mem(sc.mem);
+  for (const auto& [lo, hi] : warm_regions_for(gen, wl.profile)) {
+    mem.warm_region(lo, hi);
+  }
+  mem.reset_stats();
+  boom::BoomCore core(sc.core, mem, inst);
+  core.run_to_end(nullptr, sc.max_fast_cycles);
+
+  RunResult r;
+  r.cycles = core.now();
+  r.committed = core.stats().committed;
+  r.ipc = r.cycles ? static_cast<double>(r.committed) / static_cast<double>(r.cycles)
+                   : 0.0;
+  r.expansion = inst.expansion();
+  return r;
+}
+
+Cycle BaselineCache::get(const trace::WorkloadConfig& wl, const SocConfig& sc) {
+  // The key must cover everything that shapes the instruction stream —
+  // including the attack plan, which injects real instructions.
+  std::string key = wl.profile.name;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/%llu/%llu",
+                static_cast<unsigned long long>(wl.seed),
+                static_cast<unsigned long long>(wl.n_insts));
+  key += buf;
+  for (const auto& [kind, count] : wl.attacks) {
+    std::snprintf(buf, sizeof(buf), "/a%u x%u", static_cast<unsigned>(kind), count);
+    key += buf;
+  }
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const Cycle c = run_baseline_cycles(wl, sc);
+  cache_.emplace(key, c);
+  return c;
+}
+
+double geomean_slowdown(const std::vector<double>& slowdowns) {
+  return geomean(slowdowns);
+}
+
+}  // namespace fg::soc

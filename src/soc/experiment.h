@@ -1,0 +1,66 @@
+// Experiment harness: one-call runs for the three system variants the paper
+// compares — unmonitored baseline, FireGuard, and software instrumentation —
+// on identical workload traces and identical main-core hardware.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/baseline/instrument.h"
+#include "src/soc/soc.h"
+#include "src/trace/workload.h"
+
+namespace fg::soc {
+
+/// Table II configuration (the library defaults already encode it; this
+/// names it explicitly for benches and tests).
+SocConfig table2_soc();
+
+KernelDeployment deploy(kernels::KernelKind kind, u32 n_engines,
+                        kernels::ProgModel model = kernels::ProgModel::kHybrid,
+                        bool use_ha = false);
+
+/// Dynamic trace length for experiments: FG_TRACE_LEN env var, else 150000.
+u64 default_trace_len();
+
+/// Number of injected attacks per run: FG_ATTACKS env var, else 60
+/// (the paper injects 50-100 per workload).
+u32 default_attack_count();
+
+struct RunResult {
+  Cycle cycles = 0;
+  u64 committed = 0;
+  double ipc = 0.0;
+  std::array<double, 5> stall_fractions{};
+  std::vector<DetectionRecord> detections;
+  u64 spurious = 0;
+  u64 packets = 0;
+  u64 planned_attacks = 0;
+  double expansion = 1.0;  // software schemes: dynamic instruction expansion
+};
+
+/// Unmonitored baseline cycles for a workload (the slowdown denominator).
+Cycle run_baseline_cycles(const trace::WorkloadConfig& wl, const SocConfig& sc);
+
+/// Run FireGuard with the deployments in `sc.kernels` (PMC text bounds are
+/// derived from the workload image automatically).
+RunResult run_fireguard(const trace::WorkloadConfig& wl, SocConfig sc);
+
+/// Run a software-instrumented variant on the bare core.
+RunResult run_software(const trace::WorkloadConfig& wl, baseline::SwScheme scheme,
+                       const SocConfig& sc);
+
+/// Memoizes baseline cycles per workload so sweeps do not recompute them.
+class BaselineCache {
+ public:
+  Cycle get(const trace::WorkloadConfig& wl, const SocConfig& sc);
+
+ private:
+  std::map<std::string, Cycle> cache_;
+};
+
+/// Convenience: geometric-mean slowdown over per-workload slowdowns.
+double geomean_slowdown(const std::vector<double>& slowdowns);
+
+}  // namespace fg::soc

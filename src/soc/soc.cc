@@ -1,0 +1,337 @@
+#include "src/soc/soc.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::soc {
+
+bool Soc::Engine::input_full() const {
+  return ucore ? ucore->input_full() : ha->input_full();
+}
+size_t Soc::Engine::input_free() const {
+  return ucore ? ucore->input_free() : ha->input_free();
+}
+void Soc::Engine::push_input(const core::Packet& p) {
+  if (ucore) {
+    ucore->push_input(p);
+  } else {
+    ha->push_input(p);
+  }
+}
+void Soc::Engine::tick(Cycle now_slow) {
+  if (ucore) {
+    ucore->tick(now_slow);
+  } else {
+    ha->tick(now_slow);
+  }
+}
+bool Soc::Engine::quiescent() const {
+  return ucore ? ucore->quiescent() : ha->quiescent();
+}
+const std::vector<ucore::Detection>& Soc::Engine::detections() const {
+  return ucore ? ucore->detections() : ha->detections();
+}
+
+Soc::Soc(const SocConfig& cfg, trace::TraceSource& src)
+    : cfg_(cfg), mem_(cfg.mem) {
+  core_ = std::make_unique<boom::BoomCore>(cfg_.core, mem_, src);
+  core_->set_warmup_mark(cfg_.warmup_insts);
+  frontend_ = std::make_unique<core::Frontend>(cfg_.frontend);
+  engine_l2_ = std::make_unique<mem::Cache>(cfg_.engine_l2, "engineL2");
+  for (const auto& [lo, hi] : cfg_.warm_regions) {
+    mem_.warm_region(lo, hi);
+    // The analysis engines' hot state is the shadow of the program's data.
+    const u64 slo = cfg_.kparams.shadow_base + (lo >> 3);
+    const u64 shi = cfg_.kparams.shadow_base + (hi >> 3) + 64;
+    for (u64 a = slo & ~u64{63}; a < shi; a += 64) engine_l2_->warm_line(a);
+  }
+  mem_.reset_stats();
+  engine_l2_->reset_stats();
+  build_engines(src);
+}
+
+void Soc::build_engines(trace::TraceSource&) {
+  u32 next_engine = 0;
+  u32 next_se = 0;
+  u8 next_gid = 0;
+  for (u32 d = 0; d < cfg_.kernels.size(); ++d) {
+    KernelDeployment& dep = cfg_.kernels[d];
+    if (!dep.policy_overridden) {
+      dep.policy = dep.kind == kernels::KernelKind::kShadowStack
+                       ? core::SchedPolicy::kBlock
+                       : core::SchedPolicy::kRoundRobin;
+    }
+    const bool split = kernels::kernel_splits_events(dep.kind) && !dep.use_ha;
+    const u8 gid_checks = next_gid++;
+    const u8 gid_events = split ? next_gid++ : gid_checks;
+    kernels::program_filter(frontend_->filter().table(), dep.kind, gid_checks,
+                            gid_events);
+
+    const u32 n = dep.use_ha ? 1 : dep.n_engines;
+    FG_CHECK(n >= 1);
+    FG_CHECK(next_engine + n <= core::kMaxEngines);
+    u16 ae_mask = 0;
+    kernel_mems_.push_back(std::make_unique<ucore::USharedMemory>());
+    ucore::USharedMemory* kmem = kernel_mems_.back().get();
+
+    for (u32 i = 0; i < n; ++i) {
+      const u32 id = next_engine + i;
+      ae_mask |= static_cast<u16>(1u << id);
+      Engine e;
+      e.deployment = d;
+      if (dep.use_ha) {
+        switch (dep.kind) {
+          case kernels::KernelKind::kPmc:
+            e.ha = std::make_unique<kernels::PmcHa>(id, cfg_.kparams.text_lo,
+                                                    cfg_.kparams.text_hi);
+            break;
+          case kernels::KernelKind::kShadowStack:
+            e.ha = std::make_unique<kernels::ShadowStackHa>(id);
+            break;
+          default:
+            FG_CHECK(false && "HA available only for PMC and shadow stack");
+        }
+      } else {
+        e.ucore = std::make_unique<ucore::UCore>(cfg_.ucore, id, kmem,
+                                                 engine_l2_.get());
+        e.ucore->load_program(kernels::build_kernel_program(
+            dep.kind, dep.model, cfg_.kparams, i, n));
+      }
+      engines_.push_back(std::move(e));
+    }
+    // Checks: all engines of the group under the deployment's policy.
+    if (split) shadow_mems_.push_back(kmem);
+    frontend_->allocator().configure_se(next_se++, ae_mask, dep.policy,
+                                        gid_checks);
+    if (split) {
+      // Allocator events: pinned to the group's first engine.
+      frontend_->allocator().configure_se(
+          next_se++, static_cast<u16>(1u << next_engine),
+          core::SchedPolicy::kFixed, gid_events);
+    }
+    next_engine += n;
+  }
+  noc_ = std::make_unique<core::NocMesh>(std::max<u32>(1, next_engine),
+                                         cfg_.noc_hop_latency);
+}
+
+bool Soc::can_commit(u32 lane, const trace::TraceInst& ti) {
+  return frontend_->can_commit(lane, ti);
+}
+
+void Soc::apply_heap_event(const trace::TraceInst& ti) {
+  // Authoritative shadow maintenance in commit order. The event engine's
+  // µcore program performs the identical loops against the timing mirror,
+  // so the *cost* is still paid in the analysis backend; doing the
+  // functional update here removes the engine-lag races that would
+  // otherwise make check verdicts depend on cross-engine process skew.
+  const u64 shadow_lo = ti.sem_addr >> 3;
+  const u64 shadow_len = ti.sem_size >> 3;
+  for (ucore::USharedMemory* m : shadow_mems_) {
+    const u64 base = cfg_.kparams.shadow_base;
+    if (ti.sem == trace::SemEvent::kAlloc) {
+      for (u64 i = 0; i < shadow_len; i += 8) m->store(base + shadow_lo + i, 8, 0);
+      // Trailing 64-byte redzone = one poisoned shadow word.
+      m->store(base + shadow_lo + shadow_len, 8, 0xfafafafafafafafaull);
+    } else {
+      for (u64 i = 0; i < shadow_len; i += 8) {
+        m->store(base + shadow_lo + i, 8, 0xfdfdfdfdfdfdfdfdull);
+      }
+    }
+  }
+}
+
+void Soc::on_commit(u32 lane, const trace::TraceInst& ti, Cycle now) {
+  if (ti.attack_id != 0) {
+    attack_commit_.emplace(ti.attack_id, now);
+    const u64 addr = isa::is_mem(ti.cls) ? ti.mem_addr : ti.target;
+    attack_by_addr_[addr].push_back(ti.attack_id);
+  }
+  if (ti.sem != trace::SemEvent::kNone) apply_heap_event(ti);
+  frontend_->on_commit(lane, ti, now);
+}
+
+u32 Soc::prf_ports_preempted() { return frontend_->prf_ports_preempted(); }
+
+bool Soc::engine_queue_full(u32 engine) const {
+  FG_CHECK(engine < engines_.size());
+  return engines_[engine].input_full();
+}
+
+size_t Soc::engine_queue_free(u32 engine) const {
+  FG_CHECK(engine < engines_.size());
+  return engines_[engine].input_free();
+}
+
+bool Soc::can_deliver(const core::Packet& p) const {
+  for (u32 e = 0; e < engines_.size(); ++e) {
+    if ((p.ae_bitmap & (1u << e)) && engines_[e].input_full()) return false;
+  }
+  if (p.marker_from != 0xff && p.marker_from < engines_.size() &&
+      engines_[p.marker_from].input_full()) {
+    return false;
+  }
+  return true;
+}
+
+void Soc::deliver(const core::Packet& p) {
+  // The handoff marker is delivered first so the old engine's queue carries
+  // it in stream order (it precedes every packet routed to the new target).
+  if (p.marker_from != 0xff && p.marker_from < engines_.size()) {
+    core::Packet marker;
+    marker.valid = true;
+    marker.gid_bitmap = p.gid_bitmap;
+    marker.inst = kernels::kSsMarkerInst;
+    marker.addr = p.marker_to;
+    marker.seq = p.seq;
+    marker.commit_cycle = p.commit_cycle;
+    engines_[p.marker_from].push_input(marker);
+  }
+  for (u32 e = 0; e < engines_.size(); ++e) {
+    if (p.ae_bitmap & (1u << e)) engines_[e].push_input(p);
+  }
+}
+
+void Soc::slow_tick(Cycle now_slow) {
+  // 1) Multicast channel: the CDC's slow-domain read port is freq_ratio
+  //    packets wide per mapper lane, so the crossing sustains the mapper's
+  //    issue bandwidth end to end. Each packet is delivered atomically to
+  //    every interested engine.
+  engines_blocked_ = false;
+  core::CdcFifo& cdc = frontend_->cdc();
+  for (u32 i = 0; i < cfg_.frontend.freq_ratio * cfg_.frontend.mapper_width;
+       ++i) {
+    if (!cdc.can_pop(now_slow)) break;
+    const core::Packet& p = cdc.front();
+    if (!can_deliver(p)) {
+      engines_blocked_ = true;
+      break;
+    }
+    deliver(p);
+    cdc.pop();
+  }
+
+  // 2) Analysis engines execute.
+  for (Engine& e : engines_) e.tick(now_slow);
+
+  // 3) Output queues drain into the fabric routing channel (one per engine
+  //    per cycle). Payload format: {dst[63:56], value[55:0]}.
+  for (u32 i = 0; i < engines_.size(); ++i) {
+    ucore::UCore* uc = engines_[i].ucore.get();
+    if (uc == nullptr || uc->output_empty()) continue;
+    const u64 payload = uc->pop_output();
+    const u32 dst = static_cast<u32>(payload >> 56);
+    const u64 value = payload & ((u64{1} << 56) - 1);
+    if (dst < engines_.size()) noc_->send(i, dst, value, now_slow);
+  }
+
+  // 4) Mesh deliveries.
+  for (u32 i = 0; i < engines_.size(); ++i) {
+    ucore::UCore* uc = engines_[i].ucore.get();
+    if (uc == nullptr) continue;
+    while (auto m = noc_->deliver(i, now_slow)) uc->push_noc(m->payload);
+  }
+}
+
+bool Soc::engines_drained() const {
+  for (const Engine& e : engines_) {
+    if (!e.quiescent()) return false;
+    if (e.ucore && !e.ucore->output_empty()) return false;
+  }
+  return true;
+}
+
+void Soc::run() {
+  const u32 ratio = std::max<u32>(1, cfg_.frontend.freq_ratio);
+  bool core_done = false;
+  u64 grace = 0;
+  while (fast_now_ < cfg_.max_fast_cycles) {
+    if (!core_done) {
+      core_->tick(this);
+      if (core_->done()) {
+        core_done = true;
+        core_done_cycle_ = core_->now();
+      }
+    }
+    frontend_->tick_fast(fast_now_, *this, engines_blocked_);
+    if ((fast_now_ % ratio) == ratio - 1) slow_tick(fast_now_ / ratio);
+    ++fast_now_;
+
+    if (core_done && frontend_->filter().buffered() == 0 &&
+        frontend_->cdc().empty() && engines_drained()) {
+      // Let in-flight NoC tokens and pipeline residue settle.
+      if (++grace > 512) break;
+    } else {
+      grace = 0;
+    }
+    // Drain backstop: a misconfigured kernel (e.g. a shadow stack scheduled
+    // without block mode, so successors never receive their token) can leave
+    // queues that will never empty. Bound the post-completion drain.
+    if (core_done && fast_now_ - core_done_cycle_ > 2'000'000) break;
+  }
+  if (!core_done) core_done_cycle_ = core_->now();
+}
+
+std::vector<DetectionRecord> Soc::detections() const {
+  const u32 ratio = std::max<u32>(1, cfg_.frontend.freq_ratio);
+  std::vector<DetectionRecord> out;
+  std::unordered_map<u64, size_t> addr_cursor;  // consume address matches FIFO
+  for (const Engine& e : engines_) {
+    for (const ucore::Detection& d : e.detections()) {
+      // Match by id (debug-data payload) first, then by faulting address.
+      u32 id = 0;
+      if (attack_commit_.contains(static_cast<u32>(d.payload))) {
+        id = static_cast<u32>(d.payload);
+      } else {
+        auto it = attack_by_addr_.find(d.aux);
+        if (it != attack_by_addr_.end()) {
+          size_t& cur = addr_cursor[d.aux];
+          if (cur < it->second.size()) id = it->second[cur++];
+        }
+      }
+      if (id == 0) continue;  // spurious (counted apart)
+      DetectionRecord r;
+      r.attack_id = id;
+      r.engine = d.engine;
+      r.commit_fast = attack_commit_.at(id);
+      r.detect_fast = (d.cycle_slow + 1) * ratio;
+      const double cycles = r.detect_fast > r.commit_fast
+                                ? static_cast<double>(r.detect_fast - r.commit_fast)
+                                : 1.0;
+      r.latency_ns = cycles / cfg_.fast_ghz;
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DetectionRecord& a, const DetectionRecord& b) {
+              return a.attack_id < b.attack_id;
+            });
+  return out;
+}
+
+u64 Soc::spurious_detections() const {
+  u64 total = 0;
+  for (const Engine& e : engines_) total += e.detections().size();
+  const u64 matched = detections().size();
+  return total > matched ? total - matched : 0;
+}
+
+std::array<double, 5> Soc::stall_fractions() const {
+  std::array<double, 5> f{};
+  const double cycles = static_cast<double>(std::max<Cycle>(1, core_done_cycle_));
+  for (size_t i = 0; i < f.size(); ++i) {
+    f[i] = static_cast<double>(frontend_->stats().stall_by_cause[i]) / cycles;
+  }
+  return f;
+}
+
+u64 Soc::total_packets_processed() const {
+  u64 n = 0;
+  for (const Engine& e : engines_) {
+    n += e.ucore ? e.ucore->stats().packets_popped : e.ha->packets_processed();
+  }
+  return n;
+}
+
+}  // namespace fg::soc

@@ -1,0 +1,149 @@
+// Full-system composition: BOOM main core + FireGuard frontend (fast clock
+// domain) and fabric + analysis engines (slow clock domain), per Table II.
+//
+// The simulation advances one fast cycle at a time; every `freq_ratio` fast
+// cycles the slow domain ticks once (multicast delivery from the CDC, µcore
+// execution, output-queue drain into the mesh NoC, NoC deliveries). All
+// back-pressure is physical: a full structure anywhere in the chain
+// eventually refuses commit lanes and stalls the main core.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/boom/core.h"
+#include "src/core/fabric.h"
+#include "src/core/frontend.h"
+#include "src/kernels/ha.h"
+#include "src/kernels/kernel.h"
+#include "src/mem/hierarchy.h"
+#include "src/trace/workload.h"
+#include "src/ucore/ucore.h"
+
+namespace fg::soc {
+
+struct KernelDeployment {
+  kernels::KernelKind kind = kernels::KernelKind::kPmc;
+  u32 n_engines = 4;                                  // µcores for this kernel
+  bool use_ha = false;                                // one HA instead
+  kernels::ProgModel model = kernels::ProgModel::kHybrid;
+  /// Scheduling policy; defaults to block mode for the shadow stack (message
+  /// locality) and round-robin for everything else.
+  core::SchedPolicy policy = core::SchedPolicy::kRoundRobin;
+  bool policy_overridden = false;
+};
+
+struct SocConfig {
+  boom::CoreConfig core{};
+  mem::HierarchyConfig mem{};
+  core::FrontendConfig frontend{};
+  ucore::UCoreConfig ucore{};
+  kernels::KernelParams kparams{};
+  std::vector<KernelDeployment> kernels;
+  /// Shared L2 behind the analysis engines' private caches (timing only).
+  mem::CacheConfig engine_l2{512 * 1024, 8, 64, 4, 12};
+  u32 noc_hop_latency = 2;
+  u64 max_fast_cycles = 400'000'000;
+  double fast_ghz = 3.2;  // Table II main-core clock (latency conversion)
+
+  /// Measurement starts after this many committed instructions (predictor /
+  /// cache warmup; the slowdown is computed on the post-warmup window).
+  u64 warmup_insts = 0;
+  /// Regions functionally pre-warmed into L2/LLC (and their shadow into the
+  /// engines' shared L2) before the run.
+  std::vector<std::pair<u64, u64>> warm_regions;
+};
+
+struct DetectionRecord {
+  u32 attack_id = 0;
+  u32 engine = 0;
+  Cycle commit_fast = 0;
+  Cycle detect_fast = 0;
+  double latency_ns = 0.0;
+};
+
+class Soc final : public boom::CommitSink, public core::QueueStatus {
+ public:
+  Soc(const SocConfig& cfg, trace::TraceSource& src);
+
+  /// Run to completion (trace exhausted, pipelines and queues drained).
+  void run();
+
+  // --- boom::CommitSink (delegates to the FireGuard frontend) ---
+  bool can_commit(u32 lane, const trace::TraceInst& ti) override;
+  void on_commit(u32 lane, const trace::TraceInst& ti, Cycle now) override;
+  u32 prf_ports_preempted() override;
+
+  // --- core::QueueStatus (engine message-queue occupancy) ---
+  bool engine_queue_full(u32 engine) const override;
+  size_t engine_queue_free(u32 engine) const override;
+
+  /// Main-core cycles to finish the post-warmup window (slowdown numerator).
+  Cycle core_cycles() const {
+    const Cycle w = core_->warmup_cycle();
+    return core_done_cycle_ > w ? core_done_cycle_ - w : core_done_cycle_;
+  }
+  Cycle total_core_cycles() const { return core_done_cycle_; }
+  u64 committed() const { return core_->stats().committed; }
+
+  /// All kernel detections matched to injected attacks, with latencies.
+  std::vector<DetectionRecord> detections() const;
+  u64 spurious_detections() const;
+
+  /// Fraction of all fast cycles each StallCause blocked commit (Figure 9).
+  std::array<double, 5> stall_fractions() const;
+
+  const boom::BoomCore& core() const { return *core_; }
+  const core::Frontend& frontend() const { return *frontend_; }
+  const core::NocMesh& noc() const { return *noc_; }
+  size_t n_engines() const { return engines_.size(); }
+  const ucore::UCore* engine_ucore(u32 i) const { return engines_[i].ucore.get(); }
+  const kernels::HardwareAccelerator* engine_ha(u32 i) const {
+    return engines_[i].ha.get();
+  }
+  u64 total_packets_processed() const;
+
+ private:
+  struct Engine {
+    std::unique_ptr<ucore::UCore> ucore;
+    std::unique_ptr<kernels::HardwareAccelerator> ha;
+    u32 deployment = 0;
+
+    bool input_full() const;
+    size_t input_free() const;
+    void push_input(const core::Packet& p);
+    void tick(Cycle now_slow);
+    bool quiescent() const;
+    const std::vector<ucore::Detection>& detections() const;
+  };
+
+  void build_engines(trace::TraceSource& src);
+  void apply_heap_event(const trace::TraceInst& ti);
+  void slow_tick(Cycle now_slow);
+  bool can_deliver(const core::Packet& p) const;
+  void deliver(const core::Packet& p);
+  bool engines_drained() const;
+
+  SocConfig cfg_;
+  mem::MemHierarchy mem_;
+  std::unique_ptr<boom::BoomCore> core_;
+  std::unique_ptr<core::Frontend> frontend_;
+  std::vector<Engine> engines_;
+  std::vector<std::unique_ptr<ucore::USharedMemory>> kernel_mems_;
+  // Shared memories that hold an authoritative ASan/UaF shadow, updated in
+  // commit order (functional-first / timing-later split, DESIGN.md §6).
+  std::vector<ucore::USharedMemory*> shadow_mems_;
+  std::unique_ptr<mem::Cache> engine_l2_;
+  std::unique_ptr<core::NocMesh> noc_;
+
+  bool engines_blocked_ = false;  // multicast head-of-line blocked last slow tick
+  Cycle fast_now_ = 0;
+  Cycle core_done_cycle_ = 0;
+  std::unordered_map<u32, Cycle> attack_commit_;
+  // Kernels whose hot loop cannot afford q.recent report the faulting
+  // address instead of the debug-data word; map addresses back to ids.
+  std::unordered_map<u64, std::vector<u32>> attack_by_addr_;
+};
+
+}  // namespace fg::soc

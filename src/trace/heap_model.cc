@@ -1,0 +1,115 @@
+#include "src/trace/heap_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::trace {
+
+HeapModel::HeapModel(u32 live_target, u32 mean_size, u64 seed)
+    : live_target_(live_target), mean_size_(mean_size), seed_(seed), rng_(seed) {}
+
+void HeapModel::reset() {
+  rng_ = Rng(seed_);
+  bump_ = kHeapBase;
+  live_.clear();
+  freed_.clear();
+  pinned_.clear();
+  cursor_ = 0;
+  access_clock_ = 0;
+}
+
+Allocation HeapModel::carve(u32 size) {
+  // Reuse a freed chunk that fits, LIFO, with probability 0.7.
+  if (!freed_.empty() && rng_.chance(0.7)) {
+    for (size_t i = freed_.size(); i-- > 0;) {
+      if (freed_[i].size >= size) {
+        Allocation a = freed_[i];
+        freed_.erase(freed_.begin() + static_cast<long>(i));
+        a.size = size;  // shrink-in-place; remainder is wasted (realistic)
+        return a;
+      }
+      if (freed_.size() - i > 8) break;  // a real free list stops searching
+    }
+  }
+  Allocation a{bump_, size};
+  bump_ += size + kRedzoneBytes;
+  bump_ = (bump_ + (kHeapGranule - 1)) & ~u64{kHeapGranule - 1};
+  return a;
+}
+
+Allocation HeapModel::malloc_one() {
+  // Size: mean +/- 75%, minimum one granule, granule-aligned.
+  const u32 lo = std::max<u32>(kHeapGranule, mean_size_ / 4);
+  const u32 hi = mean_size_ + mean_size_ / 2;
+  u32 size = static_cast<u32>(rng_.range(lo, hi));
+  size = (size + (kHeapGranule - 1)) & ~u32{kHeapGranule - 1};
+  Allocation a = carve(size);
+  live_.push_back(a);
+  return a;
+}
+
+Allocation HeapModel::free_one() {
+  if (live_.empty()) return {};
+  // Older-biased pick, and never a chunk the program touched very recently:
+  // real programs free objects they are done with, and this keeps the trace
+  // free of access-then-immediate-free interleavings whose verdicts would
+  // depend on analysis-engine process skew.
+  const size_t n = live_.size();
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    size_t idx = rng_.below(n);
+    if (rng_.chance(0.6)) idx = rng_.below(std::max<size_t>(1, n / 2));
+    if (live_[idx].last_access != 0 &&
+        live_[idx].last_access + 2000 > access_clock_) {
+      continue;  // too hot to free
+    }
+    Allocation a = live_[idx];
+    live_.erase(live_.begin() + static_cast<long>(idx));
+    freed_.push_back(a);
+    if (freed_.size() > 1024) freed_.erase(freed_.begin());
+    return a;
+  }
+  return {};
+}
+
+u64 HeapModel::benign_addr(u8 access_size) {
+  if (live_.empty()) return 0;
+  // Recency bias: most accesses go to recently allocated chunks, and within
+  // a chunk they walk mostly sequentially (object fields / array elements),
+  // which is what gives real programs their cache and shadow-byte locality.
+  const size_t n = live_.size();
+  size_t back = rng_.geometric(2.5) - 1;
+  if (back >= n) back = rng_.below(n);
+  Allocation& a = live_[n - 1 - back];
+  a.last_access = ++access_clock_;
+  const u32 span = a.size > access_size ? a.size - access_size : 0;
+  if (span == 0) return a.base;
+  cursor_ = rng_.chance(0.15) ? rng_.below(span + 1) : cursor_ + 8;
+  return a.base + cursor_ % (span + 1);
+}
+
+u64 HeapModel::oob_addr() {
+  if (live_.empty()) return 0;
+  const Allocation& a = live_[rng_.below(live_.size())];
+  return a.base + a.size + rng_.range(0, kRedzoneBytes - 9);
+}
+
+u64 HeapModel::uaf_addr() {
+  if (freed_.empty()) {
+    if (pinned_.empty()) return 0;
+    const Allocation& p = pinned_[rng_.below(pinned_.size())];
+    return p.base + rng_.below(std::max<u32>(1, p.size - 8));
+  }
+  // Pick a chunk freed a little while ago: recent enough that the UaF
+  // kernel's quarantine ring has not released it yet, but old enough that
+  // its free event has long since been processed by the analysis engines.
+  const size_t n = freed_.size();
+  const size_t back = std::min<size_t>(n - 1, 8 + rng_.below(24));
+  const size_t idx = n - 1 - back;
+  Allocation a = freed_[idx];
+  freed_.erase(freed_.begin() + static_cast<long>(idx));
+  pinned_.push_back(a);  // later mallocs cannot recycle it before the access
+  return a.base + rng_.below(std::max<u32>(1, a.size - 8));
+}
+
+}  // namespace fg::trace

@@ -1,0 +1,82 @@
+// Heap model for the synthetic workload.
+//
+// Maintains the set of live allocations the generated program accesses, with
+// 16-byte redzones between allocations (so that a benign access never lands
+// in another object's redzone — exactly the invariant AddressSanitizer's
+// shadow encoding relies on) and LIFO reuse of freed chunks (so that
+// use-after-free is a real hazard the quarantine in the UaF kernel has to
+// defend against).
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace fg::trace {
+
+inline constexpr u64 kHeapBase = 0x4000'0000ull;
+
+/// Allocation granule and inter-object redzone. 64 bytes = 8 shadow bytes =
+/// exactly one 8-byte shadow word, so the guardian kernels can poison and
+/// unpoison word-wise (as production AddressSanitizer does) with no partial
+/// writes spilling into a neighbour's shadow.
+inline constexpr u32 kRedzoneBytes = 64;
+inline constexpr u32 kHeapGranule = 64;
+
+struct Allocation {
+  u64 base = 0;
+  u32 size = 0;
+  u64 last_access = 0;  // access-clock stamp of the most recent touch
+};
+
+class HeapModel {
+ public:
+  explicit HeapModel(u32 live_target, u32 mean_size, u64 seed);
+
+  /// Allocate a chunk (size drawn around the configured mean). Reuses a freed
+  /// chunk LIFO with high probability, modelling a real allocator's free
+  /// lists. Returns the new allocation.
+  Allocation malloc_one();
+
+  /// Free one live allocation (older-biased pick); returns it. Returns a
+  /// zero-size allocation if nothing is live.
+  Allocation free_one();
+
+  /// True if the model wants a free to keep the live set near its target.
+  bool should_free() const { return live_.size() > live_target_; }
+
+  size_t live_count() const { return live_.size(); }
+  size_t freed_count() const { return freed_.size(); }
+
+  /// Address of a benign access: recency-biased live chunk, offset uniform
+  /// within it. Returns 0 if nothing is live.
+  u64 benign_addr(u8 access_size);
+
+  /// Address inside the redzone just past a live allocation's end (the
+  /// AddressSanitizer attack). Returns 0 if nothing is live.
+  u64 oob_addr();
+
+  /// Address inside a freed, not-yet-reused chunk (the UaF attack). The
+  /// chunk is pinned (excluded from reuse) so the access really is
+  /// use-after-free when it commits. Returns 0 if nothing is freed.
+  u64 uaf_addr();
+
+  void reset();
+
+ private:
+  Allocation carve(u32 size);
+
+  u32 live_target_;
+  u32 mean_size_;
+  u64 seed_;
+  Rng rng_;
+  u64 bump_ = kHeapBase;
+  std::vector<Allocation> live_;
+  std::vector<Allocation> freed_;   // reusable freed chunks (LIFO)
+  std::vector<Allocation> pinned_;  // freed chunks reserved for UaF attacks
+  u64 cursor_ = 0;                  // sequential-walk offset for accesses
+  u64 access_clock_ = 0;            // advances on every benign access
+};
+
+}  // namespace fg::trace

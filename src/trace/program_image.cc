@@ -1,0 +1,333 @@
+#include "src/trace/program_image.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/common/check.h"
+
+namespace fg::trace {
+
+namespace {
+
+// Register pool used by generated code for values (x5..x15, x28..x31 are
+// caller-saved temporaries in the RISC-V ABI).
+constexpr u8 kTempRegs[] = {5, 6, 7, 28, 29, 30, 31, 10, 11, 12, 13, 14, 15};
+constexpr size_t kNumTempRegs = sizeof(kTempRegs);
+constexpr u8 kSp = 2;
+constexpr u8 kGp = 3;
+constexpr u8 kRa = 1;
+
+/// Rolling destination window so sources often name recent destinations —
+/// this sets the dependency distances that determine baseline ILP.
+class RegAlloc {
+ public:
+  explicit RegAlloc(Rng& rng) : rng_(rng) {
+    for (auto& r : recent_) r = kTempRegs[rng_.below(kNumTempRegs)];
+  }
+  u8 fresh_dst() {
+    const u8 r = kTempRegs[rng_.below(kNumTempRegs)];
+    recent_[pos_++ % recent_.size()] = r;
+    return r;
+  }
+  u8 src() {
+    if (rng_.chance(0.40)) return recent_[rng_.below(recent_.size())];
+    return kTempRegs[rng_.below(kNumTempRegs)];
+  }
+  /// Branch operands: mostly induction variables / flags that resolve fast
+  /// (register x23 is never written), occasionally a recent data value.
+  u8 branch_src() { return rng_.chance(0.35) ? src() : u8{23}; }
+
+ private:
+  Rng& rng_;
+  std::array<u8, 8> recent_{};
+  size_t pos_ = 0;
+};
+
+u8 pick_mem_size(Rng& rng, u8& funct3_out, bool is_load) {
+  const double r = rng.uniform();
+  if (r < 0.58) {
+    funct3_out = 0x3;  // ld / sd
+    return 8;
+  }
+  if (r < 0.88) {
+    funct3_out = 0x2;  // lw / sw
+    return 4;
+  }
+  if (r < 0.95) {
+    funct3_out = is_load ? 0x5 : 0x1;  // lhu / sh
+    return 2;
+  }
+  funct3_out = is_load ? 0x4 : 0x0;  // lbu / sb
+  return 1;
+}
+
+MemRegion pick_region(const WorkloadProfile& p, Rng& rng) {
+  const double r = rng.uniform();
+  if (r < p.m_stack) return MemRegion::kStack;
+  if (r < p.m_stack + p.m_global) return MemRegion::kGlobal;
+  if (r < p.m_stack + p.m_global + p.m_heap) return MemRegion::kHeap;
+  return MemRegion::kStream;
+}
+
+// Dedicated pointer registers for induction-variable addressing (never
+// written by generated code, so such loads carry no false dependencies and
+// reach the memory system with full MLP).
+constexpr u8 kHeapPtr = 21;
+constexpr u8 kStreamPtr = 22;
+
+u8 base_reg_for(MemRegion r, RegAlloc& regs, Rng& rng, double ptr_chase) {
+  switch (r) {
+    case MemRegion::kStack: return kSp;
+    case MemRegion::kGlobal: return kGp;
+    case MemRegion::kHeap:
+      return rng.chance(ptr_chase) ? regs.src() : kHeapPtr;
+    case MemRegion::kStream:
+      return rng.chance(ptr_chase * 0.3) ? regs.src() : kStreamPtr;
+    default: return regs.src();
+  }
+}
+
+}  // namespace
+
+ProgramImage::ProgramImage(const WorkloadProfile& profile, u64 seed) {
+  Rng rng(seed ^ 0xabcdef12345ull);
+  const u16 n = static_cast<u16>(std::max(2, profile.n_funcs));
+  funcs_.resize(n);
+
+  // Layout: a 16-instruction "main" driver stub at kTextBase, then functions.
+  u64 pc = kTextBase + 16 * 4;
+  for (u16 f = 0; f < n; ++f) {
+    build_function(f, profile, rng, pc);
+    pc += 4 * funcs_[f].insts.size() + 16;  // small inter-function gap
+  }
+  text_hi_ = pc;
+
+  // The first quarter of the functions are top-level entry points, with a
+  // Zipf-ish popularity distribution (hot code dominates, like real programs).
+  n_entry_funcs_ = std::max<u16>(1, n / 4);
+  entry_cdf_.resize(n_entry_funcs_);
+  double acc = 0.0;
+  for (u16 i = 0; i < n_entry_funcs_; ++i) {
+    acc += 1.0 / (1.0 + i);
+    entry_cdf_[i] = acc;
+  }
+  for (auto& w : entry_cdf_) w /= acc;
+}
+
+u16 ProgramImage::pick_entry(Rng& rng) const {
+  const double r = rng.uniform();
+  const auto it = std::lower_bound(entry_cdf_.begin(), entry_cdf_.end(), r);
+  return static_cast<u16>(it - entry_cdf_.begin());
+}
+
+size_t ProgramImage::static_inst_count() const {
+  size_t c = 0;
+  for (const auto& f : funcs_) c += f.insts.size();
+  return c;
+}
+
+void ProgramImage::build_function(u16 idx, const WorkloadProfile& p, Rng& rng,
+                                  u64 entry_pc) {
+  Function& fn = funcs_[idx];
+  fn.entry_pc = entry_pc;
+  RegAlloc regs(rng);
+
+  // Call targets form a DAG: callees always have a larger index.
+  std::vector<u16> callees;
+  if (static_cast<size_t>(idx) + 1 < funcs_.size()) {
+    const u16 span = static_cast<u16>(funcs_.size() - idx - 1);
+    const int k = static_cast<int>(rng.range(1, 3));
+    for (int i = 0; i < k; ++i) {
+      callees.push_back(static_cast<u16>(idx + 1 + rng.below(std::min<u16>(span, 24))));
+    }
+  }
+
+  auto add = [&fn](StaticInst si) { fn.insts.push_back(si); };
+
+  auto add_mem = [&](bool is_load) {
+    StaticInst si;
+    u8 f3 = 0;
+    si.mem_size = pick_mem_size(rng, f3, is_load);
+    si.region = pick_region(p, rng);
+    si.cls = is_load ? isa::InstClass::kLoad : isa::InstClass::kStore;
+    const u8 base = base_reg_for(si.region, regs, rng, p.ptr_chase);
+    if (is_load) {
+      si.rd = regs.fresh_dst();
+      si.rs1 = base;
+      si.enc = isa::make_load(f3, si.rd, si.rs1, static_cast<i32>(rng.below(128)));
+    } else {
+      si.rs1 = base;
+      si.rs2 = regs.src();
+      si.enc = isa::make_store(f3, si.rs1, si.rs2, static_cast<i32>(rng.below(128)));
+    }
+    add(si);
+  };
+
+  // --- Prologue: addi sp,sp,-frame; sd ra; sd s0 (stack stores). ---
+  {
+    StaticInst si;
+    si.cls = isa::InstClass::kIntAlu;
+    si.rd = kSp;
+    si.rs1 = kSp;
+    si.enc = isa::make_alu_ri(0x0, kSp, kSp, -static_cast<i32>(kFrameBytes));
+    add(si);
+    for (int i = 0; i < 2; ++i) {
+      StaticInst st;
+      st.cls = isa::InstClass::kStore;
+      st.mem_size = 8;
+      st.region = MemRegion::kStack;
+      st.rs1 = kSp;
+      st.rs2 = (i == 0) ? kRa : u8{8};
+      st.enc = isa::make_store(0x3, kSp, st.rs2, static_cast<i32>(kFrameBytes - 8 * (i + 1)));
+      add(st);
+    }
+  }
+
+  // --- Blocks. ---
+  const int nb = std::max(2, p.blocks_per_func + static_cast<int>(rng.range(0, 2)) - 1);
+  std::vector<u32> block_start(nb + 1, 0);
+  struct Term {
+    u32 idx;         // flat index of the terminator branch
+    bool is_loop;
+    int block;       // block number
+    float bias;
+  };
+  std::vector<Term> terms;
+
+  // Residual mix after control-flow classes are placed explicitly.
+  const double body_total = p.f_load + p.f_store + p.f_fp + p.f_muldiv + p.f_call;
+
+  for (int b = 0; b < nb; ++b) {
+    block_start[b] = static_cast<u32>(fn.insts.size());
+    const int len = std::max(2, p.block_len + static_cast<int>(rng.range(0, 4)) - 2);
+    bool placed_call = false;
+    for (int i = 0; i < len; ++i) {
+      const double r = rng.uniform() * std::max(0.85, body_total + 0.45);
+      if (r < p.f_load) {
+        add_mem(true);
+      } else if (r < p.f_load + p.f_store) {
+        add_mem(false);
+      } else if (r < p.f_load + p.f_store + p.f_fp) {
+        StaticInst si;
+        si.cls = isa::InstClass::kFpAlu;
+        si.rd = regs.fresh_dst();
+        si.rs1 = regs.src();
+        si.rs2 = regs.src();
+        si.enc = isa::make_fp(static_cast<u8>(rng.below(4)), si.rd, si.rs1, si.rs2);
+        add(si);
+      } else if (r < p.f_load + p.f_store + p.f_fp + p.f_muldiv) {
+        StaticInst si;
+        const bool div = rng.chance(0.25);
+        si.cls = div ? isa::InstClass::kIntDiv : isa::InstClass::kIntMul;
+        si.rd = regs.fresh_dst();
+        si.rs1 = regs.src();
+        si.rs2 = regs.src();
+        si.enc = isa::make_mul(div ? 0x4 : 0x0, si.rd, si.rs1, si.rs2);
+        add(si);
+      } else if (r < body_total && !placed_call && !callees.empty() &&
+                 rng.chance(p.f_call / std::max(1e-9, body_total - p.f_load - p.f_store -
+                                                            p.f_fp - p.f_muldiv) *
+                            4.0)) {
+        StaticInst si;
+        si.cls = isa::InstClass::kCall;
+        si.callee = callees[rng.below(callees.size())];
+        si.rd = kRa;
+        si.enc = isa::make_jalr(kRa, regs.src(), 0);  // far call via register
+        add(si);
+        placed_call = true;
+      } else {
+        StaticInst si;
+        si.cls = isa::InstClass::kIntAlu;
+        si.rd = regs.fresh_dst();
+        si.rs1 = regs.src();
+        if (rng.chance(0.4)) {
+          si.enc = isa::make_alu_ri(static_cast<u8>(rng.below(2) ? 0x0 : 0x4), si.rd,
+                                    si.rs1, static_cast<i32>(rng.below(64)));
+        } else {
+          si.rs2 = regs.src();
+          static constexpr u8 kAluF3[] = {0x0, 0x4, 0x6, 0x7, 0x1, 0x5};
+          si.enc = isa::make_alu_rr(kAluF3[rng.below(6)], si.rd, si.rs1, si.rs2,
+                                    rng.chance(0.15));
+        }
+        add(si);
+      }
+    }
+    // Terminator: loop back-edge or forward conditional skip. The last block
+    // gets no terminator (falls into the epilogue).
+    if (b + 1 < nb) {
+      Term t;
+      t.idx = static_cast<u32>(fn.insts.size());
+      t.block = b;
+      t.is_loop = rng.chance(p.loop_frac);
+      if (t.is_loop) {
+        t.bias = static_cast<float>(1.0 - 1.0 / std::max(2.0, p.mean_trips));
+      } else if (rng.chance(p.f_hard_branch)) {
+        t.bias = static_cast<float>(0.35 + rng.uniform() * 0.3);  // hard
+      } else {
+        const double b0 = 0.03 + rng.uniform() * 0.17;
+        t.bias = static_cast<float>(rng.chance(0.5) ? b0 : 1.0 - b0);  // easy
+      }
+      terms.push_back(t);
+      StaticInst si;
+      si.cls = isa::InstClass::kBranch;
+      si.rs1 = regs.branch_src();
+      si.rs2 = regs.branch_src();
+      si.taken_bias = t.bias;
+      static constexpr u8 kBrF3[] = {0x0, 0x1, 0x4, 0x5, 0x6, 0x7};
+      si.enc = isa::make_branch(kBrF3[rng.below(6)], si.rs1, si.rs2, 0);
+      add(si);
+    }
+  }
+  block_start[nb] = static_cast<u32>(fn.insts.size());
+
+  // --- Epilogue: ld ra; ld s0; addi sp; ret. ---
+  const u32 epilogue_start = static_cast<u32>(fn.insts.size());
+  for (int i = 0; i < 2; ++i) {
+    StaticInst ld;
+    ld.cls = isa::InstClass::kLoad;
+    ld.mem_size = 8;
+    ld.region = MemRegion::kStack;
+    ld.rd = (i == 0) ? kRa : u8{8};
+    ld.rs1 = kSp;
+    ld.enc = isa::make_load(0x3, ld.rd, kSp, static_cast<i32>(kFrameBytes - 8 * (i + 1)));
+    fn.insts.push_back(ld);
+  }
+  {
+    StaticInst si;
+    si.cls = isa::InstClass::kIntAlu;
+    si.rd = kSp;
+    si.rs1 = kSp;
+    si.enc = isa::make_alu_ri(0x0, kSp, kSp, static_cast<i32>(kFrameBytes));
+    fn.insts.push_back(si);
+  }
+  {
+    StaticInst ret;
+    ret.cls = isa::InstClass::kRet;
+    ret.rs1 = kRa;
+    ret.enc = isa::make_jalr(0, kRa, 0);
+    fn.insts.push_back(ret);
+  }
+
+  // Resolve terminator targets now that block boundaries are final.
+  for (const Term& t : terms) {
+    StaticInst& si = fn.insts[t.idx];
+    if (t.is_loop) {
+      si.target_idx = block_start[t.block];
+    } else {
+      // Skip over the next block (or to the epilogue if there is none).
+      const int tgt_block = t.block + 2;
+      si.target_idx = (tgt_block <= static_cast<int>(terms.size()))
+                          ? block_start[tgt_block]
+                          : epilogue_start;
+      if (si.target_idx >= fn.insts.size()) si.target_idx = epilogue_start;
+    }
+    // Re-encode with the real offset so the encoding round-trips.
+    const i64 off = (static_cast<i64>(si.target_idx) - static_cast<i64>(t.idx)) * 4;
+    if (off >= -4096 && off < 4096) {
+      si.enc = isa::make_branch(isa::funct3_of(si.enc), si.rs1, si.rs2,
+                                static_cast<i32>(off));
+    }
+  }
+}
+
+}  // namespace fg::trace

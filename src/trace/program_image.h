@@ -1,0 +1,80 @@
+// Static program image for the synthetic workload.
+//
+// We synthesize a whole program (functions with prologues/epilogues, basic
+// blocks, biased conditional branches, loop back-edges, call sites forming a
+// DAG) and then *walk* it to produce the dynamic trace. Static structure
+// matters: branch predictors, the BTB/RAS and the i-cache in the main-core
+// model all key on real, repeating PCs, and the shadow-stack kernel needs
+// properly nested call/return pairs.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/isa/riscv.h"
+#include "src/trace/profile.h"
+
+namespace fg::trace {
+
+inline constexpr u16 kNoFunc = 0xffff;
+inline constexpr u64 kTextBase = 0x10000;
+inline constexpr u64 kStackBase = 0x7f00'0000'0000ull;
+inline constexpr u64 kGlobalBase = 0x1000'0000ull;
+inline constexpr u64 kStreamBase = 0x6000'0000ull;
+inline constexpr u32 kFrameBytes = 256;
+
+/// Which memory region a static load/store accesses.
+enum class MemRegion : u8 { kNone, kStack, kGlobal, kHeap, kStream };
+
+/// One instruction of the static image. Dynamic fields (addresses, values,
+/// branch outcomes) are resolved by the walker at trace time.
+struct StaticInst {
+  isa::InstClass cls = isa::InstClass::kIntAlu;
+  u32 enc = 0;
+  u8 rd = kNoReg;
+  u8 rs1 = kNoReg;
+  u8 rs2 = kNoReg;
+  u8 mem_size = 0;
+  MemRegion region = MemRegion::kNone;
+  u16 callee = kNoFunc;    // call target (function index), for kCall
+  u32 target_idx = 0;      // flat in-function index of branch target
+  float taken_bias = 0.f;  // P(taken) for conditional branches
+};
+
+struct Function {
+  u64 entry_pc = 0;
+  std::vector<StaticInst> insts;  // prologue, blocks, epilogue, in layout order
+  u64 pc_of(size_t idx) const { return entry_pc + 4 * idx; }
+};
+
+class ProgramImage {
+ public:
+  ProgramImage(const WorkloadProfile& profile, u64 seed);
+
+  u16 n_funcs() const { return static_cast<u16>(funcs_.size()); }
+  const Function& func(u16 i) const { return funcs_[i]; }
+
+  /// Text segment bounds (PMC's configured legal jump-target range).
+  u64 text_lo() const { return kTextBase; }
+  u64 text_hi() const { return text_hi_; }
+
+  /// PC of the synthetic top-level driver ("main" stub).
+  u64 main_pc() const { return kTextBase; }
+
+  /// Pick a top-level entry function, hot-biased (Zipf-like).
+  u16 pick_entry(Rng& rng) const;
+
+  /// Total static instruction count (code footprint proxy).
+  size_t static_inst_count() const;
+
+ private:
+  void build_function(u16 idx, const WorkloadProfile& p, Rng& rng, u64 entry_pc);
+
+  std::vector<Function> funcs_;
+  std::vector<double> entry_cdf_;  // cumulative weights over entry functions
+  u16 n_entry_funcs_ = 1;
+  u64 text_hi_ = 0;
+};
+
+}  // namespace fg::trace

@@ -1,0 +1,59 @@
+// Trace record and trace-source interface.
+//
+// The main-core model is trace driven: a TraceSource supplies the dynamic
+// instruction stream (with resolved memory addresses, branch outcomes and
+// committed values), and the core model computes timing. FireGuard runs and
+// baseline runs replay the *identical* stream, so any cycle difference is
+// attributable to monitoring back-pressure alone.
+#pragma once
+
+#include "src/common/types.h"
+#include "src/isa/riscv.h"
+
+namespace fg::trace {
+
+/// Semantic heap events carried by guard.alloc / guard.free markers.
+enum class SemEvent : u8 { kNone, kAlloc, kFree };
+
+/// Kinds of injected attacks (one per guardian kernel).
+enum class AttackKind : u8 {
+  kPcHijack,    // jump to an address outside the text segment (PMC bounds)
+  kRetCorrupt,  // return whose target mismatches the call site (shadow stack)
+  kHeapOob,     // access into an allocation's redzone (AddressSanitizer)
+  kUseAfterFree // access to a freed, still-quarantined region (UaF)
+};
+
+const char* attack_kind_name(AttackKind k);
+
+/// One committed dynamic instruction.
+struct TraceInst {
+  u64 pc = 0;
+  u32 enc = 0;                 // RISC-V encoding (drives the mini-filters)
+  isa::InstClass cls = isa::InstClass::kNop;
+  u8 rd = kNoReg;
+  u8 rs1 = kNoReg;
+  u8 rs2 = kNoReg;
+  u8 mem_size = 0;             // bytes accessed (loads/stores)
+  u64 mem_addr = 0;            // effective address (loads/stores)
+  u64 wb_value = 0;            // committed result (PRF debug payload)
+  u64 target = 0;              // control-flow target (branch taken / jump)
+  bool taken = false;          // conditional branch outcome
+  SemEvent sem = SemEvent::kNone;
+  u64 sem_addr = 0;            // allocation base for alloc/free events
+  u32 sem_size = 0;            // allocation size for alloc events
+  u32 attack_id = 0;           // 0 = benign, else 1-based injected attack id
+};
+
+/// A deterministic, restartable stream of TraceInst.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produce the next instruction. Returns false at end of stream.
+  virtual bool next(TraceInst& out) = 0;
+
+  /// Restart the identical stream from the beginning.
+  virtual void reset() = 0;
+};
+
+}  // namespace fg::trace

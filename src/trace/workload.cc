@@ -1,0 +1,348 @@
+#include "src/trace/workload.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::trace {
+
+const char* attack_kind_name(AttackKind k) {
+  switch (k) {
+    case AttackKind::kPcHijack: return "pc_hijack";
+    case AttackKind::kRetCorrupt: return "ret_corrupt";
+    case AttackKind::kHeapOob: return "heap_oob";
+    case AttackKind::kUseAfterFree: return "use_after_free";
+  }
+  return "?";
+}
+
+WorkloadGen::WorkloadGen(WorkloadConfig cfg)
+    : cfg_(std::move(cfg)),
+      image_(std::make_unique<ProgramImage>(cfg_.profile, cfg_.seed)),
+      rng_(cfg_.seed),
+      heap_(cfg_.profile.live_target, cfg_.profile.mean_alloc_size, cfg_.seed ^ 0x5eedull) {
+  // Build the attack schedule: spread each kind's instances uniformly over
+  // the post-warmup region, then sort and number them.
+  Rng arng(cfg_.seed ^ 0xa77ac0ull);
+  const u64 lo = std::min(cfg_.warmup_insts, cfg_.n_insts);
+  const u64 hi = cfg_.n_insts > 512 ? cfg_.n_insts - 512 : cfg_.n_insts;
+  for (const auto& [kind, count] : cfg_.attacks) {
+    for (u32 i = 0; i < count; ++i) {
+      if (hi > lo) schedule_.push_back({arng.range(lo, hi - 1), kind, 0});
+    }
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const Planned& a, const Planned& b) { return a.at < b.at; });
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    schedule_[i].id = static_cast<u32>(i + 1);
+  }
+  restart();
+}
+
+void WorkloadGen::restart() {
+  rng_ = Rng(cfg_.seed);
+  heap_.reset();
+  stack_.clear();
+  stream_pos_ = 0;
+  emitted_ = 0;
+  in_main_ = true;
+  main_slot_ = 0;
+  next_attack_ = 0;
+  ret_corrupt_armed_ = false;
+  armed_id_ = 0;
+  injected_.clear();
+  startup_events_.clear();
+  // Pre-seed a modest live heap so early accesses have targets. The startup
+  // allocations emit guard.alloc events at the head of the trace (a real
+  // program's instrumented allocator would do the same during init), so the
+  // memory-safety kernels know about every object before it is used.
+  for (int i = 0; i < 24; ++i) {
+    const Allocation a = heap_.malloc_one();
+    TraceInst ev;
+    ev.pc = image_->main_pc();
+    ev.enc = isa::make_guard_event(true);
+    ev.cls = isa::InstClass::kGuardEvent;
+    ev.sem = SemEvent::kAlloc;
+    ev.sem_addr = a.base;
+    ev.sem_size = a.size;
+    startup_events_.push_back(ev);
+  }
+}
+
+void WorkloadGen::reset() { restart(); }
+
+void WorkloadGen::enter_function(u16 f) {
+  cur_func_ = f;
+  ip_ = 0;
+  in_main_ = false;
+}
+
+u64 WorkloadGen::resolve_addr(const StaticInst& si) {
+  switch (si.region) {
+    case MemRegion::kStack: {
+      const u64 depth = stack_.size();
+      const u64 frame_top = kStackBase - depth * kFrameBytes;
+      return frame_top - 8 - 8 * rng_.below(20);
+    }
+    case MemRegion::kGlobal:
+      return kGlobalBase + 8 * rng_.below(std::max<u32>(1, cfg_.profile.global_hot_words));
+    case MemRegion::kHeap: {
+      const u64 a = heap_.benign_addr(si.mem_size);
+      if (a) return a;
+      return kGlobalBase + 8 * rng_.below(64);
+    }
+    case MemRegion::kStream: {
+      // Mostly sequential sweep (real streaming codes touch every element of
+      // a line before moving on) with occasional strided jumps, plus
+      // profile-dependent revisits of the recent window (reference-frame
+      // style reuse).
+      if (rng_.chance(cfg_.profile.stream_revisit)) {
+        const u64 back = rng_.below(2048);
+        const u64 pos = stream_pos_ > back ? stream_pos_ - back : 0;
+        return kStreamBase + (pos & ~u64{7});
+      }
+      if (rng_.chance(0.04)) {
+        stream_pos_ += 64 * rng_.range(1, 64);
+      } else {
+        stream_pos_ += 8;
+      }
+      if (stream_pos_ >= cfg_.profile.stream_footprint) stream_pos_ = 0;
+      return kStreamBase + (stream_pos_ & ~u64{7});
+    }
+    case MemRegion::kNone:
+      break;
+  }
+  return 0;
+}
+
+bool WorkloadGen::maybe_emit_heap_event(TraceInst& out) {
+  const double p_alloc = cfg_.profile.allocs_per_kinst / 1000.0;
+  if (rng_.chance(p_alloc)) {
+    const Allocation a = heap_.malloc_one();
+    out = TraceInst{};
+    out.pc = image_->func(cur_func_).pc_of(ip_);
+    out.enc = isa::make_guard_event(true);
+    out.cls = isa::InstClass::kGuardEvent;
+    out.sem = SemEvent::kAlloc;
+    out.sem_addr = a.base;
+    out.sem_size = a.size;
+    return true;
+  }
+  const bool churn = heap_.live_count() > 16 && rng_.chance(p_alloc * 0.85);
+  if (churn || (heap_.should_free() && rng_.chance(p_alloc))) {
+    const Allocation a = heap_.free_one();
+    if (a.size == 0) return false;
+    out = TraceInst{};
+    out.pc = image_->func(cur_func_).pc_of(ip_);
+    out.enc = isa::make_guard_event(false);
+    out.cls = isa::InstClass::kGuardEvent;
+    out.sem = SemEvent::kFree;
+    out.sem_addr = a.base;
+    out.sem_size = a.size;
+    return true;
+  }
+  return false;
+}
+
+bool WorkloadGen::maybe_emit_attack(TraceInst& out) {
+  if (next_attack_ >= schedule_.size()) return false;
+  const Planned& pl = schedule_[next_attack_];
+  if (emitted_ < pl.at) return false;
+
+  const u64 cur_pc = in_main_ ? image_->main_pc() + 4 * (main_slot_ % 14)
+                              : image_->func(cur_func_).pc_of(ip_);
+  out = TraceInst{};
+  out.pc = cur_pc;
+  switch (pl.kind) {
+    case AttackKind::kPcHijack: {
+      // Indirect jump whose target lies beyond the text segment: the
+      // hijacked-control-flow scenario the PMC bounds check guards against.
+      out.enc = isa::make_jalr(0, 5, 0);
+      out.cls = isa::InstClass::kJump;
+      out.rs1 = 5;
+      out.target = image_->text_hi() + 0x1000 + rng_.below(0x1000);
+      out.taken = true;
+      out.attack_id = pl.id;
+      out.wb_value = pl.id;  // debug-data word carries the id for bookkeeping
+      break;
+    }
+    case AttackKind::kRetCorrupt: {
+      // Arm the corruption: the next genuine return will report a target
+      // that disagrees with the shadow stack. The attack instruction index
+      // is recorded when that return is actually emitted. If a previous
+      // corruption is still pending, retry later rather than dropping it.
+      if (ret_corrupt_armed_) return false;
+      ret_corrupt_armed_ = true;
+      armed_id_ = pl.id;
+      ++next_attack_;
+      return false;
+    }
+    case AttackKind::kHeapOob: {
+      const u64 a = heap_.oob_addr();
+      if (!a) return false;
+      out.enc = isa::make_load(0x3, 6, 7, 0);
+      out.cls = isa::InstClass::kLoad;
+      out.rd = 6;
+      out.rs1 = 7;
+      out.mem_size = 8;
+      out.mem_addr = a;
+      out.attack_id = pl.id;
+      out.wb_value = pl.id;
+      break;
+    }
+    case AttackKind::kUseAfterFree: {
+      const u64 a = heap_.uaf_addr();
+      if (!a) return false;
+      out.enc = isa::make_load(0x3, 6, 7, 0);
+      out.cls = isa::InstClass::kLoad;
+      out.rd = 6;
+      out.rs1 = 7;
+      out.mem_size = 8;
+      out.mem_addr = a;
+      out.attack_id = pl.id;
+      out.wb_value = pl.id;
+      break;
+    }
+  }
+  injected_.push_back({pl.id, pl.kind, emitted_});
+  ++next_attack_;
+  return true;
+}
+
+void WorkloadGen::emit_static(const StaticInst& si, TraceInst& out) {
+  out = TraceInst{};
+  const Function& fn = image_->func(cur_func_);
+  out.pc = fn.pc_of(ip_);
+  out.enc = si.enc;
+  out.cls = si.cls;
+  out.rd = si.rd;
+  out.rs1 = si.rs1;
+  out.rs2 = si.rs2;
+  out.mem_size = si.mem_size;
+  out.wb_value = rng_.next();
+
+  switch (si.cls) {
+    case isa::InstClass::kLoad:
+    case isa::InstClass::kStore:
+      out.mem_addr = resolve_addr(si);
+      break;
+    case isa::InstClass::kBranch: {
+      out.taken = rng_.chance(si.taken_bias);
+      out.target = fn.pc_of(si.target_idx);
+      break;
+    }
+    case isa::InstClass::kCall: {
+      FG_CHECK(si.callee != kNoFunc);
+      out.target = image_->func(si.callee).entry_pc;
+      out.taken = true;
+      break;
+    }
+    case isa::InstClass::kRet: {
+      out.taken = true;
+      if (stack_.size() > 1) {
+        const Frame& fr = stack_.back();
+        out.target = image_->func(fr.func).pc_of(fr.resume_idx);
+      } else {
+        // Return to the instruction after the driver's call (main_slot_ was
+        // already advanced past that call).
+        out.target = image_->main_pc() + 4 * ((main_slot_ - 1) % 14) + 4;
+      }
+      if (ret_corrupt_armed_) {
+        // The reported return target disagrees with the shadow stack's
+        // record, as if the on-stack return address had been overwritten.
+        out.target ^= 0x40;
+        out.attack_id = armed_id_;
+        out.wb_value = armed_id_;
+        injected_.push_back({armed_id_, AttackKind::kRetCorrupt, emitted_});
+        ret_corrupt_armed_ = false;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool WorkloadGen::next(TraceInst& out) {
+  if (emitted_ >= cfg_.n_insts) return false;
+
+  if (!startup_events_.empty()) {
+    out = startup_events_.front();
+    startup_events_.erase(startup_events_.begin());
+    ++emitted_;
+    return true;
+  }
+
+  // Attacks and allocator events interleave with the structural walk.
+  if (maybe_emit_attack(out)) {
+    ++emitted_;
+    return true;
+  }
+  if (maybe_emit_heap_event(out)) {
+    ++emitted_;
+    return true;
+  }
+
+  if (in_main_) {
+    // Synthetic top-level driver: call a hot entry function.
+    const u16 f = image_->pick_entry(rng_);
+    out = TraceInst{};
+    out.pc = image_->main_pc() + 4 * (main_slot_ % 14);
+    out.enc = isa::make_jalr(1, 5, 0);
+    out.cls = isa::InstClass::kCall;
+    out.rd = 1;
+    out.rs1 = 5;
+    out.target = image_->func(f).entry_pc;
+    out.taken = true;
+    ++main_slot_;
+    stack_.clear();
+    stack_.push_back({cur_func_, ip_});  // resume slot is unused for main
+    enter_function(f);
+    ++emitted_;
+    return true;
+  }
+
+  const Function& fn = image_->func(cur_func_);
+  FG_CHECK(ip_ < fn.insts.size());
+  const StaticInst& si = fn.insts[ip_];
+  emit_static(si, out);
+
+  // Advance the walker.
+  switch (si.cls) {
+    case isa::InstClass::kBranch:
+      ip_ = out.taken ? si.target_idx : ip_ + 1;
+      break;
+    case isa::InstClass::kCall:
+      if (stack_.size() < 64) {
+        stack_.push_back({cur_func_, ip_ + 1});
+        enter_function(si.callee);
+      } else {
+        // Depth cap: treat as a no-op ALU instruction to avoid unbounded
+        // recursion through deep call chains.
+        out.cls = isa::InstClass::kIntAlu;
+        out.enc = isa::make_alu_ri(0, 5, 5, 1);
+        out.target = 0;
+        out.taken = false;
+        ip_ += 1;
+      }
+      break;
+    case isa::InstClass::kRet:
+      if (stack_.size() > 1) {
+        const Frame fr = stack_.back();
+        stack_.pop_back();
+        cur_func_ = fr.func;
+        ip_ = fr.resume_idx;
+      } else {
+        stack_.clear();
+        in_main_ = true;
+      }
+      break;
+    default:
+      ip_ += 1;
+      break;
+  }
+  ++emitted_;
+  return true;
+}
+
+}  // namespace fg::trace

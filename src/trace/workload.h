@@ -1,0 +1,90 @@
+// Dynamic workload generator: walks a ProgramImage to produce the committed
+// instruction stream, resolving memory addresses against the heap model,
+// emitting allocator guard events, and injecting attacks.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/trace/heap_model.h"
+#include "src/trace/program_image.h"
+#include "src/trace/trace.h"
+
+namespace fg::trace {
+
+struct WorkloadConfig {
+  WorkloadProfile profile;
+  u64 seed = 1;
+  u64 n_insts = 200'000;       // total dynamic instructions to emit
+  u64 warmup_insts = 20'000;   // attacks are injected only after warmup
+  /// Attack plan: (kind, how many). Injection points are spread uniformly
+  /// over the post-warmup region of the trace.
+  std::vector<std::pair<AttackKind, u32>> attacks;
+};
+
+class WorkloadGen final : public TraceSource {
+ public:
+  explicit WorkloadGen(WorkloadConfig cfg);
+
+  bool next(TraceInst& out) override;
+  void reset() override;
+
+  const ProgramImage& image() const { return *image_; }
+  u64 text_lo() const { return image_->text_lo(); }
+  u64 text_hi() const { return image_->text_hi(); }
+  u64 emitted() const { return emitted_; }
+
+  struct Injected {
+    u32 id = 0;
+    AttackKind kind = AttackKind::kPcHijack;
+    u64 instr_idx = 0;  // dynamic index at which the attack was emitted
+  };
+  /// Attacks emitted so far (grows as the trace is consumed).
+  const std::vector<Injected>& injected() const { return injected_; }
+  /// Total attacks that will be injected over the full trace.
+  size_t planned_attacks() const { return schedule_.size(); }
+
+ private:
+  struct Frame {
+    u16 func;
+    u32 resume_idx;  // in-function flat index to resume at
+  };
+
+  void restart();
+  void enter_function(u16 f);
+  void emit_static(const StaticInst& si, TraceInst& out);
+  u64 resolve_addr(const StaticInst& si);
+  bool maybe_emit_heap_event(TraceInst& out);
+  bool maybe_emit_attack(TraceInst& out);
+
+  WorkloadConfig cfg_;
+  std::unique_ptr<ProgramImage> image_;
+  Rng rng_;
+  HeapModel heap_;
+
+  // Walker state.
+  u16 cur_func_ = 0;
+  u32 ip_ = 0;  // flat index within cur_func_
+  std::vector<Frame> stack_;
+  u64 stream_pos_ = 0;
+  u64 emitted_ = 0;
+  bool in_main_ = true;
+  u32 main_slot_ = 0;
+
+  // Attack state.
+  struct Planned {
+    u64 at;
+    AttackKind kind;
+    u32 id;
+  };
+  std::vector<Planned> schedule_;  // sorted by `at`
+  std::vector<TraceInst> startup_events_;
+  size_t next_attack_ = 0;
+  bool ret_corrupt_armed_ = false;
+  u32 armed_id_ = 0;
+  std::vector<Injected> injected_;
+};
+
+}  // namespace fg::trace

@@ -1,0 +1,298 @@
+#include "src/ucore/uasm.h"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace fg::ucore {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// Split one source line into tokens (mnemonic, operands). Commas and
+// brackets are separators; ';' and '#' start comments.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ';' || c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      continue;
+    }
+    if (c == '[' || c == ']') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      out.push_back(std::string(1, c));
+      continue;
+    }
+    cur.push_back(c);
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool valid_label_name(std::string_view s) {
+  if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+std::optional<u8> parse_reg(std::string_view s) {
+  if (s.size() < 2 || (s[0] != 'r' && s[0] != 'x')) return std::nullopt;
+  unsigned v = 0;
+  const auto [p, ec] = std::from_chars(s.data() + 1, s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size() || v >= 32) return std::nullopt;
+  return static_cast<u8>(v);
+}
+
+std::optional<i64> parse_imm(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s[0] == '+' || s[0] == '-')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) return std::nullopt;
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  }
+  u64 v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v, base);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  const i64 signedv = static_cast<i64>(v);
+  return neg ? -signedv : signedv;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(std::string name) : builder_(std::move(name)) {}
+
+  AsmResult run(std::string_view source) {
+    size_t pos = 0;
+    int line_no = 0;
+    while (pos <= source.size()) {
+      const size_t eol = source.find('\n', pos);
+      const std::string_view line =
+          source.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                           : eol - pos);
+      ++line_no;
+      if (!handle_line(line, line_no)) {
+        AsmResult r;
+        r.error = "line " + std::to_string(line_no) + ": " + error_;
+        return r;
+      }
+      if (eol == std::string_view::npos) break;
+      pos = eol + 1;
+    }
+    for (const auto& entry : labels_) {
+      if (!bound_.contains(entry.first)) {
+        AsmResult r;
+        r.error = "unbound label '" + entry.first + "'";
+        return r;
+      }
+    }
+    AsmResult r;
+    r.ok = true;
+    r.program = builder_.build();
+    return r;
+  }
+
+ private:
+  using Label = UProgramBuilder::Label;
+
+  Label label_of(const std::string& name) {
+    auto it = labels_.find(name);
+    if (it != labels_.end()) return it->second;
+    const Label l = builder_.new_label();
+    labels_.emplace(name, l);
+    return l;
+  }
+
+  bool fail(std::string msg) {
+    error_ = std::move(msg);
+    return false;
+  }
+
+  bool need(const std::vector<std::string>& t, size_t n, const char* shape) {
+    if (t.size() - 1 != n) {
+      return fail("expected " + std::string(shape));
+    }
+    return true;
+  }
+
+  bool handle_line(std::string_view line, int) {
+    std::vector<std::string> t = tokenize(line);
+    if (t.empty()) return true;
+
+    // Leading label(s): "name:" possibly followed by an instruction.
+    while (!t.empty() && t[0].size() > 1 && t[0].back() == ':') {
+      const std::string name = t[0].substr(0, t[0].size() - 1);
+      if (!valid_label_name(name)) return fail("bad label '" + name + "'");
+      if (bound_.contains(name)) return fail("label '" + name + "' rebound");
+      builder_.bind(label_of(name));
+      bound_.insert(name);
+      t.erase(t.begin());
+    }
+    if (t.empty()) return true;
+
+    const std::string& m = t[0];
+    auto reg = [&](size_t i) { return parse_reg(t[i]); };
+    auto imm = [&](size_t i) { return parse_imm(t[i]); };
+
+    // rd, rs1, imm form.
+    auto rri = [&](auto fn, const char* shape) {
+      if (!need(t, 3, shape)) return false;
+      const auto rd = reg(1), rs1 = reg(2);
+      const auto v = imm(3);
+      if (!rd || !rs1 || !v) return fail("expected " + std::string(shape));
+      fn(*rd, *rs1, *v);
+      return true;
+    };
+    // rd, rs1, rs2 form.
+    auto rrr = [&](auto fn, const char* shape) {
+      if (!need(t, 3, shape)) return false;
+      const auto rd = reg(1), rs1 = reg(2), rs2 = reg(3);
+      if (!rd || !rs1 || !rs2) return fail("expected " + std::string(shape));
+      fn(*rd, *rs1, *rs2);
+      return true;
+    };
+    // branch: rs1, rs2, label.
+    auto branch = [&](auto fn, const char* shape) {
+      if (!need(t, 3, shape)) return false;
+      const auto rs1 = reg(1), rs2 = reg(2);
+      if (!rs1 || !rs2 || !valid_label_name(t[3]))
+        return fail("expected " + std::string(shape));
+      fn(*rs1, *rs2, label_of(t[3]));
+      return true;
+    };
+
+    if (m == "nop") { builder_.nop(); return true; }
+    if (m == "halt") { builder_.halt(); return true; }
+    if (m == "li") {
+      if (!need(t, 2, "li rd, imm")) return false;
+      const auto rd = reg(1);
+      const auto v = imm(2);
+      if (!rd || !v) return fail("expected li rd, imm");
+      builder_.li(*rd, *v);
+      return true;
+    }
+    if (m == "addi") return rri([&](u8 a, u8 b, i64 c) { builder_.addi(a, b, c); }, "addi rd, rs1, imm");
+    if (m == "andi") return rri([&](u8 a, u8 b, i64 c) { builder_.andi(a, b, c); }, "andi rd, rs1, imm");
+    if (m == "ori") return rri([&](u8 a, u8 b, i64 c) { builder_.ori(a, b, c); }, "ori rd, rs1, imm");
+    if (m == "xori") return rri([&](u8 a, u8 b, i64 c) { builder_.xori(a, b, c); }, "xori rd, rs1, imm");
+    if (m == "slli") return rri([&](u8 a, u8 b, i64 c) { builder_.slli(a, b, c); }, "slli rd, rs1, sh");
+    if (m == "srli") return rri([&](u8 a, u8 b, i64 c) { builder_.srli(a, b, c); }, "srli rd, rs1, sh");
+    if (m == "add") return rrr([&](u8 a, u8 b, u8 c) { builder_.add(a, b, c); }, "add rd, rs1, rs2");
+    if (m == "sub") return rrr([&](u8 a, u8 b, u8 c) { builder_.sub(a, b, c); }, "sub rd, rs1, rs2");
+    if (m == "and") return rrr([&](u8 a, u8 b, u8 c) { builder_.and_(a, b, c); }, "and rd, rs1, rs2");
+    if (m == "or") return rrr([&](u8 a, u8 b, u8 c) { builder_.or_(a, b, c); }, "or rd, rs1, rs2");
+    if (m == "xor") return rrr([&](u8 a, u8 b, u8 c) { builder_.xor_(a, b, c); }, "xor rd, rs1, rs2");
+    if (m == "sll") return rrr([&](u8 a, u8 b, u8 c) { builder_.sll(a, b, c); }, "sll rd, rs1, rs2");
+    if (m == "srl") return rrr([&](u8 a, u8 b, u8 c) { builder_.srl(a, b, c); }, "srl rd, rs1, rs2");
+    if (m == "sltu") return rrr([&](u8 a, u8 b, u8 c) { builder_.sltu(a, b, c); }, "sltu rd, rs1, rs2");
+    if (m == "ld") return rri([&](u8 a, u8 b, i64 c) { builder_.ld(a, b, c); }, "ld rd, rs1, off");
+    if (m == "lw") return rri([&](u8 a, u8 b, i64 c) { builder_.lw(a, b, c); }, "lw rd, rs1, off");
+    if (m == "lbu") return rri([&](u8 a, u8 b, i64 c) { builder_.lbu(a, b, c); }, "lbu rd, rs1, off");
+    if (m == "sd") return rri([&](u8 a, u8 b, i64 c) { builder_.sd(a, b, c); }, "sd rs2, rs1, off");
+    if (m == "sw") return rri([&](u8 a, u8 b, i64 c) { builder_.sw(a, b, c); }, "sw rs2, rs1, off");
+    if (m == "sb") return rri([&](u8 a, u8 b, i64 c) { builder_.sb(a, b, c); }, "sb rs2, rs1, off");
+    if (m == "j") {
+      if (!need(t, 1, "j label") || !valid_label_name(t[1]))
+        return fail("expected j label");
+      builder_.j(label_of(t[1]));
+      return true;
+    }
+    if (m == "beq") return branch([&](u8 a, u8 b, Label l) { builder_.beq(a, b, l); }, "beq rs1, rs2, label");
+    if (m == "bne") return branch([&](u8 a, u8 b, Label l) { builder_.bne(a, b, l); }, "bne rs1, rs2, label");
+    if (m == "blt") return branch([&](u8 a, u8 b, Label l) { builder_.blt(a, b, l); }, "blt rs1, rs2, label");
+    if (m == "bge") return branch([&](u8 a, u8 b, Label l) { builder_.bge(a, b, l); }, "bge rs1, rs2, label");
+    if (m == "bltu") return branch([&](u8 a, u8 b, Label l) { builder_.bltu(a, b, l); }, "bltu rs1, rs2, label");
+    if (m == "bgeu") return branch([&](u8 a, u8 b, Label l) { builder_.bgeu(a, b, l); }, "bgeu rs1, rs2, label");
+    if (m == "beqz" || m == "bnez") {
+      if (!need(t, 2, "beqz rs1, label")) return false;
+      const auto rs1 = reg(1);
+      if (!rs1 || !valid_label_name(t[2]))
+        return fail("expected " + m + " rs1, label");
+      if (m == "beqz") builder_.beqz(*rs1, label_of(t[2]));
+      else builder_.bnez(*rs1, label_of(t[2]));
+      return true;
+    }
+    if (m == "switch") {
+      // switch rN, [ l0 l1 ... ]
+      if (t.size() < 5 || t[2] != "[" || t.back() != "]")
+        return fail("expected switch rs1, [l0, l1, ...]");
+      const auto rs1 = reg(1);
+      if (!rs1) return fail("bad register in switch");
+      std::vector<Label> targets;
+      for (size_t i = 3; i + 1 < t.size(); ++i) {
+        if (!valid_label_name(t[i])) return fail("bad label '" + t[i] + "'");
+        targets.push_back(label_of(t[i]));
+      }
+      if (targets.empty()) return fail("empty switch table");
+      builder_.switch_on(*rs1, targets);
+      return true;
+    }
+    if (m == "qcount" || m == "qtop" || m == "qpop" || m == "qrecent") {
+      if (!need(t, 2, (m + " rd, imm").c_str())) return false;
+      const auto rd = reg(1);
+      const auto v = imm(2);
+      if (!rd || !v) return fail("expected " + m + " rd, imm");
+      if (m == "qcount") builder_.qcount(*rd, *v);
+      else if (m == "qtop") builder_.qtop(*rd, *v);
+      else if (m == "qpop") builder_.qpop(*rd, *v);
+      else builder_.qrecent(*rd, *v);
+      return true;
+    }
+    if (m == "qpush") {
+      if (!need(t, 1, "qpush rs1")) return false;
+      const auto rs1 = reg(1);
+      if (!rs1) return fail("expected qpush rs1");
+      builder_.qpush(*rs1);
+      return true;
+    }
+    if (m == "nocrecv") {
+      if (!need(t, 1, "nocrecv rd")) return false;
+      const auto rd = reg(1);
+      if (!rd) return fail("expected nocrecv rd");
+      builder_.nocrecv(*rd);
+      return true;
+    }
+    if (m == "detect") {
+      if (!need(t, 2, "detect rs1, rs2")) return false;
+      const auto rs1 = reg(1), rs2 = reg(2);
+      if (!rs1 || !rs2) return fail("expected detect rs1, rs2");
+      builder_.detect(*rs1, *rs2);
+      return true;
+    }
+    return fail("unknown mnemonic '" + m + "'");
+  }
+
+  UProgramBuilder builder_;
+  std::map<std::string, Label> labels_;
+  std::set<std::string> bound_;
+  std::string error_;
+};
+
+}  // namespace
+
+AsmResult assemble(std::string_view source, std::string name) {
+  Assembler a(std::move(name));
+  return a.run(source);
+}
+
+}  // namespace fg::ucore

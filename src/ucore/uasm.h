@@ -1,0 +1,46 @@
+// Textual assembler for the µcore micro-ISA.
+//
+// The UProgramBuilder API is convenient from C++, but a deployed FireGuard
+// ships guardian kernels as artifacts: auditable text that the security team
+// reviews and the driver loads at run time (the paper's programming model,
+// Section III-D). This assembler accepts a small, disassembler-compatible
+// dialect:
+//
+//     ; PMC hot loop (comments with ';' or '#')
+//     loop:
+//       qcount r1, 0          ; packets waiting in the input queue
+//       beqz   r1, loop
+//       qpop   r2, 64         ; PC field of the head packet
+//       bltu   r2, r4, bad
+//       j      loop
+//     bad:
+//       detect r2, r2
+//       j      loop
+//
+// Registers are written r0..r31 (r0 reads as zero, writes ignored — same
+// convention the µcore model enforces). Immediates are decimal or 0x hex,
+// with optional +/-. Labels are alphanumeric/underscore, bound with a
+// trailing ':' on their own line or before an instruction. `switch rN,
+// [l0, l1, ...]` builds a jump table. All Table I queue instructions,
+// the NoC receive, `detect` and `halt` are available.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/ucore/uprog.h"
+
+namespace fg::ucore {
+
+struct AsmResult {
+  bool ok = false;
+  std::string error;     // "line N: message" when !ok
+  UProgram program;
+};
+
+/// Assemble `source` into a µcore program named `name`. Never throws; all
+/// failures (unknown mnemonic, bad register, unbound label, operand-count
+/// mismatch) come back in AsmResult::error with a line number.
+AsmResult assemble(std::string_view source, std::string name = "asm");
+
+}  // namespace fg::ucore

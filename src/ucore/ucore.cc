@@ -1,0 +1,271 @@
+#include "src/ucore/ucore.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::ucore {
+
+UCore::UCore(const UCoreConfig& cfg, u32 engine_id, USharedMemory* memory,
+             mem::Cache* shared_l2)
+    : cfg_(cfg),
+      engine_id_(engine_id),
+      mem_(memory),
+      shared_l2_(shared_l2),
+      input_(cfg.msgq_depth),
+      output_(cfg.msgq_depth),
+      dcache_(cfg.dcache, "uD$"),
+      icache_(cfg.icache, "uI$"),
+      utlb_(cfg.utlb, "uTLB") {
+  FG_CHECK(mem_ != nullptr);
+}
+
+void UCore::load_program(const UProgram& prog) {
+  prog_ = prog;
+  pc_ = 0;
+  halted_ = false;
+  FG_CHECK(!prog_.code.empty());
+}
+
+void UCore::set_reg(u8 r, u64 v) {
+  if ((r & 31) != 0) regs_[r & 31] = v;
+}
+
+void UCore::push_input(const core::Packet& p) {
+  FG_CHECK(!input_.full());
+  input_.push(p);
+  spinning_ = false;
+}
+
+u64 UCore::pop_output() {
+  FG_CHECK(!output_.empty());
+  return output_.pop();
+}
+
+u32 UCore::data_access(u64 addr, Cycle now) {
+  // µTLB translate, then D$; a miss fetches through the shared L2.
+  const u32 tlb_lat = utlb_.access(addr);
+  u32 fill = 0;
+  if (!dcache_.would_hit(addr)) {
+    if (shared_l2_ != nullptr) {
+      fill = cfg_.l2_latency +
+             (shared_l2_->would_hit(addr)
+                  ? shared_l2_->access(addr, now, 0).latency
+                  : shared_l2_->access(addr, now, cfg_.mem_latency).latency);
+    } else {
+      fill = cfg_.l2_latency;
+    }
+  }
+  const u32 lat = dcache_.access(addr, now, fill).latency;
+  return tlb_lat + lat - 1;  // the base cycle of the instruction covers 1
+}
+
+u64 UCore::queue_word(const core::Packet& p, i64 bit_offset) const {
+  FG_CHECK(bit_offset >= 0 && bit_offset % 64 == 0);
+  return core::packet_word(p, static_cast<u32>(bit_offset / 64));
+}
+
+void UCore::tick(Cycle now) {
+  if (halted_) return;
+  if (now < stall_until_) {
+    ++stats_.stall_cycles;
+    return;
+  }
+  FG_CHECK(pc_ < prog_.code.size());
+  const UInst in = prog_.code[pc_];
+  u32 cost = 1;
+  u32 next_pc = pc_ + 1;
+  bool wrote_rd = false;
+  u64 rd_val = 0;
+  bool is_late_producer = false;  // load or ISAX: result arrives late
+  bool is_isax = false;
+
+  const u64 a = regs_[in.rs1 & 31];
+  const u64 b = regs_[in.rs2 & 31];
+
+  // Consumer-side hazard: the instruction immediately after a late producer
+  // that reads its destination pays one bubble (MA-stage forwarding), or the
+  // large post-commit penalty in stock-Rocket mode.
+  const bool uses_prev =
+      prev_late_valid_ && prev_late_rd_ != 0 &&
+      ((in.rs1 & 31) == prev_late_rd_ || (in.rs2 & 31) == prev_late_rd_);
+  if (uses_prev) {
+    if (prev_was_isax_ && !cfg_.isax_ma_stage) {
+      cost += cfg_.postcommit_hazard;
+    } else {
+      cost += 1;
+    }
+    ++stats_.hazard_bubbles;
+  }
+  prev_late_valid_ = false;
+  prev_was_isax_ = false;
+
+  const bool input_was_empty = input_.empty();
+  bool set_spin = false;
+
+  switch (in.op) {
+    case UOp::kNop:
+      break;
+    case UOp::kHalt:
+      halted_ = true;
+      next_pc = pc_;
+      break;
+    case UOp::kLi: wrote_rd = true; rd_val = static_cast<u64>(in.imm); break;
+    case UOp::kAddi: wrote_rd = true; rd_val = a + static_cast<u64>(in.imm); break;
+    case UOp::kAndi: wrote_rd = true; rd_val = a & static_cast<u64>(in.imm); break;
+    case UOp::kOri: wrote_rd = true; rd_val = a | static_cast<u64>(in.imm); break;
+    case UOp::kXori: wrote_rd = true; rd_val = a ^ static_cast<u64>(in.imm); break;
+    case UOp::kSlli: wrote_rd = true; rd_val = a << (in.imm & 63); break;
+    case UOp::kSrli: wrote_rd = true; rd_val = a >> (in.imm & 63); break;
+    case UOp::kAdd: wrote_rd = true; rd_val = a + b; break;
+    case UOp::kSub: wrote_rd = true; rd_val = a - b; break;
+    case UOp::kAnd: wrote_rd = true; rd_val = a & b; break;
+    case UOp::kOr: wrote_rd = true; rd_val = a | b; break;
+    case UOp::kXor: wrote_rd = true; rd_val = a ^ b; break;
+    case UOp::kSll: wrote_rd = true; rd_val = a << (b & 63); break;
+    case UOp::kSrl: wrote_rd = true; rd_val = a >> (b & 63); break;
+    case UOp::kSltu: wrote_rd = true; rd_val = a < b ? 1 : 0; break;
+    case UOp::kLd:
+    case UOp::kLw:
+    case UOp::kLbu: {
+      const u64 addr = a + static_cast<u64>(in.imm);
+      const u32 size = in.op == UOp::kLd ? 8 : (in.op == UOp::kLw ? 4 : 1);
+      wrote_rd = true;
+      rd_val = mem_->load(addr, size);
+      cost += data_access(addr, now);
+      is_late_producer = true;
+      break;
+    }
+    case UOp::kSd:
+    case UOp::kSw:
+    case UOp::kSb: {
+      const u64 addr = a + static_cast<u64>(in.imm);
+      const u32 size = in.op == UOp::kSd ? 8 : (in.op == UOp::kSw ? 4 : 1);
+      mem_->store(addr, size, b);
+      cost += data_access(addr, now);
+      break;
+    }
+    case UOp::kJ:
+      next_pc = static_cast<u32>(in.imm);
+      cost += 1;  // taken redirect
+      break;
+    case UOp::kBeq:
+    case UOp::kBne:
+    case UOp::kBlt:
+    case UOp::kBge:
+    case UOp::kBltu:
+    case UOp::kBgeu: {
+      bool taken = false;
+      switch (in.op) {
+        case UOp::kBeq: taken = a == b; break;
+        case UOp::kBne: taken = a != b; break;
+        case UOp::kBlt: taken = static_cast<i64>(a) < static_cast<i64>(b); break;
+        case UOp::kBge: taken = static_cast<i64>(a) >= static_cast<i64>(b); break;
+        case UOp::kBltu: taken = a < b; break;
+        case UOp::kBgeu: taken = a >= b; break;
+        default: break;
+      }
+      if (taken) {
+        next_pc = static_cast<u32>(in.imm);
+        cost += 1;
+      }
+      break;
+    }
+    case UOp::kSwitch: {
+      const auto& table = prog_.jump_tables[static_cast<size_t>(in.imm)];
+      const u64 idx = std::min<u64>(a, table.size() - 1);
+      next_pc = table[idx];
+      cost += 1;
+      break;
+    }
+    case UOp::kQCount: {
+      wrote_rd = true;
+      rd_val = (in.imm == 0) ? input_.size() : output_.size();
+      is_late_producer = true;
+      is_isax = true;
+      if (in.imm == 0 && rd_val == 0 && input_was_empty) set_spin = true;
+      break;
+    }
+    case UOp::kQTop: {
+      wrote_rd = true;
+      rd_val = input_.empty() ? 0 : queue_word(input_.front(), in.imm);
+      is_late_producer = true;
+      is_isax = true;
+      break;
+    }
+    case UOp::kQPop: {
+      wrote_rd = true;
+      if (input_.empty()) {
+        rd_val = 0;
+      } else {
+        recent_ = input_.front();
+        rd_val = queue_word(recent_, in.imm);
+        input_.pop();
+        ++stats_.packets_popped;
+      }
+      is_late_producer = true;
+      is_isax = true;
+      break;
+    }
+    case UOp::kQRecent: {
+      wrote_rd = true;
+      rd_val = queue_word(recent_, in.imm);
+      is_late_producer = true;
+      is_isax = true;
+      break;
+    }
+    case UOp::kQPush: {
+      if (output_.full()) {
+        next_pc = pc_;  // retry until the fabric drains the output queue
+        break;
+      }
+      output_.push(a);
+      ++stats_.pushes;
+      is_isax = true;
+      break;
+    }
+    case UOp::kNocRecv: {
+      wrote_rd = true;
+      if (noc_inbox_.empty()) {
+        rd_val = 0;
+        if (input_was_empty) set_spin = true;
+      } else {
+        rd_val = noc_inbox_.front();
+        noc_inbox_.erase(noc_inbox_.begin());
+      }
+      break;
+    }
+    case UOp::kDetect: {
+      detections_.push_back(Detection{engine_id_, a, b, now});
+      ++stats_.detections;
+      break;
+    }
+  }
+
+  // ISAX cost model.
+  if (is_isax && !cfg_.isax_ma_stage) {
+    cost += cfg_.postcommit_base - 1;  // blocks the core for >= 3 cycles
+    if (isax_cooldown_ > 0) cost += cfg_.postcommit_contention;
+    isax_cooldown_ = 2;
+  } else if (isax_cooldown_ > 0) {
+    --isax_cooldown_;
+  }
+
+  if (wrote_rd && (in.rd & 31) != 0) regs_[in.rd & 31] = rd_val;
+  if (is_late_producer && (in.rd & 31) != 0) {
+    prev_late_rd_ = in.rd & 31;
+    prev_late_valid_ = true;
+    prev_was_isax_ = is_isax;
+  }
+
+  // Spinning is sticky: once the loop observes an empty queue it can only be
+  // woken by a packet arrival (push_input clears the flag). The spin path
+  // itself (count / branch / jump) must not un-quiesce the engine.
+  if (set_spin) spinning_ = true;
+  pc_ = next_pc;
+  stall_until_ = now + cost;
+  ++stats_.instructions;
+  stats_.busy_cycles += cost;
+}
+
+}  // namespace fg::ucore

@@ -1,0 +1,138 @@
+// Rocket-class analysis-engine model (Section III-D, Figure 6).
+//
+// A 5-stage in-order µcore at 1.6 GHz with 4KB 2-way I/D caches, a small
+// µTLB, and the message queues of Table I reachable through the ISAX
+// interface. Two ISAX integrations are modelled:
+//
+//  * `ma_stage = true` (the paper's contribution): queue instructions execute
+//    in the Memory-Access stage, multiplexed with the load-store unit; with
+//    the forwarding network of Figure 6 only an *immediately* dependent
+//    consumer pays one bubble.
+//  * `ma_stage = false` (Rocket's stock post-commit ISAX port): every queue
+//    instruction blocks the core for >= 3 cycles, growing to 13 under data
+//    hazards and back-to-back ISAX contention — the behaviour that motivated
+//    the redesign.
+//
+// Execution is functional: registers and the kernel's shared memory hold
+// real values, so guardian kernels genuinely compute their verdicts.
+#pragma once
+
+#include <vector>
+
+#include "src/common/ring_queue.h"
+#include "src/core/packet.h"
+#include "src/mem/cache.h"
+#include "src/mem/tlb.h"
+#include "src/ucore/umem.h"
+#include "src/ucore/uprog.h"
+
+namespace fg::ucore {
+
+struct UCoreConfig {
+  u32 msgq_depth = 32;  // Table II: 32-entry message queues
+  bool isax_ma_stage = true;
+  u32 postcommit_base = 3;        // minimum block per ISAX op (stock Rocket)
+  u32 postcommit_contention = 2;  // extra when ISAX ops are back to back
+  u32 postcommit_hazard = 8;      // extra when the next inst uses the result
+  mem::CacheConfig dcache{4 * 1024, 2, 64, 1, 2};
+  mem::CacheConfig icache{4 * 1024, 2, 64, 1, 1};
+  mem::TlbConfig utlb{32, 4096, 30};
+  u32 l2_latency = 3;   // µcycles for a d-cache miss that hits the shared L2
+  u32 mem_latency = 16;  // additional µcycles when the shared L2 misses
+};
+
+/// A violation reported by a guardian kernel via the `detect` instruction.
+struct Detection {
+  u32 engine = 0;
+  u64 payload = 0;  // by convention the packet's debug-data word (attack id)
+  u64 aux = 0;      // kernel-specific detail (e.g. faulting address)
+  Cycle cycle_slow = 0;
+};
+
+struct UCoreStats {
+  u64 instructions = 0;
+  u64 busy_cycles = 0;
+  u64 stall_cycles = 0;
+  u64 packets_popped = 0;
+  u64 pushes = 0;
+  u64 detections = 0;
+  u64 hazard_bubbles = 0;
+};
+
+class UCore {
+ public:
+  UCore(const UCoreConfig& cfg, u32 engine_id, USharedMemory* memory,
+        mem::Cache* shared_l2);
+
+  void load_program(const UProgram& prog);
+  void set_reg(u8 r, u64 v);
+  u64 reg(u8 r) const { return regs_[r & 31]; }
+
+  // --- message queues (fed by the multicast channel) ---
+  bool input_full() const { return input_.full(); }
+  size_t input_free() const { return input_.free_slots(); }
+  size_t input_size() const { return input_.size(); }
+  void push_input(const core::Packet& p);
+
+  // --- output queue (drained into the fabric routing channel) ---
+  bool output_empty() const { return output_.empty(); }
+  u64 pop_output();
+
+  // --- fabric routing channel delivery ---
+  void push_noc(u64 payload) { noc_inbox_.push_back(payload); }
+
+  /// Execute (at most) one instruction at slow-domain cycle `now`.
+  void tick(Cycle now_slow);
+
+  bool halted() const { return halted_; }
+
+  /// True when the engine has nothing to do: input queue empty and the
+  /// kernel loop is spinning on an empty-count (or empty NoC receive).
+  bool quiescent() const { return input_.empty() && spinning_; }
+
+  const std::vector<Detection>& detections() const { return detections_; }
+  void clear_detections() { detections_.clear(); }
+
+  const UCoreStats& stats() const { return stats_; }
+  const mem::Cache& dcache() const { return dcache_; }
+  const mem::Tlb& utlb() const { return utlb_; }
+  u32 engine_id() const { return engine_id_; }
+
+ private:
+  u32 data_access(u64 addr, Cycle now);
+  u64 queue_word(const core::Packet& p, i64 bit_offset) const;
+
+  UCoreConfig cfg_;
+  u32 engine_id_;
+  USharedMemory* mem_;
+  mem::Cache* shared_l2_;
+
+  UProgram prog_;
+  std::array<u64, 32> regs_{};
+  u32 pc_ = 0;
+  bool halted_ = false;
+
+  RingQueue<core::Packet> input_;
+  RingQueue<u64> output_;
+  std::vector<u64> noc_inbox_;
+  core::Packet recent_{};  // most recently popped element (q.recent)
+
+  mem::Cache dcache_;
+  mem::Cache icache_;
+  mem::Tlb utlb_;
+
+  Cycle stall_until_ = 0;
+  bool spinning_ = false;
+
+  // Hazard tracking: destination of the previous instruction, if it was a
+  // load or an ISAX queue op (the two result-late producers).
+  u8 prev_late_rd_ = 0;
+  bool prev_late_valid_ = false;
+  bool prev_was_isax_ = false;
+  u32 isax_cooldown_ = 0;  // post-commit mode back-to-back contention window
+
+  UCoreStats stats_;
+  std::vector<Detection> detections_;
+};
+
+}  // namespace fg::ucore

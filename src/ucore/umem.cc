@@ -1,0 +1,43 @@
+#include "src/ucore/umem.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace fg::ucore {
+
+USharedMemory::Page* USharedMemory::page_for(u64 addr, bool create) const {
+  const u64 pfn = addr / kPageBytes;
+  auto it = pages_.find(pfn);
+  if (it != pages_.end()) return it->second.get();
+  if (!create) return nullptr;
+  auto page = std::make_unique<Page>();
+  page->fill(0);
+  Page* raw = page.get();
+  pages_.emplace(pfn, std::move(page));
+  return raw;
+}
+
+u64 USharedMemory::load(u64 addr, u32 size) const {
+  FG_CHECK(size == 1 || size == 2 || size == 4 || size == 8);
+  u64 v = 0;
+  // Handle (rare) page-straddling accesses bytewise.
+  for (u32 i = 0; i < size; ++i) {
+    const u64 a = addr + i;
+    const Page* p = page_for(a, false);
+    const u8 byte = p ? (*p)[a % kPageBytes] : 0;
+    v |= static_cast<u64>(byte) << (8 * i);
+  }
+  return v;
+}
+
+void USharedMemory::store(u64 addr, u32 size, u64 value) {
+  FG_CHECK(size == 1 || size == 2 || size == 4 || size == 8);
+  for (u32 i = 0; i < size; ++i) {
+    const u64 a = addr + i;
+    Page* p = page_for(a, true);
+    (*p)[a % kPageBytes] = static_cast<u8>(value >> (8 * i));
+  }
+}
+
+}  // namespace fg::ucore

@@ -1,0 +1,36 @@
+// Sparse 64-bit address-space memory shared by the µcores of one guardian
+// kernel (shadow stacks, AddressSanitizer shadow bytes, UaF quarantine maps
+// all live here, as they live behind the shared L2 in the real system).
+// Functional state is global and instantly coherent; per-engine caches and
+// µTLBs model timing only — see DESIGN.md §6 for the coherence caveat.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace fg::ucore {
+
+class USharedMemory {
+ public:
+  u64 load(u64 addr, u32 size) const;
+  void store(u64 addr, u32 size, u64 value);
+
+  u8 load_u8(u64 addr) const { return static_cast<u8>(load(addr, 1)); }
+  void store_u8(u64 addr, u8 v) { store(addr, 1, v); }
+
+  size_t pages_touched() const { return pages_.size(); }
+  void clear() { pages_.clear(); }
+
+ private:
+  static constexpr u64 kPageBytes = 4096;
+  using Page = std::array<u8, kPageBytes>;
+
+  Page* page_for(u64 addr, bool create) const;
+
+  mutable std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace fg::ucore

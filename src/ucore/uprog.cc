@@ -1,0 +1,161 @@
+#include "src/ucore/uprog.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace fg::ucore {
+
+UProgramBuilder::UProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+UProgramBuilder::Label UProgramBuilder::new_label() {
+  label_pos_.push_back(-1);
+  return static_cast<Label>(label_pos_.size() - 1);
+}
+
+void UProgramBuilder::bind(Label l) {
+  FG_CHECK(l < label_pos_.size());
+  FG_CHECK(label_pos_[l] < 0);
+  label_pos_[l] = static_cast<i64>(code_.size());
+}
+
+void UProgramBuilder::emit(UOp op, u8 rd, u8 rs1, u8 rs2, i64 imm) {
+  FG_CHECK(!built_);
+  FG_CHECK(rd < 32 && rs1 < 32 && rs2 < 32);
+  code_.push_back(UInst{op, rd, rs1, rs2, imm});
+}
+
+void UProgramBuilder::emit_branch(UOp op, u8 rs1, u8 rs2, Label l) {
+  FG_CHECK(l < label_pos_.size());
+  fixups_.push_back({static_cast<u32>(code_.size()), l});
+  emit(op, 0, rs1, rs2, 0);
+}
+
+void UProgramBuilder::li(u8 rd, i64 imm) { emit(UOp::kLi, rd, 0, 0, imm); }
+void UProgramBuilder::addi(u8 rd, u8 rs1, i64 imm) { emit(UOp::kAddi, rd, rs1, 0, imm); }
+void UProgramBuilder::andi(u8 rd, u8 rs1, i64 imm) { emit(UOp::kAndi, rd, rs1, 0, imm); }
+void UProgramBuilder::ori(u8 rd, u8 rs1, i64 imm) { emit(UOp::kOri, rd, rs1, 0, imm); }
+void UProgramBuilder::xori(u8 rd, u8 rs1, i64 imm) { emit(UOp::kXori, rd, rs1, 0, imm); }
+void UProgramBuilder::slli(u8 rd, u8 rs1, i64 sh) { emit(UOp::kSlli, rd, rs1, 0, sh); }
+void UProgramBuilder::srli(u8 rd, u8 rs1, i64 sh) { emit(UOp::kSrli, rd, rs1, 0, sh); }
+void UProgramBuilder::add(u8 rd, u8 rs1, u8 rs2) { emit(UOp::kAdd, rd, rs1, rs2, 0); }
+void UProgramBuilder::sub(u8 rd, u8 rs1, u8 rs2) { emit(UOp::kSub, rd, rs1, rs2, 0); }
+void UProgramBuilder::and_(u8 rd, u8 rs1, u8 rs2) { emit(UOp::kAnd, rd, rs1, rs2, 0); }
+void UProgramBuilder::or_(u8 rd, u8 rs1, u8 rs2) { emit(UOp::kOr, rd, rs1, rs2, 0); }
+void UProgramBuilder::xor_(u8 rd, u8 rs1, u8 rs2) { emit(UOp::kXor, rd, rs1, rs2, 0); }
+void UProgramBuilder::sll(u8 rd, u8 rs1, u8 rs2) { emit(UOp::kSll, rd, rs1, rs2, 0); }
+void UProgramBuilder::srl(u8 rd, u8 rs1, u8 rs2) { emit(UOp::kSrl, rd, rs1, rs2, 0); }
+void UProgramBuilder::sltu(u8 rd, u8 rs1, u8 rs2) { emit(UOp::kSltu, rd, rs1, rs2, 0); }
+void UProgramBuilder::ld(u8 rd, u8 rs1, i64 off) { emit(UOp::kLd, rd, rs1, 0, off); }
+void UProgramBuilder::lw(u8 rd, u8 rs1, i64 off) { emit(UOp::kLw, rd, rs1, 0, off); }
+void UProgramBuilder::lbu(u8 rd, u8 rs1, i64 off) { emit(UOp::kLbu, rd, rs1, 0, off); }
+void UProgramBuilder::sd(u8 rs2, u8 rs1, i64 off) { emit(UOp::kSd, 0, rs1, rs2, off); }
+void UProgramBuilder::sw(u8 rs2, u8 rs1, i64 off) { emit(UOp::kSw, 0, rs1, rs2, off); }
+void UProgramBuilder::sb(u8 rs2, u8 rs1, i64 off) { emit(UOp::kSb, 0, rs1, rs2, off); }
+
+void UProgramBuilder::j(Label l) { emit_branch(UOp::kJ, 0, 0, l); }
+void UProgramBuilder::beq(u8 a, u8 b, Label l) { emit_branch(UOp::kBeq, a, b, l); }
+void UProgramBuilder::bne(u8 a, u8 b, Label l) { emit_branch(UOp::kBne, a, b, l); }
+void UProgramBuilder::blt(u8 a, u8 b, Label l) { emit_branch(UOp::kBlt, a, b, l); }
+void UProgramBuilder::bge(u8 a, u8 b, Label l) { emit_branch(UOp::kBge, a, b, l); }
+void UProgramBuilder::bltu(u8 a, u8 b, Label l) { emit_branch(UOp::kBltu, a, b, l); }
+void UProgramBuilder::bgeu(u8 a, u8 b, Label l) { emit_branch(UOp::kBgeu, a, b, l); }
+
+void UProgramBuilder::switch_on(u8 rs1, const std::vector<Label>& targets) {
+  FG_CHECK(!targets.empty());
+  const u32 table = static_cast<u32>(tables_.size());
+  tables_.emplace_back(targets.size(), 0u);
+  for (u32 i = 0; i < targets.size(); ++i) {
+    table_fixups_.push_back({table, i, targets[i]});
+  }
+  emit(UOp::kSwitch, 0, rs1, 0, static_cast<i64>(table));
+}
+
+void UProgramBuilder::qcount(u8 rd, i64 queue) { emit(UOp::kQCount, rd, 0, 0, queue); }
+void UProgramBuilder::qtop(u8 rd, i64 off) { emit(UOp::kQTop, rd, 0, 0, off); }
+void UProgramBuilder::qpop(u8 rd, i64 off) { emit(UOp::kQPop, rd, 0, 0, off); }
+void UProgramBuilder::qrecent(u8 rd, i64 off) { emit(UOp::kQRecent, rd, 0, 0, off); }
+void UProgramBuilder::qpush(u8 rs1) { emit(UOp::kQPush, 0, rs1, 0, 0); }
+void UProgramBuilder::nocrecv(u8 rd) { emit(UOp::kNocRecv, rd, 0, 0, 0); }
+void UProgramBuilder::detect(u8 rs1, u8 rs2) { emit(UOp::kDetect, 0, rs1, rs2, 0); }
+void UProgramBuilder::halt() { emit(UOp::kHalt, 0, 0, 0, 0); }
+void UProgramBuilder::nop() { emit(UOp::kNop, 0, 0, 0, 0); }
+
+UProgram UProgramBuilder::build() {
+  FG_CHECK(!built_);
+  for (const Fixup& f : fixups_) {
+    FG_CHECK(label_pos_[f.label] >= 0);
+    code_[f.inst_idx].imm = label_pos_[f.label];
+  }
+  for (const TableFixup& f : table_fixups_) {
+    FG_CHECK(label_pos_[f.label] >= 0);
+    tables_[f.table][f.slot] = static_cast<u32>(label_pos_[f.label]);
+  }
+  built_ = true;
+  UProgram p;
+  p.code = code_;
+  p.jump_tables = tables_;
+  p.name = name_;
+  return p;
+}
+
+namespace {
+const char* op_name(UOp op) {
+  switch (op) {
+    case UOp::kNop: return "nop";
+    case UOp::kHalt: return "halt";
+    case UOp::kLi: return "li";
+    case UOp::kAddi: return "addi";
+    case UOp::kAndi: return "andi";
+    case UOp::kOri: return "ori";
+    case UOp::kXori: return "xori";
+    case UOp::kSlli: return "slli";
+    case UOp::kSrli: return "srli";
+    case UOp::kAdd: return "add";
+    case UOp::kSub: return "sub";
+    case UOp::kAnd: return "and";
+    case UOp::kOr: return "or";
+    case UOp::kXor: return "xor";
+    case UOp::kSll: return "sll";
+    case UOp::kSrl: return "srl";
+    case UOp::kSltu: return "sltu";
+    case UOp::kLd: return "ld";
+    case UOp::kLw: return "lw";
+    case UOp::kLbu: return "lbu";
+    case UOp::kSd: return "sd";
+    case UOp::kSw: return "sw";
+    case UOp::kSb: return "sb";
+    case UOp::kJ: return "j";
+    case UOp::kBeq: return "beq";
+    case UOp::kBne: return "bne";
+    case UOp::kBlt: return "blt";
+    case UOp::kBge: return "bge";
+    case UOp::kBltu: return "bltu";
+    case UOp::kBgeu: return "bgeu";
+    case UOp::kSwitch: return "switch";
+    case UOp::kQCount: return "q.count";
+    case UOp::kQTop: return "q.top";
+    case UOp::kQPop: return "q.pop";
+    case UOp::kQRecent: return "q.recent";
+    case UOp::kQPush: return "q.push";
+    case UOp::kNocRecv: return "noc.recv";
+    case UOp::kDetect: return "detect";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string disassemble(const UProgram& prog) {
+  std::string out = "; program: " + prog.name + "\n";
+  char buf[128];
+  for (size_t i = 0; i < prog.code.size(); ++i) {
+    const UInst& in = prog.code[i];
+    std::snprintf(buf, sizeof(buf), "%4zu: %-9s rd=x%-2d rs1=x%-2d rs2=x%-2d imm=%lld\n",
+                  i, op_name(in.op), in.rd, in.rs1, in.rs2,
+                  static_cast<long long>(in.imm));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fg::ucore

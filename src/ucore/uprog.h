@@ -1,0 +1,167 @@
+// The µcore micro-ISA and program builder.
+//
+// Guardian kernels are real programs: they execute on the µcore model with
+// real registers and memory, so detections are semantic (a shadow-stack
+// mismatch, a poisoned shadow byte) rather than scripted. The ISA is a small
+// RISC-V-like register machine extended with the five message-queue custom
+// instructions of Table I (count / top / pop / recent / push) plus a
+// `detect` instruction that raises a violation to the host harness and a
+// `nocrecv` instruction that receives inter-engine messages from the fabric
+// routing channel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg::ucore {
+
+enum class UOp : u8 {
+  kNop,
+  kHalt,
+  // ALU (imm uses `imm`; register forms use rs2).
+  kLi,     // rd = imm
+  kAddi,   // rd = rs1 + imm
+  kAndi,
+  kOri,
+  kXori,
+  kSlli,
+  kSrli,
+  kAdd,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kSll,
+  kSrl,
+  kSltu,
+  // Memory (byte/word/double).
+  kLd,
+  kLw,
+  kLbu,
+  kSd,
+  kSw,
+  kSb,
+  // Control: imm is the target instruction index (resolved by the builder).
+  kJ,
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  // Duff's device support: computed dispatch into a jump table.
+  kSwitch,  // pc = table[min(regs[rs1], size-1)]; imm = table id
+  // ISAX message-queue instructions (Table I). The bit offset operand is
+  // regs[rs1] + imm; only multiples of 64 are supported (word selects).
+  kQCount,   // rd = #packets in queue `imm` (0 = input, 1 = output)
+  kQTop,     // rd = word of first element at bit offset regs[rs1]+imm
+  kQPop,     // rd = word at offset, and removes the first element
+  kQRecent,  // rd = word of the most recently removed element
+  kQPush,    // push regs[rs1] to the output queue
+  // Fabric routing channel receive: rd = payload of an arrived message, or 0.
+  kNocRecv,
+  // Raise a violation: payload = regs[rs1] (by convention the packet's debug
+  // data word, which carries the attack id for injected attacks), aux =
+  // regs[rs2] (kernel-specific detail, e.g. the faulting address).
+  kDetect,
+};
+
+struct UInst {
+  UOp op = UOp::kNop;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i64 imm = 0;
+};
+
+struct UProgram {
+  std::vector<UInst> code;
+  std::vector<std::vector<u32>> jump_tables;
+  std::string name;
+};
+
+/// Assembler-style builder with labels and forward references.
+class UProgramBuilder {
+ public:
+  explicit UProgramBuilder(std::string name);
+
+  using Label = u32;
+  Label new_label();
+  void bind(Label l);
+
+  // ALU.
+  void li(u8 rd, i64 imm);
+  void addi(u8 rd, u8 rs1, i64 imm);
+  void andi(u8 rd, u8 rs1, i64 imm);
+  void ori(u8 rd, u8 rs1, i64 imm);
+  void xori(u8 rd, u8 rs1, i64 imm);
+  void slli(u8 rd, u8 rs1, i64 sh);
+  void srli(u8 rd, u8 rs1, i64 sh);
+  void add(u8 rd, u8 rs1, u8 rs2);
+  void sub(u8 rd, u8 rs1, u8 rs2);
+  void and_(u8 rd, u8 rs1, u8 rs2);
+  void or_(u8 rd, u8 rs1, u8 rs2);
+  void xor_(u8 rd, u8 rs1, u8 rs2);
+  void sll(u8 rd, u8 rs1, u8 rs2);
+  void srl(u8 rd, u8 rs1, u8 rs2);
+  void sltu(u8 rd, u8 rs1, u8 rs2);
+  // Memory.
+  void ld(u8 rd, u8 rs1, i64 off);
+  void lw(u8 rd, u8 rs1, i64 off);
+  void lbu(u8 rd, u8 rs1, i64 off);
+  void sd(u8 rs2, u8 rs1, i64 off);
+  void sw(u8 rs2, u8 rs1, i64 off);
+  void sb(u8 rs2, u8 rs1, i64 off);
+  // Control.
+  void j(Label l);
+  void beq(u8 rs1, u8 rs2, Label l);
+  void bne(u8 rs1, u8 rs2, Label l);
+  void blt(u8 rs1, u8 rs2, Label l);
+  void bge(u8 rs1, u8 rs2, Label l);
+  void bltu(u8 rs1, u8 rs2, Label l);
+  void bgeu(u8 rs1, u8 rs2, Label l);
+  void beqz(u8 rs1, Label l) { beq(rs1, 0, l); }
+  void bnez(u8 rs1, Label l) { bne(rs1, 0, l); }
+  void switch_on(u8 rs1, const std::vector<Label>& targets);
+  // ISAX.
+  void qcount(u8 rd, i64 queue);
+  void qtop(u8 rd, i64 bit_offset);
+  void qpop(u8 rd, i64 bit_offset);
+  void qrecent(u8 rd, i64 bit_offset);
+  void qpush(u8 rs1);
+  void nocrecv(u8 rd);
+  void detect(u8 rs1, u8 rs2);
+  void halt();
+  void nop();
+
+  size_t size() const { return code_.size(); }
+  UProgram build();
+
+ private:
+  void emit(UOp op, u8 rd, u8 rs1, u8 rs2, i64 imm);
+  void emit_branch(UOp op, u8 rs1, u8 rs2, Label l);
+
+  std::string name_;
+  std::vector<UInst> code_;
+  std::vector<i64> label_pos_;  // -1 = unbound
+  struct Fixup {
+    u32 inst_idx;
+    Label label;
+  };
+  std::vector<Fixup> fixups_;
+  std::vector<std::vector<u32>> tables_;
+  struct TableFixup {
+    u32 table;
+    u32 slot;
+    Label label;
+  };
+  std::vector<TableFixup> table_fixups_;
+  bool built_ = false;
+};
+
+/// Pretty-print a program (debugging aid and documentation generator).
+std::string disassemble(const UProgram& prog);
+
+}  // namespace fg::ucore

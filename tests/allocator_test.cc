@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "src/core/allocator.h"
+
+namespace fg::core {
+namespace {
+
+/// Scriptable queue occupancy.
+class FakeStatus final : public QueueStatus {
+ public:
+  bool engine_queue_full(u32 e) const override { return full_mask & (1u << e); }
+  size_t engine_queue_free(u32 e) const override {
+    return engine_queue_full(e) ? 0 : 8;
+  }
+  u32 full_mask = 0;
+};
+
+Packet pkt(u16 gid_bitmap) {
+  Packet p;
+  p.valid = true;
+  p.gid_bitmap = gid_bitmap;
+  return p;
+}
+
+TEST(SchedulingEngine, FixedAlwaysSameTarget) {
+  SchedulingEngine se(0b1100, SchedPolicy::kFixed);
+  FakeStatus st;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(se.pick(st), 0b0100);
+    se.advance();
+  }
+}
+
+TEST(SchedulingEngine, RoundRobinRotates) {
+  SchedulingEngine se(0b0111, SchedPolicy::kRoundRobin);
+  FakeStatus st;
+  std::vector<u16> picks;
+  for (int i = 0; i < 6; ++i) {
+    picks.push_back(se.pick(st));
+    se.advance();
+  }
+  EXPECT_EQ(picks[0], 0b010);
+  EXPECT_EQ(picks[1], 0b100);
+  EXPECT_EQ(picks[2], 0b001);
+  EXPECT_EQ(picks[3], 0b010);
+}
+
+TEST(SchedulingEngine, RoundRobinSkipsFullQueues) {
+  SchedulingEngine se(0b0111, SchedPolicy::kRoundRobin);
+  FakeStatus st;
+  st.full_mask = 0b010;  // engine 1 is full
+  std::vector<u16> picks;
+  for (int i = 0; i < 4; ++i) {
+    picks.push_back(se.pick(st));
+    se.advance();
+  }
+  for (u16 p : picks) EXPECT_NE(p, 0b010);
+}
+
+TEST(SchedulingEngine, BlockStaysUntilFull) {
+  SchedulingEngine se(0b0011, SchedPolicy::kBlock);
+  FakeStatus st;
+  EXPECT_EQ(se.pick(st), 0b01);
+  se.advance();
+  EXPECT_EQ(se.pick(st), 0b01);  // stays: message locality
+  se.advance();
+  st.full_mask = 0b01;
+  EXPECT_EQ(se.pick(st), 0b10);  // advances on fullness
+  se.advance();
+  st.full_mask = 0;
+  EXPECT_EQ(se.pick(st), 0b10);  // and stays on the new target
+}
+
+TEST(Allocator, DistributorRoutesByGid) {
+  Allocator a;
+  a.configure_se(0, 0b0001, SchedPolicy::kFixed, /*gid=*/0);
+  a.configure_se(1, 0b0010, SchedPolicy::kFixed, /*gid=*/3);
+  FakeStatus st;
+  Packet p0 = pkt(1u << 0);
+  EXPECT_EQ(a.route(p0, st), 0b0001);
+  Packet p3 = pkt(1u << 3);
+  EXPECT_EQ(a.route(p3, st), 0b0010);
+  Packet p5 = pkt(1u << 5);  // nobody subscribed
+  EXPECT_EQ(a.route(p5, st), 0);
+}
+
+TEST(Allocator, MultiGidPacketReachesAllKernels) {
+  Allocator a;
+  a.configure_se(0, 0b0001, SchedPolicy::kFixed, 0);
+  a.configure_se(1, 0b0100, SchedPolicy::kFixed, 1);
+  FakeStatus st;
+  Packet p = pkt(0b11);  // both GIDs interested
+  EXPECT_EQ(a.route(p, st), 0b0101);
+  EXPECT_EQ(a.stats().multi_se_packets, 1u);
+}
+
+TEST(Allocator, SubscribeAddsSecondGid) {
+  Allocator a;
+  a.configure_se(0, 0b0001, SchedPolicy::kFixed, 0);
+  a.subscribe(0, 4);
+  FakeStatus st;
+  Packet p = pkt(1u << 4);
+  EXPECT_EQ(a.route(p, st), 0b0001);
+  EXPECT_EQ(a.se_bitmap(4), 0b1);
+  EXPECT_EQ(a.se_bitmap(0), 0b1);
+}
+
+TEST(Allocator, BlockSwitchAnnotatesMarker) {
+  Allocator a;
+  a.configure_se(0, 0b0011, SchedPolicy::kBlock, 0);
+  FakeStatus st;
+  Packet p1 = pkt(1);
+  a.route(p1, st);
+  EXPECT_EQ(p1.marker_from, 0xff);  // no switch yet
+  st.full_mask = 0b01;
+  Packet p2 = pkt(1);
+  a.route(p2, st);
+  EXPECT_EQ(p2.marker_from, 0);  // handing off engine 0 -> 1
+  EXPECT_EQ(p2.marker_to, 1);
+  EXPECT_EQ(p2.ae_bitmap, 0b10);
+}
+
+TEST(Allocator, RoundRobinSpreadsLoad) {
+  Allocator a;
+  a.configure_se(0, 0b1111, SchedPolicy::kRoundRobin, 0);
+  FakeStatus st;
+  std::array<int, 4> hits{};
+  for (int i = 0; i < 40; ++i) {
+    Packet p = pkt(1);
+    const u16 ae = a.route(p, st);
+    for (u32 e = 0; e < 4; ++e) {
+      if (ae & (1u << e)) ++hits[e];
+    }
+  }
+  for (int h : hits) EXPECT_EQ(h, 10);
+}
+
+}  // namespace
+}  // namespace fg::core

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/boom/core.h"
+#include "src/common/rng.h"
+#include "src/mem/hierarchy.h"
+#include "src/trace/trace.h"
+
+namespace fg::boom {
+namespace {
+
+using trace::TraceInst;
+
+/// Replayable vector-backed trace for hand-built pipelines.
+class VecSource final : public trace::TraceSource {
+ public:
+  explicit VecSource(std::vector<TraceInst> v) : v_(std::move(v)) {}
+  bool next(TraceInst& out) override {
+    if (i_ >= v_.size()) return false;
+    out = v_[i_++];
+    return true;
+  }
+  void reset() override { i_ = 0; }
+
+ private:
+  std::vector<TraceInst> v_;
+  size_t i_ = 0;
+};
+
+TraceInst alu(u64 pc, u8 rd, u8 rs1 = kNoReg, u8 rs2 = kNoReg) {
+  TraceInst t;
+  t.pc = pc;
+  t.enc = isa::make_alu_rr(0, rd ? rd : 1, rs1 == kNoReg ? 2 : rs1,
+                           rs2 == kNoReg ? 3 : rs2, false);
+  t.cls = isa::InstClass::kIntAlu;
+  t.rd = rd;
+  t.rs1 = rs1;
+  t.rs2 = rs2;
+  return t;
+}
+
+TraceInst load(u64 pc, u8 rd, u64 addr) {
+  TraceInst t;
+  t.pc = pc;
+  t.enc = isa::make_load(0x3, rd, 2, 0);
+  t.cls = isa::InstClass::kLoad;
+  t.rd = rd;
+  t.mem_size = 8;
+  t.mem_addr = addr;
+  return t;
+}
+
+std::vector<TraceInst> independent_alus(int n) {
+  std::vector<TraceInst> v;
+  for (int i = 0; i < n; ++i) {
+    // rd rotates; sources are never recent destinations -> fully parallel.
+    // PCs loop over a 1KB region (a hot loop body) so the i-cache warms.
+    v.push_back(alu(0x1000 + 4 * static_cast<u64>(i % 240),
+                    static_cast<u8>(20 + i % 4), 1, 1));
+  }
+  return v;
+}
+
+Cycle run(std::vector<TraceInst> insts, CommitSink* sink = nullptr,
+          CoreConfig cfg = {}) {
+  VecSource src(std::move(insts));
+  mem::MemHierarchy mem;
+  // Warm code and data into the L2/LLC: these microbenchmarks measure
+  // pipeline behaviour, not compulsory-miss transients. Data first, code
+  // last (warming is an LRU fill; later regions must not evict the code).
+  mem.warm_region(0x100000, 0x100000 + (2u << 20));
+  mem.warm_region(0x1000, 0x1000 + (64u << 10));
+  mem.reset_stats();
+  BoomCore core(cfg, mem, src);
+  core.run_to_end(sink, 10'000'000);
+  return core.now();
+}
+
+TEST(BoomCore, IndependentAlusNearIssueWidth) {
+  // 2 integer ALUs bound independent ALU throughput.
+  const Cycle c = run(independent_alus(4000));
+  const double ipc = 4000.0 / static_cast<double>(c);
+  EXPECT_GT(ipc, 1.6);
+  EXPECT_LE(ipc, 2.05);
+}
+
+TEST(BoomCore, SerialChainLimitsIpc) {
+  std::vector<TraceInst> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(alu(0x1000 + 4 * i, 5, 5, 5));
+  const Cycle c = run(v);
+  const double ipc = 2000.0 / static_cast<double>(c);
+  EXPECT_LT(ipc, 1.1);  // one-per-cycle dependency chain
+}
+
+TEST(BoomCore, LoadLatencyStallsDependents) {
+  // load -> dependent ALU chain vs independent ALUs: dependent is slower.
+  std::vector<TraceInst> dep, indep;
+  for (int i = 0; i < 500; ++i) {
+    dep.push_back(load(0x1000 + 8 * i, 6, 0x100000 + 4096ull * i));  // miss-y
+    dep.push_back(alu(0x1004 + 8 * i, 7, 6, 6));
+    indep.push_back(load(0x1000 + 8 * i, 6, 0x100000 + 4096ull * i));
+    indep.push_back(alu(0x1004 + 8 * i, 7, 1, 1));
+  }
+  EXPECT_GT(run(dep), run(indep));
+}
+
+TEST(BoomCore, CommitsEverythingExactlyOnce) {
+  class CountSink final : public CommitSink {
+   public:
+    bool can_commit(u32, const TraceInst&) override { return true; }
+    void on_commit(u32, const TraceInst& ti, Cycle) override {
+      ++count;
+      last_pc = ti.pc;
+    }
+    u32 prf_ports_preempted() override { return 0; }
+    u64 count = 0;
+    u64 last_pc = 0;
+  } sink;
+  run(independent_alus(777), &sink);
+  EXPECT_EQ(sink.count, 777u);
+  EXPECT_EQ(sink.last_pc, 0x1000 + 4 * (776u % 240));
+}
+
+TEST(BoomCore, CommitOrderIsProgramOrder) {
+  // Tag each instruction with its program-order index via wb_value and
+  // check the sink sees them strictly in order.
+  std::vector<TraceInst> v = independent_alus(500);
+  for (size_t i = 0; i < v.size(); ++i) v[i].wb_value = i;
+  class OrderSink final : public CommitSink {
+   public:
+    bool can_commit(u32, const TraceInst&) override { return true; }
+    void on_commit(u32, const TraceInst& ti, Cycle) override {
+      EXPECT_EQ(ti.wb_value, next);
+      ++next;
+    }
+    u32 prf_ports_preempted() override { return 0; }
+    u64 next = 0;
+  } sink;
+  run(std::move(v), &sink);
+  EXPECT_EQ(sink.next, 500u);
+}
+
+TEST(BoomCore, SinkRefusalStallsCore) {
+  // A sink that refuses every other cycle halves commit bandwidth.
+  class Throttle final : public CommitSink {
+   public:
+    bool can_commit(u32 lane, const TraceInst&) override {
+      return lane == 0;  // one commit per cycle max
+    }
+    void on_commit(u32, const TraceInst&, Cycle) override {}
+    u32 prf_ports_preempted() override { return 0; }
+  } throttle;
+  const Cycle free_run = run(independent_alus(2000));
+  const Cycle throttled = run(independent_alus(2000), &throttle);
+  EXPECT_GT(throttled, free_run + free_run / 2);
+}
+
+TEST(BoomCore, PrfPreemptionDelaysIssue) {
+  class Preempt final : public CommitSink {
+   public:
+    bool can_commit(u32, const TraceInst&) override { return true; }
+    void on_commit(u32, const TraceInst&, Cycle) override {}
+    u32 prf_ports_preempted() override { return 2; }
+  } preempt;
+  const Cycle base = run(independent_alus(2000));
+  const Cycle contended = run(independent_alus(2000), &preempt);
+  EXPECT_GT(contended, base);
+}
+
+TEST(BoomCore, MispredictsCostCycles) {
+  // Conditional branches with random outcomes vs fixed outcomes.
+  auto make = [](bool random) {
+    std::vector<TraceInst> v;
+    Rng rng(5);
+    for (int i = 0; i < 1500; ++i) {
+      TraceInst t;
+      t.pc = 0x1000;  // one static branch
+      t.enc = isa::make_branch(0, 23, 0, 16);
+      t.cls = isa::InstClass::kBranch;
+      t.rs1 = 23;
+      t.taken = random ? rng.chance(0.5) : true;
+      t.target = 0x1010;
+      v.push_back(t);
+      for (int k = 0; k < 3; ++k) {
+        v.push_back(TraceInst{});
+        v.back() = t;
+        v.back().cls = isa::InstClass::kIntAlu;
+        v.back().enc = isa::make_alu_ri(0, 20, 1, 1);
+        v.back().pc = 0x1010 + 4u * k;
+        v.back().rd = 20;
+        v.back().taken = false;
+      }
+    }
+    return v;
+  };
+  EXPECT_GT(run(make(true)), run(make(false)) * 3 / 2);
+}
+
+TEST(BoomCore, WarmupMarkRecordsCycle) {
+  VecSource src(independent_alus(1000));
+  mem::MemHierarchy mem;
+  BoomCore core(CoreConfig{}, mem, src);
+  core.set_warmup_mark(500);
+  core.run_to_end(nullptr, 1'000'000);
+  EXPECT_GT(core.warmup_cycle(), 0u);
+  EXPECT_LT(core.warmup_cycle(), core.now());
+  EXPECT_EQ(core.measured_cycles(), core.now() - core.warmup_cycle());
+}
+
+TEST(BoomCore, DoneAfterDrain) {
+  VecSource src(independent_alus(10));
+  mem::MemHierarchy mem;
+  BoomCore core(CoreConfig{}, mem, src);
+  EXPECT_FALSE(core.done());
+  core.run_to_end(nullptr, 100000);
+  EXPECT_TRUE(core.done());
+  EXPECT_EQ(core.stats().committed, 10u);
+}
+
+class CommitWidths : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CommitWidths, ThroughputScalesWithWidth) {
+  CoreConfig cfg;
+  cfg.fetch_width = GetParam();
+  cfg.commit_width = GetParam();
+  cfg.n_int_alu = GetParam();
+  const Cycle c = run(independent_alus(3000), nullptr, cfg);
+  const double ipc = 3000.0 / static_cast<double>(c);
+  EXPECT_GT(ipc, 0.72 * GetParam());
+  EXPECT_LE(ipc, 1.02 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CommitWidths, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace fg::boom

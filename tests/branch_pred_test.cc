@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/boom/branch_pred.h"
+#include "src/common/rng.h"
+
+namespace fg::boom {
+namespace {
+
+TEST(Tage, LearnsStronglyBiasedBranch) {
+  BranchPredictor bp;
+  const u64 pc = 0x1000;
+  int correct = 0;
+  for (int i = 0; i < 500; ++i) correct += bp.predict_cond(pc, true, 0x2000);
+  // After warmup the biased branch should be almost always right.
+  EXPECT_GT(correct, 450);
+}
+
+TEST(Tage, LearnsAlternatingPattern) {
+  BranchPredictor bp;
+  const u64 pc = 0x1000;
+  int correct_late = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const bool taken = (i % 2) == 0;
+    const bool ok = bp.predict_cond(pc, taken, 0x2000);
+    if (i >= 1000) correct_late += ok;
+  }
+  // TAGE history tables capture period-2 patterns.
+  EXPECT_GT(correct_late, 900);
+}
+
+TEST(Tage, LoopExitPattern) {
+  BranchPredictor bp;
+  const u64 pc = 0x1000;
+  int correct_late = 0, total_late = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    for (int t = 0; t < 8; ++t) {
+      const bool taken = t < 7;  // 7 taken, 1 not-taken per loop
+      const bool ok = bp.predict_cond(pc, taken, 0xff0);
+      if (iter >= 200) {
+        correct_late += ok;
+        ++total_late;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct_late) / total_late, 0.9);
+}
+
+TEST(Tage, RandomBranchNearChance) {
+  BranchPredictor bp;
+  Rng rng(3);
+  const u64 pc = 0x1000;
+  int correct = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) correct += bp.predict_cond(pc, rng.chance(0.5), 0x2000);
+  const double acc = static_cast<double>(correct) / n;
+  EXPECT_GT(acc, 0.35);
+  EXPECT_LT(acc, 0.65);
+}
+
+TEST(Btb, DirectTargetLearned) {
+  BranchPredictor bp;
+  EXPECT_FALSE(bp.predict_direct(0x4000, 0x8000));  // cold
+  EXPECT_TRUE(bp.predict_direct(0x4000, 0x8000));   // learned
+  EXPECT_FALSE(bp.predict_direct(0x4000, 0x9000));  // target changed
+}
+
+TEST(Btb, IndirectMispredictsOnChangingTarget) {
+  BranchPredictor bp;
+  bp.predict_indirect(0x4000, 0x8000);
+  EXPECT_TRUE(bp.predict_indirect(0x4000, 0x8000));
+  EXPECT_FALSE(bp.predict_indirect(0x4000, 0xa000));
+}
+
+TEST(Ras, MatchedCallsAndReturns) {
+  BranchPredictor bp;
+  bp.push_ras(0x100);
+  bp.push_ras(0x200);
+  bp.push_ras(0x300);
+  EXPECT_TRUE(bp.predict_ret(0x300));
+  EXPECT_TRUE(bp.predict_ret(0x200));
+  EXPECT_TRUE(bp.predict_ret(0x100));
+}
+
+TEST(Ras, CorruptedReturnMispredicts) {
+  BranchPredictor bp;
+  bp.push_ras(0x100);
+  EXPECT_FALSE(bp.predict_ret(0x140));
+  EXPECT_EQ(bp.stats().ras_mispredicts, 1u);
+}
+
+TEST(Ras, UnderflowMispredicts) {
+  BranchPredictor bp;
+  EXPECT_FALSE(bp.predict_ret(0x100));
+}
+
+TEST(Ras, DeepNestingWithinCapacity) {
+  PredictorConfig cfg;
+  cfg.ras_entries = 8;
+  BranchPredictor bp(cfg);
+  for (u64 i = 0; i < 8; ++i) bp.push_ras(0x1000 + i * 8);
+  for (u64 i = 8; i-- > 0;) EXPECT_TRUE(bp.predict_ret(0x1000 + i * 8));
+}
+
+TEST(Stats, AccuracyAccounting) {
+  BranchPredictor bp;
+  for (int i = 0; i < 100; ++i) bp.predict_cond(0x1000, true, 0x2000);
+  EXPECT_EQ(bp.stats().cond_lookups, 100u);
+  EXPECT_GT(bp.stats().cond_accuracy(), 0.8);
+}
+
+class TageManyBranches : public ::testing::TestWithParam<int> {};
+
+TEST_P(TageManyBranches, ScalesAcrossStaticBranches) {
+  BranchPredictor bp;
+  Rng rng(17);
+  const int n_branches = GetParam();
+  std::vector<double> bias(n_branches);
+  for (auto& b : bias) b = rng.chance(0.5) ? 0.9 : 0.1;
+  int correct = 0, total = 0;
+  for (int round = 0; round < 300; ++round) {
+    for (int b = 0; b < n_branches; ++b) {
+      const u64 pc = 0x1000 + static_cast<u64>(b) * 4;
+      const bool taken = rng.chance(bias[b]);
+      const bool ok = bp.predict_cond(pc, taken, pc + 64);
+      if (round >= 100) {
+        correct += ok;
+        ++total;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.80) << n_branches;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scale, TageManyBranches, ::testing::Values(8, 64, 256));
+
+}  // namespace
+}  // namespace fg::boom

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cdc.h"
+
+namespace fg::core {
+namespace {
+
+Packet pk(u64 seq) {
+  Packet p;
+  p.valid = true;
+  p.seq = seq;
+  return p;
+}
+
+TEST(Cdc, HandshakeDelaysVisibility) {
+  CdcFifo cdc(8, 2);  // ratio 2: fast cycle 10 -> slow cycle 5
+  cdc.push(pk(1), 10);
+  EXPECT_FALSE(cdc.can_pop(5));  // synchronizer not settled
+  EXPECT_TRUE(cdc.can_pop(6));
+  EXPECT_EQ(cdc.pop().seq, 1u);
+}
+
+TEST(Cdc, CapacityEnforced) {
+  CdcFifo cdc(2, 2);
+  EXPECT_TRUE(cdc.can_push());
+  cdc.push(pk(1), 0);
+  cdc.push(pk(2), 0);
+  EXPECT_FALSE(cdc.can_push());
+  EXPECT_TRUE(cdc.full());
+  cdc.note_reject();
+  EXPECT_EQ(cdc.stats().full_rejects, 1u);
+  (void)cdc.can_pop(100);
+  cdc.pop();
+  EXPECT_TRUE(cdc.can_push());
+}
+
+TEST(Cdc, FifoOrderPreserved) {
+  CdcFifo cdc(8, 2);
+  for (u64 i = 0; i < 5; ++i) cdc.push(pk(i), i);
+  for (u64 i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cdc.can_pop(100));
+    EXPECT_EQ(cdc.pop().seq, i);
+  }
+  EXPECT_TRUE(cdc.empty());
+}
+
+TEST(Cdc, StatsCountFlow) {
+  CdcFifo cdc(8, 2);
+  cdc.push(pk(0), 0);
+  cdc.push(pk(1), 0);
+  (void)cdc.can_pop(10);
+  cdc.pop();
+  EXPECT_EQ(cdc.stats().pushes, 2u);
+  EXPECT_EQ(cdc.stats().pops, 1u);
+  EXPECT_EQ(cdc.size(), 1u);
+}
+
+class CdcRatio : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CdcRatio, VisibilityScalesWithRatio) {
+  const u32 ratio = GetParam();
+  CdcFifo cdc(8, ratio);
+  const Cycle fast = 100;
+  cdc.push(pk(7), fast);
+  const Cycle slow_now = fast / ratio;
+  EXPECT_FALSE(cdc.can_pop(slow_now));
+  EXPECT_TRUE(cdc.can_pop(slow_now + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, CdcRatio, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace fg::core

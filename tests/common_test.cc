@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/common/ring_queue.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+
+namespace fg {
+namespace {
+
+TEST(Bits, ExtractsRanges) {
+  EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+  EXPECT_EQ(bits(0xff00, 7, 0), 0x00u);
+  EXPECT_EQ(bits(~u64{0}, 63, 0), ~u64{0});
+  EXPECT_EQ(bits(0b1010, 3, 1), 0b101u);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+  EXPECT_EQ(ceil_div(10, 4), 3u);
+  EXPECT_EQ(ceil_div(8, 4), 2u);
+}
+
+TEST(RingQueue, FifoOrder) {
+  RingQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.front(), 1);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  q.push(4);
+  q.push(5);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 4);
+  EXPECT_EQ(q.pop(), 5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, FullAndFreeSlots) {
+  RingQueue<int> q(2);
+  q.push(1);
+  EXPECT_EQ(q.free_slots(), 1u);
+  q.push(2);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.free_slots(), 0u);
+  q.pop();
+  EXPECT_FALSE(q.full());
+}
+
+TEST(RingQueue, AtIndexesFromHead) {
+  RingQueue<int> q(4);
+  q.push(10);
+  q.push(11);
+  q.push(12);
+  q.pop();
+  q.push(13);
+  EXPECT_EQ(q.at(0), 11);
+  EXPECT_EQ(q.at(1), 12);
+  EXPECT_EQ(q.at(2), 13);
+}
+
+TEST(RingQueue, ClearResets) {
+  RingQueue<int> q(3);
+  q.push(1);
+  q.push(2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push(9);
+  EXPECT_EQ(q.front(), 9);
+}
+
+class RingQueueWrap : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RingQueueWrap, SurvivesManyWraps) {
+  const size_t cap = GetParam();
+  RingQueue<size_t> q(cap);
+  size_t next_in = 0, next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (!q.full()) q.push(next_in++);
+    while (!q.empty()) {
+      ASSERT_EQ(q.pop(), next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingQueueWrap,
+                         ::testing::Values(1, 2, 3, 8, 16, 31));
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = r.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.geometric(8.0));
+  EXPECT_NEAR(sum / n, 8.0, 0.5);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(5);
+  Rng b = a.fork();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Summary, TracksMinMaxMean) {
+  Summary s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(SampleSet, SingleElement) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(Geomean, MatchesHandComputed) {
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0}), 1.0, 1e-12);
+}
+
+TEST(TableRow, FormatsColumns) {
+  const std::string row = table_row("name", {1.5, 2.25}, 8, 8, 2);
+  EXPECT_NE(row.find("name"), std::string::npos);
+  EXPECT_NE(row.find("1.50"), std::string::npos);
+  EXPECT_NE(row.find("2.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fg

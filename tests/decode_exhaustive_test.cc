@@ -1,0 +1,114 @@
+// Exhaustive consistency sweeps over the full decoder: every valid encoding
+// disassembles under its own mnemonic, operand plumbing is self-consistent,
+// and the filter-row audit covers the whole 10-bit SRAM space.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/isa/decode.h"
+
+namespace fg::isa {
+namespace {
+
+TEST(DecodeExhaustive, DisassemblyStartsWithMnemonicOrAlias) {
+  // Aliases the disassembler may legitimately substitute.
+  const std::set<std::string> aliases = {"nop", "mv", "ret", "j", "beqz",
+                                         "bnez"};
+  Rng rng(0xd15a55);
+  int checked = 0;
+  for (int i = 0; i < 500000; ++i) {
+    const u32 enc = static_cast<u32>(rng.next()) | 0x3;  // 32-bit length
+    const Decoded d = decode(enc);
+    if (!d.valid()) continue;
+    ++checked;
+    const std::string text = disassemble_full(enc);
+    const std::string head = text.substr(0, text.find(' '));
+    if (aliases.contains(head)) continue;
+    EXPECT_EQ(head, mnemonic_name(d.mnemonic)) << std::hex << enc;
+  }
+  EXPECT_GT(checked, 50000);
+}
+
+TEST(DecodeExhaustive, OperandPlumbingSelfConsistent) {
+  Rng rng(0xc0ffee);
+  for (int i = 0; i < 500000; ++i) {
+    const u32 enc = static_cast<u32>(rng.next()) | 0x3;
+    const Decoded d = decode(enc);
+    if (!d.valid()) continue;
+    // A register field is meaningful iff its file is set; x0-writes are
+    // still reported (the file says Int), but loads/stores always carry a
+    // width, and immediates only appear with a kind.
+    if (d.imm_kind == ImmKind::kNone && d.mnemonic != Mnemonic::kFence &&
+        d.mnemonic != Mnemonic::kFenceI) {
+      // R-type: no immediate leaks.
+      EXPECT_EQ(d.imm, 0) << std::hex << enc;
+    }
+    if (d.cls == InstClass::kLoad || d.cls == InstClass::kStore) {
+      EXPECT_GT(d.mem_bytes, 0) << std::hex << enc;
+      EXPECT_LE(d.mem_bytes, 8) << std::hex << enc;
+    } else {
+      EXPECT_EQ(d.mem_bytes, 0) << std::hex << enc;
+    }
+    if (d.is_amo) {
+      EXPECT_TRUE(d.cls == InstClass::kLoad || d.cls == InstClass::kStore);
+    }
+  }
+}
+
+TEST(DecodeExhaustive, BranchImmediatesAlwaysEvenAndSigned) {
+  Rng rng(0xb4a);
+  for (int i = 0; i < 200000; ++i) {
+    const u32 enc = (static_cast<u32>(rng.next()) & ~0x7fu) | kOpBranch |
+                    (static_cast<u32>(rng.below(8)) << 12);
+    const Decoded d = decode(enc);
+    if (!d.valid()) continue;
+    EXPECT_EQ(d.imm % 2, 0);
+    EXPECT_GE(d.imm, -4096);
+    EXPECT_LT(d.imm, 4096);
+  }
+}
+
+TEST(DecodeExhaustive, FilterRowAuditCoversWholeSram) {
+  // Every row of the 1K-entry SRAM reports a finite collision count, and
+  // the total over all rows equals the number of mnemonics with canonical
+  // rows (each such mnemonic lands on exactly one row).
+  unsigned total = 0;
+  for (u32 row = 0; row < kFilterTableSize; ++row) {
+    total += mnemonics_sharing_filter_row(static_cast<u16>(row));
+  }
+  unsigned with_rows = 0;
+  for (u16 m = 1; m < static_cast<u16>(Mnemonic::kCount); ++m) {
+    if (canonical_filter_row(static_cast<Mnemonic>(m))) ++with_rows;
+  }
+  EXPECT_EQ(total, with_rows);
+  EXPECT_GT(with_rows, 80u);  // the integer/memory/system core of the ISA
+}
+
+TEST(DecodeExhaustive, CanonicalRowsWithinSramBounds) {
+  for (u16 m = 1; m < static_cast<u16>(Mnemonic::kCount); ++m) {
+    const auto row = canonical_filter_row(static_cast<Mnemonic>(m));
+    if (row) {
+      EXPECT_LT(*row, kFilterTableSize) << m;
+    }
+  }
+}
+
+TEST(DecodeExhaustive, ClassPredicatesPartitionBehaviour) {
+  Rng rng(0x9a77);
+  for (int i = 0; i < 300000; ++i) {
+    const u32 enc = static_cast<u32>(rng.next()) | 0x3;
+    const Decoded d = decode(enc);
+    if (!d.valid()) continue;
+    // is_mem and is_ctrl never both true; guard events are neither.
+    EXPECT_FALSE(is_mem(d.cls) && is_ctrl(d.cls));
+    if (d.cls == InstClass::kGuardEvent) {
+      EXPECT_FALSE(is_mem(d.cls));
+      EXPECT_FALSE(is_ctrl(d.cls));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fg::isa

@@ -1,0 +1,285 @@
+// Tests for the full RV64 decoder: encoder/decoder round trips, operand
+// plumbing, immediate reconstruction, and the mini-filter row auditing API.
+#include "src/isa/decode.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/isa/csr.h"
+
+namespace fg::isa {
+namespace {
+
+TEST(Decode, LoadVariantsCarryWidthAndSignedness) {
+  struct Case {
+    u8 f3;
+    Mnemonic m;
+    u8 bytes;
+    bool uns;
+  };
+  const Case cases[] = {
+      {0, Mnemonic::kLb, 1, false},  {1, Mnemonic::kLh, 2, false},
+      {2, Mnemonic::kLw, 4, false},  {3, Mnemonic::kLd, 8, false},
+      {4, Mnemonic::kLbu, 1, true},  {5, Mnemonic::kLhu, 2, true},
+      {6, Mnemonic::kLwu, 4, true},
+  };
+  for (const auto& c : cases) {
+    const Decoded d = decode(make_load(c.f3, 5, 6, -32));
+    EXPECT_EQ(d.mnemonic, c.m);
+    EXPECT_EQ(d.cls, InstClass::kLoad);
+    EXPECT_EQ(d.mem_bytes, c.bytes);
+    EXPECT_EQ(d.mem_unsigned, c.uns);
+    EXPECT_EQ(d.rd, 5);
+    EXPECT_EQ(d.rs1, 6);
+    EXPECT_EQ(d.imm, -32);
+  }
+  EXPECT_FALSE(decode(make_load(7, 1, 1, 0)).valid());
+}
+
+TEST(Decode, StoreVariants) {
+  const Mnemonic ms[] = {Mnemonic::kSb, Mnemonic::kSh, Mnemonic::kSw,
+                         Mnemonic::kSd};
+  for (u8 f3 = 0; f3 < 4; ++f3) {
+    const Decoded d = decode(make_store(f3, 10, 11, 100));
+    EXPECT_EQ(d.mnemonic, ms[f3]);
+    EXPECT_EQ(d.cls, InstClass::kStore);
+    EXPECT_EQ(d.mem_bytes, 1u << f3);
+    EXPECT_EQ(d.rs1, 10);
+    EXPECT_EQ(d.rs2, 11);
+    EXPECT_EQ(d.imm, 100);
+    EXPECT_FALSE(d.writes_rd());
+  }
+}
+
+TEST(Decode, AluRegisterFormsIncludingAltBit) {
+  EXPECT_EQ(decode(make_alu_rr(0, 1, 2, 3, false)).mnemonic, Mnemonic::kAdd);
+  EXPECT_EQ(decode(make_alu_rr(0, 1, 2, 3, true)).mnemonic, Mnemonic::kSub);
+  EXPECT_EQ(decode(make_alu_rr(5, 1, 2, 3, false)).mnemonic, Mnemonic::kSrl);
+  EXPECT_EQ(decode(make_alu_rr(5, 1, 2, 3, true)).mnemonic, Mnemonic::kSra);
+  EXPECT_EQ(decode(make_alu_rr(7, 1, 2, 3, false)).mnemonic, Mnemonic::kAnd);
+  // alt bit on a funct3 with no alternate form is invalid.
+  EXPECT_FALSE(decode(make_alu_rr(4, 1, 2, 3, true)).valid());
+}
+
+TEST(Decode, MulDivSplitByClass) {
+  EXPECT_EQ(decode(make_mul(0, 1, 2, 3)).cls, InstClass::kIntMul);
+  EXPECT_EQ(decode(make_mul(3, 1, 2, 3)).cls, InstClass::kIntMul);
+  EXPECT_EQ(decode(make_mul(4, 1, 2, 3)).cls, InstClass::kIntDiv);
+  EXPECT_EQ(decode(make_mul(7, 1, 2, 3)).cls, InstClass::kIntDiv);
+  EXPECT_EQ(decode(make_mul(4, 1, 2, 3)).mnemonic, Mnemonic::kDiv);
+  EXPECT_EQ(decode(make_mul(6, 1, 2, 3)).mnemonic, Mnemonic::kRem);
+}
+
+TEST(Decode, ShiftImmediatesExtractShamt) {
+  const Decoded slli = decode(enc_i(kOpOpImm, 4, 1, 5, 33));
+  EXPECT_EQ(slli.mnemonic, Mnemonic::kSlli);
+  EXPECT_EQ(slli.imm_kind, ImmKind::kShamt);
+  EXPECT_EQ(slli.imm, 33);
+  const Decoded srai = decode(enc_i(kOpOpImm, 4, 5, 5, 0x400 | 17));
+  EXPECT_EQ(srai.mnemonic, Mnemonic::kSrai);
+  EXPECT_EQ(srai.imm, 17);
+}
+
+TEST(Decode, BranchImmediateRoundTrip) {
+  for (i32 off : {-4096, -2048, -2, 0, 2, 64, 4094}) {
+    const Decoded d = decode(make_branch(1, 8, 9, off));
+    ASSERT_TRUE(d.valid()) << off;
+    EXPECT_EQ(d.mnemonic, Mnemonic::kBne);
+    EXPECT_EQ(d.imm, off);
+  }
+}
+
+TEST(Decode, JalJalrClassification) {
+  EXPECT_EQ(decode(make_jal(1, 2048)).cls, InstClass::kCall);
+  EXPECT_EQ(decode(make_jal(0, -16)).cls, InstClass::kJump);
+  EXPECT_EQ(decode(make_jalr(1, 5, 0)).cls, InstClass::kCall);
+  EXPECT_EQ(decode(make_jalr(0, 1, 0)).cls, InstClass::kRet);
+  EXPECT_EQ(decode(make_jalr(0, 5, 0)).cls, InstClass::kJump);
+  for (i32 off : {-1048576, -2, 0, 2, 1048574}) {
+    EXPECT_EQ(decode(make_jal(0, off)).imm, off) << off;
+  }
+}
+
+TEST(Decode, Upper20BitImmediates) {
+  const Decoded lui = decode(enc_u(kOpLui, 7, 0x12345000));
+  EXPECT_EQ(lui.mnemonic, Mnemonic::kLui);
+  EXPECT_EQ(lui.imm, 0x12345000);
+  const Decoded auipc = decode(enc_u(kOpAuipc, 7, static_cast<i32>(0x80000000)));
+  EXPECT_EQ(auipc.mnemonic, Mnemonic::kAuipc);
+  EXPECT_EQ(auipc.imm, -static_cast<i64>(0x80000000));  // sign-extended
+}
+
+TEST(Decode, CsrFormsRegisterAndImmediate) {
+  const Decoded rw = decode(make_csrrw(3, 4, kCsrFgFilterAddr));
+  EXPECT_EQ(rw.mnemonic, Mnemonic::kCsrrw);
+  EXPECT_EQ(rw.csr, kCsrFgFilterAddr);
+  EXPECT_EQ(rw.rs1, 4);
+  // csrrsi x5, mstatus, 7
+  const u32 enc = (u32{kCsrMstatus} << 20) | (7u << 15) | (6u << 12) |
+                  (5u << 7) | kOpSystem;
+  const Decoded si = decode(enc);
+  EXPECT_EQ(si.mnemonic, Mnemonic::kCsrrsi);
+  EXPECT_EQ(si.imm, 7);
+  EXPECT_FALSE(si.reads_rs1());
+}
+
+TEST(Decode, EcallEbreakExactPatterns) {
+  EXPECT_EQ(decode(0x00000073).mnemonic, Mnemonic::kEcall);
+  EXPECT_EQ(decode(0x00100073).mnemonic, Mnemonic::kEbreak);
+  EXPECT_FALSE(decode(0x00200073).valid());
+}
+
+TEST(Decode, AmoOperandsAndWidth) {
+  // amoadd.d x3, x4, (x5): funct5=0, f3=3.
+  const u32 enc = enc_r(kOpAmo, 3, 3, 5, 4, 0x00);
+  const Decoded d = decode(enc);
+  EXPECT_EQ(d.mnemonic, Mnemonic::kAmoAddD);
+  EXPECT_TRUE(d.is_amo);
+  EXPECT_EQ(d.mem_bytes, 8);
+  // lr.w reads no rs2 and is load-class.
+  const u32 lr = enc_r(kOpAmo, 3, 2, 5, 0, 0x02 << 2);
+  const Decoded dl = decode(lr);
+  EXPECT_EQ(dl.mnemonic, Mnemonic::kLrW);
+  EXPECT_EQ(dl.cls, InstClass::kLoad);
+  EXPECT_FALSE(dl.reads_rs2());
+}
+
+TEST(Decode, FpComputationalSplitsByFormat) {
+  // fadd.s f1, f2, f3 (funct7 = 0b0000000, fmt=00).
+  EXPECT_EQ(decode(enc_r(kOpFp, 1, 0, 2, 3, 0x00)).mnemonic, Mnemonic::kFaddS);
+  EXPECT_EQ(decode(enc_r(kOpFp, 1, 0, 2, 3, 0x01)).mnemonic, Mnemonic::kFaddD);
+  EXPECT_EQ(decode(enc_r(kOpFp, 1, 0, 2, 3, 0x0d)).mnemonic, Mnemonic::kFdivD);
+  EXPECT_EQ(decode(enc_r(kOpFp, 1, 0, 2, 3, 0x0d)).cls, InstClass::kFpMulDiv);
+  // fsqrt.d requires rs2 == 0.
+  EXPECT_EQ(decode(enc_r(kOpFp, 1, 0, 2, 0, 0x2d)).mnemonic, Mnemonic::kFsqrtD);
+  EXPECT_FALSE(decode(enc_r(kOpFp, 1, 0, 2, 9, 0x2d)).valid());
+}
+
+TEST(Decode, FpComparisonsWriteIntegerRd) {
+  // feq.d x5, f1, f2: funct7 = {0x14, fmt=01} = 0x51, f3=2.
+  const Decoded d = decode(enc_r(kOpFp, 5, 2, 1, 2, 0x51));
+  EXPECT_EQ(d.mnemonic, Mnemonic::kFeqD);
+  EXPECT_EQ(d.rd_file, RegFile::kInt);
+  EXPECT_EQ(d.rs1_file, RegFile::kFp);
+}
+
+TEST(Decode, FpConversionsDirectionality) {
+  // fcvt.l.d x1, f2: funct7 = {0x18, 01} = 0x61, rs2 = 2.
+  const Decoded fp2int = decode(enc_r(kOpFp, 1, 0, 2, 2, 0x61));
+  EXPECT_EQ(fp2int.mnemonic, Mnemonic::kFcvtLD);
+  EXPECT_EQ(fp2int.rd_file, RegFile::kInt);
+  EXPECT_EQ(fp2int.rs1_file, RegFile::kFp);
+  // fcvt.d.lu f1, x2: funct7 = {0x1a, 01} = 0x69, rs2 = 3.
+  const Decoded int2fp = decode(enc_r(kOpFp, 1, 0, 2, 3, 0x69));
+  EXPECT_EQ(int2fp.mnemonic, Mnemonic::kFcvtDLu);
+  EXPECT_EQ(int2fp.rd_file, RegFile::kFp);
+  EXPECT_EQ(int2fp.rs1_file, RegFile::kInt);
+  // fcvt.s.d / fcvt.d.s.
+  EXPECT_EQ(decode(enc_r(kOpFp, 1, 0, 2, 1, 0x20)).mnemonic, Mnemonic::kFcvtSD);
+  EXPECT_EQ(decode(enc_r(kOpFp, 1, 0, 2, 0, 0x21)).mnemonic, Mnemonic::kFcvtDS);
+}
+
+TEST(Decode, FusedMultiplyAddReadsThreeFpSources) {
+  // fmadd.d f1, f2, f3, f4: rs3 in bits [31:27], fmt in [26:25].
+  const u32 enc = (4u << 27) | (1u << 25) | (3u << 20) | (2u << 15) |
+                  (0u << 12) | (1u << 7) | 0x43;
+  const Decoded d = decode(enc);
+  EXPECT_EQ(d.mnemonic, Mnemonic::kFmaddD);
+  EXPECT_TRUE(d.reads_rs3());
+  EXPECT_EQ(d.rs3, 4);
+  EXPECT_EQ(d.cls, InstClass::kFpMulDiv);
+}
+
+TEST(Decode, GuardEventMarkers) {
+  EXPECT_EQ(decode(make_guard_event(true)).mnemonic, Mnemonic::kGuardAlloc);
+  EXPECT_EQ(decode(make_guard_event(false)).mnemonic, Mnemonic::kGuardFree);
+  EXPECT_EQ(decode(make_guard_event(true)).cls, InstClass::kGuardEvent);
+}
+
+TEST(Decode, RejectsCompressedLengthPrefix) {
+  EXPECT_FALSE(decode(0x00000001).valid());
+  EXPECT_FALSE(decode(0x0000fffe).valid());
+}
+
+TEST(Decode, FuzzNeverAbortsAndInvalidIsNop) {
+  Rng rng(0xdec0de);
+  for (int i = 0; i < 200000; ++i) {
+    const u32 enc = static_cast<u32>(rng.next());
+    const Decoded d = decode(enc);
+    if (!d.valid()) {
+      EXPECT_EQ(d.cls, InstClass::kNop);
+    }
+    // Decoded register indices are always in range by construction.
+    EXPECT_LT(d.rd, 32);
+    EXPECT_LT(d.rs1, 32);
+    EXPECT_LT(d.rs2, 32);
+    EXPECT_LT(d.rs3, 32);
+  }
+}
+
+TEST(Decode, DisassemblyOfCommonForms) {
+  EXPECT_EQ(disassemble_full(make_load(3, 5, 6, -32)), "ld x5, -32(x6)");
+  EXPECT_EQ(disassemble_full(make_store(2, 10, 11, 100)), "sw x11, 100(x10)");
+  EXPECT_EQ(disassemble_full(make_alu_rr(0, 1, 2, 3, true)), "sub x1, x2, x3");
+  EXPECT_EQ(disassemble_full(make_jalr(0, 1, 0)), "ret");
+  EXPECT_EQ(disassemble_full(make_alu_ri(0, 0, 0, 0)), "nop");
+  EXPECT_EQ(disassemble_full(make_alu_ri(0, 3, 7, 0)), "mv x3, x7");
+  EXPECT_EQ(disassemble_full(make_jal(0, 64)), "j 64");
+  EXPECT_EQ(disassemble_full(make_branch(0, 9, 0, -8)), "beqz x9, -8");
+  // 0xdeadbeef happens to be a well-formed jal x29 encoding.
+  EXPECT_EQ(disassemble_full(0xdeadbeef), "jal x29, -150038");
+  EXPECT_EQ(disassemble_full(0x00000000), ".word 0x00000000");
+}
+
+TEST(Decode, EveryMnemonicHasAName) {
+  for (u16 m = 1; m < static_cast<u16>(Mnemonic::kCount); ++m) {
+    EXPECT_STRNE(mnemonic_name(static_cast<Mnemonic>(m)), "<invalid>")
+        << "mnemonic " << m;
+  }
+}
+
+TEST(FilterRow, LoadsAndStoresHaveUniqueRows) {
+  // The lb row (0x03 with funct3 0) is exactly one mnemonic.
+  EXPECT_EQ(mnemonics_sharing_filter_row(0x003), 1u);  // lb
+  EXPECT_EQ(mnemonics_sharing_filter_row(0x023), 1u);  // sb
+  // Row addresses quoted in the paper (Figure 3): 0x03 -> lb, 0x23 -> sb.
+  EXPECT_EQ(*canonical_filter_row(Mnemonic::kLb), 0x003);
+  EXPECT_EQ(*canonical_filter_row(Mnemonic::kSb), 0x023);
+}
+
+TEST(FilterRow, OpRowsCollideAcrossFunct7) {
+  // add/sub/mul share {funct3=0, opcode=0x33}: the filter cannot split them.
+  const u16 row = *canonical_filter_row(Mnemonic::kAdd);
+  EXPECT_EQ(row, *canonical_filter_row(Mnemonic::kSub));
+  EXPECT_EQ(row, *canonical_filter_row(Mnemonic::kMul));
+  EXPECT_EQ(mnemonics_sharing_filter_row(row), 3u);
+}
+
+TEST(FilterRow, DecodedInstructionsLandOnTheirCanonicalRow) {
+  // For every mnemonic with a canonical row, an actual encoding's
+  // filter_index matches it (checked over the encodings we can build).
+  EXPECT_EQ(filter_index(make_load(2, 1, 2, 4)),
+            *canonical_filter_row(Mnemonic::kLw));
+  EXPECT_EQ(filter_index(make_store(3, 1, 2, 8)),
+            *canonical_filter_row(Mnemonic::kSd));
+  EXPECT_EQ(filter_index(make_branch(4, 1, 2, 16)),
+            *canonical_filter_row(Mnemonic::kBlt));
+  EXPECT_EQ(filter_index(make_guard_event(true)),
+            *canonical_filter_row(Mnemonic::kGuardAlloc));
+}
+
+TEST(Csr, NamesAndConventionBits) {
+  EXPECT_STREQ(*csr_name(kCsrMstatus), "mstatus");
+  EXPECT_STREQ(*csr_name(kCsrFgFilterAddr), "fg.filter_addr");
+  EXPECT_FALSE(csr_name(0x5aa).has_value());
+  EXPECT_TRUE(csr_is_readonly(kCsrCycle));
+  EXPECT_FALSE(csr_is_readonly(kCsrMstatus));
+  EXPECT_EQ(csr_privilege(kCsrMstatus), 3u);
+  EXPECT_EQ(csr_privilege(kCsrSstatus), 1u);
+  EXPECT_EQ(csr_privilege(kCsrFflags), 0u);
+  EXPECT_TRUE(is_fireguard_csr(kCsrFgAeBitmap));
+  EXPECT_FALSE(is_fireguard_csr(kCsrMstatus));
+}
+
+}  // namespace
+}  // namespace fg::isa

@@ -1,0 +1,116 @@
+// Tests for the energy-overhead model (Section IV-G's closing claim).
+#include "src/area/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace fg::area {
+namespace {
+
+CoreSpec boom_core() {
+  CoreSpec c;
+  c.name = "BOOM";
+  c.freq_ghz = kBoomFreqGhz;
+  c.tech_nm = 14;
+  c.area_native_mm2 = 1.11;
+  c.ipc = kBoomIpc;
+  c.commit_width = 4;
+  return c;
+}
+
+TEST(Energy, OverheadIsPositiveAndFinite) {
+  const CoreSpec core = boom_core();
+  const EnergyBreakdown e =
+      estimate_energy(core, per_core_cost(core), ActivityFactors{}, 1.6);
+  EXPECT_GT(e.core_mw, 0.0);
+  EXPECT_GT(e.fireguard_mw, 0.0);
+  EXPECT_GT(e.overhead_pct, 0.0);
+  EXPECT_LT(e.overhead_pct, 100.0);
+}
+
+TEST(Energy, EnergyOverheadBelowAreaOverhead) {
+  // The paper's claim: most of FireGuard's area (the µcores) runs at half
+  // clock with <1 duty, so power overhead% < area overhead%.
+  const CoreSpec core = boom_core();
+  const EnergyBreakdown e =
+      estimate_energy(core, per_core_cost(core), ActivityFactors{}, 1.6);
+  EXPECT_LT(e.overhead_pct, e.area_overhead_pct);
+}
+
+TEST(Energy, TwoDomainSplitSavesOverSingleDomain) {
+  const CoreSpec core = boom_core();
+  const EnergyBreakdown e =
+      estimate_energy(core, per_core_cost(core), ActivityFactors{}, 1.6);
+  EXPECT_LT(e.overhead_pct, e.single_domain_overhead_pct);
+}
+
+TEST(Energy, SlowerFabricClockMonotonicallyCheaper) {
+  const CoreSpec core = boom_core();
+  const FireGuardCost cost = per_core_cost(core);
+  double prev = 1e9;
+  for (const double slow : {3.2, 2.4, 1.6, 0.8}) {
+    const double o =
+        estimate_energy(core, cost, ActivityFactors{}, slow).overhead_pct;
+    EXPECT_LT(o, prev) << slow;
+    prev = o;
+  }
+}
+
+TEST(Energy, LeakageOnlyWhenIdle) {
+  // With zero activity everywhere, only leakage remains and it is
+  // proportional to area — overhead equals the area ratio scaled by the
+  // leakage share.
+  ActivityFactors idle;
+  idle.main_core = idle.filter = idle.mapper = idle.cdc = idle.ucores =
+      idle.noc = 0.0;
+  const CoreSpec core = boom_core();
+  const FireGuardCost cost = per_core_cost(core);
+  const EnergyBreakdown e = estimate_energy(core, cost, idle, 1.6);
+  for (const BlockPower& b : e.blocks) EXPECT_EQ(b.dynamic_mw, 0.0) << b.name;
+  EXPECT_NEAR(e.overhead_pct, cost.pct_of_core, 1e-6);
+}
+
+TEST(Energy, ActivityFromRunClampsAndScales) {
+  const ActivityFactors af = activity_from_run(1.3, 4, 0.35, 0.7);
+  EXPECT_NEAR(af.filter, 1.3 / 4, 1e-9);
+  EXPECT_NEAR(af.mapper, 1.3 * 0.35, 1e-9);
+  EXPECT_NEAR(af.ucores, 0.7, 1e-9);
+  // Degenerate inputs clamp.
+  const ActivityFactors hot = activity_from_run(8.0, 4, 2.0, 1.5);
+  EXPECT_EQ(hot.filter, 1.0);
+  EXPECT_EQ(hot.mapper, 1.0);
+  EXPECT_EQ(hot.ucores, 1.0);
+}
+
+TEST(Energy, Table3RowsAllBelowAreaOverhead) {
+  const auto rows = table3_energy_rows();
+  ASSERT_EQ(rows.size(), 4u);
+  for (const SocEnergyRow& r : rows) {
+    EXPECT_GT(r.energy_overhead_pct, 0.0) << r.soc;
+    EXPECT_LT(r.energy_overhead_pct, r.area_overhead_pct) << r.soc;
+    EXPECT_LT(r.energy_overhead_pct, r.single_domain_pct) << r.soc;
+  }
+  // Commercial cores have lower relative overhead than the BOOM prototype,
+  // mirroring the area trend of Table III.
+  const double boom = rows[0].energy_overhead_pct;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i].energy_overhead_pct, boom) << rows[i].soc;
+  }
+}
+
+TEST(Energy, ConstantsScaleLinearly) {
+  // Doubling both power densities doubles absolute power but leaves the
+  // overhead ratio untouched (the model's node-independence property).
+  const CoreSpec core = boom_core();
+  const FireGuardCost cost = per_core_cost(core);
+  PowerConstants pc2;
+  pc2.k_dyn_mw_per_mm2_ghz *= 2;
+  pc2.k_leak_mw_per_mm2 *= 2;
+  const EnergyBreakdown a = estimate_energy(core, cost, ActivityFactors{}, 1.6);
+  const EnergyBreakdown b =
+      estimate_energy(core, cost, ActivityFactors{}, 1.6, pc2);
+  EXPECT_NEAR(b.core_mw, 2 * a.core_mw, 1e-9);
+  EXPECT_NEAR(b.overhead_pct, a.overhead_pct, 1e-9);
+}
+
+}  // namespace
+}  // namespace fg::area

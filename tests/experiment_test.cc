@@ -1,0 +1,122 @@
+// Tests for the experiment harness: Table II presets, deployment defaults,
+// software-baseline expansion ordering, and the memoizing baseline cache.
+#include "src/soc/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace fg::soc {
+namespace {
+
+trace::WorkloadConfig small_wl(const char* name, u64 n = 25000) {
+  trace::WorkloadConfig wl;
+  wl.profile = trace::profile_by_name(name);
+  wl.seed = 5;
+  wl.n_insts = n;
+  return wl;
+}
+
+TEST(Experiment, DeployDefaults) {
+  const KernelDeployment d = deploy(kernels::KernelKind::kAsan, 6);
+  EXPECT_EQ(d.kind, kernels::KernelKind::kAsan);
+  EXPECT_EQ(d.n_engines, 6u);
+  EXPECT_FALSE(d.use_ha);
+  EXPECT_FALSE(d.policy_overridden);
+  const KernelDeployment h =
+      deploy(kernels::KernelKind::kPmc, 1, kernels::ProgModel::kHybrid, true);
+  EXPECT_TRUE(h.use_ha);
+}
+
+TEST(Experiment, Table2SocMatchesPaperNumbers) {
+  const SocConfig sc = table2_soc();
+  EXPECT_EQ(sc.core.rob_entries, 128u);
+  EXPECT_EQ(sc.core.iq_entries, 96u);
+  EXPECT_EQ(sc.core.ldq_entries, 32u);
+  EXPECT_EQ(sc.core.phys_regs, 128u);
+  EXPECT_EQ(sc.frontend.filter.width, 4u);
+  EXPECT_EQ(sc.frontend.filter.fifo_depth, 16u);
+  EXPECT_EQ(sc.frontend.cdc_depth, 8u);
+  EXPECT_EQ(sc.frontend.freq_ratio, 2u);    // 3.2 / 1.6 GHz
+  EXPECT_EQ(sc.frontend.mapper_width, 1u);  // the paper's scalar mapper
+  EXPECT_EQ(sc.ucore.msgq_depth, 32u);
+  EXPECT_DOUBLE_EQ(sc.fast_ghz, 3.2);
+}
+
+TEST(Experiment, SoftwareSchemesOrderedByDocumentedCost) {
+  // The documented LLVM-instrumentation overheads order as:
+  // shadow stack << ASan x86-64 < ASan AArch64; DangSan sits near 1.6x.
+  const SocConfig sc = table2_soc();
+  const trace::WorkloadConfig wl = small_wl("ferret", 40000);
+  const Cycle base = run_baseline_cycles(wl, sc);
+  auto slow = [&](baseline::SwScheme s) {
+    return static_cast<double>(run_software(wl, s, sc).cycles) /
+           static_cast<double>(base);
+  };
+  const double ss = slow(baseline::SwScheme::kShadowStackLlvm);
+  const double x86 = slow(baseline::SwScheme::kAsanX8664);
+  const double a64 = slow(baseline::SwScheme::kAsanAarch64);
+  const double dang = slow(baseline::SwScheme::kDangSan);
+  EXPECT_GT(ss, 1.0);
+  // ferret is the call-heavy tail of the shadow-stack cost distribution
+  // (the 7.9% the paper quotes is a geomean over all nine workloads).
+  EXPECT_LT(ss, 1.6);
+  EXPECT_GT(x86, ss);
+  EXPECT_GT(a64, x86);
+  EXPECT_GT(dang, 1.0);
+  EXPECT_LT(dang, x86);
+}
+
+TEST(Experiment, ExpansionReportedForSoftwareRuns) {
+  const SocConfig sc = table2_soc();
+  const RunResult r =
+      run_software(small_wl("dedup"), baseline::SwScheme::kAsanX8664, sc);
+  EXPECT_GT(r.expansion, 1.2);
+  EXPECT_LT(r.expansion, 4.0);
+  EXPECT_GT(r.committed, 25000u);  // instrumentation adds instructions
+}
+
+TEST(Experiment, BaselineCacheReturnsIdenticalValues) {
+  BaselineCache cache;
+  const SocConfig sc = table2_soc();
+  const trace::WorkloadConfig wl = small_wl("swaptions");
+  const Cycle a = cache.get(wl, sc);
+  const Cycle b = cache.get(wl, sc);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, run_baseline_cycles(wl, sc));
+}
+
+TEST(Experiment, GeomeanBasics) {
+  EXPECT_DOUBLE_EQ(geomean_slowdown({2.0, 2.0}), 2.0);
+  EXPECT_NEAR(geomean_slowdown({1.0, 4.0}), 2.0, 1e-9);
+  EXPECT_NEAR(geomean_slowdown({1.1, 1.2, 1.3}), 1.1972, 1e-3);
+}
+
+TEST(Experiment, FireguardRunPopulatesAllFields) {
+  SocConfig sc = table2_soc();
+  sc.kernels = {deploy(kernels::KernelKind::kPmc, 4)};
+  trace::WorkloadConfig wl = small_wl("blackscholes");
+  wl.attacks = {{trace::AttackKind::kPcHijack, 5}};
+  const RunResult r = run_fireguard(wl, sc);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.committed, wl.n_insts / 2);
+  EXPECT_GT(r.ipc, 0.1);
+  EXPECT_GT(r.packets, 0u);
+  EXPECT_EQ(r.planned_attacks, 5u);
+  EXPECT_EQ(r.detections.size(), 5u);
+}
+
+TEST(Experiment, EveryWorkloadProfileRunsEndToEnd) {
+  SocConfig sc = table2_soc();
+  sc.kernels = {deploy(kernels::KernelKind::kShadowStack, 2)};
+  for (const auto& p : trace::parsec_profiles()) {
+    trace::WorkloadConfig wl;
+    wl.profile = p;
+    wl.seed = 9;
+    wl.n_insts = 8000;
+    const RunResult r = run_fireguard(wl, sc);
+    EXPECT_GT(r.cycles, 0u) << p.name;
+    EXPECT_EQ(r.spurious, 0u) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace fg::soc

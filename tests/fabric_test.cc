@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "src/core/fabric.h"
+
+namespace fg::core {
+namespace {
+
+TEST(Noc, GridGeometryNearSquare) {
+  NocMesh m4(4);
+  EXPECT_EQ(m4.width(), 2u);
+  EXPECT_EQ(m4.height(), 2u);
+  NocMesh m12(12);
+  EXPECT_EQ(m12.width(), 4u);
+  EXPECT_EQ(m12.height(), 3u);
+}
+
+TEST(Noc, ManhattanHops) {
+  NocMesh m(16);  // 4x4
+  EXPECT_EQ(m.hops(0, 0), 0u);
+  EXPECT_EQ(m.hops(0, 1), 1u);
+  EXPECT_EQ(m.hops(0, 4), 1u);
+  EXPECT_EQ(m.hops(0, 5), 2u);
+  EXPECT_EQ(m.hops(0, 15), 6u);
+}
+
+TEST(Noc, DeliveryAfterHopLatency) {
+  NocMesh m(16, /*hop_latency=*/2);
+  const Cycle arrive = m.send(0, 15, 0xcafe, 100);
+  EXPECT_GE(arrive, 100u + 6 * 2);
+  EXPECT_FALSE(m.deliver(15, arrive - 1).has_value());
+  auto msg = m.deliver(15, arrive);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, 0xcafeu);
+  EXPECT_EQ(msg->src, 0u);
+}
+
+TEST(Noc, LocalDeliveryStillTakesACycle) {
+  NocMesh m(4);
+  const Cycle arrive = m.send(1, 1, 7, 50);
+  EXPECT_EQ(arrive, 51u);
+}
+
+TEST(Noc, LinkContentionSerializes) {
+  NocMesh m(4, 1);  // 2x2
+  // Two messages over the same directed link in the same cycle.
+  const Cycle a = m.send(0, 1, 1, 10);
+  const Cycle b = m.send(0, 1, 2, 10);
+  EXPECT_GT(b, a);
+  EXPECT_GT(m.stats().link_contention_cycles, 0u);
+}
+
+TEST(Noc, IndependentLinksParallel) {
+  NocMesh m(4, 1);
+  const Cycle a = m.send(0, 1, 1, 10);  // east link at (0,0)
+  const Cycle b = m.send(3, 2, 2, 10);  // west link at (1,1)
+  EXPECT_EQ(a, b);
+}
+
+TEST(Noc, DeliverReturnsInArrivalOrder) {
+  NocMesh m(9, 1);
+  m.send(8, 0, 111, 10);  // far: 4 hops
+  m.send(1, 0, 222, 10);  // near: 1 hop
+  auto first = m.deliver(0, 1000);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->payload, 222u);
+  auto second = m.deliver(0, 1000);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->payload, 111u);
+  EXPECT_FALSE(m.deliver(0, 1000).has_value());
+}
+
+TEST(Noc, StatsTrackHops) {
+  NocMesh m(16, 1);
+  m.send(0, 15, 1, 0);
+  EXPECT_EQ(m.stats().messages, 1u);
+  EXPECT_EQ(m.stats().total_hops, 6u);
+}
+
+class NocSizes : public ::testing::TestWithParam<u32> {};
+
+TEST_P(NocSizes, AllPairsDeliverable) {
+  const u32 n = GetParam();
+  NocMesh m(n, 2);
+  Cycle now = 0;
+  for (u32 s = 0; s < n; ++s) {
+    for (u32 d = 0; d < n; ++d) {
+      now += 100;
+      m.send(s, d, s * 100 + d, now);
+      auto msg = m.deliver(d, now + 1000);
+      ASSERT_TRUE(msg.has_value()) << s << "->" << d;
+      EXPECT_EQ(msg->payload, s * 100ull + d);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NocSizes, ::testing::Values(1, 2, 4, 6, 12, 16));
+
+}  // namespace
+}  // namespace fg::core

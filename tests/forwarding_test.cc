@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/core/forwarding.h"
+
+namespace fg::core {
+namespace {
+
+trace::TraceInst mem_inst(u64 addr) {
+  trace::TraceInst ti;
+  ti.pc = 0x1234;
+  ti.enc = isa::make_load(0x3, 5, 6, 0);
+  ti.cls = isa::InstClass::kLoad;
+  ti.mem_addr = addr;
+  ti.wb_value = 0xdead;
+  return ti;
+}
+
+TEST(Forwarding, MemInstForwardsLsqAddress) {
+  DataForwardingChannel f;
+  const Packet p = f.extract(mem_inst(0xabcd), 17, 3);
+  EXPECT_EQ(p.pc, 0x1234u);
+  EXPECT_EQ(p.addr, 0xabcdu);
+  EXPECT_EQ(p.data, 0xdeadu);
+  EXPECT_EQ(p.seq, 3u);
+  EXPECT_EQ(p.commit_cycle, 17u);
+}
+
+TEST(Forwarding, CtrlInstForwardsFtqTarget) {
+  trace::TraceInst ti;
+  ti.cls = isa::InstClass::kBranch;
+  ti.enc = isa::make_branch(0, 1, 2, 16);
+  ti.target = 0x5678;
+  DataForwardingChannel f;
+  EXPECT_EQ(f.extract(ti, 0, 0).addr, 0x5678u);
+}
+
+TEST(Forwarding, AluInstHasNoAddr) {
+  trace::TraceInst ti;
+  ti.cls = isa::InstClass::kIntAlu;
+  ti.enc = isa::make_alu_rr(0, 1, 2, 3, false);
+  DataForwardingChannel f;
+  EXPECT_EQ(f.extract(ti, 0, 0).addr, 0u);
+}
+
+TEST(Forwarding, SemEventMetadataCarried) {
+  trace::TraceInst ti;
+  ti.cls = isa::InstClass::kGuardEvent;
+  ti.enc = isa::make_guard_event(true);
+  ti.sem = trace::SemEvent::kAlloc;
+  ti.sem_addr = 0x40001000;
+  ti.sem_size = 256;
+  DataForwardingChannel f;
+  const Packet p = f.extract(ti, 0, 0);
+  EXPECT_EQ(p.sem, trace::SemEvent::kAlloc);
+  EXPECT_EQ(p.sem_addr, 0x40001000u);
+  EXPECT_EQ(p.sem_size, 256u);
+  // The packet word view exposes base and size to the kernels.
+  EXPECT_EQ(packet_word(p, 2), 0x40001000u);
+  EXPECT_EQ(packet_word(p, 1) >> 32, 256u);
+}
+
+TEST(Forwarding, PrfPreemptionsCounted) {
+  DataForwardingChannel f;
+  f.note_selected(kDpPrf | kDpLsq);
+  f.note_selected(kDpLsq);
+  f.note_selected(kDpPrf);
+  EXPECT_EQ(f.take_prf_preemptions(), 2u);
+  EXPECT_EQ(f.take_prf_preemptions(), 0u);  // cleared on read
+  EXPECT_EQ(f.stats().prf_reads, 2u);
+  EXPECT_EQ(f.stats().lsq_reads, 2u);
+}
+
+TEST(PacketWords, LayoutMatchesTableI) {
+  Packet p;
+  p.pc = 0x1111;
+  p.inst = 0x2222;
+  p.addr = 0x3333;
+  p.data = 0x4444;
+  EXPECT_EQ(packet_word(p, 0), 0x1111u);
+  EXPECT_EQ(packet_word(p, 1) & 0xffffffff, 0x2222u);
+  EXPECT_EQ(packet_word(p, 2), 0x3333u);
+  EXPECT_EQ(packet_word(p, 3), 0x4444u);
+}
+
+}  // namespace
+}  // namespace fg::core

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "src/core/frontend.h"
+
+namespace fg::core {
+namespace {
+
+class FakeStatus final : public QueueStatus {
+ public:
+  bool engine_queue_full(u32 e) const override { return full_mask & (1u << e); }
+  size_t engine_queue_free(u32 e) const override {
+    return engine_queue_full(e) ? 0 : 8;
+  }
+  u32 full_mask = 0;
+};
+
+trace::TraceInst load_inst(u64 seq) {
+  trace::TraceInst ti;
+  ti.pc = 0x1000 + seq * 4;
+  ti.enc = isa::make_load(0x3, 5, 6, 0);
+  ti.cls = isa::InstClass::kLoad;
+  ti.mem_addr = 0x4000 + seq * 8;
+  ti.wb_value = seq;
+  return ti;
+}
+
+FrontendConfig cfg4() {
+  FrontendConfig c;
+  c.filter.width = 4;
+  c.filter.fifo_depth = 16;
+  c.cdc_depth = 8;
+  c.freq_ratio = 2;
+  return c;
+}
+
+TEST(Frontend, CommitToCdcPipeline) {
+  Frontend fe(cfg4());
+  fe.filter().table().add_interest(isa::kOpLoad, 0x3, 0, kDpLsq | kDpPrf);
+  fe.allocator().configure_se(0, 0b0001, SchedPolicy::kFixed, 0);
+  FakeStatus st;
+  ASSERT_TRUE(fe.can_commit(0, load_inst(0)));
+  fe.on_commit(0, load_inst(0), 5);
+  fe.tick_fast(5, st, false);
+  ASSERT_TRUE(fe.cdc().can_pop(100));
+  const Packet p = fe.cdc().pop();
+  EXPECT_TRUE(p.valid);
+  EXPECT_EQ(p.ae_bitmap, 0b0001);
+  EXPECT_EQ(p.commit_cycle, 5u);
+}
+
+TEST(Frontend, IrrelevantCommitsProduceNothing) {
+  Frontend fe(cfg4());
+  fe.allocator().configure_se(0, 0b0001, SchedPolicy::kFixed, 0);
+  trace::TraceInst alu;
+  alu.enc = isa::make_alu_rr(0, 1, 2, 3, false);
+  alu.cls = isa::InstClass::kIntAlu;
+  FakeStatus st;
+  fe.on_commit(0, alu, 0);
+  fe.tick_fast(0, st, false);
+  EXPECT_TRUE(fe.cdc().empty());
+}
+
+TEST(Frontend, UnroutedValidPacketsDropped) {
+  Frontend fe(cfg4());
+  fe.filter().table().add_interest(isa::kOpLoad, 0x3, /*gid=*/7, kDpLsq);
+  // No SE subscribed to GID 7.
+  FakeStatus st;
+  fe.on_commit(0, load_inst(0), 0);
+  fe.tick_fast(0, st, false);
+  EXPECT_TRUE(fe.cdc().empty());
+  EXPECT_EQ(fe.stats().dropped_unrouted, 1u);
+}
+
+TEST(Frontend, WidthRefusalAttributedToFilter) {
+  FrontendConfig c = cfg4();
+  c.filter.width = 2;
+  Frontend fe(c);
+  EXPECT_TRUE(fe.can_commit(0, load_inst(0)));
+  EXPECT_FALSE(fe.can_commit(2, load_inst(0)));
+  EXPECT_EQ(fe.stats().stall_by_cause[static_cast<size_t>(StallCause::kFilter)], 1u);
+}
+
+TEST(Frontend, MapperAttributionWhenFifoFullButCdcFree) {
+  FrontendConfig c = cfg4();
+  c.filter.width = 1;
+  c.filter.fifo_depth = 2;
+  Frontend fe(c);
+  fe.filter().table().add_interest(isa::kOpLoad, 0x3, 0, kDpLsq);
+  fe.allocator().configure_se(0, 1, SchedPolicy::kFixed, 0);
+  fe.on_commit(0, load_inst(0), 0);
+  fe.on_commit(0, load_inst(1), 0);
+  // FIFO (depth 2) now full; CDC empty -> the scalar mapper is the cause.
+  EXPECT_FALSE(fe.can_commit(0, load_inst(2)));
+  EXPECT_GT(fe.stats().stall_by_cause[static_cast<size_t>(StallCause::kMapper)], 0u);
+}
+
+TEST(Frontend, EngineAttributionWhenChainBackedUp) {
+  FrontendConfig c = cfg4();
+  c.filter.width = 1;
+  c.filter.fifo_depth = 2;
+  c.cdc_depth = 2;
+  Frontend fe(c);
+  fe.filter().table().add_interest(isa::kOpLoad, 0x3, 0, kDpLsq);
+  fe.allocator().configure_se(0, 1, SchedPolicy::kFixed, 0);
+  FakeStatus st;
+  st.full_mask = 1;  // engine queue full: multicast blocked
+  u64 seq = 0;
+  // Fill FIFO and CDC completely while the slow side never drains.
+  for (int cyc = 0; cyc < 10; ++cyc) {
+    if (fe.can_commit(0, load_inst(seq))) fe.on_commit(0, load_inst(seq++), cyc);
+    fe.tick_fast(cyc, st, /*engines_blocked=*/true);
+  }
+  EXPECT_FALSE(fe.can_commit(0, load_inst(seq)));
+  EXPECT_GT(fe.stats().stall_by_cause[static_cast<size_t>(StallCause::kEngines)], 0u);
+}
+
+TEST(Frontend, PrfPreemptionsFlowFromSelectedPackets) {
+  Frontend fe(cfg4());
+  fe.filter().table().add_interest(isa::kOpLoad, 0x3, 0, kDpLsq | kDpPrf);
+  fe.on_commit(0, load_inst(0), 0);
+  fe.on_commit(1, load_inst(1), 0);
+  EXPECT_EQ(fe.prf_ports_preempted(), 2u);
+  EXPECT_EQ(fe.prf_ports_preempted(), 0u);
+}
+
+TEST(Frontend, ScalarMapperOnePacketPerCycle) {
+  Frontend fe(cfg4());
+  fe.filter().table().add_interest(isa::kOpLoad, 0x3, 0, kDpLsq);
+  fe.allocator().configure_se(0, 1, SchedPolicy::kFixed, 0);
+  FakeStatus st;
+  for (u64 s = 0; s < 4; ++s) fe.on_commit(static_cast<u32>(s), load_inst(s), 0);
+  fe.tick_fast(0, st, false);
+  EXPECT_EQ(fe.cdc().size(), 1u);  // one per fast cycle
+  fe.tick_fast(1, st, false);
+  EXPECT_EQ(fe.cdc().size(), 2u);
+}
+
+}  // namespace
+}  // namespace fg::core

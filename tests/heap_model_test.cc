@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/trace/heap_model.h"
+
+namespace fg::trace {
+namespace {
+
+TEST(HeapModel, AllocationsGranuleAlignedAndSeparated) {
+  HeapModel h(64, 200, 1);
+  std::vector<Allocation> allocs;
+  for (int i = 0; i < 50; ++i) allocs.push_back(h.malloc_one());
+  for (const auto& a : allocs) {
+    EXPECT_EQ(a.base % kHeapGranule, 0u);
+    EXPECT_EQ(a.size % kHeapGranule, 0u);
+    EXPECT_GE(a.size, kHeapGranule);
+  }
+  // No two live allocations overlap, and redzone gaps separate bump-fresh
+  // neighbours.
+  for (size_t i = 0; i < allocs.size(); ++i) {
+    for (size_t j = i + 1; j < allocs.size(); ++j) {
+      const auto& a = allocs[i];
+      const auto& b = allocs[j];
+      const bool disjoint = a.base + a.size + kRedzoneBytes <= b.base ||
+                            b.base + b.size + kRedzoneBytes <= a.base;
+      EXPECT_TRUE(disjoint) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(HeapModel, FreeMovesToFreedList) {
+  HeapModel h(8, 128, 2);
+  for (int i = 0; i < 10; ++i) h.malloc_one();
+  EXPECT_EQ(h.live_count(), 10u);
+  const Allocation f = h.free_one();
+  EXPECT_GT(f.size, 0u);
+  EXPECT_EQ(h.live_count(), 9u);
+  EXPECT_EQ(h.freed_count(), 1u);
+}
+
+TEST(HeapModel, ShouldFreeTracksTarget) {
+  HeapModel h(4, 128, 3);
+  for (int i = 0; i < 4; ++i) h.malloc_one();
+  EXPECT_FALSE(h.should_free());
+  h.malloc_one();
+  EXPECT_TRUE(h.should_free());
+}
+
+TEST(HeapModel, BenignAddrInsideLiveAllocation) {
+  HeapModel h(32, 256, 4);
+  std::vector<Allocation> allocs;
+  for (int i = 0; i < 32; ++i) allocs.push_back(h.malloc_one());
+  for (int i = 0; i < 2000; ++i) {
+    const u64 a = h.benign_addr(8);
+    bool inside = false;
+    for (const auto& al : allocs) {
+      if (a >= al.base && a + 8 <= al.base + al.size) {
+        inside = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(inside) << std::hex << a;
+  }
+}
+
+TEST(HeapModel, OobAddrInRedzone) {
+  HeapModel h(16, 256, 5);
+  std::vector<Allocation> allocs;
+  for (int i = 0; i < 16; ++i) allocs.push_back(h.malloc_one());
+  for (int i = 0; i < 500; ++i) {
+    const u64 a = h.oob_addr();
+    bool in_redzone = false;
+    for (const auto& al : allocs) {
+      if (a >= al.base + al.size && a + 8 <= al.base + al.size + kRedzoneBytes) {
+        in_redzone = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(in_redzone) << std::hex << a;
+  }
+}
+
+TEST(HeapModel, UafAddrInsideFreedChunkAndPinned) {
+  HeapModel h(16, 256, 6);
+  for (int i = 0; i < 16; ++i) h.malloc_one();
+  std::vector<Allocation> freed;
+  for (int i = 0; i < 12; ++i) freed.push_back(h.free_one());
+  const size_t freed_before = h.freed_count();
+  const u64 a = h.uaf_addr();
+  ASSERT_NE(a, 0u);
+  bool inside = false;
+  for (const auto& f : freed) {
+    if (a >= f.base && a < f.base + f.size) inside = true;
+  }
+  EXPECT_TRUE(inside);
+  // The chunk is pinned: removed from the reusable freed pool.
+  EXPECT_EQ(h.freed_count(), freed_before - 1);
+}
+
+TEST(HeapModel, UafAddrZeroWhenNothingFreed) {
+  HeapModel h(16, 256, 7);
+  h.malloc_one();
+  EXPECT_EQ(h.uaf_addr(), 0u);
+}
+
+TEST(HeapModel, ReuseRecyclesFreedChunks) {
+  HeapModel h(64, 256, 8);
+  std::vector<Allocation> allocs;
+  for (int i = 0; i < 40; ++i) allocs.push_back(h.malloc_one());
+  std::set<u64> freed_bases;
+  for (int i = 0; i < 30; ++i) freed_bases.insert(h.free_one().base);
+  int reused = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (freed_bases.contains(h.malloc_one().base)) ++reused;
+  }
+  EXPECT_GT(reused, 5);  // LIFO reuse with p=0.7 should recycle plenty
+}
+
+TEST(HeapModel, ResetReproduces) {
+  HeapModel h(16, 256, 9);
+  std::vector<u64> first;
+  for (int i = 0; i < 20; ++i) first.push_back(h.malloc_one().base);
+  h.reset();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(h.malloc_one().base, first[i]);
+}
+
+}  // namespace
+}  // namespace fg::trace

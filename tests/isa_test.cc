@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/riscv.h"
+
+namespace fg::isa {
+namespace {
+
+TEST(Encode, RTypeFields) {
+  const u32 e = enc_r(kOpOp, 3, 0x7, 10, 11, 0x20);
+  EXPECT_EQ(opcode_of(e), kOpOp);
+  EXPECT_EQ(rd_of(e), 3);
+  EXPECT_EQ(funct3_of(e), 0x7);
+  EXPECT_EQ(rs1_of(e), 10);
+  EXPECT_EQ(rs2_of(e), 11);
+  EXPECT_EQ(funct7_of(e), 0x20);
+}
+
+TEST(Encode, ITypeImmediateRoundTrip) {
+  for (i32 imm : {-2048, -1, 0, 1, 7, 2047}) {
+    const u32 e = enc_i(kOpOpImm, 1, 0, 2, imm);
+    EXPECT_EQ(imm_i(e), imm) << "imm=" << imm;
+  }
+}
+
+TEST(Encode, STypeImmediateRoundTrip) {
+  for (i32 imm : {-2048, -64, 0, 5, 2047}) {
+    const u32 e = enc_s(kOpStore, 3, 2, 7, imm);
+    EXPECT_EQ(imm_s(e), imm) << "imm=" << imm;
+  }
+}
+
+TEST(Encode, BTypeImmediateRoundTrip) {
+  for (i32 imm : {-4096, -2, 0, 2, 64, 4094}) {
+    const u32 e = enc_b(kOpBranch, 1, 5, 6, imm);
+    EXPECT_EQ(imm_b(e), imm) << "imm=" << imm;
+  }
+}
+
+TEST(Encode, JTypeImmediateRoundTrip) {
+  for (i32 imm : {-(1 << 20), -2, 0, 2, 4096, (1 << 20) - 2}) {
+    const u32 e = enc_j(kOpJal, 1, imm);
+    EXPECT_EQ(imm_j(e), imm) << "imm=" << imm;
+  }
+}
+
+TEST(Encode, UType) {
+  const u32 e = enc_u(kOpLui, 5, 0x12345000);
+  EXPECT_EQ(imm_u(e), 0x12345000);
+  EXPECT_EQ(rd_of(e), 5);
+}
+
+TEST(FilterIndex, ConcatenatesFunct3AndOpcode) {
+  // lb = opcode 0x03, funct3 0 -> index 0x003 (the paper's example).
+  EXPECT_EQ(filter_index(make_load(0x0, 1, 2, 0)), 0x003);
+  // sb = opcode 0x23, funct3 0 -> index 0x023.
+  EXPECT_EQ(filter_index(make_store(0x0, 1, 2, 0)), 0x023);
+  // ld = funct3 3 -> index (3 << 7) | 0x03.
+  EXPECT_EQ(filter_index(make_load(0x3, 1, 2, 0)), (3u << 7) | 0x03);
+  EXPECT_LT(filter_index(0xffffffff), kFilterTableSize);
+}
+
+TEST(CallRet, Classification) {
+  EXPECT_TRUE(is_call(make_jal(1, 64)));     // jal ra, ...
+  EXPECT_FALSE(is_call(make_jal(0, 64)));    // plain jump
+  EXPECT_TRUE(is_call(make_jalr(1, 5, 0)));  // jalr ra, ...
+  EXPECT_TRUE(is_ret(make_jalr(0, 1, 0)));   // jalr x0, 0(ra)
+  EXPECT_FALSE(is_ret(make_jalr(0, 5, 0)));  // indirect jump via x5
+  EXPECT_FALSE(is_ret(make_jalr(1, 1, 0)));  // links: a call
+}
+
+TEST(GuardEvents, DistinctFunct3) {
+  const u32 alloc = make_guard_event(true);
+  const u32 free = make_guard_event(false);
+  EXPECT_EQ(opcode_of(alloc), kOpCustom0);
+  EXPECT_EQ(opcode_of(free), kOpCustom0);
+  EXPECT_EQ(funct3_of(alloc), kGuardAllocFunct3);
+  EXPECT_EQ(funct3_of(free), kGuardFreeFunct3);
+  EXPECT_NE(filter_index(alloc), filter_index(free));
+}
+
+TEST(Disassemble, KnownForms) {
+  EXPECT_EQ(disassemble(make_load(0x3, 7, 2, 16)), "ld x7, 16(x2)");
+  EXPECT_EQ(disassemble(make_store(0x2, 3, 9, -4)), "sw x9, -4(x3)");
+  EXPECT_EQ(disassemble(make_alu_rr(0x0, 1, 2, 3, false)), "add x1, x2, x3");
+  EXPECT_EQ(disassemble(make_alu_rr(0x0, 1, 2, 3, true)), "sub x1, x2, x3");
+  EXPECT_EQ(disassemble(make_mul(0x0, 4, 5, 6)), "mul x4, x5, x6");
+  EXPECT_EQ(disassemble(make_jalr(0, 1, 0)), "ret");
+  EXPECT_EQ(disassemble(make_guard_event(true)), "guard.alloc");
+  EXPECT_EQ(disassemble(make_guard_event(false)), "guard.free");
+}
+
+TEST(ClassNames, Behaviour) {
+  EXPECT_STREQ(class_name(InstClass::kLoad), "load");
+  EXPECT_STREQ(class_name(InstClass::kStore), "store");
+  EXPECT_STREQ(class_name(InstClass::kCall), "call");
+  EXPECT_TRUE(is_mem(InstClass::kLoad));
+  EXPECT_TRUE(is_mem(InstClass::kStore));
+  EXPECT_FALSE(is_mem(InstClass::kBranch));
+  EXPECT_TRUE(is_ctrl(InstClass::kBranch));
+  EXPECT_TRUE(is_ctrl(InstClass::kRet));
+  EXPECT_FALSE(is_ctrl(InstClass::kIntAlu));
+}
+
+class LoadStoreFunct3 : public ::testing::TestWithParam<u8> {};
+
+TEST_P(LoadStoreFunct3, FilterIndexUnique) {
+  const u8 f3 = GetParam();
+  const u32 load = make_load(f3, 1, 2, 0);
+  EXPECT_EQ(funct3_of(load), f3);
+  EXPECT_EQ(filter_index(load),
+            (static_cast<u16>(f3) << 7) | static_cast<u16>(kOpLoad));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, LoadStoreFunct3,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace fg::isa

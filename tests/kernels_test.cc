@@ -1,0 +1,309 @@
+// Semantic tests for the four guardian kernels: feed hand-built packets into
+// a bare µcore running the generated program and check the verdicts.
+#include <gtest/gtest.h>
+
+#include "src/kernels/ha.h"
+#include "src/kernels/kernel.h"
+#include "src/ucore/ucore.h"
+
+namespace fg::kernels {
+namespace {
+
+core::Packet pkt(u64 pc, u32 inst, u64 addr, u64 data = 0) {
+  core::Packet p;
+  p.valid = true;
+  p.pc = pc;
+  p.inst = inst;
+  p.addr = addr;
+  p.data = data;
+  return p;
+}
+
+core::Packet event(bool alloc, u64 base, u32 size) {
+  core::Packet p;
+  p.valid = true;
+  p.inst = isa::make_guard_event(alloc);
+  p.sem = alloc ? trace::SemEvent::kAlloc : trace::SemEvent::kFree;
+  p.sem_addr = base;
+  p.sem_size = size;
+  return p;
+}
+
+/// Harness: one µcore + shared memory running a kernel program.
+struct Engine {
+  ucore::USharedMemory mem;
+  ucore::UCore core;
+  Cycle t = 0;
+
+  explicit Engine(const ucore::UProgram& prog)
+      : core(ucore::UCoreConfig{}, 0, &mem, nullptr) {
+    core.load_program(prog);
+  }
+
+  void feed(const core::Packet& p) { core.push_input(p); }
+
+  /// Run until the kernel has drained its queue and is spinning.
+  void settle() {
+    for (int i = 0; i < 200000 && !core.quiescent(); ++i) core.tick(t++);
+    ASSERT_TRUE(core.quiescent());
+  }
+
+  size_t detections() const { return core.detections().size(); }
+};
+
+KernelParams params() {
+  KernelParams p;
+  p.text_lo = 0x10000;
+  p.text_hi = 0x20000;
+  return p;
+}
+
+// --- PMC ---
+
+TEST(Pmc, InBoundsTargetsPass) {
+  Engine e(build_pmc(ProgModel::kHybrid, params()));
+  for (u64 i = 0; i < 20; ++i) {
+    e.feed(pkt(0x10000 + 4 * i, isa::make_jal(1, 64), 0x10100 + 4 * i));
+  }
+  e.settle();
+  EXPECT_EQ(e.detections(), 0u);
+}
+
+TEST(Pmc, HijackedTargetDetected) {
+  Engine e(build_pmc(ProgModel::kHybrid, params()));
+  e.feed(pkt(0x10000, isa::make_jalr(0, 5, 0), 0x999999, /*data=*/77));
+  e.settle();
+  ASSERT_EQ(e.detections(), 1u);
+  EXPECT_EQ(e.core.detections()[0].payload, 77u);  // debug data = attack id
+}
+
+TEST(Pmc, BelowTextAlsoDetected) {
+  Engine e(build_pmc(ProgModel::kHybrid, params()));
+  e.feed(pkt(0x10000, isa::make_jalr(0, 5, 0), 0x400));
+  e.settle();
+  EXPECT_EQ(e.detections(), 1u);
+}
+
+TEST(Pmc, BoundaryConditions) {
+  Engine e(build_pmc(ProgModel::kHybrid, params()));
+  e.feed(pkt(0x10000, isa::make_jal(1, 64), 0x10000));      // == lo: legal
+  e.feed(pkt(0x10000, isa::make_jal(1, 64), 0x1fffc));      // < hi: legal
+  e.feed(pkt(0x10000, isa::make_jal(1, 64), 0x20000));      // == hi: illegal
+  e.settle();
+  EXPECT_EQ(e.detections(), 1u);
+}
+
+// --- Shadow stack ---
+
+TEST(ShadowStack, MatchedCallsAndReturnsPass) {
+  Engine e(build_shadow_stack(ProgModel::kHybrid, params(), 0, 1));
+  const u32 call = isa::make_jalr(1, 5, 0);
+  const u32 ret = isa::make_jalr(0, 1, 0);
+  e.feed(pkt(0x10000, call, 0x11000));
+  e.feed(pkt(0x10100, call, 0x12000));
+  e.feed(pkt(0x12040, ret, 0x10104));  // matches inner call pc+4
+  e.feed(pkt(0x11040, ret, 0x10004));  // matches outer call pc+4
+  e.settle();
+  EXPECT_EQ(e.detections(), 0u);
+}
+
+TEST(ShadowStack, CorruptedReturnDetected) {
+  Engine e(build_shadow_stack(ProgModel::kHybrid, params(), 0, 1));
+  const u32 call = isa::make_jalr(1, 5, 0);
+  const u32 ret = isa::make_jalr(0, 1, 0);
+  e.feed(pkt(0x10000, call, 0x11000));
+  e.feed(pkt(0x11040, ret, 0xbad0, /*data=*/5));
+  e.settle();
+  ASSERT_EQ(e.detections(), 1u);
+  EXPECT_EQ(e.core.detections()[0].payload, 5u);
+}
+
+TEST(ShadowStack, JalCallsAlsoTracked) {
+  Engine e(build_shadow_stack(ProgModel::kHybrid, params(), 0, 1));
+  e.feed(pkt(0x10000, isa::make_jal(1, 256), 0x10100));
+  e.feed(pkt(0x10140, isa::make_jalr(0, 1, 0), 0x10004));
+  e.settle();
+  EXPECT_EQ(e.detections(), 0u);
+}
+
+TEST(ShadowStack, PlainJumpsIgnored) {
+  Engine e(build_shadow_stack(ProgModel::kHybrid, params(), 0, 1));
+  e.feed(pkt(0x10000, isa::make_jal(0, 256), 0x10100));      // j, not a call
+  e.feed(pkt(0x10200, isa::make_jalr(0, 5, 0), 0x10300));    // indirect jump
+  e.settle();
+  EXPECT_EQ(e.detections(), 0u);
+}
+
+TEST(ShadowStack, HandoffEmitsToken) {
+  Engine e(build_shadow_stack(ProgModel::kHybrid, params(), 0, 2));
+  const u32 call = isa::make_jalr(1, 5, 0);
+  e.feed(pkt(0x10000, call, 0x11000));
+  core::Packet marker;
+  marker.valid = true;
+  marker.inst = kSsMarkerInst;
+  marker.addr = 1;  // successor engine id
+  e.feed(marker);
+  e.settle();
+  ASSERT_FALSE(e.core.output_empty());
+  const u64 token = e.core.pop_output();
+  EXPECT_EQ(token >> 56, 1u);  // destination engine
+  const u64 sp = token & ((u64{1} << 56) - 1);
+  EXPECT_EQ(sp, params().sstack_base + 8);  // one frame pushed
+}
+
+TEST(ShadowStack, SuccessorWaitsForToken) {
+  Engine e(build_shadow_stack(ProgModel::kHybrid, params(), /*ordinal=*/1, 2));
+  const u32 ret = isa::make_jalr(0, 1, 0);
+  // Give the successor a return to validate but no token yet: it must not
+  // pop the shadow stack (it doesn't own it) and must not detect anything.
+  e.feed(pkt(0x11040, ret, 0x10004));
+  for (int i = 0; i < 5000; ++i) e.core.tick(e.t++);
+  EXPECT_EQ(e.core.stats().packets_popped, 1u);  // popped...
+  EXPECT_EQ(e.detections(), 0u);                 // ...but stalled pre-verdict
+  // Deliver the token: the packet completes against the inherited stack.
+  e.mem.store(params().sstack_base, 8, 0x10004);
+  e.core.push_noc(params().sstack_base + 8);
+  e.settle();
+  EXPECT_EQ(e.detections(), 0u);
+}
+
+// --- ASan (event engine: checks + shadow maintenance) ---
+
+TEST(Asan, AllocThenAccessPasses) {
+  Engine e(build_asan(ProgModel::kHybrid, params(), /*event_engine=*/true));
+  e.feed(event(true, 0x40000000, 256));
+  e.feed(pkt(0x10000, isa::make_load(0x3, 5, 6, 0), 0x40000000 + 128));
+  e.settle();
+  EXPECT_EQ(e.detections(), 0u);
+}
+
+TEST(Asan, RedzoneAccessDetected) {
+  KernelParams p = params();
+  Engine e(build_asan(ProgModel::kHybrid, p, true));
+  // Pre-poison the authoritative shadow the way the SoC does at commit.
+  const u64 base = 0x40000000;
+  e.mem.store(p.shadow_base + ((base + 256) >> 3), 8, 0xfafafafafafafafaull);
+  e.feed(event(true, base, 256));
+  e.feed(pkt(0x10000, isa::make_load(0x3, 5, 6, 0), base + 256 + 8, /*data=*/9));
+  e.settle();
+  ASSERT_EQ(e.detections(), 1u);
+  EXPECT_EQ(e.core.detections()[0].payload, 9u);
+}
+
+TEST(Asan, EventEngineMaintainsTimingMirror) {
+  KernelParams p = params();
+  Engine e(build_asan(ProgModel::kHybrid, p, true));
+  const u64 base = 0x40000000;
+  e.feed(event(true, base, 128));
+  e.settle();
+  // Object shadow cleared, trailing redzone word poisoned (in the mirror).
+  EXPECT_EQ(e.mem.load_u8(p.shadow_timing_base + (base >> 3)), 0u);
+  EXPECT_EQ(e.mem.load_u8(p.shadow_timing_base + ((base + 128) >> 3)), 0xfau);
+  e.feed(event(false, base, 128));
+  e.settle();
+  EXPECT_EQ(e.mem.load_u8(p.shadow_timing_base + (base >> 3)), 0xfdu);
+}
+
+TEST(Asan, CheckOnlyEngineFlagsPoisonedShadow) {
+  KernelParams p = params();
+  Engine e(build_asan(ProgModel::kHybrid, p, /*event_engine=*/false));
+  const u64 addr = 0x40001000;
+  e.mem.store_u8(p.shadow_base + (addr >> 3), 0xfa);
+  // Saturate past the unroll threshold so the pipelined path runs too.
+  for (int i = 0; i < 30; ++i) {
+    e.feed(pkt(0x10000, isa::make_load(0x3, 5, 6, 0), 0x50000000 + 64 * i));
+  }
+  e.feed(pkt(0x10000, isa::make_load(0x3, 5, 6, 0), addr, 3));
+  e.settle();
+  ASSERT_EQ(e.detections(), 1u);
+  EXPECT_EQ(e.core.detections()[0].aux, addr);  // faulting address reported
+}
+
+// --- UaF ---
+
+TEST(Uaf, FreedAccessDetected) {
+  KernelParams p = params();
+  Engine e(build_uaf(ProgModel::kHybrid, p, true));
+  const u64 base = 0x40002000;
+  // Authoritative quarantine mark (SoC applies this at commit).
+  for (u64 i = 0; i < 256 / 8; i += 8) {
+    e.mem.store(p.shadow_base + (base >> 3) + i, 8, 0xfdfdfdfdfdfdfdfdull);
+  }
+  e.feed(event(false, base, 256));
+  e.feed(pkt(0x10000, isa::make_load(0x3, 5, 6, 0), base + 64, /*data=*/4));
+  e.settle();
+  ASSERT_EQ(e.detections(), 1u);
+  EXPECT_EQ(e.core.detections()[0].payload, 4u);
+}
+
+TEST(Uaf, ReallocClearsQuarantineInMirror) {
+  KernelParams p = params();
+  Engine e(build_uaf(ProgModel::kHybrid, p, true));
+  const u64 base = 0x40002000;
+  e.feed(event(false, base, 128));  // quarantine
+  e.settle();
+  EXPECT_EQ(e.mem.load_u8(p.shadow_timing_base + (base >> 3)), 0xfdu);
+  e.feed(event(true, base, 128));  // realloc
+  e.settle();
+  EXPECT_EQ(e.mem.load_u8(p.shadow_timing_base + (base >> 3)), 0u);
+}
+
+TEST(Uaf, QuarantineRingRecordsFrees) {
+  KernelParams p = params();
+  Engine e(build_uaf(ProgModel::kHybrid, p, true));
+  e.feed(event(false, 0x40003000, 64));
+  e.feed(event(false, 0x40004000, 128));
+  e.settle();
+  EXPECT_EQ(e.mem.load(p.quarantine_base + 0, 8), 0x40003000u);
+  EXPECT_EQ(e.mem.load(p.quarantine_base + 8, 8), 64u);
+  EXPECT_EQ(e.mem.load(p.quarantine_base + 16, 8), 0x40004000u);
+}
+
+TEST(Uaf, RingReleaseClearsOldestMirror) {
+  KernelParams p = params();
+  p.quarantine_slots = 4;
+  Engine e(build_uaf(ProgModel::kHybrid, p, true));
+  const u64 first = 0x40010000;
+  e.feed(event(false, first, 64));
+  e.settle();
+  EXPECT_EQ(e.mem.load_u8(p.shadow_timing_base + (first >> 3)), 0xfdu);
+  for (int i = 1; i <= 4; ++i) {
+    e.feed(event(false, first + static_cast<u64>(i) * 0x1000, 64));
+  }
+  e.settle();
+  // The oldest entry aged out of the 4-slot ring and was released.
+  EXPECT_EQ(e.mem.load_u8(p.shadow_timing_base + (first >> 3)), 0u);
+}
+
+// --- filter programming ---
+
+TEST(FilterProgramming, AsanSplitsChecksAndEvents) {
+  core::FilterTable t;
+  program_filter(t, KernelKind::kAsan, /*gid_checks=*/2, /*gid_events=*/3);
+  EXPECT_EQ(t.lookup(isa::make_load(0x3, 1, 2, 0)).gid_bitmap, 1u << 2);
+  EXPECT_EQ(t.lookup(isa::make_store(0x2, 1, 2, 0)).gid_bitmap, 1u << 2);
+  EXPECT_EQ(t.lookup(isa::make_guard_event(true)).gid_bitmap, 1u << 3);
+  EXPECT_EQ(t.lookup(isa::make_guard_event(false)).gid_bitmap, 1u << 3);
+  // ALU not monitored.
+  EXPECT_EQ(t.lookup(isa::make_alu_rr(0, 1, 2, 3, false)).gid_bitmap, 0u);
+}
+
+TEST(FilterProgramming, PmcWatchesControlFlow) {
+  core::FilterTable t;
+  program_filter(t, KernelKind::kPmc, 0, 0);
+  EXPECT_NE(t.lookup(isa::make_branch(0, 1, 2, 16)).gid_bitmap, 0u);
+  EXPECT_NE(t.lookup(isa::make_jal(1, 64)).gid_bitmap, 0u);
+  EXPECT_NE(t.lookup(isa::make_jalr(0, 1, 0)).gid_bitmap, 0u);
+  EXPECT_EQ(t.lookup(isa::make_load(0x3, 1, 2, 0)).gid_bitmap, 0u);
+}
+
+TEST(FilterProgramming, ShadowStackWatchesCallsReturnsOnly) {
+  core::FilterTable t;
+  program_filter(t, KernelKind::kShadowStack, 1, 1);
+  EXPECT_NE(t.lookup(isa::make_jal(1, 64)).gid_bitmap, 0u);
+  EXPECT_NE(t.lookup(isa::make_jalr(0, 1, 0)).gid_bitmap, 0u);
+  EXPECT_EQ(t.lookup(isa::make_branch(0, 1, 2, 16)).gid_bitmap, 0u);
+}
+
+}  // namespace
+}  // namespace fg::kernels

@@ -1,0 +1,130 @@
+// Tests for the load/store queues: occupancy, store-to-load forwarding and
+// partial-overlap ordering.
+#include "src/boom/lsq.h"
+
+#include <gtest/gtest.h>
+
+#include "src/boom/core.h"
+#include "src/soc/experiment.h"
+
+namespace fg::boom {
+namespace {
+
+LsqConfig small_cfg(bool stlf) {
+  LsqConfig c;
+  c.ldq_entries = 4;
+  c.stq_entries = 4;
+  c.store_load_forwarding = stlf;
+  c.forward_latency = 1;
+  return c;
+}
+
+TEST(Lsq, OccupancyTracksDispatchAndCommit) {
+  LoadStoreQueues q(small_cfg(true));
+  for (u64 i = 0; i < 4; ++i) q.dispatch_store(0x1000 + 8 * i, 8, 0, i);
+  EXPECT_TRUE(q.stq_full());
+  q.commit_store();
+  EXPECT_FALSE(q.stq_full());
+  EXPECT_EQ(q.stq_used(), 3u);
+  EXPECT_EQ(*q.committed_top(), 0x1000u);
+
+  for (int i = 0; i < 4; ++i) q.note_load_dispatched();
+  EXPECT_TRUE(q.ldq_full());
+  q.commit_load();
+  EXPECT_EQ(q.ldq_used(), 3u);
+}
+
+TEST(Lsq, FullContainmentForwards) {
+  LoadStoreQueues q(small_cfg(true));
+  q.dispatch_store(0x2000, 8, /*data_ready=*/10, 0);
+  // Exact match.
+  LoadPlan p = q.dispatch_load(0x2000, 8, /*start=*/5);
+  EXPECT_TRUE(p.forwarded);
+  EXPECT_EQ(p.earliest_start, 11u);  // max(5, 10) + fwd latency
+  // Contained narrower load.
+  p = q.dispatch_load(0x2004, 4, 20);
+  EXPECT_TRUE(p.forwarded);
+  EXPECT_EQ(p.earliest_start, 21u);  // data already ready
+  EXPECT_EQ(q.stats().forwards, 2u);
+}
+
+TEST(Lsq, PartialOverlapDelaysWithoutForwarding) {
+  LoadStoreQueues q(small_cfg(true));
+  q.dispatch_store(0x3004, 8, /*data_ready=*/50, 0);
+  const LoadPlan p = q.dispatch_load(0x3000, 8, /*start=*/5);  // straddles
+  EXPECT_FALSE(p.forwarded);
+  EXPECT_EQ(p.earliest_start, 51u);
+  EXPECT_EQ(q.stats().partial_stalls, 1u);
+}
+
+TEST(Lsq, DisjointLoadUnaffected) {
+  LoadStoreQueues q(small_cfg(true));
+  q.dispatch_store(0x4000, 8, 100, 0);
+  const LoadPlan p = q.dispatch_load(0x5000, 8, 5);
+  EXPECT_FALSE(p.forwarded);
+  EXPECT_EQ(p.earliest_start, 5u);
+}
+
+TEST(Lsq, YoungestMatchingStoreWins) {
+  LoadStoreQueues q(small_cfg(true));
+  q.dispatch_store(0x6000, 8, /*data_ready=*/10, 0);
+  q.dispatch_store(0x6000, 8, /*data_ready=*/30, 1);  // younger overwrite
+  const LoadPlan p = q.dispatch_load(0x6000, 8, 5);
+  EXPECT_TRUE(p.forwarded);
+  EXPECT_EQ(p.earliest_start, 31u);  // the younger store's data
+}
+
+TEST(Lsq, ForwardingDisabledIgnoresStq) {
+  LoadStoreQueues q(small_cfg(false));
+  q.dispatch_store(0x7000, 8, 10, 0);
+  const LoadPlan p = q.dispatch_load(0x7000, 8, 5);
+  EXPECT_FALSE(p.forwarded);
+  EXPECT_EQ(p.earliest_start, 5u);  // no ordering applied either
+  EXPECT_EQ(q.stats().forwards, 0u);
+}
+
+TEST(Lsq, CommittedTopExposedForBypass) {
+  // Paper footnote 3: the bypass reads the top of the STQ at commit.
+  LoadStoreQueues q(small_cfg(true));
+  EXPECT_FALSE(q.committed_top().has_value());
+  q.dispatch_store(0x8000, 8, 0, 0);
+  q.dispatch_store(0x8008, 8, 0, 1);
+  q.commit_store();
+  EXPECT_EQ(*q.committed_top(), 0x8000u);
+  q.commit_store();
+  EXPECT_EQ(*q.committed_top(), 0x8008u);
+}
+
+TEST(Lsq, EndToEndForwardingNeverSlowsTheCore) {
+  // Store-heavy profile: enabling forwarding should only reduce cycles.
+  for (const char* prof : {"x264", "dedup"}) {
+    trace::WorkloadConfig wl;
+    wl.profile = trace::profile_by_name(prof);
+    wl.seed = 3;
+    wl.n_insts = 30000;
+    soc::SocConfig sc = soc::table2_soc();
+    sc.core.store_load_forwarding = false;
+    const Cycle off = soc::run_baseline_cycles(wl, sc);
+    sc.core.store_load_forwarding = true;
+    const Cycle on = soc::run_baseline_cycles(wl, sc);
+    EXPECT_LE(on, off) << prof;
+  }
+}
+
+TEST(Lsq, CoreCountsForwardsInStats) {
+  trace::WorkloadConfig wl;
+  wl.profile = trace::profile_by_name("x264");
+  wl.seed = 3;
+  wl.n_insts = 20000;
+  soc::SocConfig sc = soc::table2_soc();
+  sc.core.store_load_forwarding = true;
+  trace::WorkloadGen src(wl);
+  mem::MemHierarchy mem(sc.mem);
+  BoomCore core(sc.core, mem, src);
+  core.run_to_end(nullptr, 10'000'000);
+  EXPECT_GT(core.stats().stlf_forwards, 0u);
+  EXPECT_EQ(core.stats().stlf_forwards, core.lsq().stats().forwards);
+}
+
+}  // namespace
+}  // namespace fg::boom

@@ -1,0 +1,137 @@
+// The four programming models must be functionally identical and differ only
+// in data-hazard cost, with the paper's ordering: conventional slowest,
+// hybrid uniformly best at both high and low queue occupancy.
+#include <gtest/gtest.h>
+
+#include "src/kernels/progmodel.h"
+#include "src/ucore/ucore.h"
+
+namespace fg::kernels {
+namespace {
+
+/// A tiny counting body: sums the popped word into x20.
+void counting_body(ucore::UProgramBuilder& b, u8 first) {
+  b.add(20, 20, first);
+  b.addi(21, 21, 1);
+}
+
+ucore::UProgram make(ProgModel m, u32 unroll = 8) {
+  ucore::UProgramBuilder b(prog_model_name(m));
+  b.li(20, 0);
+  b.li(21, 0);
+  emit_dispatch_loop(b, m, /*first_word_off=*/0, counting_body, unroll);
+  return b.build();
+}
+
+core::Packet pk(u64 pc) {
+  core::Packet p;
+  p.valid = true;
+  p.pc = pc;
+  return p;
+}
+
+struct Totals {
+  u64 sum = 0;
+  u64 count = 0;
+  Cycle cycles = 0;
+};
+
+/// Feed `n` packets in bursts of `burst`, run to quiescence, report totals.
+Totals run_model(ProgModel m, int n, int burst) {
+  ucore::USharedMemory mem;
+  ucore::UCore c(ucore::UCoreConfig{}, 0, &mem, nullptr);
+  c.load_program(make(m));
+  Cycle t = 0;
+  int fed = 0;
+  while (fed < n || !c.quiescent()) {
+    if (c.quiescent() && fed < n) {
+      for (int i = 0; i < burst && fed < n; ++i, ++fed) {
+        c.push_input(pk(static_cast<u64>(fed) + 1));
+      }
+    }
+    c.tick(t++);
+    if (t >= 10'000'000u) {
+      ADD_FAILURE() << "timeout in " << prog_model_name(m);
+      break;
+    }
+  }
+  Totals r;
+  r.sum = c.reg(20);
+  r.count = c.reg(21);
+  r.cycles = c.stats().busy_cycles;
+  return r;
+}
+
+constexpr int kN = 512;
+
+class AllModels : public ::testing::TestWithParam<ProgModel> {};
+
+TEST_P(AllModels, ProcessesEveryPacketExactlyOnce) {
+  for (int burst : {1, 3, 8, 32}) {
+    const Totals r = run_model(GetParam(), kN, burst);
+    EXPECT_EQ(r.count, static_cast<u64>(kN)) << "burst " << burst;
+    EXPECT_EQ(r.sum, static_cast<u64>(kN) * (kN + 1) / 2) << "burst " << burst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModels,
+                         ::testing::Values(ProgModel::kConventional,
+                                           ProgModel::kDuff,
+                                           ProgModel::kUnrolled,
+                                           ProgModel::kHybrid));
+
+TEST(ProgModels, ConventionalSlowestUnderBacklog) {
+  const Totals conv = run_model(ProgModel::kConventional, kN, 32);
+  const Totals duff = run_model(ProgModel::kDuff, kN, 32);
+  const Totals unrolled = run_model(ProgModel::kUnrolled, kN, 32);
+  const Totals hybrid = run_model(ProgModel::kHybrid, kN, 32);
+  EXPECT_GT(conv.cycles, duff.cycles);
+  EXPECT_GE(duff.cycles, unrolled.cycles);
+  EXPECT_GE(unrolled.cycles, hybrid.cycles);
+}
+
+TEST(ProgModels, HybridBeatsUnrolledOnPartialQueues) {
+  // With small bursts the unrolled fast path never engages; Duff's device
+  // (inside hybrid) still amortizes the count read.
+  const Totals unrolled = run_model(ProgModel::kUnrolled, kN, 5);
+  const Totals hybrid = run_model(ProgModel::kHybrid, kN, 5);
+  EXPECT_LE(hybrid.cycles, unrolled.cycles);
+}
+
+TEST(ProgModels, HybridBestUnderLoad) {
+  // Under backlog (burst >= unroll) hybrid must beat everything; at partial
+  // occupancy it tracks Duff's device within the threshold-test overhead
+  // (one extra compare-and-branch per count read).
+  for (int burst : {16, 32}) {
+    const Totals hybrid = run_model(ProgModel::kHybrid, kN, burst);
+    for (ProgModel m : {ProgModel::kConventional, ProgModel::kDuff,
+                        ProgModel::kUnrolled}) {
+      const Totals other = run_model(m, kN, burst);
+      EXPECT_LE(hybrid.cycles, other.cycles + kN / 16)
+          << prog_model_name(m) << " burst " << burst;
+    }
+  }
+  for (int burst : {2, 6}) {
+    const Totals hybrid = run_model(ProgModel::kHybrid, kN, burst);
+    const Totals duff = run_model(ProgModel::kDuff, kN, burst);
+    const Totals conv = run_model(ProgModel::kConventional, kN, burst);
+    EXPECT_LE(hybrid.cycles, conv.cycles + 8) << "burst " << burst;
+    EXPECT_LE(hybrid.cycles, duff.cycles * 5 / 4) << "burst " << burst;
+  }
+}
+
+TEST(ProgModels, DuffProcessesExactCountPerRead) {
+  // Feed 5 packets (< unroll): Duff must consume all with one switch.
+  const Totals r = run_model(ProgModel::kDuff, 5, 5);
+  EXPECT_EQ(r.count, 5u);
+}
+
+TEST(ProgModels, Names) {
+  EXPECT_STREQ(prog_model_name(ProgModel::kConventional), "conventional");
+  EXPECT_STREQ(prog_model_name(ProgModel::kDuff), "duff");
+  EXPECT_STREQ(prog_model_name(ProgModel::kUnrolled), "unrolled");
+  EXPECT_STREQ(prog_model_name(ProgModel::kHybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace fg::kernels

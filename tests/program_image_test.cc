@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "src/trace/profile.h"
+#include "src/trace/program_image.h"
+
+namespace fg::trace {
+namespace {
+
+WorkloadProfile small_profile() {
+  WorkloadProfile p = profile_by_name("blackscholes");
+  p.n_funcs = 24;
+  return p;
+}
+
+TEST(ProgramImage, DeterministicForSameSeed) {
+  const WorkloadProfile p = small_profile();
+  ProgramImage a(p, 7), b(p, 7);
+  ASSERT_EQ(a.n_funcs(), b.n_funcs());
+  for (u16 f = 0; f < a.n_funcs(); ++f) {
+    const auto& fa = a.func(f);
+    const auto& fb = b.func(f);
+    ASSERT_EQ(fa.insts.size(), fb.insts.size());
+    EXPECT_EQ(fa.entry_pc, fb.entry_pc);
+    for (size_t i = 0; i < fa.insts.size(); ++i) {
+      EXPECT_EQ(fa.insts[i].enc, fb.insts[i].enc);
+    }
+  }
+}
+
+TEST(ProgramImage, DifferentSeedsDiffer) {
+  const WorkloadProfile p = small_profile();
+  ProgramImage a(p, 1), b(p, 2);
+  bool any_diff = false;
+  for (u16 f = 0; f < a.n_funcs() && !any_diff; ++f) {
+    if (a.func(f).insts.size() != b.func(f).insts.size()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff || a.func(0).insts[3].enc != b.func(0).insts[3].enc);
+}
+
+TEST(ProgramImage, PcsWithinTextBounds) {
+  ProgramImage img(small_profile(), 3);
+  EXPECT_EQ(img.text_lo(), kTextBase);
+  for (u16 f = 0; f < img.n_funcs(); ++f) {
+    const auto& fn = img.func(f);
+    EXPECT_GE(fn.entry_pc, img.text_lo());
+    EXPECT_LT(fn.pc_of(fn.insts.size() - 1), img.text_hi());
+  }
+}
+
+TEST(ProgramImage, CalleesFormDag) {
+  ProgramImage img(small_profile(), 4);
+  for (u16 f = 0; f < img.n_funcs(); ++f) {
+    for (const StaticInst& si : img.func(f).insts) {
+      if (si.cls == isa::InstClass::kCall) {
+        ASSERT_NE(si.callee, kNoFunc);
+        EXPECT_GT(si.callee, f) << "calls must go to higher indices (no recursion)";
+        EXPECT_LT(si.callee, img.n_funcs());
+      }
+    }
+  }
+}
+
+TEST(ProgramImage, BranchTargetsValid) {
+  ProgramImage img(small_profile(), 5);
+  for (u16 f = 0; f < img.n_funcs(); ++f) {
+    const auto& fn = img.func(f);
+    for (size_t i = 0; i < fn.insts.size(); ++i) {
+      const StaticInst& si = fn.insts[i];
+      if (si.cls == isa::InstClass::kBranch) {
+        EXPECT_LT(si.target_idx, fn.insts.size());
+        EXPECT_GT(si.taken_bias, 0.0f);
+        EXPECT_LT(si.taken_bias, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(ProgramImage, EveryFunctionEndsInRet) {
+  ProgramImage img(small_profile(), 6);
+  for (u16 f = 0; f < img.n_funcs(); ++f) {
+    const auto& fn = img.func(f);
+    ASSERT_FALSE(fn.insts.empty());
+    EXPECT_EQ(fn.insts.back().cls, isa::InstClass::kRet);
+    EXPECT_TRUE(isa::is_ret(fn.insts.back().enc));
+  }
+}
+
+TEST(ProgramImage, PrologueSavesReturnAddress) {
+  ProgramImage img(small_profile(), 7);
+  const auto& fn = img.func(0);
+  // addi sp; sd ra; sd s0
+  EXPECT_EQ(fn.insts[0].cls, isa::InstClass::kIntAlu);
+  EXPECT_EQ(fn.insts[1].cls, isa::InstClass::kStore);
+  EXPECT_EQ(fn.insts[1].region, MemRegion::kStack);
+  EXPECT_EQ(fn.insts[2].cls, isa::InstClass::kStore);
+}
+
+TEST(ProgramImage, EntryPickIsHotBiased) {
+  ProgramImage img(small_profile(), 8);
+  Rng rng(99);
+  std::vector<int> counts(img.n_funcs(), 0);
+  for (int i = 0; i < 10000; ++i) ++counts[img.pick_entry(rng)];
+  // Entry 0 is the hottest under the Zipf-like distribution.
+  int max_idx = 0;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[max_idx]) max_idx = static_cast<int>(i);
+  }
+  EXPECT_EQ(max_idx, 0);
+}
+
+TEST(ProgramImage, StaticInstCountScalesWithFuncs) {
+  WorkloadProfile p = small_profile();
+  ProgramImage small(p, 9);
+  p.n_funcs = 96;
+  ProgramImage big(p, 9);
+  EXPECT_GT(big.static_inst_count(), 2 * small.static_inst_count());
+}
+
+class ImageProfiles : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ImageProfiles, BuildsAllProfiles) {
+  const WorkloadProfile& p = profile_by_name(GetParam());
+  ProgramImage img(p, 42);
+  EXPECT_EQ(img.n_funcs(), static_cast<u16>(p.n_funcs));
+  EXPECT_GT(img.static_inst_count(), 100u);
+  EXPECT_GT(img.text_hi(), img.text_lo());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllParsec, ImageProfiles,
+    ::testing::Values("blackscholes", "bodytrack", "dedup", "ferret",
+                      "fluidanimate", "freqmine", "streamcluster", "swaptions",
+                      "x264"));
+
+}  // namespace
+}  // namespace fg::trace

@@ -1,0 +1,151 @@
+// System-level properties that must hold across the configuration space:
+// packet conservation, ordering, monotonicity, and determinism.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/soc/experiment.h"
+
+namespace fg::soc {
+namespace {
+
+trace::WorkloadConfig small_wl(const std::string& name, u64 seed) {
+  trace::WorkloadConfig c;
+  c.profile = trace::profile_by_name(name);
+  c.profile.n_funcs = 40;
+  c.seed = seed;
+  c.n_insts = 25000;
+  c.warmup_insts = 2000;
+  c.attacks = {{trace::AttackKind::kHeapOob, 5}};
+  return c;
+}
+
+// --- Packet conservation: everything the filter selects is eventually
+// processed by exactly the engines the allocator chose, for every filter
+// width and engine count. ---
+
+class Conservation
+    : public ::testing::TestWithParam<std::tuple<u32, u32>> {};
+
+TEST_P(Conservation, NoPacketLostOrDuplicated) {
+  const auto [width, n_engines] = GetParam();
+  SocConfig sc;
+  sc.frontend.filter.width = width;
+  sc.kernels = {deploy(kernels::KernelKind::kAsan, n_engines)};
+  trace::WorkloadGen gen(small_wl("ferret", 5));
+  sc.kparams.text_lo = gen.text_lo();
+  sc.kparams.text_hi = gen.text_hi();
+  Soc soc(sc, gen);
+  soc.run();
+  const auto& fs = soc.frontend().stats();
+  const auto& es = soc.frontend().filter().stats();
+  // Every commit was observed.
+  EXPECT_EQ(fs.commits_observed, 25000u);
+  // valid = dropped (no SE) + delivered; every delivered packet reaches
+  // exactly one engine (single-kernel ASan -> ae bitmaps are one-hot).
+  EXPECT_EQ(es.valid_packets, fs.dropped_unrouted + soc.total_packets_processed());
+  EXPECT_EQ(fs.dropped_unrouted, 0u);
+  // Nothing left in flight.
+  EXPECT_EQ(soc.frontend().filter().buffered(), 0u);
+  EXPECT_TRUE(soc.frontend().cdc().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndEngines, Conservation,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 2u, 4u, 6u)));
+
+// --- Commit-count invariance: monitoring must never change *what* executes,
+// only when. ---
+
+class CommitInvariance : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CommitInvariance, SameInstructionsAnyWidth) {
+  SocConfig sc;
+  sc.frontend.filter.width = GetParam();
+  sc.kernels = {deploy(kernels::KernelKind::kUaf, 2)};
+  const RunResult r = run_fireguard(small_wl("dedup", 9), sc);
+  EXPECT_EQ(r.committed, 25000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CommitInvariance, ::testing::Values(1, 2, 4));
+
+// --- Monotonicity: more engines can only help. ---
+
+class Monotonic : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Monotonic, SlowdownNonIncreasingInEngines) {
+  SocConfig sc;
+  Cycle prev = ~Cycle{0};
+  for (u32 n : {1u, 2u, 4u, 8u, 12u}) {
+    SocConfig s2 = sc;
+    s2.kernels = {deploy(kernels::KernelKind::kAsan, n)};
+    const Cycle c = run_fireguard(small_wl(GetParam(), 13), s2).cycles;
+    // Allow 3% jitter: the engine count changes packet interleaving.
+    EXPECT_LE(c, prev + prev / 32) << n << " engines";
+    prev = std::min(prev, c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, Monotonic,
+                         ::testing::Values("blackscholes", "x264", "dedup"));
+
+// --- Determinism across identical runs, for every kernel. ---
+
+class Deterministic : public ::testing::TestWithParam<kernels::KernelKind> {};
+
+TEST_P(Deterministic, BitIdenticalResults) {
+  SocConfig sc;
+  sc.kernels = {deploy(GetParam(), 3)};
+  trace::WorkloadConfig w = small_wl("freqmine", 21);
+  if (GetParam() == kernels::KernelKind::kShadowStack) {
+    w.attacks = {{trace::AttackKind::kRetCorrupt, 5}};
+  }
+  const RunResult a = run_fireguard(w, sc);
+  const RunResult b = run_fireguard(w, sc);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.packets, b.packets);
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_EQ(a.detections[i].attack_id, b.detections[i].attack_id);
+    EXPECT_EQ(a.detections[i].detect_fast, b.detections[i].detect_fast);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, Deterministic,
+                         ::testing::Values(kernels::KernelKind::kPmc,
+                                           kernels::KernelKind::kShadowStack,
+                                           kernels::KernelKind::kAsan,
+                                           kernels::KernelKind::kUaf));
+
+// --- Seed sensitivity: different seeds give different traces but stable
+// structural properties. ---
+
+TEST(Property, SeedsChangeTraceNotInvariants) {
+  SocConfig sc;
+  sc.kernels = {deploy(kernels::KernelKind::kAsan, 4)};
+  const RunResult a = run_fireguard(small_wl("bodytrack", 1), sc);
+  const RunResult b = run_fireguard(small_wl("bodytrack", 2), sc);
+  EXPECT_NE(a.cycles, b.cycles);  // different dynamic behaviour
+  EXPECT_EQ(a.committed, b.committed);
+  // Both detect all five attacks.
+  EXPECT_EQ(a.detections.size() >= 5, true);
+  EXPECT_EQ(b.detections.size() >= 5, true);
+}
+
+// --- Programming-model ordering holds inside the full system. ---
+
+TEST(Property, HybridNoWorseThanConventionalEndToEnd) {
+  SocConfig conv;
+  conv.kernels = {deploy(kernels::KernelKind::kAsan, 4,
+                         kernels::ProgModel::kConventional)};
+  SocConfig hyb;
+  hyb.kernels = {deploy(kernels::KernelKind::kAsan, 4, kernels::ProgModel::kHybrid)};
+  const trace::WorkloadConfig w = small_wl("x264", 31);
+  const Cycle c_conv = run_fireguard(w, conv).cycles;
+  const Cycle c_hyb = run_fireguard(w, hyb).cycles;
+  EXPECT_LE(c_hyb, c_conv);
+}
+
+}  // namespace
+}  // namespace fg::soc

@@ -1,0 +1,216 @@
+// Tests for the RVC decompressor: every expansion must decode to the exact
+// architectural instruction, and reserved encodings must be rejected.
+#include "src/isa/rvc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/isa/decode.h"
+
+namespace fg::isa {
+namespace {
+
+// Assemble a 16-bit value from named fields (little helper to keep the
+// expected encodings readable).
+constexpr u16 h16(u16 f15_13, u16 mid, u16 op) {
+  return static_cast<u16>((f15_13 << 13) | (mid << 2) | op);
+}
+
+Decoded expand_and_decode(u16 half) {
+  const auto full = expand_rvc(half);
+  EXPECT_TRUE(full.has_value()) << std::hex << half;
+  if (!full) return {};
+  const Decoded d = decode(*full);
+  EXPECT_TRUE(d.valid()) << std::hex << half << " -> " << *full;
+  return d;
+}
+
+TEST(Rvc, AllZeroAndUncompressedRejected) {
+  EXPECT_FALSE(expand_rvc(0).has_value());
+  EXPECT_FALSE(expand_rvc(0x0003).has_value());  // low bits 11 = 32-bit
+  EXPECT_TRUE(is_rvc(0x0001));
+  EXPECT_FALSE(is_rvc(0xffff));
+}
+
+TEST(Rvc, Addi4spn) {
+  // c.addi4spn x8, sp, 16: nzuimm=16 -> bits[10:7]=0b0100 wait,
+  // imm[5:4|9:6|2|3] layout; build imm=16 => bit4=1 -> field [12:11]=0b10? The
+  // builder in rvc.cc maps [10:7]->imm[9:6], [12:11]->imm[5:4], [5]->imm[3],
+  // [6]->imm[2]. imm=16 => imm[4]=1 => bits[12:11]=01.
+  const u16 h = static_cast<u16>((0u << 13) | (0x1u << 11) | (0u << 7) |
+                                 (0u << 5) | (0x0u << 2) | 0x0);
+  const Decoded d = expand_and_decode(h);
+  EXPECT_EQ(d.mnemonic, Mnemonic::kAddi);
+  EXPECT_EQ(d.rs1, 2);
+  EXPECT_EQ(d.rd, 8);
+  EXPECT_EQ(d.imm, 16);
+}
+
+TEST(Rvc, Addi4spnZeroImmediateReserved) {
+  EXPECT_FALSE(expand_rvc(h16(0, 0, 0)).has_value());
+}
+
+TEST(Rvc, LoadStoreDoubleword) {
+  // c.ld x9, 8(x10): rs1'=x10 -> 2, rd'=x9 -> 1, imm 8 -> bits[12:10]=001.
+  const u16 ld = static_cast<u16>((0x3u << 13) | (0x1u << 10) | (2u << 7) |
+                                  (1u << 2) | 0x0);
+  const Decoded dl = expand_and_decode(ld);
+  EXPECT_EQ(dl.mnemonic, Mnemonic::kLd);
+  EXPECT_EQ(dl.rd, 9);
+  EXPECT_EQ(dl.rs1, 10);
+  EXPECT_EQ(dl.imm, 8);
+  // c.sd x9, 16(x10).
+  const u16 sd = static_cast<u16>((0x7u << 13) | (0x2u << 10) | (2u << 7) |
+                                  (1u << 2) | 0x0);
+  const Decoded ds = expand_and_decode(sd);
+  EXPECT_EQ(ds.mnemonic, Mnemonic::kSd);
+  EXPECT_EQ(ds.rs2, 9);
+  EXPECT_EQ(ds.rs1, 10);
+  EXPECT_EQ(ds.imm, 16);
+}
+
+TEST(Rvc, AddiAndLi) {
+  // c.addi x5, -1: [12]=1 [6:2]=0b11111.
+  const u16 addi = static_cast<u16>((0x0u << 13) | (1u << 12) | (5u << 7) |
+                                    (0x1fu << 2) | 0x1);
+  const Decoded da = expand_and_decode(addi);
+  EXPECT_EQ(da.mnemonic, Mnemonic::kAddi);
+  EXPECT_EQ(da.rd, 5);
+  EXPECT_EQ(da.rs1, 5);
+  EXPECT_EQ(da.imm, -1);
+  // c.li x7, 9.
+  const u16 li = static_cast<u16>((0x2u << 13) | (7u << 7) | (9u << 2) | 0x1);
+  const Decoded dli = expand_and_decode(li);
+  EXPECT_EQ(dli.mnemonic, Mnemonic::kAddi);
+  EXPECT_EQ(dli.rs1, 0);
+  EXPECT_EQ(dli.imm, 9);
+}
+
+TEST(Rvc, AddiwReservedWhenRdZero) {
+  const u16 good = static_cast<u16>((0x1u << 13) | (3u << 7) | (1u << 2) | 0x1);
+  EXPECT_EQ(expand_and_decode(good).mnemonic, Mnemonic::kAddiw);
+  const u16 bad = static_cast<u16>((0x1u << 13) | (0u << 7) | (1u << 2) | 0x1);
+  EXPECT_FALSE(expand_rvc(bad).has_value());
+}
+
+TEST(Rvc, LuiAndAddi16sp) {
+  // c.lui x5, 1: imm[17]=0, imm[16:12]=1.
+  const u16 lui = static_cast<u16>((0x3u << 13) | (5u << 7) | (1u << 2) | 0x1);
+  const Decoded d = expand_and_decode(lui);
+  EXPECT_EQ(d.mnemonic, Mnemonic::kLui);
+  EXPECT_EQ(d.imm, 1 << 12);
+  // rd=2 selects c.addi16sp: imm=16 -> bit[4] -> h bit 6.
+  const u16 sp = static_cast<u16>((0x3u << 13) | (2u << 7) | (1u << 6) | 0x1);
+  const Decoded dsp = expand_and_decode(sp);
+  EXPECT_EQ(dsp.mnemonic, Mnemonic::kAddi);
+  EXPECT_EQ(dsp.rd, 2);
+  EXPECT_EQ(dsp.imm, 16);
+  // c.lui with rd=0 or imm=0 reserved.
+  EXPECT_FALSE(expand_rvc(static_cast<u16>((0x3u << 13) | (5u << 7) | 0x1)).has_value());
+}
+
+TEST(Rvc, AluBlock) {
+  // c.srli x8, 4: [11:10]=00, rd'=0, shamt=4.
+  const u16 srli = static_cast<u16>((0x4u << 13) | (0x0u << 10) | (0u << 7) |
+                                    (4u << 2) | 0x1);
+  EXPECT_EQ(expand_and_decode(srli).mnemonic, Mnemonic::kSrli);
+  EXPECT_EQ(expand_and_decode(srli).imm, 4);
+  // c.srai x8, 63: [12]=1, shamt[4:0]=31.
+  const u16 srai = static_cast<u16>((0x4u << 13) | (1u << 12) | (0x1u << 10) |
+                                    (0u << 7) | (0x1fu << 2) | 0x1);
+  EXPECT_EQ(expand_and_decode(srai).mnemonic, Mnemonic::kSrai);
+  EXPECT_EQ(expand_and_decode(srai).imm, 63);
+  // c.andi x9, -4: [11:10]=10, rd'=1, imm=-4 ([12]=1, [6:2]=0b11100).
+  const u16 andi = static_cast<u16>((0x4u << 13) | (1u << 12) | (0x2u << 10) |
+                                    (1u << 7) | (0x1cu << 2) | 0x1);
+  EXPECT_EQ(expand_and_decode(andi).mnemonic, Mnemonic::kAndi);
+  EXPECT_EQ(expand_and_decode(andi).imm, -4);
+  // c.sub x8, x9: [12]=0, [11:10]=11, [6:5]=00, rs2'=1.
+  const u16 sub = static_cast<u16>((0x4u << 13) | (0x3u << 10) | (0u << 7) |
+                                   (0x0u << 5) | (1u << 2) | 0x1);
+  EXPECT_EQ(expand_and_decode(sub).mnemonic, Mnemonic::kSub);
+  // c.addw x8, x9: [12]=1, [6:5]=01.
+  const u16 addw = static_cast<u16>((0x4u << 13) | (1u << 12) | (0x3u << 10) |
+                                    (0u << 7) | (0x1u << 5) | (1u << 2) | 0x1);
+  EXPECT_EQ(expand_and_decode(addw).mnemonic, Mnemonic::kAddw);
+}
+
+TEST(Rvc, JumpAndBranches) {
+  // c.j 0 is jal x0, offset; offset bits scrambled — offset=4 sets bit[3]
+  // which lives at h[5:3]'s low bit... build offset 4: imm[3:1]=010 -> h[5:3]=010.
+  const u16 j = static_cast<u16>((0x5u << 13) | (0x2u << 3) | 0x1);
+  const Decoded dj = expand_and_decode(j);
+  EXPECT_EQ(dj.mnemonic, Mnemonic::kJal);
+  EXPECT_EQ(dj.rd, 0);
+  EXPECT_EQ(dj.imm, 4);
+  // c.beqz x8, 8: imm[3]=1 -> h[4:3]=01? imm[4:3] at h[11:10], imm[2:1] at
+  // h[4:3]; 8 = bit3 -> h[11:10]=01.
+  const u16 beqz = static_cast<u16>((0x6u << 13) | (0x1u << 10) | (0u << 7) | 0x1);
+  const Decoded db = expand_and_decode(beqz);
+  EXPECT_EQ(db.mnemonic, Mnemonic::kBeq);
+  EXPECT_EQ(db.rs1, 8);
+  EXPECT_EQ(db.rs2, 0);
+  EXPECT_EQ(db.imm, 8);
+}
+
+TEST(Rvc, Quadrant2StackOpsAndJumps) {
+  // c.slli x6, 12.
+  const u16 slli = static_cast<u16>((0x0u << 13) | (6u << 7) | (12u << 2) | 0x2);
+  EXPECT_EQ(expand_and_decode(slli).mnemonic, Mnemonic::kSlli);
+  EXPECT_EQ(expand_and_decode(slli).imm, 12);
+  // c.ldsp x7, 8(sp): imm[4:3] at h[6:5]: 8 -> h[6:5]=01? imm bit3 -> h bit5.
+  const u16 ldsp = static_cast<u16>((0x3u << 13) | (7u << 7) | (1u << 5) | 0x2);
+  const Decoded dl = expand_and_decode(ldsp);
+  EXPECT_EQ(dl.mnemonic, Mnemonic::kLd);
+  EXPECT_EQ(dl.rs1, 2);
+  EXPECT_EQ(dl.imm, 8);
+  // c.ldsp with rd = 0 reserved.
+  EXPECT_FALSE(expand_rvc(static_cast<u16>((0x3u << 13) | (1u << 5) | 0x2)).has_value());
+  // c.jr x1 == ret-shaped jalr x0, 0(x1).
+  const u16 jr = static_cast<u16>((0x4u << 13) | (1u << 7) | 0x2);
+  const Decoded djr = expand_and_decode(jr);
+  EXPECT_EQ(djr.mnemonic, Mnemonic::kJalr);
+  EXPECT_EQ(djr.cls, InstClass::kRet);
+  // c.jalr x5 links into ra.
+  const u16 jalr = static_cast<u16>((0x4u << 13) | (1u << 12) | (5u << 7) | 0x2);
+  EXPECT_EQ(expand_and_decode(jalr).cls, InstClass::kCall);
+  // c.mv x3, x4.
+  const u16 mv = static_cast<u16>((0x4u << 13) | (3u << 7) | (4u << 2) | 0x2);
+  const Decoded dmv = expand_and_decode(mv);
+  EXPECT_EQ(dmv.mnemonic, Mnemonic::kAdd);
+  EXPECT_EQ(dmv.rs1, 0);
+  EXPECT_EQ(dmv.rs2, 4);
+  // c.add x3, x4.
+  const u16 add = static_cast<u16>((0x4u << 13) | (1u << 12) | (3u << 7) |
+                                   (4u << 2) | 0x2);
+  EXPECT_EQ(expand_and_decode(add).rs1, 3);
+  // c.ebreak.
+  const u16 ebreak = static_cast<u16>((0x4u << 13) | (1u << 12) | 0x2);
+  EXPECT_EQ(expand_and_decode(ebreak).mnemonic, Mnemonic::kEbreak);
+  // c.sdsp x9, 8(sp): imm[5:3] at h[12:10] -> 8 is bit3 -> h[10]=1.
+  const u16 sdsp = static_cast<u16>((0x7u << 13) | (1u << 10) | (9u << 2) | 0x2);
+  const Decoded dsd = expand_and_decode(sdsp);
+  EXPECT_EQ(dsd.mnemonic, Mnemonic::kSd);
+  EXPECT_EQ(dsd.rs2, 9);
+  EXPECT_EQ(dsd.imm, 8);
+}
+
+TEST(Rvc, FuzzExpansionsAlwaysDecode) {
+  // Property: every successful expansion yields a valid 32-bit instruction
+  // whose low 2 bits are 11 (uncompressed length prefix).
+  int expanded = 0;
+  for (u32 half = 1; half < 0x10000; ++half) {
+    if (!is_rvc(static_cast<u16>(half))) continue;
+    const auto full = expand_rvc(static_cast<u16>(half));
+    if (!full) continue;
+    ++expanded;
+    EXPECT_EQ(*full & 0x3u, 0x3u);
+    const Decoded d = decode(*full);
+    EXPECT_TRUE(d.valid()) << std::hex << half << " -> " << *full;
+  }
+  // A healthy fraction of the 16-bit space expands (sanity that the
+  // decompressor is not rejecting everything).
+  EXPECT_GT(expanded, 20000);
+}
+
+}  // namespace
+}  // namespace fg::isa

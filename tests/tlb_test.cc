@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "src/mem/tlb.h"
+
+namespace fg::mem {
+namespace {
+
+TEST(Tlb, MissThenHit) {
+  Tlb t(TlbConfig{4, 4096, 50}, "t");
+  EXPECT_EQ(t.access(0x1000), 50u);
+  EXPECT_EQ(t.access(0x1fff), 0u);  // same page
+  EXPECT_EQ(t.access(0x2000), 50u);
+}
+
+TEST(Tlb, CapacityAndLru) {
+  Tlb t(TlbConfig{2, 4096, 50}, "t");
+  t.access(0x0000);
+  t.access(0x1000);
+  t.access(0x0000);        // refresh page 0; page 1 is LRU
+  t.access(0x2000);        // evicts page 1
+  EXPECT_TRUE(t.would_hit(0x0000));
+  EXPECT_FALSE(t.would_hit(0x1000));
+  EXPECT_TRUE(t.would_hit(0x2000));
+}
+
+TEST(Tlb, StatsAndFlush) {
+  Tlb t(TlbConfig{8, 4096, 30}, "t");
+  t.access(0x4000);
+  t.access(0x4000);
+  EXPECT_EQ(t.stats().accesses, 2u);
+  EXPECT_EQ(t.stats().misses, 1u);
+  t.flush();
+  EXPECT_FALSE(t.would_hit(0x4000));
+  t.reset_stats();
+  EXPECT_EQ(t.stats().accesses, 0u);
+}
+
+class TlbEntries : public ::testing::TestWithParam<u32> {};
+
+TEST_P(TlbEntries, HoldsExactlyCapacityPages) {
+  const u32 n = GetParam();
+  Tlb t(TlbConfig{n, 4096, 40}, "t");
+  for (u32 i = 0; i < n; ++i) t.access(static_cast<u64>(i) * 4096);
+  u32 resident = 0;
+  for (u32 i = 0; i < n; ++i) resident += t.would_hit(static_cast<u64>(i) * 4096);
+  EXPECT_EQ(resident, n);
+  t.access(static_cast<u64>(n) * 4096);
+  resident = 0;
+  for (u32 i = 0; i <= n; ++i) resident += t.would_hit(static_cast<u64>(i) * 4096);
+  EXPECT_EQ(resident, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlbEntries, ::testing::Values(1, 4, 16, 32));
+
+}  // namespace
+}  // namespace fg::mem

@@ -1,0 +1,159 @@
+// Tests for the textual µcore assembler: syntax coverage, error reporting,
+// and execution of an assembled kernel on the µcore model.
+#include "src/ucore/uasm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/packet.h"
+#include "src/ucore/ucore.h"
+#include "src/ucore/umem.h"
+
+namespace fg::ucore {
+namespace {
+
+TEST(Uasm, EmptyAndCommentOnlySourcesAssemble) {
+  EXPECT_TRUE(assemble("").ok);
+  EXPECT_TRUE(assemble("; nothing\n# also nothing\n\n").ok);
+  EXPECT_EQ(assemble("; c\n").program.code.size(), 0u);
+}
+
+TEST(Uasm, AluAndMemoryForms) {
+  const AsmResult r = assemble(R"(
+    li   r1, 42
+    li   r2, -7
+    addi r3, r1, 0x10
+    add  r4, r1, r2
+    sub  r5, r1, r2
+    and  r6, r1, r2
+    slli r7, r1, 3
+    sd   r1, r0, 0x100
+    ld   r8, r0, 0x100
+    halt
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.program.code.size(), 10u);
+  EXPECT_EQ(r.program.code[0].op, UOp::kLi);
+  EXPECT_EQ(r.program.code[0].imm, 42);
+  EXPECT_EQ(r.program.code[1].imm, -7);
+  EXPECT_EQ(r.program.code[2].imm, 0x10);
+  EXPECT_EQ(r.program.code.back().op, UOp::kHalt);
+}
+
+TEST(Uasm, LabelsForwardAndBackward) {
+  const AsmResult r = assemble(R"(
+    top:
+      beqz r1, done
+      addi r1, r1, -1
+      j top
+    done:
+      halt
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  // beqz (index 0) targets `done` (index 3); j targets `top` (index 0).
+  EXPECT_EQ(r.program.code[0].imm, 3);
+  EXPECT_EQ(r.program.code[2].imm, 0);
+}
+
+TEST(Uasm, LabelOnSameLineAsInstruction) {
+  const AsmResult r = assemble("start: li r1, 1\n j start\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.program.code[1].imm, 0);
+}
+
+TEST(Uasm, SwitchBuildsJumpTable) {
+  const AsmResult r = assemble(R"(
+    switch r1, [a, b, c]
+    a: li r2, 1
+       halt
+    b: li r2, 2
+       halt
+    c: li r2, 3
+       halt
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.program.jump_tables.size(), 1u);
+  EXPECT_EQ(r.program.jump_tables[0], (std::vector<u32>{1, 3, 5}));
+}
+
+TEST(Uasm, QueueInstructionsAndDetect) {
+  const AsmResult r = assemble(R"(
+    loop:
+      qcount r1, 0
+      beqz   r1, loop
+      qpop   r2, 64
+      qtop   r3, 0
+      qrecent r4, 128
+      qpush  r2
+      nocrecv r5
+      detect r2, r3
+      j loop
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.program.code[2].op, UOp::kQPop);
+  EXPECT_EQ(r.program.code[2].imm, 64);
+  EXPECT_EQ(r.program.code[7].op, UOp::kDetect);
+}
+
+TEST(Uasm, XRegisterAliasAccepted) {
+  const AsmResult r = assemble("li x5, 9\n add x6, x5, x0\n halt\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.program.code[0].rd, 5);
+}
+
+TEST(Uasm, ErrorsCarryLineNumbers) {
+  const AsmResult bad_mn = assemble("li r1, 1\nfrobnicate r1\n");
+  EXPECT_FALSE(bad_mn.ok);
+  EXPECT_NE(bad_mn.error.find("line 2"), std::string::npos);
+  EXPECT_NE(bad_mn.error.find("frobnicate"), std::string::npos);
+
+  EXPECT_FALSE(assemble("li r32, 1\n").ok);     // bad register
+  EXPECT_FALSE(assemble("li r1\n").ok);         // missing operand
+  EXPECT_FALSE(assemble("add r1, r2\n").ok);    // operand count
+  EXPECT_FALSE(assemble("j nowhere\n").ok);     // unbound label
+  EXPECT_FALSE(assemble("x: halt\nx: halt\n").ok);  // label rebound
+  EXPECT_FALSE(assemble("switch r1, []\n").ok);  // empty table
+  EXPECT_FALSE(assemble("li r1, zz\n").ok);      // bad immediate
+}
+
+TEST(Uasm, UnboundLabelReportedEvenWithoutUse2) {
+  const AsmResult r = assemble("beqz r1, missing\nhalt\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("missing"), std::string::npos);
+}
+
+TEST(Uasm, AssembledKernelRunsOnUCore) {
+  // A minimal bounds-check kernel: pop the packet's PC (word 0), flag it if
+  // at or above the bound in r4.
+  const AsmResult r = assemble(R"(
+    ; r4 holds the PC upper bound
+    loop:
+      qcount r1, 0
+      beqz   r1, loop
+      qpop   r2, 0
+      bltu   r2, r4, loop
+      detect r2, r2
+      j      loop
+  )", "asm_pmc");
+  ASSERT_TRUE(r.ok) << r.error;
+
+  USharedMemory mem;
+  UCoreConfig cfg;
+  UCore uc(cfg, /*engine_id=*/0, &mem, /*shared_l2=*/nullptr);
+  uc.load_program(r.program);
+  uc.set_reg(4, 0x1000);  // bound
+
+  core::Packet ok_pkt;
+  ok_pkt.valid = true;
+  ok_pkt.pc = 0x500;
+  core::Packet bad_pkt = ok_pkt;
+  bad_pkt.pc = 0x2000;
+  uc.push_input(ok_pkt);
+  uc.push_input(bad_pkt);
+
+  for (Cycle c = 0; c < 200 && uc.detections().empty(); ++c) uc.tick(c);
+  ASSERT_EQ(uc.detections().size(), 1u);
+  EXPECT_EQ(uc.detections()[0].payload, 0x2000u);
+}
+
+}  // namespace
+}  // namespace fg::ucore

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "src/ucore/ucore.h"
+
+namespace fg::ucore {
+namespace {
+
+core::Packet pk(u64 pc, u32 inst, u64 addr, u64 data) {
+  core::Packet p;
+  p.valid = true;
+  p.pc = pc;
+  p.inst = inst;
+  p.addr = addr;
+  p.data = data;
+  return p;
+}
+
+/// Run until halted or budget exhausted; returns consumed µcycles.
+Cycle run(UCore& c, Cycle budget = 100000) {
+  Cycle t = 0;
+  while (!c.halted() && t < budget) c.tick(t++);
+  return t;
+}
+
+struct Fixture {
+  UCoreConfig cfg;
+  USharedMemory mem;
+  Fixture() = default;
+  UCore make(const UProgram& prog) {
+    UCore c(cfg, 0, &mem, nullptr);
+    c.load_program(prog);
+    return c;
+  }
+};
+
+TEST(UCore, AluFunctional) {
+  UProgramBuilder b("alu");
+  b.li(1, 6);
+  b.li(2, 7);
+  b.add(3, 1, 2);
+  b.sub(4, 3, 1);
+  b.slli(5, 1, 2);
+  b.sltu(6, 1, 2);
+  b.xori(7, 1, 0xf);
+  b.halt();
+  Fixture f;
+  UCore c = f.make(b.build());
+  run(c);
+  EXPECT_EQ(c.reg(3), 13u);
+  EXPECT_EQ(c.reg(4), 7u);
+  EXPECT_EQ(c.reg(5), 24u);
+  EXPECT_EQ(c.reg(6), 1u);
+  EXPECT_EQ(c.reg(7), 9u);
+}
+
+TEST(UCore, X0Hardwired) {
+  UProgramBuilder b("x0");
+  b.li(0, 42);
+  b.add(1, 0, 0);
+  b.halt();
+  Fixture f;
+  UCore c = f.make(b.build());
+  run(c);
+  EXPECT_EQ(c.reg(0), 0u);
+  EXPECT_EQ(c.reg(1), 0u);
+}
+
+TEST(UCore, LoadStoreRoundTrip) {
+  UProgramBuilder b("mem");
+  b.li(1, 0x1000);
+  b.li(2, 0xdeadbeef);
+  b.sd(2, 1, 8);
+  b.ld(3, 1, 8);
+  b.sb(2, 1, 0);
+  b.lbu(4, 1, 0);
+  b.halt();
+  Fixture f;
+  UCore c = f.make(b.build());
+  run(c);
+  EXPECT_EQ(c.reg(3), 0xdeadbeefu);
+  EXPECT_EQ(c.reg(4), 0xefu);
+  EXPECT_EQ(f.mem.load(0x1008, 8), 0xdeadbeefu);
+}
+
+TEST(UCore, BranchSemantics) {
+  UProgramBuilder b("br");
+  const auto skip = b.new_label();
+  b.li(1, 3);
+  b.li(2, 3);
+  b.beq(1, 2, skip);
+  b.li(3, 111);  // must be skipped
+  b.bind(skip);
+  b.li(4, 222);
+  b.halt();
+  Fixture f;
+  UCore c = f.make(b.build());
+  run(c);
+  EXPECT_EQ(c.reg(3), 0u);
+  EXPECT_EQ(c.reg(4), 222u);
+}
+
+TEST(UCore, QueueInstructionSemantics) {
+  UProgramBuilder b("q");
+  b.qcount(1, 0);    // 2 packets
+  b.qtop(2, 0);      // pc of first, no removal
+  b.qcount(3, 0);    // still 2
+  b.qpop(4, 128);    // addr of first, removes it
+  b.qrecent(5, 192); // data of the removed packet
+  b.qpop(6, 0);      // pc of second
+  b.qcount(7, 0);    // 0
+  b.halt();
+  Fixture f;
+  UCore c = f.make(b.build());
+  c.push_input(pk(0x100, 1, 0xaaa, 0xd1));
+  c.push_input(pk(0x200, 2, 0xbbb, 0xd2));
+  run(c);
+  EXPECT_EQ(c.reg(1), 2u);
+  EXPECT_EQ(c.reg(2), 0x100u);
+  EXPECT_EQ(c.reg(3), 2u);
+  EXPECT_EQ(c.reg(4), 0xaaau);
+  EXPECT_EQ(c.reg(5), 0xd1u);
+  EXPECT_EQ(c.reg(6), 0x200u);
+  EXPECT_EQ(c.reg(7), 0u);
+  EXPECT_EQ(c.stats().packets_popped, 2u);
+}
+
+TEST(UCore, PushFillsOutputQueue) {
+  UProgramBuilder b("push");
+  b.li(1, 0x77);
+  b.qpush(1);
+  b.halt();
+  Fixture f;
+  UCore c = f.make(b.build());
+  run(c);
+  ASSERT_FALSE(c.output_empty());
+  EXPECT_EQ(c.pop_output(), 0x77u);
+}
+
+TEST(UCore, NocRecvDrainsInbox) {
+  UProgramBuilder b("noc");
+  b.nocrecv(1);
+  b.nocrecv(2);
+  b.halt();
+  Fixture f;
+  UCore c = f.make(b.build());
+  c.push_noc(0x55);
+  run(c);
+  EXPECT_EQ(c.reg(1), 0x55u);
+  EXPECT_EQ(c.reg(2), 0u);  // empty -> 0
+}
+
+TEST(UCore, DetectRecords) {
+  UProgramBuilder b("det");
+  b.li(1, 42);
+  b.li(2, 0xbad);
+  b.detect(1, 2);
+  b.halt();
+  Fixture f;
+  UCore c = f.make(b.build());
+  run(c);
+  ASSERT_EQ(c.detections().size(), 1u);
+  EXPECT_EQ(c.detections()[0].payload, 42u);
+  EXPECT_EQ(c.detections()[0].aux, 0xbadu);
+}
+
+TEST(UCore, SpinDetectionSticky) {
+  UProgramBuilder b("spin");
+  const auto loop = b.new_label();
+  b.bind(loop);
+  b.qcount(1, 0);
+  b.beqz(1, loop);
+  b.qpop(2, 0);
+  b.j(loop);
+  Fixture f;
+  UCore c = f.make(b.build());
+  Cycle t = 0;
+  for (; t < 50; ++t) c.tick(t);
+  EXPECT_TRUE(c.quiescent());
+  c.push_input(pk(1, 2, 3, 4));
+  EXPECT_FALSE(c.quiescent());
+  for (; t < 100; ++t) c.tick(t);
+  EXPECT_TRUE(c.quiescent());
+}
+
+// --- Timing behaviour ---
+
+Cycle time_program(const UProgram& p, UCoreConfig cfg = {}, int packets = 0) {
+  USharedMemory mem;
+  UCore c(cfg, 0, &mem, nullptr);
+  c.load_program(p);
+  for (int i = 0; i < packets; ++i) c.push_input(pk(i, i, i, i));
+  return run(c);
+}
+
+TEST(UCoreTiming, LoadUseBubbleCostsOneCycle) {
+  // Dependent consumer right after the load...
+  UProgramBuilder b1("dep");
+  b1.li(1, 0x100);
+  b1.ld(2, 1, 0);
+  b1.addi(3, 2, 1);  // immediate use: +1 bubble
+  b1.halt();
+  // ...versus an independent instruction in between.
+  UProgramBuilder b2("indep");
+  b2.li(1, 0x100);
+  b2.ld(2, 1, 0);
+  b2.addi(4, 1, 1);
+  b2.halt();
+  EXPECT_EQ(time_program(b1.build()), time_program(b2.build()) + 1);
+}
+
+TEST(UCoreTiming, TakenBranchCostsExtraCycle) {
+  UProgramBuilder b1("taken");
+  const auto l1 = b1.new_label();
+  b1.li(1, 1);
+  b1.bnez(1, l1);
+  b1.bind(l1);
+  b1.halt();
+  UProgramBuilder b2("nottaken");
+  const auto l2 = b2.new_label();
+  b2.li(1, 0);
+  b2.bnez(1, l2);
+  b2.bind(l2);
+  b2.halt();
+  EXPECT_EQ(time_program(b1.build()), time_program(b2.build()) + 1);
+}
+
+TEST(UCoreTiming, PostCommitIsaxMuchSlower) {
+  // The Section III-D motivation: stock Rocket's post-commit ISAX interface
+  // blocks >= 3 cycles per queue op, up to 13 with hazards; the MA-stage
+  // integration pays at most one bubble.
+  UProgramBuilder b("isax");
+  for (int i = 0; i < 16; ++i) {
+    b.qcount(1, 0);
+    b.addi(2, 1, 1);  // dependent use
+  }
+  b.halt();
+  const UProgram prog = b.build();
+  UCoreConfig ma;
+  ma.isax_ma_stage = true;
+  UCoreConfig pc;
+  pc.isax_ma_stage = false;
+  const Cycle ma_time = time_program(prog, ma);
+  const Cycle pc_time = time_program(prog, pc);
+  EXPECT_GT(pc_time, ma_time * 3);
+}
+
+TEST(UCoreTiming, PostCommitContentionCompounds) {
+  UProgramBuilder b("b2b");
+  for (int i = 0; i < 8; ++i) b.qcount(1, 0);  // back-to-back ISAX
+  b.halt();
+  UCoreConfig pc;
+  pc.isax_ma_stage = false;
+  const Cycle t = time_program(b.build(), pc);
+  // 8 ops, first >= 3, later ones >= 5 (contention window).
+  EXPECT_GE(t, 8u * 3 + 7 * 1);
+}
+
+TEST(UCoreTiming, DcacheMissCostsL2Latency) {
+  UProgramBuilder b("miss");
+  b.li(1, 0x100000);
+  b.ld(2, 1, 0);       // cold miss
+  b.ld(3, 1, 8);       // same line: hit
+  b.halt();
+  UCoreConfig cfg;
+  USharedMemory mem;
+  UCore c(cfg, 0, &mem, nullptr);
+  c.load_program(b.build());
+  const Cycle t = run(c);
+  EXPECT_GE(t, cfg.l2_latency);
+  EXPECT_EQ(c.dcache().stats().misses, 1u);
+}
+
+TEST(UCoreTiming, TlbMissAddsWalk) {
+  UProgramBuilder b("tlb");
+  b.li(1, 0);
+  // Touch 40 distinct pages: more than the 32-entry µTLB holds.
+  for (int i = 0; i < 40; ++i) b.ld(2, 1, i * 4096);
+  b.halt();
+  UCoreConfig cfg;
+  USharedMemory mem;
+  UCore c(cfg, 0, &mem, nullptr);
+  c.load_program(b.build());
+  run(c);
+  EXPECT_EQ(c.utlb().stats().misses, 40u);
+}
+
+}  // namespace
+}  // namespace fg::ucore

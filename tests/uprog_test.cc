@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "src/ucore/uprog.h"
+
+namespace fg::ucore {
+namespace {
+
+TEST(Builder, ForwardLabelResolution) {
+  UProgramBuilder b("t");
+  const auto skip = b.new_label();
+  b.li(1, 5);
+  b.j(skip);
+  b.li(1, 99);  // skipped
+  b.bind(skip);
+  b.halt();
+  const UProgram p = b.build();
+  ASSERT_EQ(p.code.size(), 4u);
+  EXPECT_EQ(p.code[1].op, UOp::kJ);
+  EXPECT_EQ(p.code[1].imm, 3);  // index of halt
+}
+
+TEST(Builder, BackwardLabelResolution) {
+  UProgramBuilder b("t");
+  const auto loop = b.new_label();
+  b.bind(loop);
+  b.addi(1, 1, 1);
+  b.bne(1, 2, loop);
+  const UProgram p = b.build();
+  EXPECT_EQ(p.code[1].imm, 0);
+}
+
+TEST(Builder, SwitchTables) {
+  UProgramBuilder b("t");
+  const auto a = b.new_label();
+  const auto c = b.new_label();
+  b.switch_on(5, {a, c});
+  b.bind(a);
+  b.li(1, 10);
+  b.bind(c);
+  b.li(1, 20);
+  const UProgram p = b.build();
+  ASSERT_EQ(p.jump_tables.size(), 1u);
+  EXPECT_EQ(p.jump_tables[0][0], 1u);
+  EXPECT_EQ(p.jump_tables[0][1], 2u);
+}
+
+TEST(Builder, EmitsAllOpKinds) {
+  UProgramBuilder b("t");
+  const auto l = b.new_label();
+  b.bind(l);
+  b.li(1, -7);
+  b.addi(2, 1, 3);
+  b.add(3, 1, 2);
+  b.sub(4, 3, 1);
+  b.and_(5, 1, 2);
+  b.or_(6, 1, 2);
+  b.xor_(7, 1, 2);
+  b.slli(8, 1, 4);
+  b.srli(9, 1, 4);
+  b.sltu(10, 1, 2);
+  b.ld(11, 1, 0);
+  b.sd(11, 1, 8);
+  b.lbu(12, 1, 0);
+  b.sb(12, 1, 1);
+  b.qcount(13, 0);
+  b.qtop(14, 64);
+  b.qpop(15, 128);
+  b.qrecent(16, 192);
+  b.qpush(15);
+  b.nocrecv(17);
+  b.detect(15, 16);
+  b.beqz(13, l);
+  b.halt();
+  const UProgram p = b.build();
+  EXPECT_EQ(p.code.size(), 23u);
+}
+
+TEST(Disassemble, NamesOps) {
+  UProgramBuilder b("demo");
+  b.qcount(5, 0);
+  b.qpop(6, 128);
+  b.detect(6, 5);
+  const std::string s = disassemble(b.build());
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("q.count"), std::string::npos);
+  EXPECT_NE(s.find("q.pop"), std::string::npos);
+  EXPECT_NE(s.find("detect"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fg::ucore

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/trace/workload.h"
+
+namespace fg::trace {
+namespace {
+
+WorkloadConfig small_config(const std::string& name = "ferret", u64 n = 20000) {
+  WorkloadConfig cfg;
+  cfg.profile = profile_by_name(name);
+  cfg.profile.n_funcs = 48;
+  cfg.seed = 11;
+  cfg.n_insts = n;
+  cfg.warmup_insts = 2000;
+  return cfg;
+}
+
+TEST(Workload, EmitsExactCount) {
+  WorkloadGen gen(small_config());
+  TraceInst ti;
+  u64 n = 0;
+  while (gen.next(ti)) ++n;
+  EXPECT_EQ(n, 20000u);
+  EXPECT_FALSE(gen.next(ti));
+}
+
+TEST(Workload, ResetReplaysIdenticalStream) {
+  WorkloadGen gen(small_config());
+  std::vector<TraceInst> first;
+  TraceInst ti;
+  while (gen.next(ti)) first.push_back(ti);
+  gen.reset();
+  size_t i = 0;
+  while (gen.next(ti)) {
+    ASSERT_LT(i, first.size());
+    EXPECT_EQ(ti.pc, first[i].pc);
+    EXPECT_EQ(ti.enc, first[i].enc);
+    EXPECT_EQ(ti.mem_addr, first[i].mem_addr);
+    EXPECT_EQ(ti.target, first[i].target);
+    EXPECT_EQ(ti.taken, first[i].taken);
+    ++i;
+  }
+  EXPECT_EQ(i, first.size());
+}
+
+TEST(Workload, TwoInstancesIdentical) {
+  WorkloadGen a(small_config()), b(small_config());
+  TraceInst ta, tb;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(a.next(ta));
+    ASSERT_TRUE(b.next(tb));
+    ASSERT_EQ(ta.pc, tb.pc);
+    ASSERT_EQ(ta.enc, tb.enc);
+  }
+}
+
+// The critical structural invariant for the shadow stack: every return's
+// reported target equals the address after its matching call.
+TEST(Workload, CallReturnNesting) {
+  WorkloadGen gen(small_config("dedup", 60000));
+  std::vector<u64> shadow;
+  TraceInst ti;
+  u64 mismatches = 0, rets = 0;
+  while (gen.next(ti)) {
+    if (ti.cls == isa::InstClass::kCall) {
+      shadow.push_back(ti.pc + 4);
+    } else if (ti.cls == isa::InstClass::kRet) {
+      ++rets;
+      ASSERT_FALSE(shadow.empty());
+      if (shadow.back() != ti.target) ++mismatches;
+      shadow.pop_back();
+    }
+  }
+  EXPECT_GT(rets, 100u);
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(Workload, CorruptedReturnsMismatchExactly) {
+  WorkloadConfig cfg = small_config("dedup", 60000);
+  cfg.attacks = {{AttackKind::kRetCorrupt, 10}};
+  WorkloadGen gen(cfg);
+  std::vector<u64> shadow;
+  TraceInst ti;
+  u64 mismatches = 0;
+  while (gen.next(ti)) {
+    if (ti.cls == isa::InstClass::kCall) {
+      shadow.push_back(ti.pc + 4);
+    } else if (ti.cls == isa::InstClass::kRet && !shadow.empty()) {
+      if (shadow.back() != ti.target) {
+        ++mismatches;
+        EXPECT_NE(ti.attack_id, 0u);
+      }
+      shadow.pop_back();
+    }
+  }
+  EXPECT_EQ(mismatches, gen.injected().size());
+  EXPECT_EQ(mismatches, 10u);
+}
+
+TEST(Workload, PcsStayInText) {
+  WorkloadGen gen(small_config());
+  TraceInst ti;
+  while (gen.next(ti)) {
+    EXPECT_GE(ti.pc, gen.text_lo());
+    EXPECT_LT(ti.pc, gen.text_hi());
+  }
+}
+
+TEST(Workload, BenignControlTargetsInText) {
+  WorkloadGen gen(small_config());
+  TraceInst ti;
+  while (gen.next(ti)) {
+    if (ti.attack_id != 0) continue;
+    if (isa::is_ctrl(ti.cls) && ti.taken) {
+      EXPECT_GE(ti.target, gen.text_lo()) << isa::disassemble(ti.enc);
+      EXPECT_LT(ti.target, gen.text_hi());
+    }
+  }
+}
+
+TEST(Workload, HijackTargetsOutsideText) {
+  WorkloadConfig cfg = small_config();
+  cfg.attacks = {{AttackKind::kPcHijack, 15}};
+  WorkloadGen gen(cfg);
+  TraceInst ti;
+  u64 attacks = 0;
+  while (gen.next(ti)) {
+    if (ti.attack_id != 0) {
+      ++attacks;
+      EXPECT_TRUE(ti.target < gen.text_lo() || ti.target >= gen.text_hi());
+    }
+  }
+  EXPECT_EQ(attacks, 15u);
+}
+
+TEST(Workload, AllocEventsCarryMetadata) {
+  WorkloadConfig cfg = small_config("dedup", 40000);
+  WorkloadGen gen(cfg);
+  TraceInst ti;
+  u64 allocs = 0, frees = 0;
+  while (gen.next(ti)) {
+    if (ti.sem == SemEvent::kAlloc) {
+      ++allocs;
+      EXPECT_NE(ti.sem_addr, 0u);
+      EXPECT_GT(ti.sem_size, 0u);
+      EXPECT_EQ(ti.sem_size % kHeapGranule, 0u);
+      EXPECT_EQ(isa::opcode_of(ti.enc), isa::kOpCustom0);
+    }
+    if (ti.sem == SemEvent::kFree) {
+      ++frees;
+      EXPECT_NE(ti.sem_addr, 0u);
+    }
+  }
+  EXPECT_GT(allocs, 50u);  // dedup is allocation heavy
+  EXPECT_GT(frees, 20u);
+}
+
+TEST(Workload, InstructionMixNearProfile) {
+  WorkloadConfig cfg = small_config("bodytrack", 100000);
+  WorkloadGen gen(cfg);
+  std::map<isa::InstClass, u64> counts;
+  TraceInst ti;
+  u64 n = 0;
+  while (gen.next(ti)) {
+    ++counts[ti.cls];
+    ++n;
+  }
+  const double f_load = static_cast<double>(counts[isa::InstClass::kLoad]) / n;
+  const double f_store = static_cast<double>(counts[isa::InstClass::kStore]) / n;
+  const double f_branch = static_cast<double>(counts[isa::InstClass::kBranch]) / n;
+  // Prologue/epilogue traffic adds a bit on top of the profile targets.
+  EXPECT_NEAR(f_load, cfg.profile.f_load, 0.08);
+  EXPECT_NEAR(f_store, cfg.profile.f_store, 0.08);
+  EXPECT_GT(f_branch, 0.03);
+  // The trace may end mid-call-chain; calls and returns match to within the
+  // final in-flight nesting depth.
+  const i64 call_ret_gap = static_cast<i64>(counts[isa::InstClass::kCall]) -
+                           static_cast<i64>(counts[isa::InstClass::kRet]);
+  EXPECT_GE(call_ret_gap, 0);
+  EXPECT_LE(call_ret_gap, 64);
+}
+
+TEST(Workload, AttackIdsSequentialAndPayloadTagged) {
+  WorkloadConfig cfg = small_config();
+  cfg.attacks = {{AttackKind::kHeapOob, 8}};
+  WorkloadGen gen(cfg);
+  TraceInst ti;
+  std::vector<u32> ids;
+  while (gen.next(ti)) {
+    if (ti.attack_id != 0) {
+      ids.push_back(ti.attack_id);
+      EXPECT_EQ(ti.wb_value, ti.attack_id);  // debug data carries the id
+    }
+  }
+  ASSERT_EQ(ids.size(), 8u);
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], ids[i - 1]);
+}
+
+TEST(Workload, StartupAllocEventsComeFirst) {
+  WorkloadGen gen(small_config());
+  TraceInst ti;
+  ASSERT_TRUE(gen.next(ti));
+  EXPECT_EQ(ti.sem, SemEvent::kAlloc);  // pre-seeded heap is announced
+}
+
+}  // namespace
+}  // namespace fg::trace
