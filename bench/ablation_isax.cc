@@ -19,21 +19,14 @@ void register_all() {
     for (bool ma : {true, false}) {
       const std::string mode = ma ? "ma_stage" : "post_commit";
       for (const std::string& w : workloads()) {
-        benchmark::RegisterBenchmark(
-            ("ablation_isax/" + std::string(k.name) + "/" + mode + "/" + w)
-                .c_str(),
-            [k, ma, mode, w](benchmark::State& st) {
-              for (auto _ : st) {
-                soc::SocConfig sc = soc::table2_soc();
-                sc.ucore.isax_ma_stage = ma;
-                sc.kernels = {soc::deploy(k.kind, 4)};
-                const double s = fireguard_slowdown(make_wl(w), sc);
-                st.counters["slowdown"] = s;
-                SeriesSummary::instance().add(std::string(k.name) + "/" + mode, s);
-              }
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
+        soc::SweepPoint p;
+        p.wl = make_wl(w);
+        p.sc = soc::table2_soc();
+        p.sc.ucore.isax_ma_stage = ma;
+        p.sc.kernels = {soc::deploy(k.kind, 4)};
+        register_point(
+            "ablation_isax/" + std::string(k.name) + "/" + mode + "/" + w,
+            std::string(k.name) + "/" + mode, std::move(p));
       }
     }
   }
@@ -44,8 +37,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print("ISAX placement ablation");
-  return 0;
+  return fgbench::sweep_main(argc, argv, "ISAX placement ablation");
 }

@@ -12,28 +12,23 @@
 namespace fgbench {
 namespace {
 
+void report_mapper_stall(benchmark::State& st, const soc::PointResult& r) {
+  st.counters["mapper_stall"] =
+      r.run.stall_fractions[static_cast<size_t>(core::StallCause::kMapper)];
+}
+
 void register_all() {
   for (const u32 width : {1u, 2u, 4u}) {
     for (const std::string& w : workloads()) {
-      benchmark::RegisterBenchmark(
-          ("ablation_mapper/sanitizer/w" + std::to_string(width) + "/" + w)
-              .c_str(),
-          [width, w](benchmark::State& st) {
-            for (auto _ : st) {
-              soc::SocConfig sc = soc::table2_soc();
-              sc.frontend.mapper_width = width;
-              sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-              soc::RunResult r;
-              const double s = fireguard_slowdown(make_wl(w), sc, &r);
-              st.counters["slowdown"] = s;
-              st.counters["mapper_stall"] = r.stall_fractions[static_cast<size_t>(
-                  core::StallCause::kMapper)];
-              SeriesSummary::instance().add("mapper_width=" + std::to_string(width),
-                                            s);
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      soc::SweepPoint p;
+      p.wl = make_wl(w);
+      p.sc = soc::table2_soc();
+      p.sc.frontend.mapper_width = width;
+      p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+      register_point(
+          "ablation_mapper/sanitizer/w" + std::to_string(width) + "/" + w,
+          "mapper_width=" + std::to_string(width), std::move(p),
+          report_mapper_stall);
     }
   }
 }
@@ -43,9 +38,6 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print(
-      "Mapper-width ablation (ASan, 4 ucores)");
-  return 0;
+  return fgbench::sweep_main(argc, argv,
+                             "Mapper-width ablation (ASan, 4 ucores)");
 }

@@ -6,10 +6,19 @@
 // the detailed models move baseline IPC but leave FireGuard's *relative*
 // slowdown essentially unchanged — the paper's conclusions do not hinge on
 // memory-model fidelity, only on event rates vs. engine throughput.
+//
+// The shared BaselineCache keys on the memory-model knobs, so each mode gets
+// its own baseline run (once, however many workload points share it).
 #include "bench_common.h"
 
 namespace fgbench {
 namespace {
+
+void report_base_ipc(benchmark::State& st, const soc::PointResult& r) {
+  st.counters["base_ipc"] = static_cast<double>(r.run.committed) /
+                            static_cast<double>(std::max<fg::Cycle>(
+                                1, r.baseline_cycles));
+}
 
 void register_all() {
   struct Mode {
@@ -20,27 +29,14 @@ void register_all() {
   for (const Mode m : {Mode{"flat", false, false}, Mode{"detailed_dram", true, false},
                        Mode{"detailed_dram_ptw", true, true}}) {
     for (const std::string& w : workloads()) {
-      benchmark::RegisterBenchmark(
-          ("ablation_memory/" + std::string(m.name) + "/" + w).c_str(),
-          [m, w](benchmark::State& st) {
-            for (auto _ : st) {
-              soc::SocConfig sc = soc::table2_soc();
-              sc.mem.detailed_dram = m.dram;
-              sc.mem.detailed_ptw = m.ptw;
-              sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-              const trace::WorkloadConfig wl = make_wl(w);
-              const Cycle base = soc::run_baseline_cycles(wl, sc);
-              const soc::RunResult r = soc::run_fireguard(wl, sc);
-              const double slowdown =
-                  static_cast<double>(r.cycles) / static_cast<double>(base);
-              st.counters["slowdown"] = slowdown;
-              st.counters["base_ipc"] =
-                  static_cast<double>(r.committed) / static_cast<double>(base);
-              SeriesSummary::instance().add(m.name, slowdown);
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      soc::SweepPoint p;
+      p.wl = make_wl(w);
+      p.sc = soc::table2_soc();
+      p.sc.mem.detailed_dram = m.dram;
+      p.sc.mem.detailed_ptw = m.ptw;
+      p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+      register_point("ablation_memory/" + std::string(m.name) + "/" + w,
+                     m.name, std::move(p), report_base_ipc);
     }
   }
 }
@@ -50,9 +46,6 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print(
-      "Memory-model ablation (ASan, 4 ucores)");
-  return 0;
+  return fgbench::sweep_main(argc, argv,
+                             "Memory-model ablation (ASan, 4 ucores)");
 }

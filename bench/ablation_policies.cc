@@ -8,6 +8,11 @@
 namespace fgbench {
 namespace {
 
+void report_detections(benchmark::State& st, const soc::PointResult& r) {
+  st.counters["detected"] = static_cast<double>(r.run.detections.size());
+  st.counters["attacks"] = static_cast<double>(r.run.planned_attacks);
+}
+
 void register_all() {
   struct K {
     const char* name;
@@ -24,29 +29,18 @@ void register_all() {
       // policies on SS are included to show why block mode is required
       // (detection coverage drops along with locality).
       for (const std::string& w : workloads()) {
-        benchmark::RegisterBenchmark(
-            ("ablation_policies/" + std::string(k.name) + "/" +
-             core::sched_policy_name(pol) + "/" + w)
-                .c_str(),
-            [k, pol, w](benchmark::State& st) {
-              for (auto _ : st) {
-                soc::SocConfig sc = soc::table2_soc();
-                soc::KernelDeployment dep = soc::deploy(k.kind, 4);
-                dep.policy = pol;
-                dep.policy_overridden = true;
-                sc.kernels = {dep};
-                soc::RunResult r;
-                const double s = fireguard_slowdown(
-                    make_wl(w, {{k.attack, 20}}), sc, &r);
-                st.counters["slowdown"] = s;
-                st.counters["detected"] = static_cast<double>(r.detections.size());
-                st.counters["attacks"] = static_cast<double>(r.planned_attacks);
-                SeriesSummary::instance().add(
-                    std::string(k.name) + "/" + core::sched_policy_name(pol), s);
-              }
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
+        soc::SweepPoint p;
+        p.wl = make_wl(w, {{k.attack, 20}});
+        p.sc = soc::table2_soc();
+        soc::KernelDeployment dep = soc::deploy(k.kind, 4);
+        dep.policy = pol;
+        dep.policy_overridden = true;
+        p.sc.kernels = {dep};
+        register_point("ablation_policies/" + std::string(k.name) + "/" +
+                           core::sched_policy_name(pol) + "/" + w,
+                       std::string(k.name) + "/" +
+                           core::sched_policy_name(pol),
+                       std::move(p), report_detections);
       }
     }
   }
@@ -57,8 +51,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print("Scheduling-policy ablation");
-  return 0;
+  return fgbench::sweep_main(argc, argv, "Scheduling-policy ablation");
 }

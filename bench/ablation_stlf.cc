@@ -5,34 +5,29 @@
 // store-heavy profiles, and FireGuard's *relative* slowdown stays put, which
 // is why the calibration tolerates either setting (slowdown is a ratio of
 // two runs that both gain).
+//
+// The shared BaselineCache keys on the forwarding knob, so each setting gets
+// its own baseline run.
 #include "bench_common.h"
 
 namespace fgbench {
 namespace {
 
+void report_base_cycles(benchmark::State& st, const soc::PointResult& r) {
+  st.counters["base_cycles"] = static_cast<double>(r.baseline_cycles);
+}
+
 void register_all() {
   for (const bool stlf : {false, true}) {
     const char* tag = stlf ? "stlf_on" : "stlf_off";
     for (const std::string& w : workloads()) {
-      benchmark::RegisterBenchmark(
-          ("ablation_stlf/" + std::string(tag) + "/" + w).c_str(),
-          [stlf, tag, w](benchmark::State& st) {
-            for (auto _ : st) {
-              soc::SocConfig sc = soc::table2_soc();
-              sc.core.store_load_forwarding = stlf;
-              sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-              const trace::WorkloadConfig wl = make_wl(w);
-              const Cycle base = soc::run_baseline_cycles(wl, sc);
-              const soc::RunResult r = soc::run_fireguard(wl, sc);
-              const double slowdown =
-                  static_cast<double>(r.cycles) / static_cast<double>(base);
-              st.counters["slowdown"] = slowdown;
-              st.counters["base_cycles"] = static_cast<double>(base);
-              SeriesSummary::instance().add(tag, slowdown);
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      soc::SweepPoint p;
+      p.wl = make_wl(w);
+      p.sc = soc::table2_soc();
+      p.sc.core.store_load_forwarding = stlf;
+      p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+      register_point("ablation_stlf/" + std::string(tag) + "/" + w, tag,
+                     std::move(p), report_base_cycles);
     }
   }
 }
@@ -42,9 +37,6 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print(
-      "Store-to-load-forwarding ablation (ASan, 4 ucores)");
-  return 0;
+  return fgbench::sweep_main(
+      argc, argv, "Store-to-load-forwarding ablation (ASan, 4 ucores)");
 }

@@ -1,87 +1,145 @@
 // Shared scaffolding for the paper-reproduction benchmarks. Each bench
-// binary regenerates one table or figure: it runs the relevant
-// configurations on all nine PARSEC-like workloads and reports the same
-// quantities the paper plots (slowdowns, latencies, stall fractions), via
-// google-benchmark counters plus a printed summary table.
+// binary regenerates one table or figure: it registers the relevant
+// (workload × SoC-config) simulation points with the shared SweepRunner,
+// which executes them across FG_JOBS worker threads; google-benchmark then
+// reports each point's precomputed result (counters + the point's own wall
+// clock via manual time), and the summary prints the geomean slowdowns the
+// way the figures report them, plus sweep wall clock and baseline-cache
+// hit/miss counters.
+//
+// Results are independent of FG_JOBS: every point is a fully deterministic,
+// self-contained simulation, and the runner returns results in registration
+// order (see src/soc/sweep.h).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <map>
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <functional>
+#include <regex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
-#include "src/soc/experiment.h"
+#include "src/soc/figures.h"
+#include "src/soc/sweep.h"
 
 namespace fgbench {
 
 using namespace fg;  // NOLINT: bench-local convenience
 
 inline const std::vector<std::string>& workloads() {
-  static const std::vector<std::string> kNames = {
-      "blackscholes", "bodytrack",     "dedup",     "ferret", "fluidanimate",
-      "freqmine",     "streamcluster", "swaptions", "x264"};
-  return kNames;
+  return soc::paper_workloads();
 }
 
-inline soc::BaselineCache& baseline_cache() {
-  static soc::BaselineCache cache;
-  return cache;
+/// The one sweep runner shared by every point of this bench binary. Its
+/// BaselineCache replaces the old per-binary singleton: one mutex-guarded
+/// cache, per-key once-semantics under concurrency.
+inline soc::SweepRunner& sweep() {
+  static soc::SweepRunner runner;
+  return runner;
 }
 
 inline trace::WorkloadConfig make_wl(
     const std::string& name,
     std::vector<std::pair<trace::AttackKind, u32>> attacks = {}) {
-  trace::WorkloadConfig wl;
-  wl.profile = trace::profile_by_name(name);
-  wl.seed = 42;
-  wl.n_insts = soc::default_trace_len();
-  wl.warmup_insts = wl.n_insts / 10;
-  wl.attacks = std::move(attacks);
-  return wl;
+  return soc::paper_workload(name, soc::default_trace_len(),
+                             std::move(attacks));
 }
 
-/// Slowdown of a FireGuard configuration vs. the unmonitored baseline on the
-/// identical trace.
-inline double fireguard_slowdown(const trace::WorkloadConfig& wl,
-                                 const soc::SocConfig& sc,
-                                 soc::RunResult* out = nullptr) {
-  const Cycle base = baseline_cache().get(wl, sc);
-  soc::RunResult r = soc::run_fireguard(wl, sc);
-  if (out != nullptr) *out = r;
-  return static_cast<double>(r.cycles) / static_cast<double>(base);
+/// Extra per-point reporting hook: fill benchmark counters from the result.
+using Reporter =
+    std::function<void(benchmark::State&, const soc::PointResult&)>;
+
+/// Registers `p` — with `p.name` / `p.series` already set — with the shared
+/// sweep AND a google-benchmark entry that reports its (precomputed)
+/// result. The benchmark's reported time is the point's own wall clock from
+/// the parallel run.
+inline void register_point(soc::SweepPoint p, Reporter extra = {}) {
+  const bool want_slowdown = p.want_slowdown;
+  const u32 idx = sweep().add(std::move(p));
+  benchmark::RegisterBenchmark(
+      sweep().point(idx).name.c_str(),
+      [idx, want_slowdown, extra](benchmark::State& st) {
+        const soc::PointResult& r = sweep().result(idx);
+        for (auto _ : st) {
+          st.SetIterationTime(r.wall_ms / 1000.0);
+          benchmark::DoNotOptimize(r.run.cycles);
+        }
+        if (want_slowdown) st.counters["slowdown"] = r.slowdown;
+        if (extra) extra(st, r);
+      })
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
 }
 
-inline double software_slowdown(const trace::WorkloadConfig& wl,
-                                baseline::SwScheme scheme,
-                                const soc::SocConfig& sc) {
-  const Cycle base = baseline_cache().get(wl, sc);
-  const soc::RunResult r = soc::run_software(wl, scheme, sc);
-  return static_cast<double>(r.cycles) / static_cast<double>(base);
+inline void register_point(std::string name, std::string series,
+                           soc::SweepPoint p, Reporter extra = {}) {
+  p.name = std::move(name);
+  p.series = std::move(series);
+  register_point(std::move(p), std::move(extra));
 }
 
-/// Collects per-series slowdowns so the summary can print geomeans the way
-/// the figures report them.
-class SeriesSummary {
- public:
-  static SeriesSummary& instance() {
-    static SeriesSummary s;
-    return s;
-  }
-  void add(const std::string& series, double slowdown) {
-    data_[series].push_back(slowdown);
-  }
-  void print(const char* title) const {
-    std::printf("\n=== %s: geomean slowdowns ===\n", title);
-    for (const auto& [series, values] : data_) {
-      std::printf("  %-36s %6.3f  (n=%zu)\n", series.c_str(), geomean(values),
-                  values.size());
+/// Standard bench main: run the sweep in parallel, then let google-benchmark
+/// report the per-point results, then print the summary. Google-benchmark's
+/// selection flags are honored before any simulation runs:
+/// --benchmark_list_tests skips the sweep entirely, and --benchmark_filter
+/// restricts it to matching points — same partial-match semantics and the
+/// same POSIX-extended grammar google-benchmark compiles the filter with
+/// (std::regex_constants::extended in its re.h), including the leading '-'
+/// negation. On a regex std::regex rejects, the full sweep runs — a
+/// filtered-out benchmark then merely ignores its result.
+inline int sweep_main(int argc, char** argv, const char* title) {
+  bool list_only = false;
+  std::string filter;
+  // Falsy spellings google-benchmark's IsTruthyFlagValue accepts; anything
+  // else (including a bare flag) means "list". Diverging here would skip
+  // the sweep while google-benchmark still runs the benchmarks.
+  const auto is_falsy = [](std::string v) {
+    for (char& ch : v) ch = static_cast<char>(std::tolower(ch));
+    return v == "0" || v == "false" || v == "f" || v == "no" || v == "n" ||
+           v == "off";
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_list_tests", 22) == 0 &&
+        (argv[i][22] == '\0' || argv[i][22] == '=')) {
+      list_only = argv[i][22] != '=' || !is_falsy(argv[i] + 23);
+    } else if (std::strncmp(argv[i], "--benchmark_filter=", 19) == 0) {
+      filter = argv[i] + 19;
     }
   }
-
- private:
-  std::map<std::string, std::vector<double>> data_;
-};
+  benchmark::Initialize(&argc, argv);
+  if (!list_only) {
+    if (filter.empty() || filter == "all") {
+      sweep().run_all();
+    } else {
+      bool negate = false;
+      if (filter[0] == '-') {
+        negate = true;
+        filter.erase(0, 1);
+      }
+      try {
+        const std::regex re(filter, std::regex_constants::extended);
+        sweep().run_all([&](const soc::SweepPoint& p) {
+          // google-benchmark matches against the *decorated* name every
+          // register_point entry gets (->Iterations(1)->UseManualTime());
+          // match the same string or anchored filters would diverge.
+          const std::string decorated =
+              p.name + "/iterations:1/manual_time";
+          return std::regex_search(decorated, re) != negate;
+        });
+      } catch (const std::regex_error&) {
+        sweep().run_all();
+      }
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (!list_only && title != nullptr) sweep().print_summary(title);
+  return 0;
+}
 
 }  // namespace fgbench

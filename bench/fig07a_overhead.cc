@@ -13,50 +13,27 @@
 namespace fgbench {
 namespace {
 
-soc::SocConfig with_kernel(kernels::KernelKind k, u32 n, bool ha = false) {
-  soc::SocConfig sc = soc::table2_soc();
-  sc.kernels = {soc::deploy(k, n, kernels::ProgModel::kHybrid, ha)};
-  return sc;
-}
-
-void BM_FireGuard(benchmark::State& state, const std::string& workload,
-                  kernels::KernelKind kind, bool ha, const char* series) {
-  for (auto _ : state) {
-    const double s =
-        fireguard_slowdown(make_wl(workload), with_kernel(kind, ha ? 1 : 4, ha));
-    state.counters["slowdown"] = s;
-    SeriesSummary::instance().add(series, s);
-  }
-}
-
-void BM_Software(benchmark::State& state, const std::string& workload,
-                 baseline::SwScheme scheme, const char* series) {
-  for (auto _ : state) {
-    const double s = software_slowdown(make_wl(workload), scheme, soc::table2_soc());
-    state.counters["slowdown"] = s;
-    SeriesSummary::instance().add(series, s);
-  }
-}
-
 void register_all() {
   using kernels::KernelKind;
   using baseline::SwScheme;
   for (const std::string& w : workloads()) {
     auto reg_fg = [&](const char* series, KernelKind k, bool ha) {
-      benchmark::RegisterBenchmark(
-          ("fig07a/" + std::string(series) + "/" + w).c_str(),
-          [w, k, ha, series](benchmark::State& st) {
-            BM_FireGuard(st, w, k, ha, series);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      soc::SweepPoint p;
+      p.wl = make_wl(w);
+      p.sc = soc::table2_soc();
+      p.sc.kernels = {
+          soc::deploy(k, ha ? 1 : 4, kernels::ProgModel::kHybrid, ha)};
+      register_point("fig07a/" + std::string(series) + "/" + w, series,
+                     std::move(p));
     };
     auto reg_sw = [&](const char* series, SwScheme s) {
-      benchmark::RegisterBenchmark(
-          ("fig07a/" + std::string(series) + "/" + w).c_str(),
-          [w, s, series](benchmark::State& st) { BM_Software(st, w, s, series); })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      soc::SweepPoint p;
+      p.wl = make_wl(w);
+      p.sc = soc::table2_soc();
+      p.kind = soc::SweepPoint::Kind::kSoftware;
+      p.scheme = s;
+      register_point("fig07a/" + std::string(series) + "/" + w, series,
+                     std::move(p));
     };
     reg_fg("pmc_fireguard_4ucores", KernelKind::kPmc, false);
     reg_fg("pmc_fireguard_1ha", KernelKind::kPmc, true);
@@ -76,8 +53,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print("Figure 7(a)");
-  return 0;
+  return fgbench::sweep_main(argc, argv, "Figure 7(a)");
 }

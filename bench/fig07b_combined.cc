@@ -48,17 +48,11 @@ soc::SocConfig combo_soc(const Combo& c) {
 void register_all() {
   for (const Combo& c : combos()) {
     for (const std::string& w : workloads()) {
-      benchmark::RegisterBenchmark(
-          ("fig07b/" + std::string(c.name) + "/" + w).c_str(),
-          [c, w](benchmark::State& st) {
-            for (auto _ : st) {
-              const double s = fireguard_slowdown(make_wl(w), combo_soc(c));
-              st.counters["slowdown"] = s;
-              SeriesSummary::instance().add(c.name, s);
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      soc::SweepPoint p;
+      p.wl = make_wl(w);
+      p.sc = combo_soc(c);
+      register_point("fig07b/" + std::string(c.name) + "/" + w, c.name,
+                     std::move(p));
     }
   }
 }
@@ -68,8 +62,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print("Figure 7(b) combinations");
-  return 0;
+  return fgbench::sweep_main(argc, argv, "Figure 7(b) combinations");
 }

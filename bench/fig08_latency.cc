@@ -29,31 +29,29 @@ const std::vector<Scenario>& scenarios() {
   return kScenarios;
 }
 
+void report_latency(benchmark::State& st, const soc::PointResult& r) {
+  SampleSet lat;
+  for (const auto& d : r.run.detections) lat.add(d.latency_ns);
+  st.counters["attacks"] = static_cast<double>(r.run.planned_attacks);
+  st.counters["detected"] = static_cast<double>(r.run.detections.size());
+  if (!lat.empty()) {
+    st.counters["lat_min_ns"] = lat.min();
+    st.counters["lat_med_ns"] = lat.percentile(50);
+    st.counters["lat_p90_ns"] = lat.percentile(90);
+    st.counters["lat_max_ns"] = lat.max();
+  }
+}
+
 void register_all() {
   for (const Scenario& s : scenarios()) {
     for (const std::string& w : workloads()) {
-      benchmark::RegisterBenchmark(
-          ("fig08/" + std::string(s.series) + "/" + w).c_str(),
-          [s, w](benchmark::State& st) {
-            for (auto _ : st) {
-              soc::SocConfig sc = soc::table2_soc();
-              sc.kernels = {soc::deploy(s.kind, 4)};
-              soc::RunResult r = soc::run_fireguard(
-                  make_wl(w, {{s.attack, soc::default_attack_count()}}), sc);
-              SampleSet lat;
-              for (const auto& d : r.detections) lat.add(d.latency_ns);
-              st.counters["attacks"] = static_cast<double>(r.planned_attacks);
-              st.counters["detected"] = static_cast<double>(r.detections.size());
-              if (!lat.empty()) {
-                st.counters["lat_min_ns"] = lat.min();
-                st.counters["lat_med_ns"] = lat.percentile(50);
-                st.counters["lat_p90_ns"] = lat.percentile(90);
-                st.counters["lat_max_ns"] = lat.max();
-              }
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      soc::SweepPoint p;
+      p.wl = make_wl(w, {{s.attack, soc::default_attack_count()}});
+      p.sc = soc::table2_soc();
+      p.sc.kernels = {soc::deploy(s.kind, 4)};
+      p.want_slowdown = false;  // the figure plots latency, not overhead
+      register_point("fig08/" + std::string(s.series) + "/" + w, "",
+                     std::move(p), report_latency);
     }
   }
 }
@@ -63,7 +61,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return fgbench::sweep_main(argc, argv, "Figure 8 (detection latency)");
 }

@@ -13,32 +13,28 @@
 namespace fgbench {
 namespace {
 
+void report_stalls(benchmark::State& st, const soc::PointResult& r) {
+  st.counters["stall_filter"] =
+      r.run.stall_fractions[static_cast<size_t>(core::StallCause::kFilter)];
+  st.counters["stall_mapper"] =
+      r.run.stall_fractions[static_cast<size_t>(core::StallCause::kMapper)];
+  st.counters["stall_cdc"] =
+      r.run.stall_fractions[static_cast<size_t>(core::StallCause::kCdc)];
+  st.counters["stall_engines"] =
+      r.run.stall_fractions[static_cast<size_t>(core::StallCause::kEngines)];
+}
+
 void register_all() {
   for (u32 width : {4u, 2u, 1u}) {
     for (const std::string& w : workloads()) {
-      benchmark::RegisterBenchmark(
-          ("fig09/width" + std::to_string(width) + "/" + w).c_str(),
-          [width, w](benchmark::State& st) {
-            for (auto _ : st) {
-              soc::SocConfig sc = soc::table2_soc();
-              sc.frontend.filter.width = width;
-              sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-              soc::RunResult r;
-              const double s = fireguard_slowdown(make_wl(w), sc, &r);
-              st.counters["slowdown"] = s;
-              st.counters["stall_filter"] =
-                  r.stall_fractions[static_cast<size_t>(core::StallCause::kFilter)];
-              st.counters["stall_mapper"] =
-                  r.stall_fractions[static_cast<size_t>(core::StallCause::kMapper)];
-              st.counters["stall_cdc"] =
-                  r.stall_fractions[static_cast<size_t>(core::StallCause::kCdc)];
-              st.counters["stall_engines"] = r.stall_fractions[static_cast<size_t>(
-                  core::StallCause::kEngines)];
-              SeriesSummary::instance().add("width" + std::to_string(width), s);
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      soc::SweepPoint p;
+      p.wl = make_wl(w);
+      p.sc = soc::table2_soc();
+      p.sc.frontend.filter.width = width;
+      p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+      register_point("fig09/width" + std::to_string(width) + "/" + w,
+                     "width" + std::to_string(width), std::move(p),
+                     report_stalls);
     }
   }
 }
@@ -48,8 +44,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print("Figure 9 (slowdown by filter width)");
-  return 0;
+  return fgbench::sweep_main(argc, argv, "Figure 9 (slowdown by filter width)");
 }

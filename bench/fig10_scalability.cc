@@ -3,6 +3,9 @@
 // PMC and shadow stack sweep {2, 4, 6} engines (the paper's x-range for the
 // light kernels); ASan and UaF sweep {2, 4, 6, 8, 10, 12}.
 //
+// The grid itself lives in src/soc/figures.cc (fig10_points), shared with
+// tools/simspeed so the speed trajectory always measures the real grid.
+//
 // Paper shape to check: PMC 2µ=1.20 -> 4µ=1.02 (x264 lags) -> 6µ all <1.05;
 // SS 2µ=1.073 -> 4µ=1.021 -> 6µ=1.004; ASan heavy (2µ=1.86, bodytrack /
 // dedup / x264 above 2x, x264 still 1.59 at 12µ); UaF heaviest with a flat,
@@ -12,45 +15,9 @@
 namespace fgbench {
 namespace {
 
-struct Sweep {
-  const char* series;
-  kernels::KernelKind kind;
-  std::vector<u32> engines;
-};
-
-const std::vector<Sweep>& sweeps() {
-  static const std::vector<Sweep> kSweeps = {
-      {"pmc", kernels::KernelKind::kPmc, {2, 4, 6}},
-      {"shadow", kernels::KernelKind::kShadowStack, {2, 4, 6}},
-      {"sanitizer", kernels::KernelKind::kAsan, {2, 4, 6, 8, 10, 12}},
-      {"uaf", kernels::KernelKind::kUaf, {2, 4, 6, 8, 10, 12}},
-  };
-  return kSweeps;
-}
-
 void register_all() {
-  for (const Sweep& s : sweeps()) {
-    for (u32 n : s.engines) {
-      for (const std::string& w : workloads()) {
-        benchmark::RegisterBenchmark(
-            ("fig10/" + std::string(s.series) + "/" + std::to_string(n) +
-             "ucores/" + w)
-                .c_str(),
-            [s, n, w](benchmark::State& st) {
-              for (auto _ : st) {
-                soc::SocConfig sc = soc::table2_soc();
-                sc.kernels = {soc::deploy(s.kind, n)};
-                const double slow = fireguard_slowdown(make_wl(w), sc);
-                st.counters["slowdown"] = slow;
-                SeriesSummary::instance().add(
-                    std::string(s.series) + "/" + std::to_string(n) + "ucores",
-                    slow);
-              }
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
+  for (soc::SweepPoint& p : soc::fig10_points(soc::default_trace_len())) {
+    register_point(std::move(p));
   }
 }
 
@@ -59,8 +26,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print("Figure 10 (scalability)");
-  return 0;
+  return fgbench::sweep_main(argc, argv, "Figure 10 (scalability)");
 }

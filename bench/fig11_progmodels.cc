@@ -21,19 +21,13 @@ const std::vector<kernels::ProgModel>& models() {
 void register_all() {
   for (kernels::ProgModel m : models()) {
     for (const std::string& w : workloads()) {
-      benchmark::RegisterBenchmark(
-          ("fig11/" + std::string(kernels::prog_model_name(m)) + "/" + w).c_str(),
-          [m, w](benchmark::State& st) {
-            for (auto _ : st) {
-              soc::SocConfig sc = soc::table2_soc();
-              sc.kernels = {soc::deploy(kernels::KernelKind::kPmc, 4, m)};
-              const double s = fireguard_slowdown(make_wl(w), sc);
-              st.counters["slowdown"] = s;
-              SeriesSummary::instance().add(kernels::prog_model_name(m), s);
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      soc::SweepPoint p;
+      p.wl = make_wl(w);
+      p.sc = soc::table2_soc();
+      p.sc.kernels = {soc::deploy(kernels::KernelKind::kPmc, 4, m)};
+      register_point(
+          "fig11/" + std::string(kernels::prog_model_name(m)) + "/" + w,
+          kernels::prog_model_name(m), std::move(p));
     }
   }
 }
@@ -43,8 +37,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  fgbench::SeriesSummary::instance().print("Figure 11 (programming models)");
-  return 0;
+  return fgbench::sweep_main(argc, argv, "Figure 11 (programming models)");
 }

@@ -1,6 +1,7 @@
 // Table II: the evaluated hardware configuration. Prints the library's
-// defaults so a reader can diff them against the paper, and times one short
-// reference simulation as a sanity benchmark.
+// defaults so a reader can diff them against the paper, and runs one short
+// reference simulation as a sanity benchmark (its reported time is the
+// point's real wall clock from the sweep).
 #include "bench_common.h"
 
 namespace fgbench {
@@ -40,25 +41,25 @@ void print_config() {
               sc.ucore.dcache.size_bytes / 1024);
 }
 
-void BM_ReferenceRun(benchmark::State& state) {
-  soc::SocConfig sc = soc::table2_soc();
-  sc.kernels = {soc::deploy(kernels::KernelKind::kPmc, 4)};
-  trace::WorkloadConfig wl = make_wl("blackscholes");
-  wl.n_insts = 30000;
-  for (auto _ : state) {
-    soc::RunResult r = soc::run_fireguard(wl, sc);
-    benchmark::DoNotOptimize(r.cycles);
-    state.counters["ipc"] = r.ipc;
-  }
+void register_all() {
+  soc::SweepPoint p;
+  p.wl = make_wl("blackscholes");
+  p.wl.n_insts = 30000;
+  p.wl.warmup_insts = p.wl.n_insts / 10;
+  p.sc = soc::table2_soc();
+  p.sc.kernels = {soc::deploy(kernels::KernelKind::kPmc, 4)};
+  p.want_slowdown = false;
+  register_point("table2/reference_run", "", std::move(p),
+                 [](benchmark::State& st, const soc::PointResult& r) {
+                   st.counters["ipc"] = r.run.ipc;
+                 });
 }
-BENCHMARK(BM_ReferenceRun)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace fgbench
 
 int main(int argc, char** argv) {
   fgbench::print_config();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  fgbench::register_all();
+  return fgbench::sweep_main(argc, argv, nullptr);
 }

@@ -12,12 +12,8 @@
 namespace fgbench {
 namespace {
 
-area::ActivityFactors measured_activity() {
-  // One representative run to extract IPC, filtered-packet fraction and
-  // µcore duty cycle.
-  soc::SocConfig sc = soc::table2_soc();
-  sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-  const soc::RunResult r = soc::run_fireguard(make_wl("ferret"), sc);
+void report_energy_rows(benchmark::State& st, const soc::PointResult& pr) {
+  const soc::RunResult& r = pr.run;
   const double packets_per_commit =
       r.committed > 0 ? static_cast<double>(r.packets) / (4.0 * r.committed)
                       : 0.3;
@@ -26,25 +22,28 @@ area::ActivityFactors measured_activity() {
   const double busy =
       slow_cycles > 0 ? 8.0 * static_cast<double>(r.packets) / 4.0 / slow_cycles
                       : 0.6;
-  return area::activity_from_run(r.ipc, 4, packets_per_commit, busy);
+  const area::ActivityFactors af =
+      area::activity_from_run(r.ipc, 4, packets_per_commit, busy);
+  const auto rows = area::table3_energy_rows(af);
+  std::printf("\n%-12s %-14s %12s %12s %16s\n", "SoC", "Core", "area ovh %",
+              "energy ovh %", "1-domain ovh %");
+  for (const auto& row : rows) {
+    std::printf("%-12s %-14s %12.2f %12.2f %16.2f\n", row.soc.c_str(),
+                row.core.c_str(), row.area_overhead_pct, row.energy_overhead_pct,
+                row.single_domain_pct);
+    st.counters[row.soc + "_energy_pct"] = row.energy_overhead_pct;
+  }
 }
 
 void register_all() {
-  benchmark::RegisterBenchmark("table_energy/rows", [](benchmark::State& st) {
-    for (auto _ : st) {
-      const area::ActivityFactors af = measured_activity();
-      const auto rows = area::table3_energy_rows(af);
-      std::printf(
-          "\n%-12s %-14s %12s %12s %16s\n", "SoC", "Core", "area ovh %",
-          "energy ovh %", "1-domain ovh %");
-      for (const auto& r : rows) {
-        std::printf("%-12s %-14s %12.2f %12.2f %16.2f\n", r.soc.c_str(),
-                    r.core.c_str(), r.area_overhead_pct, r.energy_overhead_pct,
-                    r.single_domain_pct);
-        st.counters[r.soc + "_energy_pct"] = r.energy_overhead_pct;
-      }
-    }
-  })->Iterations(1)->Unit(benchmark::kMillisecond);
+  // One representative run to extract IPC, filtered-packet fraction and
+  // µcore duty cycle.
+  soc::SweepPoint p;
+  p.wl = make_wl("ferret");
+  p.sc = soc::table2_soc();
+  p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+  p.want_slowdown = false;
+  register_point("table_energy/rows", "", std::move(p), report_energy_rows);
 }
 
 }  // namespace
@@ -52,7 +51,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   fgbench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return fgbench::sweep_main(argc, argv, nullptr);
 }

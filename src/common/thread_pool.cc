@@ -1,0 +1,49 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fg {
+
+ThreadPool::ThreadPool(u32 n_threads) {
+  const u32 n = std::max<u32>(1, n_threads);
+  workers_.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+u32 ThreadPool::default_jobs() {
+  const char* v = std::getenv("FG_JOBS");
+  if (v != nullptr && *v != '\0') {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) return static_cast<u32>(n);
+  }
+  const u32 hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace fg

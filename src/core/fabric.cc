@@ -63,6 +63,7 @@ Cycle NocMesh::send(u32 src, u32 dst, u64 payload, Cycle now) {
                    return a.arrives_at > b.arrives_at;
                  });
   ++stats_.messages;
+  ++pending_;
   return t;
 }
 
@@ -77,6 +78,7 @@ std::optional<NocMessage> NocMesh::deliver(u32 engine, Cycle now) {
   std::pop_heap(box.begin(), box.end(), cmp);
   NocMessage m = box.back();
   box.pop_back();
+  --pending_;
   return m;
 }
 

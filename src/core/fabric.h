@@ -51,6 +51,9 @@ class NocMesh {
   /// Number of mesh hops between two engines (Manhattan distance).
   u32 hops(u32 a, u32 b) const;
 
+  /// Messages injected but not yet delivered (any engine, any arrival time).
+  u64 pending() const { return pending_; }
+
   u32 width() const { return width_; }
   u32 height() const { return height_; }
   const NocStats& stats() const { return stats_; }
@@ -68,6 +71,7 @@ class NocMesh {
   u32 hop_latency_;
   std::vector<Cycle> link_free_;                 // next-free cycle per link
   std::vector<std::vector<NocMessage>> inbox_;   // per-engine, sorted by arrival
+  u64 pending_ = 0;                              // undelivered messages in flight
   NocStats stats_;
 };
 

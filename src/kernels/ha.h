@@ -30,6 +30,8 @@ class HardwareAccelerator {
   void tick(Cycle now_slow);
 
   bool quiescent() const { return q_.empty(); }
+  /// `tick` is a structural no-op on an empty queue, so quiescent == idle.
+  bool idle() const { return q_.empty(); }
   u32 engine_id() const { return engine_id_; }
   u64 packets_processed() const { return processed_; }
   const std::vector<ucore::Detection>& detections() const { return detections_; }

@@ -3,7 +3,10 @@
 // on identical workload traces and identical main-core hardware.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,13 +54,30 @@ RunResult run_fireguard(const trace::WorkloadConfig& wl, SocConfig sc);
 RunResult run_software(const trace::WorkloadConfig& wl, baseline::SwScheme scheme,
                        const SocConfig& sc);
 
-/// Memoizes baseline cycles per workload so sweeps do not recompute them.
+/// Memoizes baseline cycles per (workload, baseline-relevant SoC config) so
+/// sweeps do not recompute them. Thread-safe with per-key once-semantics:
+/// concurrent misses on the same key block on the one thread running the
+/// baseline instead of duplicating it.
 class BaselineCache {
  public:
-  Cycle get(const trace::WorkloadConfig& wl, const SocConfig& sc);
+  /// `ran_baseline`, if given, is set to whether THIS call executed the
+  /// baseline run (as opposed to reusing — or waiting for — another's).
+  Cycle get(const trace::WorkloadConfig& wl, const SocConfig& sc,
+            bool* ran_baseline = nullptr);
+
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
-  std::map<std::string, Cycle> cache_;
+  struct Entry {
+    std::once_flag once;
+    Cycle cycles = 0;
+  };
+
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> cache_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
 };
 
 /// Convenience: geometric-mean slowdown over per-workload slowdowns.

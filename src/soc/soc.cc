@@ -29,6 +29,9 @@ void Soc::Engine::tick(Cycle now_slow) {
 bool Soc::Engine::quiescent() const {
   return ucore ? ucore->quiescent() : ha->quiescent();
 }
+bool Soc::Engine::idle() const {
+  return ucore ? ucore->idle() : ha->idle();
+}
 const std::vector<ucore::Detection>& Soc::Engine::detections() const {
   return ucore ? ucore->detections() : ha->detections();
 }
@@ -99,6 +102,7 @@ void Soc::build_engines(trace::TraceSource&) {
             dep.kind, dep.model, cfg_.kparams, i, n));
       }
       engines_.push_back(std::move(e));
+      ucores_.push_back(engines_.back().ucore.get());
     }
     // Checks: all engines of the group under the deployment's policy.
     if (split) shadow_mems_.push_back(kmem);
@@ -194,12 +198,35 @@ void Soc::deliver(const core::Packet& p) {
 }
 
 void Soc::slow_tick(Cycle now_slow) {
+  core::CdcFifo& cdc = frontend_->cdc();
+  const u32 n = static_cast<u32>(engines_.size());
+
+  // Fast path: with the CDC empty, no NoC message in flight and every engine
+  // idle (spin loop on empty queues, nothing buffered anywhere), the slow
+  // domain can make no observable progress this cycle — only the engines'
+  // spin loops would advance (see UCore::idle for what freezing them
+  // changes). This is the common state whenever the main core runs ahead of
+  // the event stream, and it is what lets light kernels simulate at
+  // near-baseline speed.
+  if (cdc.empty() && noc_->pending() == 0) {
+    bool all_idle = true;
+    for (const Engine& e : engines_) {
+      if (!e.idle()) {
+        all_idle = false;
+        break;
+      }
+    }
+    if (all_idle) {
+      engines_blocked_ = false;
+      return;
+    }
+  }
+
   // 1) Multicast channel: the CDC's slow-domain read port is freq_ratio
   //    packets wide per mapper lane, so the crossing sustains the mapper's
   //    issue bandwidth end to end. Each packet is delivered atomically to
   //    every interested engine.
   engines_blocked_ = false;
-  core::CdcFifo& cdc = frontend_->cdc();
   for (u32 i = 0; i < cfg_.frontend.freq_ratio * cfg_.frontend.mapper_width;
        ++i) {
     if (!cdc.can_pop(now_slow)) break;
@@ -212,25 +239,31 @@ void Soc::slow_tick(Cycle now_slow) {
     cdc.pop();
   }
 
-  // 2) Analysis engines execute.
-  for (Engine& e : engines_) e.tick(now_slow);
+  // 2) Analysis engines execute. An idle engine cannot make observable
+  //    progress (UCore::idle / HardwareAccelerator::idle), so skipping its
+  //    tick only freezes the spin loop's own bookkeeping.
+  for (Engine& e : engines_) {
+    if (!e.idle()) e.tick(now_slow);
+  }
 
   // 3) Output queues drain into the fabric routing channel (one per engine
   //    per cycle). Payload format: {dst[63:56], value[55:0]}.
-  for (u32 i = 0; i < engines_.size(); ++i) {
-    ucore::UCore* uc = engines_[i].ucore.get();
+  for (u32 i = 0; i < n; ++i) {
+    ucore::UCore* uc = ucores_[i];
     if (uc == nullptr || uc->output_empty()) continue;
     const u64 payload = uc->pop_output();
     const u32 dst = static_cast<u32>(payload >> 56);
     const u64 value = payload & ((u64{1} << 56) - 1);
-    if (dst < engines_.size()) noc_->send(i, dst, value, now_slow);
+    if (dst < n) noc_->send(i, dst, value, now_slow);
   }
 
   // 4) Mesh deliveries.
-  for (u32 i = 0; i < engines_.size(); ++i) {
-    ucore::UCore* uc = engines_[i].ucore.get();
-    if (uc == nullptr) continue;
-    while (auto m = noc_->deliver(i, now_slow)) uc->push_noc(m->payload);
+  if (noc_->pending() != 0) {
+    for (u32 i = 0; i < n; ++i) {
+      ucore::UCore* uc = ucores_[i];
+      if (uc == nullptr) continue;
+      while (auto m = noc_->deliver(i, now_slow)) uc->push_noc(m->payload);
+    }
   }
 }
 
@@ -246,6 +279,10 @@ void Soc::run() {
   const u32 ratio = std::max<u32>(1, cfg_.frontend.freq_ratio);
   bool core_done = false;
   u64 grace = 0;
+  // Slow-domain schedule without the per-cycle div/mod: tick the slow domain
+  // every `ratio`-th fast cycle and count its cycles directly.
+  u32 until_slow = ratio;
+  Cycle slow_now = fast_now_ / ratio;
   while (fast_now_ < cfg_.max_fast_cycles) {
     if (!core_done) {
       core_->tick(this);
@@ -255,7 +292,10 @@ void Soc::run() {
       }
     }
     frontend_->tick_fast(fast_now_, *this, engines_blocked_);
-    if ((fast_now_ % ratio) == ratio - 1) slow_tick(fast_now_ / ratio);
+    if (--until_slow == 0) {
+      slow_tick(slow_now++);
+      until_slow = ratio;
+    }
     ++fast_now_;
 
     if (core_done && frontend_->filter().buffered() == 0 &&
@@ -273,11 +313,14 @@ void Soc::run() {
   if (!core_done) core_done_cycle_ = core_->now();
 }
 
-std::vector<DetectionRecord> Soc::detections() const {
+void Soc::match_detections() const {
+  if (match_valid_ && match_cycle_ == fast_now_) return;
   const u32 ratio = std::max<u32>(1, cfg_.frontend.freq_ratio);
   std::vector<DetectionRecord> out;
+  u64 total = 0;
   std::unordered_map<u64, size_t> addr_cursor;  // consume address matches FIFO
   for (const Engine& e : engines_) {
+    total += e.detections().size();
     for (const ucore::Detection& d : e.detections()) {
       // Match by id (debug-data payload) first, then by faulting address.
       u32 id = 0;
@@ -307,14 +350,20 @@ std::vector<DetectionRecord> Soc::detections() const {
             [](const DetectionRecord& a, const DetectionRecord& b) {
               return a.attack_id < b.attack_id;
             });
-  return out;
+  matched_ = std::move(out);
+  spurious_ = total > matched_.size() ? total - matched_.size() : 0;
+  match_cycle_ = fast_now_;
+  match_valid_ = true;
+}
+
+std::vector<DetectionRecord> Soc::detections() const {
+  match_detections();
+  return matched_;
 }
 
 u64 Soc::spurious_detections() const {
-  u64 total = 0;
-  for (const Engine& e : engines_) total += e.detections().size();
-  const u64 matched = detections().size();
-  return total > matched ? total - matched : 0;
+  match_detections();
+  return spurious_;
 }
 
 std::array<double, 5> Soc::stall_fractions() const {

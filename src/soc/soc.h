@@ -88,6 +88,8 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
   u64 committed() const { return core_->stats().committed; }
 
   /// All kernel detections matched to injected attacks, with latencies.
+  /// Matched and spurious counts come from one shared match pass (computed
+  /// lazily, cached until the simulation advances).
   std::vector<DetectionRecord> detections() const;
   u64 spurious_detections() const;
 
@@ -115,6 +117,8 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
     void push_input(const core::Packet& p);
     void tick(Cycle now_slow);
     bool quiescent() const;
+    /// No observable progress possible (see UCore::idle); safe to skip tick.
+    bool idle() const;
     const std::vector<ucore::Detection>& detections() const;
   };
 
@@ -124,12 +128,17 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
   bool can_deliver(const core::Packet& p) const;
   void deliver(const core::Packet& p);
   bool engines_drained() const;
+  void match_detections() const;  // fills matched_/spurious_ in one pass
 
   SocConfig cfg_;
   mem::MemHierarchy mem_;
   std::unique_ptr<boom::BoomCore> core_;
   std::unique_ptr<core::Frontend> frontend_;
   std::vector<Engine> engines_;
+  // Raw per-engine µcore pointers (nullptr for HA slots), hoisted out of the
+  // slow-tick drain/NoC loops so they don't re-do unique_ptr::get() per
+  // engine per slow cycle.
+  std::vector<ucore::UCore*> ucores_;
   std::vector<std::unique_ptr<ucore::USharedMemory>> kernel_mems_;
   // Shared memories that hold an authoritative ASan/UaF shadow, updated in
   // commit order (functional-first / timing-later split, DESIGN.md §6).
@@ -144,6 +153,13 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
   // Kernels whose hot loop cannot afford q.recent report the faulting
   // address instead of the debug-data word; map addresses back to ids.
   std::unordered_map<u64, std::vector<u32>> attack_by_addr_;
+
+  // Cache for the match pass shared by detections() / spurious_detections();
+  // keyed on the fast cycle it was computed at so mid-run queries stay fresh.
+  mutable bool match_valid_ = false;
+  mutable Cycle match_cycle_ = 0;
+  mutable std::vector<DetectionRecord> matched_;
+  mutable u64 spurious_ = 0;
 };
 
 }  // namespace fg::soc

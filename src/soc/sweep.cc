@@ -1,0 +1,127 @@
+#include "src/soc/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <map>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+#include "src/common/thread_pool.h"
+
+namespace fg::soc {
+
+namespace {
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+SweepRunner::SweepRunner(SweepConfig cfg)
+    : jobs_(cfg.jobs > 0 ? cfg.jobs : ThreadPool::default_jobs()) {}
+
+u32 SweepRunner::add(SweepPoint p) {
+  FG_CHECK(!ran_ && "points must be registered before run_all()");
+  points_.push_back(std::move(p));
+  // results_ mirrors points_ from registration on, so result(i) is safe
+  // (executed == false) even if run_all never runs — e.g. a bench binary
+  // invoked with a list-tests flag.
+  results_.emplace_back();
+  return static_cast<u32>(points_.size() - 1);
+}
+
+PointResult SweepRunner::execute(const SweepPoint& p) {
+  const double t0 = now_ms();
+  PointResult r;
+  switch (p.kind) {
+    case SweepPoint::Kind::kFireguard:
+      r.run = run_fireguard(p.wl, p.sc);
+      break;
+    case SweepPoint::Kind::kSoftware:
+      r.run = run_software(p.wl, p.scheme, p.sc);
+      break;
+  }
+  const double run_ms = now_ms() - t0;
+  double base_ms = 0.0;
+  if (p.want_slowdown) {
+    const double b0 = now_ms();
+    bool ran_baseline = false;
+    r.baseline_cycles = cache_.get(p.wl, p.sc, &ran_baseline);
+    // Only the point that actually ran the baseline is charged for it;
+    // points that hit the cache — or blocked on another worker's in-flight
+    // miss — did no baseline work of their own.
+    if (ran_baseline) base_ms = now_ms() - b0;
+    r.slowdown = static_cast<double>(r.run.cycles) /
+                 static_cast<double>(std::max<Cycle>(1, r.baseline_cycles));
+  }
+  r.wall_ms = run_ms + base_ms;
+  r.executed = true;
+  return r;
+}
+
+const std::vector<PointResult>& SweepRunner::run_all(
+    const std::function<bool(const SweepPoint&)>& select) {
+  if (ran_) return results_;
+  const double t0 = now_ms();
+  std::vector<u32> chosen;
+  chosen.reserve(points_.size());
+  for (u32 i = 0; i < points_.size(); ++i) {
+    if (!select || select(points_[i])) chosen.push_back(i);
+  }
+  if (jobs_ <= 1 || chosen.size() <= 1) {
+    for (const u32 i : chosen) results_[i] = execute(points_[i]);
+  } else {
+    ThreadPool pool(jobs_);
+    std::vector<std::future<PointResult>> futures;
+    futures.reserve(chosen.size());
+    for (const u32 i : chosen) {
+      futures.push_back(
+          pool.submit([this, i] { return execute(points_[i]); }));
+    }
+    // Futures are collected in registration order, so results are stable
+    // regardless of which worker finished first.
+    for (size_t k = 0; k < chosen.size(); ++k) {
+      results_[chosen[k]] = futures[k].get();
+    }
+  }
+  wall_ms_ = now_ms() - t0;
+  ran_ = true;
+  return results_;
+}
+
+double SweepRunner::serial_ms() const {
+  double sum = 0.0;
+  for (const PointResult& r : results_) sum += r.wall_ms;
+  return sum;
+}
+
+void SweepRunner::print_summary(const char* title) const {
+  std::printf("\n=== %s: geomean slowdowns ===\n", title);
+  std::map<std::string, std::vector<double>> by_series;
+  size_t executed = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (!results_[i].executed) continue;
+    ++executed;
+    if (points_[i].series.empty() || !points_[i].want_slowdown) continue;
+    by_series[points_[i].series].push_back(results_[i].slowdown);
+  }
+  for (const auto& [series, values] : by_series) {
+    std::printf("  %-36s %6.3f  (n=%zu)\n", series.c_str(), geomean(values),
+                values.size());
+  }
+  const double serial = serial_ms();
+  std::printf(
+      "sweep: %zu/%zu points on %u jobs, wall %.2f s (serial-equivalent "
+      "%.2f s, est. speedup %.2fx)\n",
+      executed, points_.size(), jobs_, wall_ms_ / 1000.0, serial / 1000.0,
+      wall_ms_ > 0.0 ? serial / wall_ms_ : 0.0);
+  std::printf("baseline cache: %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(cache_.hits()),
+              static_cast<unsigned long long>(cache_.misses()));
+}
+
+}  // namespace fg::soc

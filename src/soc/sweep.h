@@ -1,0 +1,101 @@
+// Declarative parallel experiment runner.
+//
+// Every paper figure is a sweep of independent, deterministic
+// (workload × SoC-config) simulation points. A bench binary enumerates its
+// points once (`add`), then `run_all` executes them across FG_JOBS worker
+// threads and returns `PointResult`s in stable point order — results are
+// bit-identical to a serial run because each point owns its entire
+// simulation state (trace generator, core, engines) and its seed is fixed
+// by the point itself, never by thread assignment or completion order.
+//
+// The runner owns one mutex-guarded BaselineCache shared by every point, so
+// concurrent misses on the same trace block on a single baseline run
+// instead of duplicating it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/soc/experiment.h"
+
+namespace fg::soc {
+
+/// One simulation point of a figure sweep.
+struct SweepPoint {
+  std::string name;    // unique label, e.g. "fig10/pmc/4ucores/ferret"
+  std::string series;  // summary aggregation key ("" = not summarized)
+  trace::WorkloadConfig wl;
+  SocConfig sc;
+
+  enum class Kind { kFireguard, kSoftware };
+  Kind kind = Kind::kFireguard;
+  baseline::SwScheme scheme = baseline::SwScheme::kShadowStackLlvm;
+
+  /// Also run (or fetch from the cache) the unmonitored baseline and fill
+  /// in `PointResult::slowdown`.
+  bool want_slowdown = true;
+};
+
+struct PointResult {
+  RunResult run;
+  Cycle baseline_cycles = 0;
+  double slowdown = 0.0;
+  /// This point's own work: the monitored run, plus the baseline run only
+  /// if this point executed it (time spent blocked on another worker's
+  /// in-flight baseline is excluded, so summing wall_ms over points gives
+  /// an honest serial-equivalent cost).
+  double wall_ms = 0.0;
+  bool executed = false;  // false if the point was filtered out of run_all
+};
+
+struct SweepConfig {
+  /// Worker threads; 0 = FG_JOBS env var, else hardware concurrency.
+  u32 jobs = 0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepConfig cfg = {});
+
+  /// Registers a point; returns its stable index.
+  u32 add(SweepPoint p);
+
+  /// Executes every registered point (jobs > 1: across the thread pool) and
+  /// returns results indexed exactly like the points were added. An optional
+  /// `select` predicate restricts execution to matching points (the others
+  /// keep a default, `executed == false` result — used by the benches to
+  /// honor --benchmark_filter). Idempotent: a second call returns the cached
+  /// results regardless of its predicate.
+  const std::vector<PointResult>& run_all(
+      const std::function<bool(const SweepPoint&)>& select = {});
+
+  const SweepPoint& point(u32 idx) const { return points_[idx]; }
+  const PointResult& result(u32 idx) const { return results_[idx]; }
+  size_t n_points() const { return points_.size(); }
+  u32 jobs() const { return jobs_; }
+
+  BaselineCache& baseline_cache() { return cache_; }
+
+  /// Whole-sweep wall clock of `run_all` in milliseconds.
+  double wall_ms() const { return wall_ms_; }
+  /// Sum of per-point wall clocks (the serial-equivalent cost).
+  double serial_ms() const;
+
+  /// Prints per-series geomean slowdowns plus the sweep wall clock, the
+  /// parallel speedup vs. the per-point sum, and baseline-cache hit/miss
+  /// counters.
+  void print_summary(const char* title) const;
+
+ private:
+  PointResult execute(const SweepPoint& p);
+
+  u32 jobs_;
+  BaselineCache cache_;
+  std::vector<SweepPoint> points_;
+  std::vector<PointResult> results_;
+  bool ran_ = false;
+  double wall_ms_ = 0.0;
+};
+
+}  // namespace fg::soc

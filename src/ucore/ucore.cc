@@ -232,6 +232,11 @@ void UCore::tick(Cycle now) {
       } else {
         rd_val = noc_inbox_.front();
         noc_inbox_.erase(noc_inbox_.begin());
+        // The loop observed work: it is now executing the payload-handling
+        // body, not spinning. Without this, idle() would go true again the
+        // moment the inbox drains — freezing the engine mid-body, since
+        // only push_input clears the spin flag.
+        spinning_ = false;
       }
       break;
     }
@@ -259,8 +264,9 @@ void UCore::tick(Cycle now) {
   }
 
   // Spinning is sticky: once the loop observes an empty queue it can only be
-  // woken by a packet arrival (push_input clears the flag). The spin path
-  // itself (count / branch / jump) must not un-quiesce the engine.
+  // woken by a packet arrival (push_input clears the flag) or by consuming a
+  // NoC payload (handled in kNocRecv above). The spin path itself (count /
+  // branch / jump) must not un-quiesce the engine.
   if (set_spin) spinning_ = true;
   pc_ = next_pc;
   stall_until_ = now + cost;

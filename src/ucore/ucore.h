@@ -90,6 +90,21 @@ class UCore {
   /// kernel loop is spinning on an empty-count (or empty NoC receive).
   bool quiescent() const { return input_.empty() && spinning_; }
 
+  /// Stronger than `quiescent`: the core can make no observable progress —
+  /// the kernel loop is spinning on queues that are all empty, so packets,
+  /// verdicts and NoC traffic are unaffected by whether the spin itself is
+  /// simulated. Spinning alone is not enough: a NoC payload wakes the loop
+  /// without clearing `spinning_`, and a non-empty output queue still owes
+  /// the fabric work — so the SoC may skip `tick` only under this
+  /// predicate. Skipping freezes the spin loop in place (spin-loop
+  /// instruction/stall stats stop accumulating, and the wake-up lands at a
+  /// fixed point in the loop instead of a phase that depends on how long
+  /// the engine spun — a wake-time shift of at most one spin iteration).
+  bool idle() const {
+    return (halted_ || (spinning_ && input_.empty())) && noc_inbox_.empty() &&
+           output_.empty();
+  }
+
   const std::vector<Detection>& detections() const { return detections_; }
   void clear_detections() { detections_.clear(); }
 

@@ -163,6 +163,35 @@ TEST(UCore, DetectRecords) {
   EXPECT_EQ(c.detections()[0].aux, 0xbadu);
 }
 
+TEST(UCore, NocConsumeClearsSpinSoIdleEngineIsNotFrozenMidBody) {
+  // Token-wait shape: spin on nocrecv, then handle the payload (several
+  // body instructions). After consuming the payload the core must NOT
+  // report idle() — the SoC skips ticking idle engines, and a stale spin
+  // flag would freeze the body (and any detect in it) forever if no input
+  // packet ever arrives.
+  UProgramBuilder b("tokenwait");
+  const auto loop = b.new_label();
+  b.bind(loop);
+  b.nocrecv(1);
+  b.beqz(1, loop);
+  b.li(2, 7);       // payload-handling body
+  b.detect(1, 2);   // records the consumed payload
+  b.j(loop);
+  Fixture f;
+  UCore c = f.make(b.build());
+  Cycle t = 0;
+  for (; t < 50; ++t) c.tick(t);
+  EXPECT_TRUE(c.idle());  // spinning on an empty inbox
+  c.push_noc(0x42);
+  EXPECT_FALSE(c.idle());  // inbox pending
+  // Drive only while the core reports non-idle — exactly what Soc::slow_tick
+  // does. The body must still complete and raise its detect.
+  for (; t < 200 && !c.idle(); ++t) c.tick(t);
+  ASSERT_EQ(c.detections().size(), 1u);
+  EXPECT_EQ(c.detections()[0].payload, 0x42u);
+  EXPECT_TRUE(c.idle());  // back on the empty-inbox spin
+}
+
 TEST(UCore, SpinDetectionSticky) {
   UProgramBuilder b("spin");
   const auto loop = b.new_label();

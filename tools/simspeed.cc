@@ -1,0 +1,207 @@
+// Simulator-speed tracker: emits BENCH_sim_speed.json so the performance
+// trajectory of the simulator itself is measured, not guessed.
+//
+// Three measurements:
+//  1. Single-thread hot-loop speed — simulated fast-domain cycles per wall
+//     second (and committed instructions per second) for a light (PMC) and a
+//     heavy (ASan) kernel deployment.
+//  2. The Figure-10 sweep grid executed serially (jobs=1) and with FG_JOBS
+//     workers: wall clock for each, honest parallel speedup.
+//  3. A bit-identity audit: every parallel RunResult (cycles, committed,
+//     detections, packets) must equal its serial counterpart, byte for byte.
+//     A mismatch makes the tool exit non-zero.
+//
+// Usage: simspeed [--quick] [--jobs=N] [--trace-len=N] [--out=PATH]
+//   --quick      small trace (20k insts) and the PMC+ASan subset of the
+//                fig10 grid — for CI and smoke runs
+//   --jobs=N     parallel worker count (default: FG_JOBS env, else hw)
+//   --trace-len  per-point trace length (default: FG_TRACE_LEN env / 150k)
+//   --out=PATH   output JSON path (default: BENCH_sim_speed.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/soc/figures.h"
+#include "src/soc/sweep.h"
+
+namespace {
+
+using namespace fg;
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+struct HotLoopSpeed {
+  std::string name;
+  double sim_cycles_per_sec = 0.0;
+  double insts_per_sec = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// One run_fireguard, timed; reports simulated fast cycles per wall second.
+HotLoopSpeed measure_hot_loop(const char* name, kernels::KernelKind kind,
+                              u64 n_insts) {
+  soc::SocConfig sc = soc::table2_soc();
+  sc.kernels = {soc::deploy(kind, 4)};
+  const trace::WorkloadConfig wl = soc::paper_workload("blackscholes", n_insts);
+  const double t0 = now_ms();
+  const soc::RunResult r = soc::run_fireguard(wl, sc);
+  const double ms = now_ms() - t0;
+  HotLoopSpeed s;
+  s.name = name;
+  s.wall_ms = ms;
+  if (ms > 0.0) {
+    s.sim_cycles_per_sec = static_cast<double>(r.cycles) / (ms / 1000.0);
+    s.insts_per_sec = static_cast<double>(r.committed) / (ms / 1000.0);
+  }
+  return s;
+}
+
+/// The Figure-10 grid, from the same definition bench_fig10_scalability
+/// registers (src/soc/figures.cc) — the measured grid cannot drift from the
+/// real one.
+void add_fig10_grid(soc::SweepRunner& runner, u64 n_insts, bool quick) {
+  for (soc::SweepPoint& p : soc::fig10_points(n_insts, quick)) {
+    runner.add(std::move(p));
+  }
+}
+
+bool results_identical(const soc::PointResult& a, const soc::PointResult& b) {
+  if (a.run.cycles != b.run.cycles) return false;
+  if (a.run.committed != b.run.committed) return false;
+  if (a.run.packets != b.run.packets) return false;
+  if (a.run.spurious != b.run.spurious) return false;
+  if (a.baseline_cycles != b.baseline_cycles) return false;
+  if (a.run.detections.size() != b.run.detections.size()) return false;
+  for (size_t i = 0; i < a.run.detections.size(); ++i) {
+    const soc::DetectionRecord& da = a.run.detections[i];
+    const soc::DetectionRecord& db = b.run.detections[i];
+    if (da.attack_id != db.attack_id || da.engine != db.engine ||
+        da.commit_fast != db.commit_fast || da.detect_fast != db.detect_fast) {
+      return false;
+    }
+  }
+  return true;
+}
+
+u64 arg_u64(const char* arg, const char* prefix, u64 fallback) {
+  const size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return fallback;
+  return std::strtoull(arg + n, nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  u32 jobs = ThreadPool::default_jobs();
+  u64 trace_len = soc::default_trace_len();
+  std::string out_path = "BENCH_sim_speed.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<u32>(arg_u64(argv[i], "--jobs=", jobs));
+    } else if (std::strncmp(argv[i], "--trace-len=", 12) == 0) {
+      trace_len = arg_u64(argv[i], "--trace-len=", trace_len);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: simspeed [--quick] [--jobs=N] [--trace-len=N] "
+                   "[--out=PATH]\n");
+      return 2;
+    }
+  }
+  if (quick) trace_len = std::min<u64>(trace_len, 20'000);
+
+  std::printf("simspeed: trace_len=%llu jobs=%u%s\n",
+              static_cast<unsigned long long>(trace_len), jobs,
+              quick ? " (quick)" : "");
+
+  // 1) Single-thread hot-loop speed.
+  std::vector<HotLoopSpeed> hot;
+  hot.push_back(measure_hot_loop("pmc_4ucores", kernels::KernelKind::kPmc,
+                                 trace_len));
+  hot.push_back(measure_hot_loop("asan_4ucores", kernels::KernelKind::kAsan,
+                                 trace_len));
+  for (const HotLoopSpeed& s : hot) {
+    std::printf("hot loop %-14s: %8.2f M sim-cycles/s, %8.2f M insts/s "
+                "(%.1f ms)\n",
+                s.name.c_str(), s.sim_cycles_per_sec / 1e6,
+                s.insts_per_sec / 1e6, s.wall_ms);
+  }
+
+  // 2) Fig. 10 sweep, serial then parallel.
+  soc::SweepRunner serial(soc::SweepConfig{1});
+  add_fig10_grid(serial, trace_len, quick);
+  serial.run_all();
+  std::printf("fig10 sweep serial  : %zu points, %.2f s\n", serial.n_points(),
+              serial.wall_ms() / 1000.0);
+
+  soc::SweepRunner parallel(soc::SweepConfig{jobs});
+  add_fig10_grid(parallel, trace_len, quick);
+  parallel.run_all();
+  const double speedup = parallel.wall_ms() > 0.0
+                             ? serial.wall_ms() / parallel.wall_ms()
+                             : 0.0;
+  std::printf("fig10 sweep parallel: %zu points on %u jobs, %.2f s "
+              "(speedup %.2fx vs serial)\n",
+              parallel.n_points(), jobs, parallel.wall_ms() / 1000.0, speedup);
+
+  // 3) Bit-identity audit.
+  u32 mismatches = 0;
+  for (u32 i = 0; i < parallel.n_points(); ++i) {
+    if (!results_identical(serial.result(i), parallel.result(i))) {
+      std::fprintf(stderr, "MISMATCH at point %s\n",
+                   parallel.point(i).name.c_str());
+      ++mismatches;
+    }
+  }
+  std::printf("bit-identity audit  : %u mismatches over %zu points\n",
+              mismatches, parallel.n_points());
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"fireguard/sim_speed/v1\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"trace_len\": %llu,\n",
+               static_cast<unsigned long long>(trace_len));
+  std::fprintf(f, "  \"jobs\": %u,\n", jobs);
+  std::fprintf(f, "  \"hot_loop\": [\n");
+  for (size_t i = 0; i < hot.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"sim_cycles_per_sec\": %.0f, "
+                 "\"insts_per_sec\": %.0f, \"wall_ms\": %.2f}%s\n",
+                 hot[i].name.c_str(), hot[i].sim_cycles_per_sec,
+                 hot[i].insts_per_sec, hot[i].wall_ms,
+                 i + 1 < hot.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"fig10_sweep\": {\n");
+  std::fprintf(f, "    \"points\": %zu,\n", parallel.n_points());
+  std::fprintf(f, "    \"serial_wall_s\": %.3f,\n", serial.wall_ms() / 1000.0);
+  std::fprintf(f, "    \"parallel_wall_s\": %.3f,\n",
+               parallel.wall_ms() / 1000.0);
+  std::fprintf(f, "    \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "    \"bit_identical\": %s\n",
+               mismatches == 0 ? "true" : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return mismatches == 0 ? 0 : 1;
+}
