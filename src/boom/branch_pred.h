@@ -93,6 +93,7 @@ class BranchPredictor {
 
   PredictorStats stats_;
   u64 salt_ = 0x9e3779b9u;
+  u32 idx_bits_ = 0;  // log2(tage_entries), cached off the hot index path
 };
 
 }  // namespace fg::boom

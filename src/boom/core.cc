@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/simctl.h"
 
 namespace fg::boom {
 
@@ -22,14 +23,16 @@ BoomCore::BoomCore(const CoreConfig& cfg, mem::MemHierarchy& mem,
       fu_jmp_(cfg.n_jmp, 0),
       fu_csr_(cfg.n_csr, 0) {
   preg_ready_.assign(cfg.phys_regs, 0);
+  // Lazy draining caps the release set at one over-full check past the IQ
+  // capacity plus the entries a drain leaves in the future (<= ROB size).
+  iq_release_.reserve(cfg.iq_entries + cfg.rob_entries);
 }
 
-Cycle BoomCore::fu_schedule(std::vector<Cycle>& units, Cycle ready) {
+Cycle* BoomCore::fu_pick(std::vector<Cycle>& units) {
   // Pick the unit that frees earliest; execution starts when both the unit
-  // and the operands are ready.
-  auto it = std::min_element(units.begin(), units.end());
-  const Cycle start = std::max(*it, ready);
-  return start;
+  // and the operands are ready. The caller occupies the returned unit once
+  // the start cycle is final (one scan instead of schedule + re-scan).
+  return &*std::min_element(units.begin(), units.end());
 }
 
 void BoomCore::do_commit(CommitSink* sink) {
@@ -38,6 +41,7 @@ void BoomCore::do_commit(CommitSink* sink) {
   // a cycle (Figure 2 d: Mini-Filter[x] has priority on Read_Ctrl[x]).
   if (sink != nullptr) {
     const u32 preempted = sink->prf_ports_preempted();
+    if (preempted != 0) active_ = true;  // FU free times move: not a fixed point
     for (u32 i = 0; i < preempted && i < fu_int_.size(); ++i) {
       // The preempted read port pushes the next issue on this pipe back by
       // one cycle ("an instruction attempting to use the same port will be
@@ -60,6 +64,9 @@ void BoomCore::do_commit(CommitSink* sink) {
     }
     if (sink != nullptr && !sink->can_commit(lane, head.inst)) {
       ++stats_.commit_stall_fireguard;
+      // The refusal itself mutates sink-side stall attribution every cycle,
+      // so a refused commit can never be skipped over.
+      active_ = true;
       return;  // in-order commit: younger lanes stall too
     }
     if (head.is_load) lsq_.commit_load();
@@ -69,6 +76,7 @@ void BoomCore::do_commit(CommitSink* sink) {
     ++stats_.committed;
     if (stats_.committed == warmup_target_) warmup_cycle_ = now_;
     rob_.pop();
+    active_ = true;
   }
 }
 
@@ -94,6 +102,9 @@ bool BoomCore::fetch_next() {
     return false;
   }
   have_pending_ = true;
+  // The pull (and its possible i-cache access below) is a timing-visible
+  // state change anchored to this cycle: the tick is not a fixed point.
+  active_ = true;
 
   // Instruction-cache model: crossing into a new 64B line costs an i-cache
   // access; the frontend cannot deliver the instruction earlier.
@@ -109,34 +120,61 @@ bool BoomCore::fetch_next() {
 void BoomCore::do_dispatch(CommitSink*) {
   using isa::InstClass;
   for (u32 slot = 0; slot < cfg_.fetch_width; ++slot) {
-    if (!fetch_next()) return;
-    if (frontend_ready_ > now_) return;
+    if (!have_pending_ && !fetch_next()) {
+      dispatch_block_ = DispatchBlock::kTraceDone;
+      return;
+    }
+    if (frontend_ready_ > now_) {
+      dispatch_block_ = DispatchBlock::kFrontendReady;
+      return;
+    }
 
     // Structural hazards.
     if (rob_.full()) {
       ++stats_.dispatch_stall_rob;
+      dispatch_block_ = DispatchBlock::kRobFull;
       return;
     }
-    // Issue-queue occupancy: release entries whose execution has started.
-    while (!iq_release_.empty() && iq_release_.top() <= now_) iq_release_.pop();
+    // Issue-queue occupancy: entries leave the IQ when execution starts.
+    // Releases are drained lazily — only a full IQ needs the set walked,
+    // and draining late removes exactly the entries draining eagerly would
+    // have (every release time <= now_).
     if (iq_release_.size() >= cfg_.iq_entries) {
-      ++stats_.dispatch_stall_iq;
-      return;
+      // Compact out the released entries and remember the earliest pending
+      // release — that is the stall's horizon, computed for free here
+      // instead of with a second scan in next_event().
+      Cycle* out = iq_release_.data();
+      Cycle next_release = kNoEvent;
+      for (const Cycle c : iq_release_) {
+        if (c <= now_) continue;
+        *out++ = c;
+        next_release = std::min(next_release, c);
+      }
+      iq_release_.resize(static_cast<size_t>(out - iq_release_.data()));
+      if (iq_release_.size() >= cfg_.iq_entries) {
+        ++stats_.dispatch_stall_iq;
+        dispatch_block_ = DispatchBlock::kIqFull;
+        iq_next_release_ = next_release;
+        return;
+      }
     }
     const trace::TraceInst& ti = pending_;
     const bool is_load = ti.cls == InstClass::kLoad;
     const bool is_store = ti.cls == InstClass::kStore;
     if (is_load && lsq_.ldq_full()) {
       ++stats_.dispatch_stall_lsq;
+      dispatch_block_ = DispatchBlock::kLsqFull;
       return;
     }
     if (is_store && lsq_.stq_full()) {
       ++stats_.dispatch_stall_lsq;
+      dispatch_block_ = DispatchBlock::kLsqFull;
       return;
     }
     const bool has_dst = ti.rd != kNoReg && ti.rd != 0;
     if (has_dst && !rename_.can_allocate()) {
       ++stats_.dispatch_stall_pregs;
+      dispatch_block_ = DispatchBlock::kPregs;
       return;
     }
 
@@ -148,12 +186,15 @@ void BoomCore::do_dispatch(CommitSink*) {
     if (ren.ps1 != kNoPreg) ready = std::max(ready, preg_ready_[ren.ps1]);
     if (ren.ps2 != kNoPreg) ready = std::max(ready, preg_ready_[ren.ps2]);
 
-    // Schedule on a functional unit.
+    // Schedule on a functional unit. The chosen unit is occupied (rough:
+    // one cycle of issue bandwidth) once the start cycle is final.
     Cycle start;
     Cycle done;
+    Cycle* unit;
     switch (ti.cls) {
       case InstClass::kLoad: {
-        start = fu_schedule(fu_mem_, ready);
+        unit = fu_pick(fu_mem_);
+        start = std::max(*unit, ready);
         const LoadPlan plan = lsq_.dispatch_load(ti.mem_addr, ti.mem_size, start);
         if (plan.forwarded) {
           // Data comes straight from the STQ; no cache access.
@@ -167,7 +208,8 @@ void BoomCore::do_dispatch(CommitSink*) {
         break;
       }
       case InstClass::kStore: {
-        start = fu_schedule(fu_mem_, ready);
+        unit = fu_pick(fu_mem_);
+        start = std::max(*unit, ready);
         // Stores write at commit; address generation + STQ insert only.
         mem_.access_data(ti.mem_addr, true, start);
         lsq_.dispatch_store(ti.mem_addr, ti.mem_size, ready, mem_seq_++);
@@ -181,7 +223,8 @@ void BoomCore::do_dispatch(CommitSink*) {
         auto& pool = (ti.cls == InstClass::kFpAlu || ti.cls == InstClass::kFpMulDiv)
                          ? fu_fp_
                          : (fu_fp_.empty() ? fu_int_ : fu_fp_);  // shared unit
-        start = fu_schedule(pool, ready);
+        unit = fu_pick(pool);
+        start = std::max(*unit, ready);
         done = start + exec_latency_class(ti);
         break;
       }
@@ -189,43 +232,26 @@ void BoomCore::do_dispatch(CommitSink*) {
       case InstClass::kJump:
       case InstClass::kCall:
       case InstClass::kRet: {
-        start = fu_schedule(fu_jmp_, ready);
+        unit = fu_pick(fu_jmp_);
+        start = std::max(*unit, ready);
         done = start + cfg_.lat_jmp;
         break;
       }
       case InstClass::kCsr:
       case InstClass::kGuardEvent: {
-        start = fu_schedule(fu_csr_, ready);
+        unit = fu_pick(fu_csr_);
+        start = std::max(*unit, ready);
         done = start + 1;
         break;
       }
       default: {
-        start = fu_schedule(fu_int_, ready);
+        unit = fu_pick(fu_int_);
+        start = std::max(*unit, ready);
         done = start + cfg_.lat_int;
         break;
       }
     }
-
-    // Occupy the chosen unit (rough: one cycle of issue bandwidth).
-    auto occupy = [start](std::vector<Cycle>& units) {
-      auto it = std::min_element(units.begin(), units.end());
-      *it = start + 1;
-    };
-    switch (ti.cls) {
-      case InstClass::kLoad:
-      case InstClass::kStore: occupy(fu_mem_); break;
-      case InstClass::kFpAlu:
-      case InstClass::kFpMulDiv: occupy(fu_fp_); break;
-      case InstClass::kIntMul:
-      case InstClass::kIntDiv: occupy(fu_fp_); break;
-      case InstClass::kBranch:
-      case InstClass::kJump:
-      case InstClass::kCall:
-      case InstClass::kRet: occupy(fu_jmp_); break;
-      case InstClass::kCsr:
-      case InstClass::kGuardEvent: occupy(fu_csr_); break;
-      default: occupy(fu_int_); break;
-    }
+    *unit = start + 1;
 
     // Writeback: the physical destination becomes ready at completion.
     if (ren.pd != kNoPreg) preg_ready_[ren.pd] = done;
@@ -267,31 +293,101 @@ void BoomCore::do_dispatch(CommitSink*) {
       frontend_ready_ = std::max(frontend_ready_, now_ + cfg_.btb_bubble);
     }
 
-    // Enter the ROB / IQ / LSQ.
-    RobEntry e;
+    // Enter the ROB / IQ / LSQ (in place: RobEntry carries the TraceInst,
+    // so a stack copy + push would move it twice).
+    RobEntry& e = rob_.push_slot();
     e.inst = ti;
     e.ren = ren;
     e.done_at = done;
     e.has_dst = has_dst;
     e.is_load = is_load;
     e.is_store = is_store;
-    rob_.push(e);
-    iq_release_.push(start);
+    iq_release_.push_back(start);
     if (is_load) lsq_.note_load_dispatched();
     have_pending_ = false;
+    dispatch_block_ = DispatchBlock::kNone;
+    active_ = true;
 
     if (mispredict) return;  // nothing younger dispatches this cycle
   }
 }
 
-void BoomCore::tick(CommitSink* sink) {
+bool BoomCore::tick(CommitSink* sink) {
+  active_ = false;
+  dispatch_block_ = DispatchBlock::kNone;
   do_commit(sink);
   do_dispatch(sink);
   ++now_;
   ++stats_.cycles;
+  return active_;
+}
+
+Cycle BoomCore::next_event() const {
+  Cycle h = kNoEvent;
+  // Commit horizon: the ROB head completes (a sink refusal past that point
+  // forces stepping, but stepping at the horizon re-checks it).
+  if (!rob_.empty()) h = std::min(h, rob_.front().done_at);
+  // Dispatch horizon, from the block the fixed-point tick recorded.
+  switch (dispatch_block_) {
+    case DispatchBlock::kFrontendReady:
+      h = std::min(h, frontend_ready_);
+      break;
+    case DispatchBlock::kIqFull:
+      // The full check drained entries <= now_ and recorded the earliest
+      // remaining release.
+      h = std::min(h, iq_next_release_);
+      break;
+    case DispatchBlock::kRobFull:
+    case DispatchBlock::kLsqFull:
+    case DispatchBlock::kPregs:
+      // These clear only when the ROB head commits; the commit horizon
+      // above already bounds the skip (the ROB cannot be empty here).
+      break;
+    case DispatchBlock::kTraceDone:
+      break;
+    case DispatchBlock::kNone:
+      // Defensive: no recorded block (tick was active) — do not skip.
+      return now_ + 1;
+  }
+  return h;
+}
+
+void BoomCore::skip_to(Cycle target) {
+  FG_CHECK(target >= now_);
+  const u64 d = target - now_;
+  if (d == 0) return;
+  stats_.cycles += d;
+  // Every skipped cycle's do_commit would have stalled on an empty ROB or a
+  // not-yet-complete head (a ready head or a sink refusal makes the tick
+  // active, which forbids skipping).
+  stats_.commit_stall_empty += d;
+  switch (dispatch_block_) {
+    case DispatchBlock::kRobFull: stats_.dispatch_stall_rob += d; break;
+    case DispatchBlock::kIqFull: stats_.dispatch_stall_iq += d; break;
+    case DispatchBlock::kLsqFull: stats_.dispatch_stall_lsq += d; break;
+    case DispatchBlock::kPregs: stats_.dispatch_stall_pregs += d; break;
+    case DispatchBlock::kFrontendReady:
+    case DispatchBlock::kTraceDone:
+    case DispatchBlock::kNone:
+      break;  // those early returns charge no dispatch stall counter
+  }
+  now_ = target;
 }
 
 Cycle BoomCore::run_to_end(CommitSink* sink, u64 max_cycles) {
+  // Event-driven fast-forward is only safe against a known-idempotent sink;
+  // a bare core (baseline runs) qualifies, an arbitrary CommitSink may
+  // observe every cycle, so it falls back to stepping.
+  if (sink == nullptr && !cycle_exact()) {
+    while (!done() && now_ < max_cycles) {
+      if (!tick(nullptr) && !done()) {
+        const Cycle ev = next_event();
+        const Cycle target = std::min<Cycle>(ev, max_cycles);
+        if (target > now_) skip_to(target);
+      }
+    }
+    return now_;
+  }
   while (!done() && now_ < max_cycles) tick(sink);
   return now_;
 }

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <array>
-#include <queue>
 #include <vector>
 
 #include "src/boom/branch_pred.h"
@@ -104,7 +103,26 @@ class BoomCore {
   BoomCore(const CoreConfig& cfg, mem::MemHierarchy& mem, trace::TraceSource& src);
 
   /// Advance one core cycle. `sink` may be null (baseline, no monitoring).
-  void tick(CommitSink* sink);
+  /// Returns true if the cycle changed state beyond per-cycle stall
+  /// counters: a commit, a dispatch, a trace fetch, a sink refusal, or an
+  /// applied PRF-port preemption. A false return means the core is at a
+  /// fixed point: every subsequent cycle up to `next_event()` is provably
+  /// identical, so the scheduler may `skip_to` it in one step.
+  bool tick(CommitSink* sink);
+
+  /// Earliest cycle at which `tick` could make progress again. Only
+  /// meaningful immediately after a `tick` that returned false; kNoEvent
+  /// means the core will never progress again (trace done, ROB empty).
+  /// Horizons are conservative lower bounds: stepping at the returned cycle
+  /// re-evaluates the real state.
+  Cycle next_event() const;
+
+  /// Bulk-advance over cycles proven dead by `next_event()`, charging the
+  /// exact per-cycle stall counters the stepped loop would have charged
+  /// (commit_stall_empty every cycle, plus the dispatch stall recorded by
+  /// the fixed-point tick). Pre: the last tick returned false and
+  /// `target <= next_event()`.
+  void skip_to(Cycle target);
 
   /// True once the trace is exhausted and the ROB has drained.
   bool done() const { return trace_done_ && rob_.empty(); }
@@ -137,10 +155,22 @@ class BoomCore {
     bool is_store = false;
   };
 
+  /// Why the fixed-point tick's dispatch stage stopped — determines which
+  /// stall counter a skipped cycle charges and which horizon unblocks it.
+  enum class DispatchBlock : u8 {
+    kNone,           // dispatched something (tick was active)
+    kTraceDone,      // nothing left to fetch
+    kFrontendReady,  // redirect/i-cache refill: unblocks at frontend_ready_
+    kRobFull,        // unblocks when the ROB head completes (commit horizon)
+    kIqFull,         // unblocks at iq_release_.top()
+    kLsqFull,        // unblocks at commit (LSQ entries free at commit)
+    kPregs,          // unblocks at commit (stale pregs free at commit)
+  };
+
   void do_commit(CommitSink* sink);
   void do_dispatch(CommitSink* sink);
   bool fetch_next();
-  Cycle fu_schedule(std::vector<Cycle>& units, Cycle ready);
+  Cycle* fu_pick(std::vector<Cycle>& units);
   u32 exec_latency_class(const trace::TraceInst& ti) const;
 
   CoreConfig cfg_;
@@ -155,7 +185,10 @@ class BoomCore {
   u64 mem_seq_ = 0;  // dispatch order of memory operations (LSQ dependence)
 
   // Issue-queue occupancy: entries leave the IQ when execution starts.
-  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>> iq_release_;
+  // Stored unsorted: pushes are O(1) on the per-instruction hot path, and
+  // the set only has to be walked when the IQ is actually full (drain all
+  // releases <= now) — the same entries a sorted structure would pop.
+  std::vector<Cycle> iq_release_;
 
   // Per-class FU next-free times.
   std::vector<Cycle> fu_int_;
@@ -176,6 +209,11 @@ class BoomCore {
 
   u64 warmup_target_ = 0;
   Cycle warmup_cycle_ = 0;
+
+  // Fixed-point bookkeeping for the event-driven scheduler (see tick()).
+  bool active_ = true;
+  DispatchBlock dispatch_block_ = DispatchBlock::kNone;
+  Cycle iq_next_release_ = 0;  // earliest pending release after an IQ-full drain
 
   CoreStats stats_;
 };

@@ -31,6 +31,17 @@ class RingQueue {
     ++size_;
   }
 
+  /// Allocate the tail slot in place and return it (avoids copying large
+  /// elements through push). The slot holds the stale previous occupant;
+  /// the caller must assign every field. Caller must check !full().
+  T& push_slot() {
+    FG_CHECK(!full());
+    T& slot = buf_[tail_];
+    tail_ = advance(tail_);
+    ++size_;
+    return slot;
+  }
+
   /// Pop from the head.
   T pop() {
     FG_CHECK(!empty());

@@ -1,5 +1,7 @@
 #include "src/core/allocator.h"
 
+#include <bit>
+
 #include "src/common/check.h"
 
 namespace fg::core {
@@ -82,10 +84,11 @@ u16 Allocator::route(Packet& p, const QueueStatus& status) {
 }
 
 u16 Allocator::plan(Packet& p, const QueueStatus& status) {
-  // Distributor: OR the SE bitmaps of every GID carried by the packet.
+  // Distributor: OR the SE bitmaps of every GID carried by the packet
+  // (iterate set bits only — packets usually carry one GID).
   u16 interested = 0;
-  for (u8 gid = 0; gid < kMaxGids; ++gid) {
-    if (p.gid_bitmap & (1u << gid)) interested |= se_bitmap_[gid];
+  for (u32 bits = p.gid_bitmap; bits != 0; bits &= bits - 1) {
+    interested |= se_bitmap_[std::countr_zero(bits)];
   }
   // Each activated SE schedules independently; the AE bitmaps are combined
   // with OR gates (Figure 5 b). pick() only latches CT_reg, so an abandoned

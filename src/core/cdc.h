@@ -9,6 +9,7 @@
 #pragma once
 
 #include "src/common/ring_queue.h"
+#include "src/common/simctl.h"
 #include "src/core/packet.h"
 
 namespace fg::core {
@@ -32,6 +33,12 @@ class CdcFifo {
   /// True if the slow domain can pop an entry at slow-cycle `now_slow`
   /// (handshake settled).
   bool can_pop(Cycle now_slow) const;
+
+  /// First slow cycle the head entry becomes poppable; kNoEvent when empty.
+  /// (Entries settle in push order, so the head bounds the whole FIFO.)
+  Cycle next_ready_slow() const {
+    return q_.empty() ? kNoEvent : q_.front().ready_slow;
+  }
 
   const Packet& front() const { return q_.front().p; }
   Packet pop();

@@ -67,6 +67,17 @@ Cycle NocMesh::send(u32 src, u32 dst, u64 payload, Cycle now) {
   return t;
 }
 
+Cycle NocMesh::next_arrival() const {
+  if (pending_ == 0) return kNoEvent;
+  Cycle first = kNoEvent;
+  for (const auto& box : inbox_) {
+    if (!box.empty() && box.front().arrives_at < first) {
+      first = box.front().arrives_at;
+    }
+  }
+  return first;
+}
+
 std::optional<NocMessage> NocMesh::deliver(u32 engine, Cycle now) {
   FG_CHECK(engine < n_engines_);
   auto& box = inbox_[engine];

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/ring_queue.h"
+#include "src/common/simctl.h"
 #include "src/common/types.h"
 
 namespace fg::core {
@@ -53,6 +54,10 @@ class NocMesh {
 
   /// Messages injected but not yet delivered (any engine, any arrival time).
   u64 pending() const { return pending_; }
+
+  /// Earliest arrival cycle among all in-flight messages; kNoEvent when the
+  /// mesh is empty. O(engines): reads each inbox's heap top.
+  Cycle next_arrival() const;
 
   u32 width() const { return width_; }
   u32 height() const { return height_; }

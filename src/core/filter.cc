@@ -33,97 +33,103 @@ EventFilter::EventFilter(const EventFilterConfig& cfg) : cfg_(cfg) {
   for (u32 i = 0; i < cfg_.width; ++i) fifos_.emplace_back(cfg_.fifo_depth);
 }
 
-bool EventFilter::lane_ready(u32 lane) const {
-  if (lane >= cfg_.width) return false;  // narrower filter than commit width
-  return !fifos_[lane].full();
+void EventFilter::offer(u32 lane, const Packet& p_in) {
+  FG_CHECK(lane < cfg_.width);
+  const FilterEntry& e = table_.lookup(p_in.inst);
+  if (e.gid_bitmap != 0) {
+    Packet p = p_in;
+    apply_entry(p, e);
+    offer_valid(lane, p);
+  } else {
+    offer_placeholder(lane, p_in.seq);
+  }
 }
 
-void EventFilter::offer(u32 lane, const Packet& p_in) {
+void EventFilter::offer_valid(u32 lane, const Packet& p) {
+  FG_CHECK(lane < cfg_.width);
+  FG_CHECK(!fifos_[lane].full());
+  FG_CHECK(p.valid);
+  ++stats_.committed_seen;
+  ++stats_.valid_packets;
+  fifos_[lane].push(p);
+  ++buffered_;
+  ++valid_buffered_;
+  peeked_lane_ = -1;
+}
+
+void EventFilter::offer_placeholder(u32 lane, u64 seq) {
   FG_CHECK(lane < cfg_.width);
   FG_CHECK(!fifos_[lane].full());
   ++stats_.committed_seen;
-  Packet p = p_in;
-  const FilterEntry& e = table_.lookup(p.inst);
-  if (e.gid_bitmap != 0) {
-    p.valid = true;
-    p.gid_bitmap = e.gid_bitmap;
-    p.dp_sel = e.dp_sel;
-    // "avoiding reads of information not selected": unselected data paths
-    // are never read, so those packet fields stay empty.
-    if (!(e.dp_sel & kDpPrf)) p.data = 0;
-    if (!(e.dp_sel & (kDpLsq | kDpFtq))) p.addr = 0;
-    ++stats_.valid_packets;
-  } else {
-    // Ordering placeholder (footnote 4): pushed so that the arbiter can
-    // prove commit order across lanes, skipped at zero cost on output.
-    p.valid = false;
-    p.gid_bitmap = 0;
-    p.dp_sel = 0;
-    ++stats_.invalid_packets;
-  }
-  fifos_[lane].push(p);
+  ++stats_.invalid_packets;
+  // Ordering placeholder (footnote 4): pushed so that the arbiter can prove
+  // commit order across lanes, skipped at zero cost on output. With nothing
+  // valid buffered anywhere, the next drop_placeholders pass — which runs
+  // before any later-cycle occupancy check — would pop it along with every
+  // other placeholder, so the push/pop pair is elided entirely.
+  if (valid_buffered_ == 0) return;
+  Packet& p = fifos_[lane].push_slot();
+  p = Packet{};
+  p.seq = seq;
+  ++buffered_;
+  peeked_lane_ = -1;
 }
 
-void EventFilter::drop_placeholders() {
+int EventFilter::arbiter_scan() {
   // A placeholder at a FIFO head can be discarded only once we know no
   // *older* packet can still arrive: since pushes happen in commit order,
-  // the head with the globally smallest seq is always safe to resolve.
+  // the head with the globally smallest seq is always safe to resolve —
+  // dropped if invalid, returned to the arbiter if valid.
+  if (valid_buffered_ == 0) {
+    // Only placeholders remain: every one of them is (transitively) the
+    // minimum at some point, so clear in bulk.
+    if (buffered_ != 0) {
+      for (auto& f : fifos_) f.clear();
+      buffered_ = 0;
+    }
+    return -1;
+  }
   for (;;) {
     int best = -1;
     u64 best_seq = ~u64{0};
-    bool any = false;
     for (u32 i = 0; i < cfg_.width; ++i) {
       if (fifos_[i].empty()) continue;
-      any = true;
       if (fifos_[i].front().seq < best_seq) {
         best_seq = fifos_[i].front().seq;
         best = static_cast<int>(i);
       }
     }
-    if (!any || best < 0) return;
-    if (fifos_[static_cast<u32>(best)].front().valid) return;
+    if (best < 0) return -1;
+    if (fifos_[static_cast<u32>(best)].front().valid) return best;
     fifos_[static_cast<u32>(best)].pop();
+    --buffered_;
   }
 }
 
+void EventFilter::drop_placeholders() { peeked_lane_ = arbiter_scan(); }
+
 bool EventFilter::arbiter_peek(Packet& out) {
-  drop_placeholders();
-  int best = -1;
-  u64 best_seq = ~u64{0};
-  for (u32 i = 0; i < cfg_.width; ++i) {
-    if (fifos_[i].empty()) continue;
-    if (fifos_[i].front().seq < best_seq) {
-      best_seq = fifos_[i].front().seq;
-      best = static_cast<int>(i);
-    }
-  }
-  if (best < 0) return false;
-  const Packet& p = fifos_[static_cast<u32>(best)].front();
+  if (buffered_ == 0) return false;
+  peeked_lane_ = arbiter_scan();
+  if (peeked_lane_ < 0) return false;
+  const Packet& p = fifos_[static_cast<u32>(peeked_lane_)].front();
   FG_CHECK(p.valid);
   out = p;
   return true;
 }
 
 void EventFilter::arbiter_pop() {
-  int best = -1;
-  u64 best_seq = ~u64{0};
-  for (u32 i = 0; i < cfg_.width; ++i) {
-    if (fifos_[i].empty()) continue;
-    if (fifos_[i].front().seq < best_seq) {
-      best_seq = fifos_[i].front().seq;
-      best = static_cast<int>(i);
-    }
-  }
+  // Reuse the lane the immediately preceding peek resolved; no push can
+  // have intervened (the frontend pops what it just peeked, within one
+  // mapper slot).
+  const int best = peeked_lane_ >= 0 ? peeked_lane_ : arbiter_scan();
   FG_CHECK(best >= 0);
   FG_CHECK(fifos_[static_cast<u32>(best)].front().valid);
   fifos_[static_cast<u32>(best)].pop();
+  peeked_lane_ = -1;
+  --buffered_;
+  --valid_buffered_;
   ++stats_.arbiter_output;
-}
-
-size_t EventFilter::buffered() const {
-  size_t n = 0;
-  for (const auto& f : fifos_) n += f.size();
-  return n;
 }
 
 bool EventFilter::any_fifo_full() const {

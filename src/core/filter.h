@@ -76,8 +76,12 @@ class EventFilter {
   const FilterTable& table() const { return table_; }
 
   /// Can commit lane `lane` hand an instruction to its mini-filter this
-  /// cycle? (False ⇒ the core must stall this commit slot.)
-  bool lane_ready(u32 lane) const;
+  /// cycle? (False ⇒ the core must stall this commit slot.) Inline: runs
+  /// for every retiring lane.
+  bool lane_ready(u32 lane) const {
+    // A filter narrower than the commit width refuses the extra lanes.
+    return lane < cfg_.width && !fifos_[lane].full();
+  }
 
   /// Why lane_ready() failed (for stall attribution).
   bool lane_blocked_by_width(u32 lane) const { return lane >= cfg_.width; }
@@ -86,6 +90,30 @@ class EventFilter {
   /// a (valid or ordering-placeholder) packet. Caller must have checked
   /// lane_ready().
   void offer(u32 lane, const Packet& p_in);
+
+  /// Mark `p` selected by SRAM entry `e` and blank the data paths the entry
+  /// did not read ("avoiding reads of information not selected"). The one
+  /// copy of the classification rule, shared by offer() and the frontend's
+  /// extract-on-demand commit path.
+  static void apply_entry(Packet& p, const FilterEntry& e) {
+    p.valid = true;
+    p.gid_bitmap = e.gid_bitmap;
+    p.dp_sel = e.dp_sel;
+    if (!(e.dp_sel & kDpPrf)) p.data = 0;
+    if (!(e.dp_sel & (kDpLsq | kDpFtq))) p.addr = 0;
+  }
+
+  /// Fast placeholder path for a commit the mini-filter drops (gid bitmap
+  /// zero), used by the frontend once it has done the SRAM look-up itself.
+  /// With no valid packet buffered anywhere, the placeholder would be
+  /// popped by the very next drop_placeholders pass (same fast cycle,
+  /// before any occupancy check can observe it), so it is accounted but
+  /// never materialized; otherwise it takes the normal FIFO slot so the
+  /// capacity back-pressure stays cycle-exact.
+  void offer_placeholder(u32 lane, u64 seq);
+
+  /// Valid (routable) packet whose mini-filter entry the caller looked up.
+  void offer_valid(u32 lane, const Packet& p);
 
   /// Arbiter: peek the next in-order valid packet, if any is ready this
   /// cycle. Invalid placeholders are skipped (and popped) for free.
@@ -97,8 +125,11 @@ class EventFilter {
   /// Record that the arbiter was blocked this cycle (stats only).
   void note_blocked() { ++stats_.arbiter_blocked; }
 
-  /// Total buffered packets (valid + placeholders) across lane FIFOs.
-  size_t buffered() const;
+  /// Total buffered packets (valid + placeholders) across lane FIFOs. O(1):
+  /// maintained as a counter so the per-cycle idle check is free.
+  size_t buffered() const { return buffered_; }
+  /// Buffered packets the arbiter still has to emit. O(1).
+  size_t valid_buffered() const { return valid_buffered_; }
   bool any_fifo_full() const;
 
   const EventFilterConfig& config() const { return cfg_; }
@@ -106,10 +137,19 @@ class EventFilter {
 
  private:
   void drop_placeholders();
+  /// Drop leading placeholders, then return the lane holding the in-order
+  /// valid head (-1 if none). One pass shared by peek and pop.
+  int arbiter_scan();
 
   EventFilterConfig cfg_;
   FilterTable table_;
   std::vector<RingQueue<Packet>> fifos_;
+  size_t buffered_ = 0;
+  size_t valid_buffered_ = 0;
+  /// Lane found by the last arbiter_peek, reused by arbiter_pop (invalidated
+  /// by any push in between — pushes land behind the head, but a fresh peek
+  /// is the contract).
+  int peeked_lane_ = -1;
   EventFilterStats stats_;
 };
 

@@ -31,10 +31,4 @@ void DataForwardingChannel::note_selected(u8 dp_sel) {
   if (dp_sel & kDpFtq) ++stats_.ftq_reads;
 }
 
-u32 DataForwardingChannel::take_prf_preemptions() {
-  const u32 n = pending_prf_preemptions_;
-  pending_prf_preemptions_ = 0;
-  return n;
-}
-
 }  // namespace fg::core

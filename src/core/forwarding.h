@@ -35,8 +35,12 @@ class DataForwardingChannel {
   void note_selected(u8 dp_sel);
 
   /// Ports preempted since the last call (consumed by the core model once
-  /// per cycle).
-  u32 take_prf_preemptions();
+  /// per cycle — inline, it is on the every-cycle path).
+  u32 take_prf_preemptions() {
+    const u32 n = pending_prf_preemptions_;
+    pending_prf_preemptions_ = 0;
+    return n;
+  }
 
   const ForwardingStats& stats() const { return stats_; }
 

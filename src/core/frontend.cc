@@ -16,27 +16,31 @@ StallCause Frontend::classify_stall(u32 lane, bool engines_blocked) const {
   return StallCause::kMapper;
 }
 
-bool Frontend::can_commit(u32 lane, const trace::TraceInst&) {
-  if (filter_.lane_ready(lane)) return true;
+void Frontend::note_refusal(u32 lane) {
   const StallCause c = classify_stall(lane, engines_blocked_hint_);
   ++stats_.stall_by_cause[static_cast<size_t>(c)];
-  return false;
 }
 
 void Frontend::on_commit(u32 lane, const trace::TraceInst& ti, Cycle now) {
   ++stats_.commits_observed;
-  Packet p = fwd_.extract(ti, now, seq_++);
-  filter_.offer(lane, p);
-  // The mini-filter decided; account the data-path reads it selected.
+  // SRAM look-up first: the forwarding channel only assembles (and the data
+  // paths are only read for) instructions some kernel selected; an
+  // unselected commit contributes just an ordering placeholder.
   const FilterEntry& e = filter_.table().lookup(ti.enc);
-  if (e.gid_bitmap != 0) fwd_.note_selected(e.dp_sel);
+  if (e.gid_bitmap == 0) {
+    filter_.offer_placeholder(lane, seq_++);
+    return;
+  }
+  Packet p = fwd_.extract(ti, now, seq_++);
+  EventFilter::apply_entry(p, e);
+  filter_.offer_valid(lane, p);
+  fwd_.note_selected(e.dp_sel);
 }
-
-u32 Frontend::prf_ports_preempted() { return fwd_.take_prf_preemptions(); }
 
 void Frontend::tick_fast(Cycle now_fast, const QueueStatus& status,
                          bool engines_blocked) {
   engines_blocked_hint_ = engines_blocked;
+  if (filter_.buffered() == 0) return;  // nothing to arbitrate or drop
   u16 issued_engines = 0;
   for (u32 slot = 0; slot < cfg_.mapper_width; ++slot) {
     Packet p;

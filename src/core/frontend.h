@@ -44,9 +44,17 @@ class Frontend final : public boom::CommitSink {
   explicit Frontend(const FrontendConfig& cfg);
 
   // --- boom::CommitSink ---
-  bool can_commit(u32 lane, const trace::TraceInst& ti) override;
+  // can_commit is on the per-commit hot path (called for every retiring
+  // lane): keep the common accept inline; only stall attribution goes
+  // out of line.
+  bool can_commit(u32 lane, const trace::TraceInst& ti) override {
+    (void)ti;
+    if (filter_.lane_ready(lane)) return true;
+    note_refusal(lane);
+    return false;
+  }
   void on_commit(u32 lane, const trace::TraceInst& ti, Cycle now) override;
-  u32 prf_ports_preempted() override;
+  u32 prf_ports_preempted() override { return fwd_.take_prf_preemptions(); }
 
   /// One high-frequency-domain cycle: the arbiter emits at most one valid
   /// packet through the allocator into the CDC. `status` is the (slightly
@@ -68,6 +76,7 @@ class Frontend final : public boom::CommitSink {
 
  private:
   StallCause classify_stall(u32 lane, bool engines_blocked) const;
+  void note_refusal(u32 lane);
 
   FrontendConfig cfg_;
   DataForwardingChannel fwd_;

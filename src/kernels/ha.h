@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/ring_queue.h"
+#include "src/common/simctl.h"
 #include "src/core/packet.h"
 #include "src/ucore/ucore.h"
 
@@ -32,6 +33,11 @@ class HardwareAccelerator {
   bool quiescent() const { return q_.empty(); }
   /// `tick` is a structural no-op on an empty queue, so quiescent == idle.
   bool idle() const { return q_.empty(); }
+  /// Next-event horizon: an accelerator consumes one packet per slow tick
+  /// (progress every cycle until its queue drains), then sleeps until the
+  /// multicast channel refills it — which is the CDC's event, not this
+  /// unit's.
+  Cycle next_event(Cycle now_slow) const { return idle() ? kNoEvent : now_slow; }
   u32 engine_id() const { return engine_id_; }
   u64 packets_processed() const { return processed_; }
   const std::vector<ucore::Detection>& detections() const { return detections_; }

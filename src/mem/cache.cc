@@ -27,19 +27,18 @@ bool Cache::would_hit(u64 addr) const {
 }
 
 Cache::Result Cache::access(u64 addr, Cycle now, u32 miss_latency, bool write) {
-  ++stats_.accesses;
-  if (write) ++stats_.writes;
-  ++use_clock_;
+  return access_lazy(addr, now, [miss_latency] { return miss_latency; }, write);
+}
+
+Cache::Result Cache::miss_fill(u64 addr, Cycle now, u32 miss_latency,
+                               bool write) {
   const u64 set = set_of(addr);
   const u64 tag = tag_of(addr);
+  // Victim selection (same rule the combined loop used: any invalid way
+  // wins — the last one scanned — else the least recently used way).
   Line* victim = nullptr;
   for (u32 w = 0; w < cfg_.ways; ++w) {
     Line& l = lines_[set * cfg_.ways + w];
-    if (l.valid && l.tag == tag) {
-      l.last_use = use_clock_;
-      l.dirty |= write;
-      return {cfg_.hit_latency, true};
-    }
     if (!victim || !l.valid || (victim->valid && l.last_use < victim->last_use)) {
       victim = &l;
     }

@@ -54,6 +54,31 @@ class Cache {
   /// `write` marks the line dirty (write-allocate, write-back).
   Result access(u64 addr, Cycle now, u32 miss_latency, bool write = false);
 
+  /// Like `access`, but the next-level fetch cost is computed only on a
+  /// miss. Replaces the would_hit-then-access idiom (the hierarchy must not
+  /// touch lower levels on a hit) with a single tag scan; state and stats
+  /// end up identical, the callable being invoked exactly when a
+  /// pre-checked miss would have computed its latency argument.
+  template <typename MissLatencyFn>
+  Result access_lazy(u64 addr, Cycle now, MissLatencyFn&& miss_latency,
+                     bool write = false) {
+    ++stats_.accesses;
+    if (write) ++stats_.writes;
+    ++use_clock_;
+    const u64 set = set_of(addr);
+    const u64 tag = tag_of(addr);
+    Line* line = lines_.data() + set * cfg_.ways;
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      Line& l = line[w];
+      if (l.valid && l.tag == tag) {
+        l.last_use = use_clock_;
+        l.dirty |= write;
+        return {cfg_.hit_latency, true};
+      }
+    }
+    return miss_fill(addr, now, miss_latency(), write);
+  }
+
   /// Tag probe without side effects.
   bool would_hit(u64 addr) const;
 
@@ -72,6 +97,10 @@ class Cache {
   const std::string& name() const { return name_; }
 
  private:
+  /// Miss path shared by access / access_lazy: MSHR admission, victim
+  /// selection, write-back, fill.
+  Result miss_fill(u64 addr, Cycle now, u32 miss_latency, bool write);
+
   struct Line {
     u64 tag = ~u64{0};
     u64 last_use = 0;

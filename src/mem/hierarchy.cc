@@ -25,13 +25,19 @@ u32 MemHierarchy::memory_latency(u64 addr, Cycle now) {
 
 u32 MemHierarchy::beyond_l1(u64 addr, Cycle now, bool write) {
   // Cost of servicing an L1 miss: L2, then LLC, then DRAM — each level is
-  // consulted only when the previous one misses.
-  if (l2_.would_hit(addr)) return l2_.access(addr, now, 0, write).latency;
-  const u32 llc_fill =
-      llc_.would_hit(addr)
-          ? llc_.access(addr, now, 0, write).latency
-          : llc_.access(addr, now, memory_latency(addr, now), write).latency;
-  return l2_.access(addr, now, llc_fill, write).latency;
+  // consulted only when the previous one misses (access_lazy defers each
+  // lower level to the miss path, one tag scan per level).
+  return l2_
+      .access_lazy(
+          addr, now,
+          [&] {
+            return llc_
+                .access_lazy(
+                    addr, now, [&] { return memory_latency(addr, now); }, write)
+                .latency;
+          },
+          write)
+      .latency;
 }
 
 u32 MemHierarchy::translate(Tlb& tlb, u64 vaddr, Cycle now) {
@@ -41,23 +47,18 @@ u32 MemHierarchy::translate(Tlb& tlb, u64 vaddr, Cycle now) {
 
 u32 MemHierarchy::access_data(u64 vaddr, bool write, Cycle now) {
   const u32 tlb = translate(dtlb_, vaddr, now);
-  u32 lat;
-  if (l1d_.would_hit(vaddr)) {
-    lat = l1d_.access(vaddr, now, 0, write).latency;
-  } else {
-    lat = l1d_.access(vaddr, now, beyond_l1(vaddr, now, write), write).latency;
-  }
+  const u32 lat =
+      l1d_.access_lazy(
+              vaddr, now, [&] { return beyond_l1(vaddr, now, write); }, write)
+          .latency;
   return tlb + lat;
 }
 
 u32 MemHierarchy::access_inst(u64 vaddr, Cycle now) {
   const u32 tlb = translate(itlb_, vaddr, now);
-  u32 lat;
-  if (l1i_.would_hit(vaddr)) {
-    lat = l1i_.access(vaddr, now, 0).latency;
-  } else {
-    lat = l1i_.access(vaddr, now, beyond_l1(vaddr, now)).latency;
-  }
+  const u32 lat =
+      l1i_.access_lazy(vaddr, now, [&] { return beyond_l1(vaddr, now); })
+          .latency;
   return tlb + lat;
 }
 

@@ -86,6 +86,7 @@ RunResult run_fireguard(const trace::WorkloadConfig& wl, SocConfig sc) {
   r.spurious = soc.spurious_detections();
   r.packets = soc.total_packets_processed();
   r.planned_attacks = gen.planned_attacks();
+  r.sched = soc.sched_stats();
   return r;
 }
 
@@ -213,6 +214,8 @@ Cycle BaselineCache::get(const trace::WorkloadConfig& wl, const SocConfig& sc,
 
   Entry* e = nullptr;
   {
+    // Map access only — the lock is released before any simulation runs, so
+    // one key's miss never blocks other keys (or other sweeps' points).
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it == cache_.end()) {
@@ -222,15 +225,20 @@ Cycle BaselineCache::get(const trace::WorkloadConfig& wl, const SocConfig& sc,
   }
   // Entries are never erased, so `e` stays valid outside the lock; the
   // once_flag serializes the actual baseline run per key.
+  const bool wait_inflight = !e->done.load(std::memory_order_acquire);
   bool ran = false;
   std::call_once(e->once, [&] {
     e->cycles = run_baseline_cycles(wl, sc);
+    e->done.store(true, std::memory_order_release);
     ran = true;
   });
   if (ran) {
     misses_.fetch_add(1, std::memory_order_relaxed);
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    // The entry existed but its baseline had not finished when we arrived:
+    // this call blocked on another worker's in-flight run.
+    if (wait_inflight) inflight_waits_.fetch_add(1, std::memory_order_relaxed);
   }
   if (ran_baseline != nullptr) *ran_baseline = ran;
   return e->cycles;

@@ -41,6 +41,9 @@ struct RunResult {
   u64 packets = 0;
   u64 planned_attacks = 0;
   double expansion = 1.0;  // software schemes: dynamic instruction expansion
+  /// Scheduler diagnostics (FireGuard runs only). Excluded from every
+  /// bit-identity comparison: the exact reference loop skips nothing.
+  SchedStats sched{};
 };
 
 /// Unmonitored baseline cycles for a workload (the slowdown denominator).
@@ -55,9 +58,15 @@ RunResult run_software(const trace::WorkloadConfig& wl, baseline::SwScheme schem
                        const SocConfig& sc);
 
 /// Memoizes baseline cycles per (workload, baseline-relevant SoC config) so
-/// sweeps do not recompute them. Thread-safe with per-key once-semantics:
-/// concurrent misses on the same key block on the one thread running the
-/// baseline instead of duplicating it.
+/// sweeps do not recompute them. Thread-safe with per-key once-semantics.
+///
+/// The map mutex is held only for the entry look-up/insert — never across a
+/// baseline simulation, so a miss on one key cannot serialize the whole
+/// sweep behind it. Concurrent misses on the *same* key block on that key's
+/// once_flag (one thread runs the baseline, the rest wait for its result);
+/// misses on different keys run fully in parallel. `inflight_waits()`
+/// counts the callers that had to wait on another worker's in-flight run —
+/// the sweep summary prints it so lost parallelism is visible, not guessed.
 class BaselineCache {
  public:
   /// `ran_baseline`, if given, is set to whether THIS call executed the
@@ -67,10 +76,14 @@ class BaselineCache {
 
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  u64 inflight_waits() const {
+    return inflight_waits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
     std::once_flag once;
+    std::atomic<bool> done{false};
     Cycle cycles = 0;
   };
 
@@ -78,6 +91,7 @@ class BaselineCache {
   std::map<std::string, std::unique_ptr<Entry>> cache_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
+  std::atomic<u64> inflight_waits_{0};
 };
 
 /// Convenience: geometric-mean slowdown over per-workload slowdowns.

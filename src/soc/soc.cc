@@ -1,10 +1,21 @@
 #include "src/soc/soc.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/common/check.h"
+#include "src/common/simctl.h"
 
 namespace fg::soc {
+
+namespace {
+/// Quiescent post-completion iterations before run() exits (NoC tokens and
+/// pipeline residue settle well inside this).
+constexpr u64 kGraceLimit = 512;
+/// Post-completion drain backstop: a misconfigured kernel (e.g. a shadow
+/// stack scheduled without block mode) can leave queues that never empty.
+constexpr Cycle kDrainBackstop = 2'000'000;
+}  // namespace
 
 bool Soc::Engine::input_full() const {
   return ucore ? ucore->input_full() : ha->input_full();
@@ -31,6 +42,15 @@ bool Soc::Engine::quiescent() const {
 }
 bool Soc::Engine::idle() const {
   return ucore ? ucore->idle() : ha->idle();
+}
+Cycle Soc::Engine::next_event(Cycle now_slow) const {
+  if (ucore) {
+    // A pending output word is drained by the fabric every slow tick even
+    // while the core itself is stalled or halted.
+    if (!ucore->output_empty()) return now_slow;
+    return ucore->next_event(now_slow);
+  }
+  return ha->next_event(now_slow);
 }
 const std::vector<ucore::Detection>& Soc::Engine::detections() const {
   return ucore ? ucore->detections() : ha->detections();
@@ -120,10 +140,6 @@ void Soc::build_engines(trace::TraceSource&) {
                                          cfg_.noc_hop_latency);
 }
 
-bool Soc::can_commit(u32 lane, const trace::TraceInst& ti) {
-  return frontend_->can_commit(lane, ti);
-}
-
 void Soc::apply_heap_event(const trace::TraceInst& ti) {
   // Authoritative shadow maintenance in commit order. The event engine's
   // µcore program performs the identical loops against the timing mirror,
@@ -155,8 +171,6 @@ void Soc::on_commit(u32 lane, const trace::TraceInst& ti, Cycle now) {
   if (ti.sem != trace::SemEvent::kNone) apply_heap_event(ti);
   frontend_->on_commit(lane, ti, now);
 }
-
-u32 Soc::prf_ports_preempted() { return frontend_->prf_ports_preempted(); }
 
 bool Soc::engine_queue_full(u32 engine) const {
   FG_CHECK(engine < engines_.size());
@@ -275,40 +289,166 @@ bool Soc::engines_drained() const {
   return true;
 }
 
+Cycle Soc::slow_next_event(Cycle now_slow) const {
+  Cycle h = kNoEvent;
+  // CDC: the head entry's handshake settles at a known slow cycle; pops are
+  // in order, so it bounds the whole FIFO. (Delivery may then still block on
+  // a full message queue — but a full queue means a non-idle engine, whose
+  // own horizon already forces stepping.)
+  const Cycle cdc_ready = frontend_->cdc().next_ready_slow();
+  if (cdc_ready != kNoEvent) h = std::min(h, std::max(cdc_ready, now_slow));
+  // Mesh: the earliest in-flight arrival.
+  if (noc_->pending() != 0) {
+    const Cycle arrival = noc_->next_arrival();
+    if (arrival != kNoEvent) h = std::min(h, std::max(arrival, now_slow));
+  }
+  // Engines: wake-from-stall / executable-now / output-drain horizons.
+  for (const Engine& e : engines_) {
+    if (h == now_slow) break;  // cannot get earlier
+    const Cycle ee = e.next_event(now_slow);
+    if (ee != kNoEvent) h = std::min(h, ee);
+  }
+  return h;
+}
+
 void Soc::run() {
   const u32 ratio = std::max<u32>(1, cfg_.frontend.freq_ratio);
+  const bool exact = cycle_exact();
   bool core_done = false;
   u64 grace = 0;
   // Slow-domain schedule without the per-cycle div/mod: tick the slow domain
-  // every `ratio`-th fast cycle and count its cycles directly.
+  // every `ratio`-th fast cycle and count its cycles directly. The next slow
+  // tick fires in the iteration whose fast cycle is fast_now_+until_slow-1.
   u32 until_slow = ratio;
   Cycle slow_now = fast_now_ / ratio;
+  // Whether the last stepped core cycle changed state (see BoomCore::tick);
+  // only a fixed-point core may be fast-forwarded, and only then are its
+  // recorded dispatch-block hints valid.
+  bool core_active = true;
+
   while (fast_now_ < cfg_.max_fast_cycles) {
+    // --- Event-driven fast-forward over provably dead cycles. -----------
+    // Preconditions: the stepped reference loop is not forced, the core is
+    // at a fixed point (or finished), and the fast-domain frontend is empty
+    // (a buffered packet makes the arbiter/mapper progress every cycle).
+    // The core horizon is O(1); evaluating the slow domain only pays off
+    // once the core is known to be dead for more than one cycle.
+    const Cycle core_ev = (exact || core_active)      ? 0
+                          : core_done                 ? kNoEvent
+                                                      : core_->next_event();
+    if (core_ev > fast_now_ + 1 && frontend_->filter().buffered() == 0) {
+      Cycle target = core_ev;
+      u64 bound_src = 0;  // 0=core, 1=slow, 2=cap
+      const size_t cdc_size = frontend_->cdc().size();
+      if (slow_now != slow_ev_cache_slow_now_ ||
+          cdc_size != slow_ev_cache_cdc_size_) {
+        slow_ev_cache_ = slow_next_event(slow_now);
+        slow_ev_cache_slow_now_ = slow_now;
+        slow_ev_cache_cdc_size_ = cdc_size;
+      }
+      const Cycle slow_ev = slow_ev_cache_;
+      if (slow_ev != kNoEvent) {
+        const Cycle slow_ev_fast =
+            fast_now_ + (until_slow - 1) + (slow_ev - slow_now) * ratio;
+        if (slow_ev_fast < target) {
+          target = slow_ev_fast;
+          bound_src = 1;
+        }
+      }
+      // End-of-run caps replicate the stepped loop's exit conditions: the
+      // post-completion grace window and drain backstop advance (and break)
+      // exactly as if each quiescent cycle had been stepped.
+      Cycle cap = cfg_.max_fast_cycles;
+      bool grace_cond = false;
+      if (core_done) {
+        cap = std::min(cap, core_done_cycle_ + kDrainBackstop + 1);
+        grace_cond = frontend_->filter().buffered() == 0 &&
+                     frontend_->cdc().empty() && engines_drained();
+        if (grace_cond) cap = std::min(cap, fast_now_ + (kGraceLimit + 1 - grace));
+      }
+      if (cap < target) {
+        target = cap;
+        bound_src = 2;
+      }
+      if (target != kNoEvent && target > fast_now_ + 1) {
+        const u64 delta = target - fast_now_;
+        if (!core_done) core_->skip_to(target);
+        // Slow-domain bookkeeping: every slow boundary inside the window is
+        // a structural no-op (that is what the horizon proves), but stalled
+        // µcores still owe their per-tick stall accounting, and a no-op
+        // multicast pass always leaves engines_blocked_ false.
+        const Cycle first_boundary = fast_now_ + (until_slow - 1);
+        if (first_boundary < target) {
+          const u64 k = 1 + (target - 1 - first_boundary) / ratio;
+          for (const Engine& e : engines_) {
+            ucore::UCore* uc = e.ucore.get();
+            if (uc != nullptr && !uc->idle() && !uc->halted()) {
+              uc->charge_skipped_stall(k);
+            }
+          }
+          slow_now += k;
+          engines_blocked_ = false;
+          until_slow = static_cast<u32>(first_boundary + k * ratio - target + 1);
+          sched_.slow_ticks_skipped += k;
+        } else {
+          until_slow -= static_cast<u32>(delta);
+        }
+        fast_now_ = target;
+        sched_.cycles_skipped += delta;
+        ++sched_.skips;
+        ++sched_.skip_len_hist[std::min<u32>(7, std::bit_width(delta) - 1)];
+        if (bound_src == 0) {
+          ++sched_.bound_core;
+        } else if (bound_src == 1) {
+          ++sched_.bound_slow;
+        } else {
+          ++sched_.bound_cap;
+        }
+        if (core_done) {
+          if (grace_cond) {
+            grace += delta;
+            if (grace > kGraceLimit) break;
+          } else {
+            grace = 0;
+          }
+          if (fast_now_ - core_done_cycle_ > kDrainBackstop) break;
+        }
+        continue;  // re-evaluate at the horizon (while-condition re-checked)
+      }
+    }
+
+    // --- One stepped reference cycle. ------------------------------------
+    core_active = false;
     if (!core_done) {
-      core_->tick(this);
+      core_active = core_->tick(this);
       if (core_->done()) {
         core_done = true;
         core_done_cycle_ = core_->now();
       }
     }
-    frontend_->tick_fast(fast_now_, *this, engines_blocked_);
+    // With nothing buffered the fast-domain frontend has nothing to
+    // arbitrate, and the stall-attribution hint it would latch cannot be
+    // read before the next tick_fast (a refusal needs a FIFO that was
+    // already non-empty last cycle).
+    if (frontend_->filter().buffered() != 0) {
+      frontend_->tick_fast(fast_now_, *this, engines_blocked_);
+    }
     if (--until_slow == 0) {
       slow_tick(slow_now++);
+      ++sched_.slow_ticks_run;
       until_slow = ratio;
     }
     ++fast_now_;
+    ++sched_.cycles_stepped;
 
     if (core_done && frontend_->filter().buffered() == 0 &&
         frontend_->cdc().empty() && engines_drained()) {
       // Let in-flight NoC tokens and pipeline residue settle.
-      if (++grace > 512) break;
+      if (++grace > kGraceLimit) break;
     } else {
       grace = 0;
     }
-    // Drain backstop: a misconfigured kernel (e.g. a shadow stack scheduled
-    // without block mode, so successors never receive their token) can leave
-    // queues that will never empty. Bound the post-completion drain.
-    if (core_done && fast_now_ - core_done_cycle_ > 2'000'000) break;
+    if (core_done && fast_now_ - core_done_cycle_ > kDrainBackstop) break;
   }
   if (!core_done) core_done_cycle_ = core_->now();
 }

@@ -1,13 +1,23 @@
 // Full-system composition: BOOM main core + FireGuard frontend (fast clock
 // domain) and fabric + analysis engines (slow clock domain), per Table II.
 //
-// The simulation advances one fast cycle at a time; every `freq_ratio` fast
-// cycles the slow domain ticks once (multicast delivery from the CDC, µcore
-// execution, output-queue drain into the mesh NoC, NoC deliveries). All
-// back-pressure is physical: a full structure anywhere in the chain
+// The reference model advances one fast cycle at a time; every `freq_ratio`
+// fast cycles the slow domain ticks once (multicast delivery from the CDC,
+// µcore execution, output-queue drain into the mesh NoC, NoC deliveries).
+// All back-pressure is physical: a full structure anywhere in the chain
 // eventually refuses commit lanes and stalls the main core.
+//
+// By default `run()` drives that model with an event-driven scheduler: each
+// component exposes a next-event horizon (BOOM fixed point, CDC handshake
+// settle, µcore stall end, NoC arrival), and whenever the whole SoC is
+// provably dead until the minimum horizon, the loop advances both clock
+// domains to it in one step — bit-identical to stepping, because only
+// cycles in which nothing can change are skipped and their per-cycle stall
+// accounting is charged in bulk. FG_CYCLE_EXACT=1 forces the stepped
+// reference loop (the differential suite compares the two).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -63,6 +73,31 @@ struct DetectionRecord {
   double latency_ns = 0.0;
 };
 
+/// Cycle-accounting for the event-driven scheduler: where simulated time
+/// went (stepped vs. bulk-skipped), how long the skips were, and which
+/// domain's horizon bounded them. Diagnostic only — never part of the
+/// bit-identity comparison (the exact loop steps every cycle by design).
+struct SchedStats {
+  u64 cycles_stepped = 0;
+  u64 cycles_skipped = 0;
+  u64 skips = 0;  // bulk-skip events
+  /// Skip lengths, log2-bucketed: [1], [2,3], [4,7], ... [128,inf).
+  std::array<u64, 8> skip_len_hist{};
+  u64 slow_ticks_run = 0;
+  u64 slow_ticks_skipped = 0;
+  /// Which horizon bounded each skip (core fixed point, slow-domain event,
+  /// or an end-of-run cap: max cycles / grace / drain backstop).
+  u64 bound_core = 0;
+  u64 bound_slow = 0;
+  u64 bound_cap = 0;
+
+  double skipped_fraction() const {
+    const u64 total = cycles_stepped + cycles_skipped;
+    return total ? static_cast<double>(cycles_skipped) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
 class Soc final : public boom::CommitSink, public core::QueueStatus {
  public:
   Soc(const SocConfig& cfg, trace::TraceSource& src);
@@ -70,10 +105,15 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
   /// Run to completion (trace exhausted, pipelines and queues drained).
   void run();
 
-  // --- boom::CommitSink (delegates to the FireGuard frontend) ---
-  bool can_commit(u32 lane, const trace::TraceInst& ti) override;
+  // --- boom::CommitSink (delegates to the FireGuard frontend; the one-line
+  // delegations are inline: they run every cycle / every commit lane) ---
+  bool can_commit(u32 lane, const trace::TraceInst& ti) override {
+    return frontend_->can_commit(lane, ti);
+  }
   void on_commit(u32 lane, const trace::TraceInst& ti, Cycle now) override;
-  u32 prf_ports_preempted() override;
+  u32 prf_ports_preempted() override {
+    return frontend_->prf_ports_preempted();
+  }
 
   // --- core::QueueStatus (engine message-queue occupancy) ---
   bool engine_queue_full(u32 engine) const override;
@@ -95,6 +135,8 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
 
   /// Fraction of all fast cycles each StallCause blocked commit (Figure 9).
   std::array<double, 5> stall_fractions() const;
+
+  const SchedStats& sched_stats() const { return sched_; }
 
   const boom::BoomCore& core() const { return *core_; }
   const core::Frontend& frontend() const { return *frontend_; }
@@ -119,12 +161,19 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
     bool quiescent() const;
     /// No observable progress possible (see UCore::idle); safe to skip tick.
     bool idle() const;
+    /// First slow cycle >= `now_slow` at which this engine (or the fabric
+    /// draining its output queue) can change state; kNoEvent if never.
+    Cycle next_event(Cycle now_slow) const;
     const std::vector<ucore::Detection>& detections() const;
   };
 
   void build_engines(trace::TraceSource& src);
   void apply_heap_event(const trace::TraceInst& ti);
   void slow_tick(Cycle now_slow);
+  /// Earliest slow cycle >= `now_slow` at which slow_tick would not be a
+  /// structural no-op (CDC handshake settles, a µcore wakes or can execute,
+  /// an output queue owes the fabric a drain, a mesh message arrives).
+  Cycle slow_next_event(Cycle now_slow) const;
   bool can_deliver(const core::Packet& p) const;
   void deliver(const core::Packet& p);
   bool engines_drained() const;
@@ -160,6 +209,17 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
   mutable Cycle match_cycle_ = 0;
   mutable std::vector<DetectionRecord> matched_;
   mutable u64 spurious_ = 0;
+
+  SchedStats sched_;
+
+  // Memoized slow-domain horizon. Engine, NoC and CDC-pop state mutate only
+  // inside slow_tick (keyed by slow_now); the CDC additionally grows on
+  // fast-domain pushes (keyed by its size). Anything else leaves the slow
+  // horizon untouched, so the cache turns the per-dead-cycle skip
+  // evaluation into two integer compares.
+  mutable Cycle slow_ev_cache_ = 0;
+  mutable Cycle slow_ev_cache_slow_now_ = ~Cycle{0};
+  mutable size_t slow_ev_cache_cdc_size_ = ~size_t{0};
 };
 
 }  // namespace fg::soc

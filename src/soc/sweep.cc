@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <future>
 #include <map>
+#include <thread>
 
 #include "src/common/check.h"
 #include "src/common/stats.h"
@@ -22,7 +23,9 @@ double now_ms() {
 }  // namespace
 
 SweepRunner::SweepRunner(SweepConfig cfg)
-    : jobs_(cfg.jobs > 0 ? cfg.jobs : ThreadPool::default_jobs()) {}
+    : jobs_(cfg.jobs > 0 ? cfg.jobs : ThreadPool::default_jobs()),
+      workers_(std::min(
+          jobs_, std::max<u32>(1, std::thread::hardware_concurrency()))) {}
 
 u32 SweepRunner::add(SweepPoint p) {
   FG_CHECK(!ran_ && "points must be registered before run_all()");
@@ -72,10 +75,10 @@ const std::vector<PointResult>& SweepRunner::run_all(
   for (u32 i = 0; i < points_.size(); ++i) {
     if (!select || select(points_[i])) chosen.push_back(i);
   }
-  if (jobs_ <= 1 || chosen.size() <= 1) {
+  if (workers_ <= 1 || chosen.size() <= 1) {
     for (const u32 i : chosen) results_[i] = execute(points_[i]);
   } else {
-    ThreadPool pool(jobs_);
+    ThreadPool pool(workers_);
     std::vector<std::future<PointResult>> futures;
     futures.reserve(chosen.size());
     for (const u32 i : chosen) {
@@ -115,13 +118,15 @@ void SweepRunner::print_summary(const char* title) const {
   }
   const double serial = serial_ms();
   std::printf(
-      "sweep: %zu/%zu points on %u jobs, wall %.2f s (serial-equivalent "
-      "%.2f s, est. speedup %.2fx)\n",
-      executed, points_.size(), jobs_, wall_ms_ / 1000.0, serial / 1000.0,
-      wall_ms_ > 0.0 ? serial / wall_ms_ : 0.0);
-  std::printf("baseline cache: %llu hits, %llu misses\n",
-              static_cast<unsigned long long>(cache_.hits()),
-              static_cast<unsigned long long>(cache_.misses()));
+      "sweep: %zu/%zu points on %u jobs (%u workers), wall %.2f s "
+      "(serial-equivalent %.2f s, est. speedup %.2fx)\n",
+      executed, points_.size(), jobs_, workers_, wall_ms_ / 1000.0,
+      serial / 1000.0, wall_ms_ > 0.0 ? serial / wall_ms_ : 0.0);
+  std::printf(
+      "baseline cache: %llu hits, %llu misses, %llu in-flight waits\n",
+      static_cast<unsigned long long>(cache_.hits()),
+      static_cast<unsigned long long>(cache_.misses()),
+      static_cast<unsigned long long>(cache_.inflight_waits()));
 }
 
 }  // namespace fg::soc

@@ -73,7 +73,12 @@ class SweepRunner {
   const SweepPoint& point(u32 idx) const { return points_[idx]; }
   const PointResult& result(u32 idx) const { return results_[idx]; }
   size_t n_points() const { return points_.size(); }
+  /// Requested job count (FG_JOBS / config).
   u32 jobs() const { return jobs_; }
+  /// Worker threads run_all actually uses: jobs capped at the machine's
+  /// hardware concurrency (oversubscription only adds scheduling churn —
+  /// the deterministic results are independent of worker count).
+  u32 workers() const { return workers_; }
 
   BaselineCache& baseline_cache() { return cache_; }
 
@@ -91,6 +96,7 @@ class SweepRunner {
   PointResult execute(const SweepPoint& p);
 
   u32 jobs_;
+  u32 workers_;
   BaselineCache cache_;
   std::vector<SweepPoint> points_;
   std::vector<PointResult> results_;

@@ -23,6 +23,8 @@ WorkloadGen::WorkloadGen(WorkloadConfig cfg)
       heap_(cfg_.profile.live_target, cfg_.profile.mean_alloc_size, cfg_.seed ^ 0x5eedull) {
   // Build the attack schedule: spread each kind's instances uniformly over
   // the post-warmup region, then sort and number them.
+  p_alloc_ = cfg_.profile.allocs_per_kinst / 1000.0;
+  p_churn_ = p_alloc_ * 0.85;
   Rng arng(cfg_.seed ^ 0xa77ac0ull);
   const u64 lo = std::min(cfg_.warmup_insts, cfg_.n_insts);
   const u64 hi = cfg_.n_insts > 512 ? cfg_.n_insts - 512 : cfg_.n_insts;
@@ -116,7 +118,7 @@ u64 WorkloadGen::resolve_addr(const StaticInst& si) {
 }
 
 bool WorkloadGen::maybe_emit_heap_event(TraceInst& out) {
-  const double p_alloc = cfg_.profile.allocs_per_kinst / 1000.0;
+  const double p_alloc = p_alloc_;
   if (rng_.chance(p_alloc)) {
     const Allocation a = heap_.malloc_one();
     out = TraceInst{};
@@ -128,7 +130,7 @@ bool WorkloadGen::maybe_emit_heap_event(TraceInst& out) {
     out.sem_size = a.size;
     return true;
   }
-  const bool churn = heap_.live_count() > 16 && rng_.chance(p_alloc * 0.85);
+  const bool churn = heap_.live_count() > 16 && rng_.chance(p_churn_);
   if (churn || (heap_.should_free() && rng_.chance(p_alloc))) {
     const Allocation a = heap_.free_one();
     if (a.size == 0) return false;

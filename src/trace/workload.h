@@ -63,6 +63,10 @@ class WorkloadGen final : public TraceSource {
   std::unique_ptr<ProgramImage> image_;
   Rng rng_;
   HeapModel heap_;
+  // Per-instruction heap-event probabilities, hoisted out of the per-inst
+  // path (identical values: derived only from the immutable profile).
+  double p_alloc_ = 0.0;
+  double p_churn_ = 0.0;
 
   // Walker state.
   u16 cur_func_ = 0;

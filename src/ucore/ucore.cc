@@ -43,20 +43,21 @@ u64 UCore::pop_output() {
 }
 
 u32 UCore::data_access(u64 addr, Cycle now) {
-  // µTLB translate, then D$; a miss fetches through the shared L2.
+  // µTLB translate, then D$; a miss fetches through the shared L2 (computed
+  // lazily so a D$ hit is a single tag scan).
   const u32 tlb_lat = utlb_.access(addr);
-  u32 fill = 0;
-  if (!dcache_.would_hit(addr)) {
-    if (shared_l2_ != nullptr) {
-      fill = cfg_.l2_latency +
-             (shared_l2_->would_hit(addr)
-                  ? shared_l2_->access(addr, now, 0).latency
-                  : shared_l2_->access(addr, now, cfg_.mem_latency).latency);
-    } else {
-      fill = cfg_.l2_latency;
-    }
-  }
-  const u32 lat = dcache_.access(addr, now, fill).latency;
+  const u32 lat =
+      dcache_
+          .access_lazy(addr, now,
+                       [&]() -> u32 {
+                         if (shared_l2_ == nullptr) return cfg_.l2_latency;
+                         return cfg_.l2_latency +
+                                shared_l2_
+                                    ->access_lazy(addr, now,
+                                                  [&] { return cfg_.mem_latency; })
+                                    .latency;
+                       })
+          .latency;
   return tlb_lat + lat - 1;  // the base cycle of the instruction covers 1
 }
 

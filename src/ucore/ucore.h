@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/ring_queue.h"
+#include "src/common/simctl.h"
 #include "src/core/packet.h"
 #include "src/mem/cache.h"
 #include "src/mem/tlb.h"
@@ -104,6 +105,26 @@ class UCore {
     return (halted_ || (spinning_ && input_.empty())) && noc_inbox_.empty() &&
            output_.empty();
   }
+
+  /// First slow cycle at or after `now` at which `tick` can change anything
+  /// beyond the per-cycle stall counter. kNoEvent: never (idle spin loop
+  /// waiting for a packet, or halted — deliveries that change that are the
+  /// CDC's / NoC's events, not this core's). A stalled core wakes exactly at
+  /// `stall_until_`; an executable core must be ticked every cycle.
+  Cycle next_event(Cycle now) const {
+    if (halted_ || idle()) return kNoEvent;
+    return now < stall_until_ ? stall_until_ : now;
+  }
+
+  /// End of the current multi-cycle instruction (tick is a pure stall
+  /// counter increment strictly before this cycle).
+  Cycle stall_until() const { return stall_until_; }
+
+  /// Stall fast-forward: charge the `n` stall cycles of slow ticks this
+  /// engine provably spent stalled but was never ticked for, in one call —
+  /// the event-driven scheduler's replacement for n per-cycle early-return
+  /// ticks.
+  void charge_skipped_stall(u64 n) { stats_.stall_cycles += n; }
 
   const std::vector<Detection>& detections() const { return detections_; }
   void clear_detections() { detections_.clear(); }

@@ -1,0 +1,222 @@
+// Differential suite for the event-driven scheduler: the default
+// cycle-skipping loop must be bit-identical to the FG_CYCLE_EXACT
+// one-cycle-at-a-time reference on every paper workload and a grid of
+// kernel deployments, plus targeted regressions (µcore stall
+// fast-forward, post-completion grace batching, baseline fast-forward).
+#include <gtest/gtest.h>
+
+#include "src/common/simctl.h"
+#include "src/soc/experiment.h"
+#include "src/soc/figures.h"
+#include "src/soc/soc.h"
+#include "src/trace/workload.h"
+
+namespace fg::soc {
+namespace {
+
+/// Restores the scheduler mode even if an assertion fails mid-test.
+struct ExactMode {
+  explicit ExactMode(bool exact) { set_cycle_exact(exact); }
+  ~ExactMode() { set_cycle_exact(false); }
+};
+
+void expect_identical(const RunResult& exact, const RunResult& event,
+                      const std::string& label) {
+  EXPECT_EQ(exact.cycles, event.cycles) << label;
+  EXPECT_EQ(exact.committed, event.committed) << label;
+  EXPECT_EQ(exact.packets, event.packets) << label;
+  EXPECT_EQ(exact.spurious, event.spurious) << label;
+  for (size_t i = 0; i < exact.stall_fractions.size(); ++i) {
+    EXPECT_EQ(exact.stall_fractions[i], event.stall_fractions[i])
+        << label << " stall cause " << i;
+  }
+  ASSERT_EQ(exact.detections.size(), event.detections.size()) << label;
+  for (size_t i = 0; i < exact.detections.size(); ++i) {
+    const DetectionRecord& a = exact.detections[i];
+    const DetectionRecord& b = event.detections[i];
+    EXPECT_EQ(a.attack_id, b.attack_id) << label;
+    EXPECT_EQ(a.engine, b.engine) << label;
+    EXPECT_EQ(a.commit_fast, b.commit_fast) << label;
+    EXPECT_EQ(a.detect_fast, b.detect_fast) << label;
+  }
+  // The event loop only ever *skips* reference cycles; it must never add,
+  // step-for-step, more than the reference ran.
+  EXPECT_EQ(event.sched.cycles_stepped + event.sched.cycles_skipped,
+            exact.sched.cycles_stepped)
+      << label;
+}
+
+RunResult run_mode(bool exact, const trace::WorkloadConfig& w,
+                   const SocConfig& sc) {
+  ExactMode mode(exact);
+  return run_fireguard(w, sc);
+}
+
+std::vector<std::pair<trace::AttackKind, u32>> attack_plan() {
+  return {{trace::AttackKind::kPcHijack, 3},
+          {trace::AttackKind::kRetCorrupt, 3},
+          {trace::AttackKind::kHeapOob, 3},
+          {trace::AttackKind::kUseAfterFree, 3}};
+}
+
+/// Every figures.cc workload under each guardian kernel (with attacks, so
+/// detections and the match pass are exercised too).
+TEST(EventSkip, BitIdenticalAcrossAllPaperWorkloads) {
+  struct Config {
+    kernels::KernelKind kind;
+    u32 engines;
+  };
+  const std::vector<Config> grid = {
+      {kernels::KernelKind::kPmc, 4},
+      {kernels::KernelKind::kShadowStack, 2},
+      {kernels::KernelKind::kAsan, 4},
+      {kernels::KernelKind::kUaf, 2},
+  };
+  for (const std::string& w : paper_workloads()) {
+    for (const Config& c : grid) {
+      SocConfig sc = table2_soc();
+      sc.kernels = {deploy(c.kind, c.engines)};
+      const trace::WorkloadConfig cfg = paper_workload(w, 8000, attack_plan());
+      const std::string label =
+          w + "/" + kernels::kernel_name(c.kind) + "/" +
+          std::to_string(c.engines);
+      expect_identical(run_mode(true, cfg, sc), run_mode(false, cfg, sc),
+                       label);
+    }
+  }
+}
+
+/// Deployment shapes beyond single kernels: hardware accelerators, mixed
+/// kernels sharing the frontend, a non-default programming model, and the
+/// shadow stack's block mode (NoC token traffic).
+TEST(EventSkip, BitIdenticalOnDeploymentShapes) {
+  const trace::WorkloadConfig cfg =
+      paper_workload("ferret", 12000, attack_plan());
+  std::vector<std::pair<std::string, SocConfig>> shapes;
+  {
+    SocConfig sc = table2_soc();
+    sc.kernels = {deploy(kernels::KernelKind::kPmc, 1,
+                         kernels::ProgModel::kHybrid, /*use_ha=*/true)};
+    shapes.emplace_back("pmc_ha", sc);
+  }
+  {
+    SocConfig sc = table2_soc();
+    sc.kernels = {deploy(kernels::KernelKind::kShadowStack, 1,
+                         kernels::ProgModel::kHybrid, /*use_ha=*/true)};
+    shapes.emplace_back("shadow_ha", sc);
+  }
+  {
+    SocConfig sc = table2_soc();
+    sc.kernels = {deploy(kernels::KernelKind::kPmc, 2),
+                  deploy(kernels::KernelKind::kShadowStack, 2),
+                  deploy(kernels::KernelKind::kAsan, 4)};
+    shapes.emplace_back("mixed", sc);
+  }
+  {
+    SocConfig sc = table2_soc();
+    sc.kernels = {deploy(kernels::KernelKind::kAsan, 2,
+                         kernels::ProgModel::kConventional)};
+    shapes.emplace_back("asan_conventional", sc);
+  }
+  {
+    SocConfig sc = table2_soc();
+    sc.ucore.isax_ma_stage = false;  // stock-Rocket ISAX: long stalls
+    sc.kernels = {deploy(kernels::KernelKind::kAsan, 4)};
+    shapes.emplace_back("asan_postcommit", sc);
+  }
+  for (auto& [name, sc] : shapes) {
+    expect_identical(run_mode(true, cfg, sc), run_mode(false, cfg, sc), name);
+  }
+}
+
+/// µcore stall fast-forward: skipping slow ticks a stalled engine would
+/// have spent in its early-return path must charge the identical per-engine
+/// stall accounting. Stock-Rocket ISAX mode maximizes multi-cycle stalls.
+TEST(EventSkip, UcoreStallFastForwardChargesExactStalls) {
+  SocConfig sc = table2_soc();
+  sc.ucore.isax_ma_stage = false;
+  sc.kernels = {deploy(kernels::KernelKind::kAsan, 3)};
+  trace::WorkloadConfig cfg = paper_workload("streamcluster", 10000);
+
+  auto engine_stats = [&](bool exact) {
+    ExactMode mode(exact);
+    trace::WorkloadGen gen(cfg);
+    SocConfig sc2 = sc;
+    sc2.kparams.text_lo = gen.text_lo();
+    sc2.kparams.text_hi = gen.text_hi();
+    Soc soc(sc2, gen);
+    soc.run();
+    std::vector<ucore::UCoreStats> out;
+    for (u32 i = 0; i < soc.n_engines(); ++i) {
+      out.push_back(soc.engine_ucore(i)->stats());
+    }
+    if (!exact) {
+      // The event loop must actually have exercised the fast-forward path.
+      EXPECT_GT(soc.sched_stats().slow_ticks_skipped, 0u);
+    }
+    return out;
+  };
+
+  const auto exact = engine_stats(true);
+  const auto event = engine_stats(false);
+  ASSERT_EQ(exact.size(), event.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].stall_cycles, event[i].stall_cycles) << "engine " << i;
+    EXPECT_EQ(exact[i].instructions, event[i].instructions) << "engine " << i;
+    EXPECT_EQ(exact[i].busy_cycles, event[i].busy_cycles) << "engine " << i;
+    EXPECT_EQ(exact[i].packets_popped, event[i].packets_popped)
+        << "engine " << i;
+  }
+}
+
+/// The post-completion grace drain must batch to the same final cycle count
+/// the 512-iteration stepped drain reaches.
+TEST(EventSkip, GraceDrainBatchesToIdenticalCompletion) {
+  SocConfig sc = table2_soc();
+  sc.kernels = {deploy(kernels::KernelKind::kShadowStack, 2)};  // block mode
+  const trace::WorkloadConfig cfg = paper_workload("swaptions", 6000);
+  const RunResult exact = run_mode(true, cfg, sc);
+  const RunResult event = run_mode(false, cfg, sc);
+  expect_identical(exact, event, "grace_drain");
+  // The quiescent drain is hundreds of dead cycles: the scheduler must
+  // collapse (most of) it instead of stepping at full tick rate.
+  EXPECT_GT(event.sched.cycles_skipped, 256u);
+}
+
+/// The unmonitored baseline core uses the same fast-forward machinery.
+TEST(EventSkip, BaselineCyclesIdentical) {
+  const SocConfig sc = table2_soc();
+  for (const std::string& w : paper_workloads()) {
+    const trace::WorkloadConfig cfg = paper_workload(w, 8000);
+    Cycle a, b;
+    {
+      ExactMode mode(true);
+      a = run_baseline_cycles(cfg, sc);
+    }
+    {
+      ExactMode mode(false);
+      b = run_baseline_cycles(cfg, sc);
+    }
+    EXPECT_EQ(a, b) << w;
+  }
+}
+
+/// Single-threaded BaselineCache semantics: one miss, then hits, and no
+/// in-flight waits when nothing raced.
+TEST(EventSkip, BaselineCacheCountsInflightWaits) {
+  BaselineCache cache;
+  const SocConfig sc = table2_soc();
+  const trace::WorkloadConfig cfg = paper_workload("swaptions", 3000);
+  bool ran = false;
+  const Cycle first = cache.get(cfg, sc, &ran);
+  EXPECT_TRUE(ran);
+  const Cycle second = cache.get(cfg, sc, &ran);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.inflight_waits(), 0u);
+}
+
+}  // namespace
+}  // namespace fg::soc

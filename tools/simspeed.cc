@@ -1,30 +1,45 @@
 // Simulator-speed tracker: emits BENCH_sim_speed.json so the performance
 // trajectory of the simulator itself is measured, not guessed.
 //
-// Three measurements:
+// Measurements:
 //  1. Single-thread hot-loop speed — simulated fast-domain cycles per wall
 //     second (and committed instructions per second) for a light (PMC) and a
-//     heavy (ASan) kernel deployment.
+//     heavy (ASan) kernel deployment, best of three runs. Each config is
+//     also run under the stepped FG_CYCLE_EXACT reference loop: the ratio is
+//     the event-driven scheduler's speedup, and the two runs' RunResults
+//     must be bit-identical (a mismatch fails the tool).
 //  2. The Figure-10 sweep grid executed serially (jobs=1) and with FG_JOBS
-//     workers: wall clock for each, honest parallel speedup.
+//     workers: wall clock for each, honest parallel speedup and efficiency.
 //  3. A bit-identity audit: every parallel RunResult (cycles, committed,
 //     detections, packets) must equal its serial counterpart, byte for byte.
 //     A mismatch makes the tool exit non-zero.
+//  4. A cycle-accounting report from the scheduler (stepped vs skipped
+//     cycles, skip-length histogram, per-domain bounds) so future perf work
+//     can see where simulated time goes.
 //
-// Usage: simspeed [--quick] [--jobs=N] [--trace-len=N] [--out=PATH]
+// The JSON keeps a `runs` history: each invocation appends one compact
+// record (carrying forward the records already in the file), so the
+// checked-in file tracks the per-PR perf trajectory.
+//
+// Usage: simspeed [--quick] [--jobs=N] [--trace-len=N] [--out=PATH] [--check]
 //   --quick      small trace (20k insts) and the PMC+ASan subset of the
 //                fig10 grid — for CI and smoke runs
 //   --jobs=N     parallel worker count (default: FG_JOBS env, else hw)
 //   --trace-len  per-point trace length (default: FG_TRACE_LEN env / 150k)
 //   --out=PATH   output JSON path (default: BENCH_sim_speed.json)
+//   --check      CI gate: also fail (exit 1) if the parallel sweep is slower
+//                than serial while real parallelism was available
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/common/simctl.h"
 #include "src/common/thread_pool.h"
 #include "src/soc/figures.h"
 #include "src/soc/sweep.h"
@@ -45,23 +60,75 @@ struct HotLoopSpeed {
   double sim_cycles_per_sec = 0.0;
   double insts_per_sec = 0.0;
   double wall_ms = 0.0;
+  double exact_cycles_per_sec = 0.0;  // FG_CYCLE_EXACT reference loop
+  double event_speedup = 0.0;         // event-driven vs stepped
+  bool exact_identical = true;
+  soc::SchedStats sched{};
 };
 
-/// One run_fireguard, timed; reports simulated fast cycles per wall second.
+bool run_results_identical(const soc::RunResult& a, const soc::RunResult& b) {
+  if (a.cycles != b.cycles) return false;
+  if (a.committed != b.committed) return false;
+  if (a.packets != b.packets) return false;
+  if (a.spurious != b.spurious) return false;
+  if (a.detections.size() != b.detections.size()) return false;
+  for (size_t i = 0; i < a.detections.size(); ++i) {
+    const soc::DetectionRecord& da = a.detections[i];
+    const soc::DetectionRecord& db = b.detections[i];
+    if (da.attack_id != db.attack_id || da.engine != db.engine ||
+        da.commit_fast != db.commit_fast || da.detect_fast != db.detect_fast) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.stall_fractions.size(); ++i) {
+    if (a.stall_fractions[i] != b.stall_fractions[i]) return false;
+  }
+  return true;
+}
+
+/// Timed run_fireguard, best of `reps` (single-run wall clocks on a shared
+/// box are noisy; the minimum is the standard noise-floor estimator).
+soc::RunResult timed_runs(const trace::WorkloadConfig& wl,
+                          const soc::SocConfig& sc, int reps, double* best_ms) {
+  soc::RunResult r;
+  *best_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_ms();
+    r = soc::run_fireguard(wl, sc);
+    *best_ms = std::min(*best_ms, now_ms() - t0);
+  }
+  return r;
+}
+
 HotLoopSpeed measure_hot_loop(const char* name, kernels::KernelKind kind,
                               u64 n_insts) {
   soc::SocConfig sc = soc::table2_soc();
   sc.kernels = {soc::deploy(kind, 4)};
   const trace::WorkloadConfig wl = soc::paper_workload("blackscholes", n_insts);
-  const double t0 = now_ms();
-  const soc::RunResult r = soc::run_fireguard(wl, sc);
-  const double ms = now_ms() - t0;
+
   HotLoopSpeed s;
   s.name = name;
-  s.wall_ms = ms;
-  if (ms > 0.0) {
-    s.sim_cycles_per_sec = static_cast<double>(r.cycles) / (ms / 1000.0);
-    s.insts_per_sec = static_cast<double>(r.committed) / (ms / 1000.0);
+
+  // Measure both scheduler modes, then restore whatever mode the process
+  // entered with (a user-set FG_CYCLE_EXACT=1 must still govern the sweep).
+  const bool entry_mode = cycle_exact();
+  set_cycle_exact(false);
+  const soc::RunResult r = timed_runs(wl, sc, 5, &s.wall_ms);
+  set_cycle_exact(true);
+  double exact_ms = 0.0;
+  const soc::RunResult rx = timed_runs(wl, sc, 5, &exact_ms);
+  set_cycle_exact(entry_mode);
+
+  s.exact_identical = run_results_identical(r, rx);
+  s.sched = r.sched;
+  if (s.wall_ms > 0.0) {
+    s.sim_cycles_per_sec = static_cast<double>(r.cycles) / (s.wall_ms / 1000.0);
+    s.insts_per_sec = static_cast<double>(r.committed) / (s.wall_ms / 1000.0);
+  }
+  if (exact_ms > 0.0) {
+    s.exact_cycles_per_sec =
+        static_cast<double>(rx.cycles) / (exact_ms / 1000.0);
+    s.event_speedup = exact_ms / s.wall_ms;
   }
   return s;
 }
@@ -76,21 +143,27 @@ void add_fig10_grid(soc::SweepRunner& runner, u64 n_insts, bool quick) {
 }
 
 bool results_identical(const soc::PointResult& a, const soc::PointResult& b) {
-  if (a.run.cycles != b.run.cycles) return false;
-  if (a.run.committed != b.run.committed) return false;
-  if (a.run.packets != b.run.packets) return false;
-  if (a.run.spurious != b.run.spurious) return false;
   if (a.baseline_cycles != b.baseline_cycles) return false;
-  if (a.run.detections.size() != b.run.detections.size()) return false;
-  for (size_t i = 0; i < a.run.detections.size(); ++i) {
-    const soc::DetectionRecord& da = a.run.detections[i];
-    const soc::DetectionRecord& db = b.run.detections[i];
-    if (da.attack_id != db.attack_id || da.engine != db.engine ||
-        da.commit_fast != db.commit_fast || da.detect_fast != db.detect_fast) {
-      return false;
-    }
+  return run_results_identical(a.run, b.run);
+}
+
+void print_sched_report(const char* name, const soc::SchedStats& s) {
+  std::printf(
+      "sched %-14s: %llu stepped + %llu skipped cycles (%.1f%% skipped in "
+      "%llu skips), slow ticks %llu run / %llu skipped\n",
+      name, static_cast<unsigned long long>(s.cycles_stepped),
+      static_cast<unsigned long long>(s.cycles_skipped),
+      100.0 * s.skipped_fraction(), static_cast<unsigned long long>(s.skips),
+      static_cast<unsigned long long>(s.slow_ticks_run),
+      static_cast<unsigned long long>(s.slow_ticks_skipped));
+  std::printf("      skip lengths [1,2-3,...,>=128]:");
+  for (const u64 h : s.skip_len_hist) {
+    std::printf(" %llu", static_cast<unsigned long long>(h));
   }
-  return true;
+  std::printf("  bounds core/slow/cap: %llu/%llu/%llu\n",
+              static_cast<unsigned long long>(s.bound_core),
+              static_cast<unsigned long long>(s.bound_slow),
+              static_cast<unsigned long long>(s.bound_cap));
 }
 
 u64 arg_u64(const char* arg, const char* prefix, u64 fallback) {
@@ -99,16 +172,43 @@ u64 arg_u64(const char* arg, const char* prefix, u64 fallback) {
   return std::strtoull(arg + n, nullptr, 10);
 }
 
+/// Extract the existing `"runs": [ ... ]` array items from a previous
+/// BENCH_sim_speed.json so the history is carried forward. Text-level: the
+/// file is this tool's own output format.
+std::string prior_runs(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "";
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const size_t tag = text.find("\"runs\": [");
+  if (tag == std::string::npos) return "";
+  const size_t open = text.find('[', tag);
+  const size_t close = text.find(']', open);
+  if (open == std::string::npos || close == std::string::npos) return "";
+  std::string items = text.substr(open + 1, close - open - 1);
+  // Trim whitespace-only histories to empty.
+  const size_t first = items.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const size_t last = items.find_last_not_of(" \t\r\n,");
+  return items.substr(first, last - first + 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool check = false;
   u32 jobs = ThreadPool::default_jobs();
   u64 trace_len = soc::default_trace_len();
   std::string out_path = "BENCH_sim_speed.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = static_cast<u32>(arg_u64(argv[i], "--jobs=", jobs));
     } else if (std::strncmp(argv[i], "--trace-len=", 12) == 0) {
@@ -118,27 +218,33 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: simspeed [--quick] [--jobs=N] [--trace-len=N] "
-                   "[--out=PATH]\n");
+                   "[--out=PATH] [--check]\n");
       return 2;
     }
   }
   if (quick) trace_len = std::min<u64>(trace_len, 20'000);
 
-  std::printf("simspeed: trace_len=%llu jobs=%u%s\n",
-              static_cast<unsigned long long>(trace_len), jobs,
+  const u32 hw = std::max<u32>(1, std::thread::hardware_concurrency());
+  std::printf("simspeed: trace_len=%llu jobs=%u (hw %u)%s\n",
+              static_cast<unsigned long long>(trace_len), jobs, hw,
               quick ? " (quick)" : "");
 
-  // 1) Single-thread hot-loop speed.
+  // 1) Single-thread hot-loop speed, event-driven vs stepped reference.
   std::vector<HotLoopSpeed> hot;
   hot.push_back(measure_hot_loop("pmc_4ucores", kernels::KernelKind::kPmc,
                                  trace_len));
   hot.push_back(measure_hot_loop("asan_4ucores", kernels::KernelKind::kAsan,
                                  trace_len));
+  u32 mismatches = 0;
   for (const HotLoopSpeed& s : hot) {
-    std::printf("hot loop %-14s: %8.2f M sim-cycles/s, %8.2f M insts/s "
-                "(%.1f ms)\n",
-                s.name.c_str(), s.sim_cycles_per_sec / 1e6,
-                s.insts_per_sec / 1e6, s.wall_ms);
+    std::printf(
+        "hot loop %-14s: %8.2f M sim-cycles/s (%.1f ms), exact %8.2f M "
+        "(event speedup %.2fx) %s\n",
+        s.name.c_str(), s.sim_cycles_per_sec / 1e6, s.wall_ms,
+        s.exact_cycles_per_sec / 1e6, s.event_speedup,
+        s.exact_identical ? "" : "EXACT-MISMATCH");
+    print_sched_report(s.name.c_str(), s.sched);
+    if (!s.exact_identical) ++mismatches;
   }
 
   // 2) Fig. 10 sweep, serial then parallel.
@@ -151,15 +257,26 @@ int main(int argc, char** argv) {
   soc::SweepRunner parallel(soc::SweepConfig{jobs});
   add_fig10_grid(parallel, trace_len, quick);
   parallel.run_all();
+  // The runner is the single owner of the jobs→workers capping rule.
+  const u32 effective_workers = parallel.workers();
   const double speedup = parallel.wall_ms() > 0.0
                              ? serial.wall_ms() / parallel.wall_ms()
                              : 0.0;
-  std::printf("fig10 sweep parallel: %zu points on %u jobs, %.2f s "
-              "(speedup %.2fx vs serial)\n",
-              parallel.n_points(), jobs, parallel.wall_ms() / 1000.0, speedup);
+  const double efficiency =
+      effective_workers > 0 ? speedup / effective_workers : 0.0;
+  std::printf(
+      "fig10 sweep parallel: %zu points on %u jobs (%u workers), %.2f s "
+      "(speedup %.2fx, efficiency %.2f)\n",
+      parallel.n_points(), jobs, effective_workers,
+      parallel.wall_ms() / 1000.0, speedup, efficiency);
+  std::printf(
+      "baseline cache      : %llu hits, %llu misses, %llu in-flight waits\n",
+      static_cast<unsigned long long>(parallel.baseline_cache().hits()),
+      static_cast<unsigned long long>(parallel.baseline_cache().misses()),
+      static_cast<unsigned long long>(
+          parallel.baseline_cache().inflight_waits()));
 
-  // 3) Bit-identity audit.
-  u32 mismatches = 0;
+  // 3) Bit-identity audit: parallel vs serial, point by point.
   for (u32 i = 0; i < parallel.n_points(); ++i) {
     if (!results_identical(serial.result(i), parallel.result(i))) {
       std::fprintf(stderr, "MISMATCH at point %s\n",
@@ -167,28 +284,66 @@ int main(int argc, char** argv) {
       ++mismatches;
     }
   }
-  std::printf("bit-identity audit  : %u mismatches over %zu points\n",
+  std::printf("bit-identity audit  : %u mismatches over %zu points "
+              "(parallel-vs-serial and event-vs-exact)\n",
               mismatches, parallel.n_points());
 
+  // Aggregate sweep-wide scheduler accounting.
+  soc::SchedStats sweep_sched{};
+  for (u32 i = 0; i < parallel.n_points(); ++i) {
+    const soc::SchedStats& s = parallel.result(i).run.sched;
+    sweep_sched.cycles_stepped += s.cycles_stepped;
+    sweep_sched.cycles_skipped += s.cycles_skipped;
+    sweep_sched.skips += s.skips;
+    sweep_sched.slow_ticks_run += s.slow_ticks_run;
+    sweep_sched.slow_ticks_skipped += s.slow_ticks_skipped;
+    sweep_sched.bound_core += s.bound_core;
+    sweep_sched.bound_slow += s.bound_slow;
+    sweep_sched.bound_cap += s.bound_cap;
+    for (size_t b = 0; b < s.skip_len_hist.size(); ++b) {
+      sweep_sched.skip_len_hist[b] += s.skip_len_hist[b];
+    }
+  }
+  print_sched_report("fig10_sweep", sweep_sched);
+
+  const bool bit_identical = mismatches == 0;
+  // The parallel-regression gate only fires when parallelism was real: a
+  // single-worker "parallel" run (1-core box) is serial plus noise.
+  const bool parallel_regressed = effective_workers > 1 && speedup < 1.0;
+
+  const std::string history = prior_runs(out_path);
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
+  char stamp[32];
+  {
+    const std::time_t t = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"fireguard/sim_speed/v1\",\n");
+  std::fprintf(f, "  \"schema\": \"fireguard/sim_speed/v2\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"trace_len\": %llu,\n",
                static_cast<unsigned long long>(trace_len));
   std::fprintf(f, "  \"jobs\": %u,\n", jobs);
+  std::fprintf(f, "  \"effective_workers\": %u,\n", effective_workers);
   std::fprintf(f, "  \"hot_loop\": [\n");
   for (size_t i = 0; i < hot.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"config\": \"%s\", \"sim_cycles_per_sec\": %.0f, "
-                 "\"insts_per_sec\": %.0f, \"wall_ms\": %.2f}%s\n",
-                 hot[i].name.c_str(), hot[i].sim_cycles_per_sec,
-                 hot[i].insts_per_sec, hot[i].wall_ms,
-                 i + 1 < hot.size() ? "," : "");
+    const soc::SchedStats& s = hot[i].sched;
+    std::fprintf(
+        f,
+        "    {\"config\": \"%s\", \"sim_cycles_per_sec\": %.0f, "
+        "\"insts_per_sec\": %.0f, \"wall_ms\": %.2f, "
+        "\"exact_sim_cycles_per_sec\": %.0f, \"event_speedup\": %.3f, "
+        "\"cycles_skipped_pct\": %.2f, \"skips\": %llu}%s\n",
+        hot[i].name.c_str(), hot[i].sim_cycles_per_sec, hot[i].insts_per_sec,
+        hot[i].wall_ms, hot[i].exact_cycles_per_sec, hot[i].event_speedup,
+        100.0 * s.skipped_fraction(), static_cast<unsigned long long>(s.skips),
+        i + 1 < hot.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"fig10_sweep\": {\n");
@@ -197,11 +352,37 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"parallel_wall_s\": %.3f,\n",
                parallel.wall_ms() / 1000.0);
   std::fprintf(f, "    \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "    \"parallel_efficiency\": %.3f,\n", efficiency);
+  std::fprintf(f, "    \"baseline_cache_inflight_waits\": %llu,\n",
+               static_cast<unsigned long long>(
+                   parallel.baseline_cache().inflight_waits()));
   std::fprintf(f, "    \"bit_identical\": %s\n",
-               mismatches == 0 ? "true" : "false");
-  std::fprintf(f, "  }\n");
+               bit_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"runs\": [\n");
+  if (!history.empty()) std::fprintf(f, "    %s,\n", history.c_str());
+  std::fprintf(
+      f,
+      "    {\"date\": \"%s\", \"quick\": %s, \"trace_len\": %llu, "
+      "\"pmc_cycles_per_sec\": %.0f, \"asan_cycles_per_sec\": %.0f, "
+      "\"event_speedup_pmc\": %.3f, \"sweep_speedup\": %.3f, "
+      "\"bit_identical\": %s}\n",
+      stamp, quick ? "true" : "false",
+      static_cast<unsigned long long>(trace_len),
+      hot[0].sim_cycles_per_sec, hot[1].sim_cycles_per_sec,
+      hot[0].event_speedup, speedup, bit_identical ? "true" : "false");
+  std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
-  return mismatches == 0 ? 0 : 1;
+
+  if (!bit_identical) return 1;
+  if (check && parallel_regressed) {
+    std::fprintf(stderr,
+                 "FAIL: parallel sweep regressed (speedup %.3f < 1.0 with %u "
+                 "workers)\n",
+                 speedup, effective_workers);
+    return 1;
+  }
+  return 0;
 }
