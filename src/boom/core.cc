@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/invariant.h"
 #include "src/common/simctl.h"
 
 namespace fg::boom {
@@ -303,6 +304,14 @@ void BoomCore::do_dispatch(CommitSink*) {
     e.is_load = is_load;
     e.is_store = is_store;
     iq_release_.push_back(start);
+    // Occupancy bounds: the lazily-drained release set stays within the
+    // reserve cap (one over-full check past the IQ capacity plus what a
+    // drain leaves in the future), and the LDQ/STQ never exceed Table II.
+    FG_INVARIANT(iq_release_.size() <= cfg_.iq_entries + cfg_.rob_entries,
+                 "boom.iq_release_bound");
+    FG_INVARIANT(lsq_.ldq_used() <= cfg_.ldq_entries &&
+                     lsq_.stq_used() <= cfg_.stq_entries,
+                 "boom.lsq_occupancy");
     if (is_load) lsq_.note_load_dispatched();
     have_pending_ = false;
     dispatch_block_ = DispatchBlock::kNone;
@@ -354,6 +363,9 @@ Cycle BoomCore::next_event() const {
 
 void BoomCore::skip_to(Cycle target) {
   FG_CHECK(target >= now_);
+  // Only a fixed-point core may be fast-forwarded: the dispatch-block hint
+  // recorded by the last (inactive) tick is what skip_to charges stalls by.
+  FG_INVARIANT(!active_, "boom.skip_fixed_point");
   const u64 d = target - now_;
   if (d == 0) return;
   stats_.cycles += d;

@@ -1,0 +1,99 @@
+#include "src/common/invariant.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace fg::inv {
+
+namespace {
+
+std::atomic<int>& enabled_flag() {
+  // -1 = uninitialised (read FG_INVARIANTS on first use), 0/1 = decided.
+  static std::atomic<int> flag{-1};
+  return flag;
+}
+
+std::atomic<bool>& abort_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+std::atomic<u64>& violation_count() {
+  static std::atomic<u64> count{0};
+  return count;
+}
+
+// Small ring of recent violation messages (record mode). Guarded by a mutex:
+// violations are exceptional, so contention is irrelevant.
+constexpr size_t kKeep = 16;
+std::mutex& ring_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+std::vector<std::string>& ring() {
+  static std::vector<std::string> r;
+  return r;
+}
+
+}  // namespace
+
+bool enabled() {
+  if (!compiled_in()) return false;
+  int v = enabled_flag().load(std::memory_order_relaxed);
+  if (v < 0) {
+    // Default on when compiled in; FG_INVARIANTS=0 (or set-but-empty,
+    // matching the header doc) turns them off.
+    const char* e = std::getenv("FG_INVARIANTS");
+    v = (e != nullptr && (*e == '\0' || *e == '0')) ? 0 : 1;
+    enabled_flag().store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_enabled(bool on) {
+  enabled_flag().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool abort_on_violation() { return abort_flag().load(std::memory_order_relaxed); }
+
+void set_abort_on_violation(bool abort_run) {
+  abort_flag().store(abort_run, std::memory_order_relaxed);
+}
+
+u64 checks() { return detail::g_checks.load(std::memory_order_relaxed); }
+
+u64 violations() { return violation_count().load(std::memory_order_relaxed); }
+
+void reset_counters() {
+  detail::g_checks.store(0, std::memory_order_relaxed);
+  violation_count().store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ring_mutex());
+  ring().clear();
+}
+
+std::vector<std::string> recent_violations() {
+  std::lock_guard<std::mutex> lock(ring_mutex());
+  return ring();
+}
+
+namespace detail {
+
+std::atomic<u64> g_checks{0};
+
+void violation(const char* name, const char* expr, const char* file, int line) {
+  violation_count().fetch_add(1, std::memory_order_relaxed);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "FG_INVARIANT [%s] violated: %s at %s:%d",
+                name, expr, file, line);
+  if (abort_flag().load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "%s\n", buf);
+    std::abort();
+  }
+  std::lock_guard<std::mutex> lock(ring_mutex());
+  if (ring().size() < kKeep) ring().emplace_back(buf);
+}
+
+}  // namespace detail
+
+}  // namespace fg::inv

@@ -1,0 +1,82 @@
+// Runtime-toggleable structural invariant checking.
+//
+// FG_CHECK (check.h) guards *preconditions* that must hold in every build —
+// it is always on and always aborts. FG_INVARIANT guards *structural
+// invariants* that are redundant with correct operation (occupancy
+// accounting, handshake monotonicity, packet conservation): they are
+// compiled into Debug builds (or any build with FIREGUARD_INVARIANTS=ON),
+// cost nothing in Release, and can be toggled or redirected at run time:
+//
+//   * fg::inv::set_enabled(false)   — skip evaluation entirely (also the
+//     FG_INVARIANTS=0 environment variable);
+//   * fg::inv::set_abort_on_violation(false) — record violations (counter +
+//     ring of messages) instead of aborting, so the fuzz driver and the
+//     invariant tests can observe them.
+//
+// Every evaluated check bumps checks(); every failed one bumps violations().
+// The counters are atomics: scenario runs are single-threaded but the sweep
+// runner executes points across worker threads.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+#if !defined(FG_INVARIANTS_COMPILED)
+#if !defined(NDEBUG) || defined(FIREGUARD_FORCE_INVARIANTS)
+#define FG_INVARIANTS_COMPILED 1
+#else
+#define FG_INVARIANTS_COMPILED 0
+#endif
+#endif
+
+namespace fg::inv {
+
+/// True when this build type evaluates FG_INVARIANT at all.
+constexpr bool compiled_in() { return FG_INVARIANTS_COMPILED != 0; }
+
+/// Runtime switch. Defaults to on (compiled-in builds only); the
+/// FG_INVARIANTS environment variable (0 / empty = off) overrides the
+/// default on first use.
+bool enabled();
+void set_enabled(bool on);
+
+/// Abort (default) vs. record-and-continue on violation.
+bool abort_on_violation();
+void set_abort_on_violation(bool abort_run);
+
+u64 checks();
+u64 violations();
+void reset_counters();
+
+/// Violation messages captured in record mode: the FIRST 16 since the last
+/// reset_counters() (the earliest violations are the informative ones; the
+/// fuzz driver resets per scenario so every failure's messages survive).
+std::vector<std::string> recent_violations();
+
+namespace detail {
+extern std::atomic<u64> g_checks;
+void violation(const char* name, const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace fg::inv
+
+// `name` is a short stable label ("filter.occupancy", "noc.conservation")
+// used in violation reports and fuzz artifacts.
+#if FG_INVARIANTS_COMPILED
+#define FG_INVARIANT(expr, name)                                          \
+  do {                                                                    \
+    if (::fg::inv::enabled()) {                                           \
+      ::fg::inv::detail::g_checks.fetch_add(1, std::memory_order_relaxed); \
+      if (!(expr)) {                                                      \
+        ::fg::inv::detail::violation(name, #expr, __FILE__, __LINE__);    \
+      }                                                                   \
+    }                                                                     \
+  } while (0)
+#else
+#define FG_INVARIANT(expr, name) \
+  do {                           \
+  } while (0)
+#endif

@@ -1,0 +1,47 @@
+#include "src/common/run_history.h"
+
+#include <cstdio>
+
+namespace fg {
+
+const char* history_status_name(HistoryStatus s) {
+  switch (s) {
+    case HistoryStatus::kOk: return "ok";
+    case HistoryStatus::kMissing: return "missing";
+    case HistoryStatus::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+HistoryStatus load_runs_history(const std::string& path, std::string* items) {
+  items->clear();
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return HistoryStatus::kMissing;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const size_t tag = text.find("\"runs\": [");
+  if (tag == std::string::npos) return HistoryStatus::kMalformed;
+  const size_t open = text.find('[', tag);
+  const size_t close = text.find(']', open);
+  if (open == std::string::npos || close == std::string::npos) {
+    return HistoryStatus::kMalformed;
+  }
+  std::string body = text.substr(open + 1, close - open - 1);
+  // Trim whitespace-only histories to empty (an empty array is still kOk).
+  const size_t first = body.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return HistoryStatus::kOk;
+  const size_t last = body.find_last_not_of(" \t\r\n,");
+  *items = body.substr(first, last - first + 1);
+  return HistoryStatus::kOk;
+}
+
+std::string append_run_record(const std::string& items,
+                              const std::string& run_record) {
+  if (items.empty()) return run_record;
+  return items + ",\n    " + run_record;
+}
+
+}  // namespace fg

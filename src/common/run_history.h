@@ -1,0 +1,33 @@
+// Carry-forward loader for the `"runs": [ ... ]` history array that
+// tools/simspeed appends to BENCH_sim_speed.json (schema fireguard/
+// sim_speed/v2). Factored out of the tool so the append path is unit-testable
+// and so --check can distinguish "no history file" (a CI misconfiguration
+// that must fail loudly) from "history present" — silently starting a fresh
+// history used to make a missing/unreadable file exit 0 and erase the
+// trajectory the gate exists to track.
+#pragma once
+
+#include <string>
+
+namespace fg {
+
+enum class HistoryStatus {
+  kOk,        // file read and a runs[] array extracted (possibly empty)
+  kMissing,   // file absent or unreadable
+  kMalformed, // file read but no "runs": [ ... ] array found
+};
+
+const char* history_status_name(HistoryStatus s);
+
+/// Reads `path` and extracts the comma-joined items of its `"runs"` array
+/// into `*items` (empty string for an empty array). Text-level extraction:
+/// the file is simspeed's own output format. On kMissing/kMalformed, *items
+/// is cleared.
+HistoryStatus load_runs_history(const std::string& path, std::string* items);
+
+/// Appends `run_record` (one JSON object, no trailing comma) to a history
+/// item string, returning the new comma-joined item list.
+std::string append_run_record(const std::string& items,
+                              const std::string& run_record);
+
+}  // namespace fg

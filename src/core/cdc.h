@@ -58,6 +58,11 @@ class CdcFifo {
   u32 ratio_;
   RingQueue<Entry> q_;
   CdcStats stats_;
+  // Handshake monotonicity witness: entries settle in push order, so each
+  // push's ready_slow must be >= the previous one's (checked by
+  // FG_INVARIANT in push; cheap enough to maintain unconditionally).
+  Cycle last_ready_slow_ = 0;
+  Cycle last_push_fast_ = 0;
 };
 
 }  // namespace fg::core

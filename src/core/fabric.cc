@@ -4,6 +4,19 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/invariant.h"
+
+namespace {
+/// FG_INVARIANT witness: pending_ equals the true number of undelivered
+/// messages across all inboxes (packet conservation). O(engines). Unused in
+/// Release builds, where FG_INVARIANT compiles away.
+[[maybe_unused]] fg::u64 inbox_total(
+    const std::vector<std::vector<fg::core::NocMessage>>& inbox) {
+  fg::u64 n = 0;
+  for (const auto& box : inbox) n += box.size();
+  return n;
+}
+}  // namespace
 
 namespace fg::core {
 
@@ -64,6 +77,10 @@ Cycle NocMesh::send(u32 src, u32 dst, u64 payload, Cycle now) {
                  });
   ++stats_.messages;
   ++pending_;
+  // A message can never arrive before it was sent (the zero-hop case is
+  // forced to now + 1 above), and conservation must hold after the insert.
+  FG_INVARIANT(t > now, "noc.causality");
+  FG_INVARIANT(pending_ == inbox_total(inbox_), "noc.conservation");
   return t;
 }
 
@@ -90,6 +107,10 @@ std::optional<NocMessage> NocMesh::deliver(u32 engine, Cycle now) {
   NocMessage m = box.back();
   box.pop_back();
   --pending_;
+  // Deliveries never run ahead of simulated time, and never lose messages.
+  FG_INVARIANT(m.arrives_at <= now, "noc.no_early_delivery");
+  FG_INVARIANT(m.dst == engine, "noc.routing");
+  FG_INVARIANT(pending_ == inbox_total(inbox_), "noc.conservation");
   return m;
 }
 

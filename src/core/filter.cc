@@ -1,6 +1,7 @@
 #include "src/core/filter.h"
 
 #include "src/common/check.h"
+#include "src/common/invariant.h"
 
 namespace fg::core {
 
@@ -55,6 +56,7 @@ void EventFilter::offer_valid(u32 lane, const Packet& p) {
   ++buffered_;
   ++valid_buffered_;
   peeked_lane_ = -1;
+  FG_INVARIANT(counters_consistent(), "filter.occupancy");
 }
 
 void EventFilter::offer_placeholder(u32 lane, u64 seq) {
@@ -73,6 +75,7 @@ void EventFilter::offer_placeholder(u32 lane, u64 seq) {
   p.seq = seq;
   ++buffered_;
   peeked_lane_ = -1;
+  FG_INVARIANT(counters_consistent(), "filter.occupancy");
 }
 
 int EventFilter::arbiter_scan() {
@@ -130,6 +133,24 @@ void EventFilter::arbiter_pop() {
   --buffered_;
   --valid_buffered_;
   ++stats_.arbiter_output;
+  // Accounting across the whole lazy-drain path: placeholders popped inside
+  // arbiter_scan and the bulk clear must keep the O(1) counters in sync
+  // with the FIFOs' true contents, and output conservation must hold.
+  FG_INVARIANT(counters_consistent(), "filter.occupancy");
+  FG_INVARIANT(stats_.arbiter_output <= stats_.valid_packets,
+               "filter.conservation");
+}
+
+bool EventFilter::counters_consistent() const {
+  size_t total = 0;
+  size_t valid = 0;
+  for (const auto& f : fifos_) {
+    total += f.size();
+    for (size_t i = 0; i < f.size(); ++i) {
+      if (f.at(i).valid) ++valid;
+    }
+  }
+  return total == buffered_ && valid == valid_buffered_;
 }
 
 bool EventFilter::any_fifo_full() const {

@@ -140,6 +140,10 @@ class EventFilter {
   /// Drop leading placeholders, then return the lane holding the in-order
   /// valid head (-1 if none). One pass shared by peek and pop.
   int arbiter_scan();
+  /// FG_INVARIANT witness: the O(1) occupancy counters equal a full walk of
+  /// the lane FIFOs (buffered_ == total entries, valid_buffered_ == valid
+  /// entries). Debug-build only; O(width * depth).
+  bool counters_consistent() const;
 
   EventFilterConfig cfg_;
   FilterTable table_;

@@ -34,13 +34,12 @@ u32 default_attack_count() {
   return static_cast<u32>(env_u64("FG_ATTACKS", 60));
 }
 
-namespace {
 /// The regions a long-running instance of this workload would have resident
 /// in L2/LLC: streaming buffers, hot globals, the live heap, code, and the
 /// top of the stack. Functionally warming them removes the compulsory-miss
 /// transient that a short trace window would otherwise be dominated by.
-std::vector<std::pair<u64, u64>> warm_regions_for(const trace::WorkloadGen& gen,
-                                                  const trace::WorkloadProfile& p) {
+std::vector<std::pair<u64, u64>> default_warm_regions(
+    const trace::WorkloadGen& gen, const trace::WorkloadProfile& p) {
   std::vector<std::pair<u64, u64>> v;
   v.push_back({trace::kStreamBase, trace::kStreamBase + p.stream_footprint});
   v.push_back({trace::kGlobalBase,
@@ -54,12 +53,11 @@ std::vector<std::pair<u64, u64>> warm_regions_for(const trace::WorkloadGen& gen,
   v.push_back({trace::kStackBase - (64u << 10), trace::kStackBase});
   return v;
 }
-}  // namespace
 
 Cycle run_baseline_cycles(const trace::WorkloadConfig& wl, const SocConfig& sc) {
   trace::WorkloadGen gen(wl);
   mem::MemHierarchy mem(sc.mem);
-  for (const auto& [lo, hi] : warm_regions_for(gen, wl.profile)) {
+  for (const auto& [lo, hi] : default_warm_regions(gen, wl.profile)) {
     mem.warm_region(lo, hi);
   }
   mem.reset_stats();
@@ -72,7 +70,7 @@ RunResult run_fireguard(const trace::WorkloadConfig& wl, SocConfig sc) {
   trace::WorkloadGen gen(wl);
   sc.kparams.text_lo = gen.text_lo();
   sc.kparams.text_hi = gen.text_hi();
-  sc.warm_regions = warm_regions_for(gen, wl.profile);
+  sc.warm_regions = default_warm_regions(gen, wl.profile);
   Soc soc(sc, gen);
   soc.run();
 
@@ -95,7 +93,7 @@ RunResult run_software(const trace::WorkloadConfig& wl, baseline::SwScheme schem
   trace::WorkloadGen gen(wl);
   baseline::InstrumentedSource inst(gen, scheme);
   mem::MemHierarchy mem(sc.mem);
-  for (const auto& [lo, hi] : warm_regions_for(gen, wl.profile)) {
+  for (const auto& [lo, hi] : default_warm_regions(gen, wl.profile)) {
     mem.warm_region(lo, hi);
   }
   mem.reset_stats();

@@ -46,6 +46,13 @@ struct RunResult {
   SchedStats sched{};
 };
 
+/// The regions a long-running instance of this workload would have resident
+/// in L2/LLC (streaming buffers, hot globals, live heap, code, stack top).
+/// Shared by run_baseline_cycles / run_fireguard / run_software and the
+/// fuzzing subsystem's scenario runner, so all of them warm identically.
+std::vector<std::pair<u64, u64>> default_warm_regions(
+    const trace::WorkloadGen& gen, const trace::WorkloadProfile& profile);
+
 /// Unmonitored baseline cycles for a workload (the slowdown denominator).
 Cycle run_baseline_cycles(const trace::WorkloadConfig& wl, const SocConfig& sc);
 

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "src/common/check.h"
+#include "src/common/invariant.h"
 #include "src/common/simctl.h"
 
 namespace fg::soc {
@@ -347,6 +348,11 @@ void Soc::run() {
         slow_ev_cache_cdc_size_ = cdc_size;
       }
       const Cycle slow_ev = slow_ev_cache_;
+      // The memoized slow-domain horizon must never go stale: any state
+      // change the cache key (slow_now, CDC size) does not cover would make
+      // the skip loop jump over a live event.
+      FG_INVARIANT(slow_ev == slow_next_event(slow_now),
+                   "soc.slow_horizon_cache");
       if (slow_ev != kNoEvent) {
         const Cycle slow_ev_fast =
             fast_now_ + (until_slow - 1) + (slow_ev - slow_now) * ratio;

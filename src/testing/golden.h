@@ -1,0 +1,44 @@
+// Golden-stat regression corpus.
+//
+// ~20 canonical seeded scenarios whose StatSnapshots are checked into
+// tests/golden/*.json. check_golden() regenerates each scenario from its
+// seed and compares against the frozen snapshot — any future perf refactor
+// diffs against frozen semantics instead of re-deriving expectations.
+// update_golden() rewrites the files (run it deliberately, review the diff,
+// commit it: a golden change IS a semantics change).
+//
+// Golden scenarios use a reduced envelope (short traces) so the whole
+// corpus re-simulates in seconds; reconstruction is by (seed, envelope)
+// exactly as in the fuzz driver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/testing/difffuzz.h"
+
+namespace fg::fuzz {
+
+struct GoldenEntry {
+  const char* name;  // file stem, e.g. "g03"
+  u64 seed;
+};
+
+/// The corpus definition (stable names and seeds).
+const std::vector<GoldenEntry>& golden_entries();
+
+/// The reduced envelope every golden scenario is expanded with.
+ScenarioEnvelope golden_envelope();
+
+/// Re-simulate every entry and (over)write `dir`/<name>.json.
+/// Returns "" on success, else a message naming the failed file.
+std::string update_golden(const std::string& dir,
+                          const ScenarioRunner& runner = {});
+
+/// Re-simulate every entry and diff against `dir`/<name>.json.
+/// Returns "" when the whole corpus matches; otherwise a report naming each
+/// missing / unparsable / mismatching entry with its field diff.
+std::string check_golden(const std::string& dir,
+                         const ScenarioRunner& runner = {});
+
+}  // namespace fg::fuzz

@@ -1,0 +1,164 @@
+#include "src/testing/minijson.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace fg::fuzz::json {
+
+const Value* Value::get(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+u64 Value::get_u64(const std::string& key, u64 fallback) const {
+  const Value* v = get(key);
+  return (v != nullptr && v->kind == Kind::kNumber) ? v->num : fallback;
+}
+
+std::string Value::get_str(const std::string& key) const {
+  const Value* v = get(key);
+  return (v != nullptr && v->kind == Kind::kString) ? v->str : std::string{};
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r' ||
+                       *p == ',')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* s) {
+    const char* q = p;
+    while (*s != '\0') {
+      if (q >= end || *q != *s) return false;
+      ++q;
+      ++s;
+    }
+    p = q;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case '/': out->push_back('/'); break;
+          default: return false;  // subset: no \u etc.
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Value* out) {
+    skip_ws();
+    if (p >= end) return false;
+    if (*p == '{') {
+      ++p;
+      out->kind = Value::Kind::kObject;
+      skip_ws();
+      while (p < end && *p != '}') {
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (p >= end || *p != ':') return false;
+        ++p;
+        Value v;
+        if (!parse_value(&v)) return false;
+        out->obj.emplace(std::move(key), std::move(v));
+        skip_ws();
+      }
+      if (p >= end) return false;
+      ++p;
+      return true;
+    }
+    if (*p == '[') {
+      ++p;
+      out->kind = Value::Kind::kArray;
+      skip_ws();
+      while (p < end && *p != ']') {
+        Value v;
+        if (!parse_value(&v)) return false;
+        out->arr.push_back(std::move(v));
+        skip_ws();
+      }
+      if (p >= end) return false;
+      ++p;
+      return true;
+    }
+    if (*p == '"') {
+      out->kind = Value::Kind::kString;
+      return parse_string(&out->str);
+    }
+    if (literal("true")) {
+      out->kind = Value::Kind::kBool;
+      out->b = true;
+      return true;
+    }
+    if (literal("false")) {
+      out->kind = Value::Kind::kBool;
+      out->b = false;
+      return true;
+    }
+    if (literal("null")) {
+      out->kind = Value::Kind::kNull;
+      return true;
+    }
+    if (std::isdigit(static_cast<unsigned char>(*p))) {
+      char* after = nullptr;
+      out->kind = Value::Kind::kNumber;
+      out->num = std::strtoull(p, &after, 10);
+      if (after == p) return false;
+      p = after;
+      return true;
+    }
+    return false;  // subset: no negative numbers or floats in our formats
+  }
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value* out) {
+  Parser parser{text.data(), text.data() + text.size()};
+  if (!parser.parse_value(out)) return false;
+  parser.skip_ws();
+  return parser.p == parser.end;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace fg::fuzz::json

@@ -1,0 +1,46 @@
+// Minimal JSON reader/writer for the fuzzing subsystem's own file formats
+// (stat snapshots, golden corpus entries, failure artifacts).
+//
+// This is intentionally NOT a general JSON library: it supports exactly the
+// subset the subsystem emits — objects, arrays, unsigned 64-bit integers,
+// booleans, and strings with \" \\ \n \t escapes — and parses numbers as
+// u64 so counters round-trip exactly (a double would lose precision past
+// 2^53, and seeds are full 64-bit values).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg::fuzz::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  u64 num = 0;
+  std::string str;
+  std::vector<Value> arr;
+  // Insertion-ordered keys are not needed; lookups dominate.
+  std::map<std::string, Value> obj;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object field access; returns nullptr when absent or not an object.
+  const Value* get(const std::string& key) const;
+  /// Convenience: field's u64 (0 when absent), string ("" when absent).
+  u64 get_u64(const std::string& key, u64 fallback = 0) const;
+  std::string get_str(const std::string& key) const;
+};
+
+/// Parse `text` into `*out`. Returns false on any syntax error.
+bool parse(const std::string& text, Value* out);
+
+/// Escape a string for embedding in JSON output (quotes not included).
+std::string escape(const std::string& s);
+
+}  // namespace fg::fuzz::json

@@ -1,0 +1,56 @@
+// Seed-reproducible scenario generation for the fuzzing subsystem.
+//
+// A Scenario is a full (workload × SoC configuration) simulation point drawn
+// from a single uint64 seed: workload profile, trace length, attack plan,
+// kernel deployments, and the µ-architectural knobs the paper sweeps (CDC
+// depth, filter FIFO depth, message-queue depth, NoC latency, cache/DRAM/PTW
+// models, core structure sizes, ISAX integration, programming model). Every
+// draw is bounded by a ScenarioEnvelope so generated configs are always
+// *valid* — they may be stressful (tiny queues, post-commit ISAX, mixed
+// kernels) but never degenerate (zero-capacity structures, engine counts
+// beyond the AE bitmap, HA kernels that have no HA implementation).
+//
+// Reconstruction contract: scenario_from_seed(seed, env) is a pure function
+// of (seed, env). The fuzz driver's one-line repro command carries the seed
+// and the envelope's trace-length bounds, nothing else.
+#pragma once
+
+#include <string>
+
+#include "src/soc/experiment.h"
+#include "src/trace/workload.h"
+
+namespace fg::fuzz {
+
+struct ScenarioEnvelope {
+  u64 min_insts = 2'000;
+  u64 max_insts = 12'000;
+  u32 max_deployments = 3;           // kernel groups per SoC
+  u32 max_engines_per_kernel = 6;    // µcores per group (paper: up to 12)
+  u32 max_attacks_per_kind = 4;
+  /// Allow the detailed DRAM / page-table-walk timing models (off for the
+  /// golden corpus only if a future knob needs freezing; on by default).
+  bool allow_detailed_mem = true;
+  /// Allow shrinking ROB/IQ/LDQ/STQ below Table II to stress the lazy
+  /// release-set and occupancy edge cases.
+  bool allow_core_resizing = true;
+};
+
+struct Scenario {
+  u64 seed = 0;
+  std::string name;  // "s<seed hex>"
+  trace::WorkloadConfig wl;
+  soc::SocConfig sc;
+};
+
+/// Deterministically expand `seed` into a full scenario within `env`.
+Scenario scenario_from_seed(u64 seed, const ScenarioEnvelope& env = {});
+
+/// One-line human summary (workload, kernels, key knobs).
+std::string scenario_summary(const Scenario& s);
+
+/// JSON description of the scenario (for golden files / failure artifacts).
+/// Descriptive, not authoritative: reconstruction is always by seed.
+std::string scenario_json(const Scenario& s, int indent = 0);
+
+}  // namespace fg::fuzz

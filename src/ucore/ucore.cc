@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/invariant.h"
 
 namespace fg::ucore {
 
@@ -67,6 +68,13 @@ u64 UCore::queue_word(const core::Packet& p, i64 bit_offset) const {
 }
 
 void UCore::tick(Cycle now) {
+#if FG_INVARIANTS_COMPILED
+  // Simulated time must never run backwards for this core — the event
+  // scheduler's skip/stall-fast-forward logic is the only caller that could
+  // get this wrong, and this is where it would surface.
+  FG_INVARIANT(now >= last_tick_now_, "ucore.tick_monotone");
+  last_tick_now_ = now;
+#endif
   if (halted_) return;
   if (now < stall_until_) {
     ++stats_.stall_cycles;
@@ -244,6 +252,10 @@ void UCore::tick(Cycle now) {
     case UOp::kDetect: {
       detections_.push_back(Detection{engine_id_, a, b, now});
       ++stats_.detections;
+      // The verdict stream and its counter may never diverge: the SoC's
+      // match pass consumes the vector, the stats report the counter.
+      FG_INVARIANT(stats_.detections == detections_.size(),
+                   "ucore.detections_accounting");
       break;
     }
   }
@@ -270,6 +282,7 @@ void UCore::tick(Cycle now) {
   // branch / jump) must not un-quiesce the engine.
   if (set_spin) spinning_ = true;
   pc_ = next_pc;
+  FG_INVARIANT(pc_ < prog_.code.size(), "ucore.pc_bounds");
   stall_until_ = now + cost;
   ++stats_.instructions;
   stats_.busy_cycles += cost;

@@ -159,6 +159,10 @@ class UCore {
 
   Cycle stall_until_ = 0;
   bool spinning_ = false;
+  // FG_INVARIANT witness (maintained in Debug builds only): the slow cycle
+  // of the previous tick, so the scheduler can be caught handing this core
+  // a non-monotone `now` after a skip.
+  Cycle last_tick_now_ = 0;
 
   // Hazard tracking: destination of the previous instruction, if it was a
   // load or an ISAX queue op (the two result-late producers).

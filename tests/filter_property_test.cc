@@ -1,0 +1,148 @@
+// Property tests for the event filter's lazy-drain arbiter path (rewritten
+// for speed in PR 3 — placeholder elision, bulk placeholder clear, O(1)
+// buffered counters): random interleavings of valid packets and ordering
+// placeholders across lanes must always emit exactly the valid packets in
+// global commit (seq) order, with the occupancy counters exact throughout.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/filter.h"
+
+namespace fg::core {
+namespace {
+
+Packet valid_packet(u64 seq) {
+  Packet p;
+  p.valid = true;
+  p.gid_bitmap = 1;
+  p.seq = seq;
+  p.pc = 0x1000 + seq;
+  return p;
+}
+
+TEST(FilterProperty, ArbiterEmitsValidPacketsInSeqOrderUnderRandomMix) {
+  for (const u32 width : {1u, 2u, 4u}) {
+    EventFilterConfig cfg;
+    cfg.width = width;
+    cfg.fifo_depth = 4;  // small: exercises back-pressure constantly
+    EventFilter filter(cfg);
+    Rng rng(0xab0 + width);
+
+    std::vector<u64> expected;  // seqs of valid packets, offer order
+    std::vector<u64> emitted;
+    u64 seq = 0;
+    u64 offered_valid = 0;
+    for (int cycle = 0; cycle < 5'000; ++cycle) {
+      // Commit phase: lanes in order, stopping at the first not-ready lane
+      // (commit is in order, as in the core).
+      const u32 commits = static_cast<u32>(rng.below(width + 1));
+      for (u32 lane = 0; lane < commits; ++lane) {
+        if (!filter.lane_ready(lane)) break;
+        if (rng.chance(0.35)) {
+          filter.offer_valid(lane, valid_packet(seq));
+          expected.push_back(seq);
+          ++offered_valid;
+        } else {
+          filter.offer_placeholder(lane, seq);
+        }
+        ++seq;
+      }
+      // Arbiter phase: drain a random number of packets this cycle.
+      const u32 drains = static_cast<u32>(rng.below(width + 2));
+      for (u32 k = 0; k < drains; ++k) {
+        Packet out;
+        if (!filter.arbiter_peek(out)) break;
+        ASSERT_TRUE(out.valid);
+        filter.arbiter_pop();
+        emitted.push_back(out.seq);
+      }
+      // O(1) counter contract, continuously.
+      ASSERT_EQ(filter.valid_buffered(), offered_valid - emitted.size());
+      ASSERT_GE(filter.buffered(), filter.valid_buffered());
+    }
+    // Final drain.
+    Packet out;
+    while (filter.arbiter_peek(out)) {
+      filter.arbiter_pop();
+      emitted.push_back(out.seq);
+    }
+    ASSERT_EQ(filter.valid_buffered(), 0u);
+    // Everything valid came out, in exactly global seq order.
+    ASSERT_EQ(emitted, expected);
+    const EventFilterStats& st = filter.stats();
+    EXPECT_EQ(st.valid_packets, offered_valid);
+    EXPECT_EQ(st.valid_packets + st.invalid_packets, st.committed_seen);
+    EXPECT_EQ(st.arbiter_output, emitted.size());
+  }
+}
+
+/// Placeholder elision: with nothing valid buffered anywhere, a placeholder
+/// is accounted but never materialized (PR-3 fast path).
+TEST(FilterProperty, PlaceholdersElideWhenNothingValidIsBuffered) {
+  EventFilter filter(EventFilterConfig{2, 4});
+  filter.offer_placeholder(0, 0);
+  filter.offer_placeholder(1, 1);
+  EXPECT_EQ(filter.buffered(), 0u);  // elided entirely
+  EXPECT_EQ(filter.stats().invalid_packets, 2u);
+  Packet out;
+  EXPECT_FALSE(filter.arbiter_peek(out));
+}
+
+/// With a valid packet buffered, placeholders must materialize (they carry
+/// the cross-lane ordering proof) — and a younger valid packet on another
+/// lane must wait for the older placeholder to resolve.
+TEST(FilterProperty, MaterializedPlaceholdersGateYoungerValids) {
+  EventFilter filter(EventFilterConfig{2, 4});
+  filter.offer_valid(0, valid_packet(0));
+  filter.offer_placeholder(0, 1);  // must take a slot: lane 0 has a valid
+  EXPECT_EQ(filter.buffered(), 2u);
+  filter.offer_valid(1, valid_packet(2));
+  Packet out;
+  ASSERT_TRUE(filter.arbiter_peek(out));
+  EXPECT_EQ(out.seq, 0u);
+  filter.arbiter_pop();
+  // seq 1 (placeholder) is skipped for free; seq 2 is next.
+  ASSERT_TRUE(filter.arbiter_peek(out));
+  EXPECT_EQ(out.seq, 2u);
+  filter.arbiter_pop();
+  EXPECT_EQ(filter.buffered(), 0u);
+}
+
+/// Bulk clear: when the last valid packet leaves, trailing placeholders are
+/// dropped wholesale on the next scan instead of one pop per packet.
+TEST(FilterProperty, TrailingPlaceholdersClearInBulk) {
+  EventFilter filter(EventFilterConfig{2, 8});
+  filter.offer_valid(0, valid_packet(0));
+  for (u64 s = 1; s <= 5; ++s) filter.offer_placeholder(s % 2, s);
+  EXPECT_EQ(filter.buffered(), 6u);
+  Packet out;
+  ASSERT_TRUE(filter.arbiter_peek(out));
+  filter.arbiter_pop();  // last valid gone; placeholders now clear in bulk
+  EXPECT_FALSE(filter.arbiter_peek(out));
+  EXPECT_EQ(filter.buffered(), 0u);
+  EXPECT_EQ(filter.valid_buffered(), 0u);
+}
+
+/// lane_ready back-pressure: a full lane FIFO refuses further commits until
+/// the arbiter drains it, and the refusal never corrupts ordering.
+TEST(FilterProperty, FullLaneBackPressureKeepsOrder) {
+  EventFilter filter(EventFilterConfig{1, 2});
+  filter.offer_valid(0, valid_packet(0));
+  filter.offer_valid(0, valid_packet(1));
+  EXPECT_FALSE(filter.lane_ready(0));  // depth 2: full
+  Packet out;
+  ASSERT_TRUE(filter.arbiter_peek(out));
+  filter.arbiter_pop();
+  EXPECT_TRUE(filter.lane_ready(0));
+  filter.offer_valid(0, valid_packet(2));
+  ASSERT_TRUE(filter.arbiter_peek(out));
+  EXPECT_EQ(out.seq, 1u);
+  filter.arbiter_pop();
+  ASSERT_TRUE(filter.arbiter_peek(out));
+  EXPECT_EQ(out.seq, 2u);
+}
+
+}  // namespace
+}  // namespace fg::core

@@ -1,0 +1,92 @@
+// FG_INVARIANT runtime semantics: toggling, counting, record-vs-abort mode.
+// The hooks themselves are exercised (and must stay silent) in every
+// simulating test of a Debug build; the fuzz driver additionally runs them
+// across randomized scenarios.
+#include <gtest/gtest.h>
+
+#include "src/common/invariant.h"
+
+namespace fg {
+namespace {
+
+/// Restores global invariant state around each test.
+class InvariantTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    entry_enabled_ = inv::enabled();
+    entry_abort_ = inv::abort_on_violation();
+  }
+  void TearDown() override {
+    inv::set_enabled(entry_enabled_);
+    inv::set_abort_on_violation(entry_abort_);
+    inv::reset_counters();
+  }
+  bool entry_enabled_ = true;
+  bool entry_abort_ = true;
+};
+
+TEST_F(InvariantTest, CompiledInMatchesBuildType) {
+#ifdef NDEBUG
+  EXPECT_FALSE(inv::compiled_in());
+#else
+  EXPECT_TRUE(inv::compiled_in());
+#endif
+}
+
+TEST_F(InvariantTest, PassingChecksCountAndNeverRecord) {
+  if (!inv::compiled_in()) {
+    // Compiled out: the macro must evaluate nothing at all.
+    inv::reset_counters();
+    FG_INVARIANT(false, "test.compiled_out");
+    EXPECT_EQ(inv::checks(), 0u);
+    EXPECT_EQ(inv::violations(), 0u);
+    return;
+  }
+  inv::set_enabled(true);
+  inv::reset_counters();
+  FG_INVARIANT(1 + 1 == 2, "test.pass");
+  FG_INVARIANT(true, "test.pass2");
+  EXPECT_EQ(inv::checks(), 2u);
+  EXPECT_EQ(inv::violations(), 0u);
+  EXPECT_TRUE(inv::recent_violations().empty());
+}
+
+TEST_F(InvariantTest, DisabledSkipsEvaluationEntirely) {
+  if (!inv::compiled_in()) GTEST_SKIP();
+  inv::set_enabled(false);
+  inv::reset_counters();
+  bool evaluated = false;
+  FG_INVARIANT((evaluated = true), "test.disabled");
+  EXPECT_FALSE(evaluated);
+  EXPECT_EQ(inv::checks(), 0u);
+}
+
+TEST_F(InvariantTest, RecordModeCapturesViolationsWithoutAborting) {
+  if (!inv::compiled_in()) GTEST_SKIP();
+  inv::set_enabled(true);
+  inv::set_abort_on_violation(false);
+  inv::reset_counters();
+  FG_INVARIANT(2 + 2 == 5, "test.violation");
+  FG_INVARIANT(true, "test.pass");
+  EXPECT_EQ(inv::checks(), 2u);
+  EXPECT_EQ(inv::violations(), 1u);
+  const auto recent = inv::recent_violations();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_NE(recent[0].find("test.violation"), std::string::npos);
+  EXPECT_NE(recent[0].find("2 + 2 == 5"), std::string::npos);
+  EXPECT_NE(recent[0].find("invariant_test.cc"), std::string::npos);
+}
+
+TEST_F(InvariantTest, ResetClearsCountersAndRing) {
+  if (!inv::compiled_in()) GTEST_SKIP();
+  inv::set_enabled(true);
+  inv::set_abort_on_violation(false);
+  FG_INVARIANT(false, "test.reset");
+  inv::reset_counters();
+  EXPECT_EQ(inv::checks(), 0u);
+  EXPECT_EQ(inv::violations(), 0u);
+  EXPECT_TRUE(inv::recent_violations().empty());
+}
+
+}  // namespace
+}  // namespace fg

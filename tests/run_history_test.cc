@@ -1,0 +1,92 @@
+// The simspeed runs[] history loader: missing / malformed files are
+// distinguished from valid ones (the --check gate fails loudly on the
+// former), and the schema-v2 append path round-trips across "invocations".
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/common/run_history.h"
+
+namespace fg {
+namespace {
+
+std::string temp_file(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+/// A minimal but realistic schema-v2 file, as simspeed writes it.
+std::string v2_file(const std::string& runs_items) {
+  return "{\n  \"schema\": \"fireguard/sim_speed/v2\",\n  \"quick\": false,\n"
+         "  \"runs\": [\n    " +
+         runs_items + "\n  ]\n}\n";
+}
+
+TEST(RunHistory, MissingFileIsMissing) {
+  std::string items = "sentinel";
+  EXPECT_EQ(load_runs_history(temp_file("fg_no_such_file.json"), &items),
+            HistoryStatus::kMissing);
+  EXPECT_EQ(items, "");  // cleared on failure
+}
+
+TEST(RunHistory, FileWithoutRunsArrayIsMalformed) {
+  const std::string path = temp_file("fg_hist_malformed.json");
+  write_file(path, "{\n  \"schema\": \"fireguard/sim_speed/v2\"\n}\n");
+  std::string items = "sentinel";
+  EXPECT_EQ(load_runs_history(path, &items), HistoryStatus::kMalformed);
+  EXPECT_EQ(items, "");
+  std::filesystem::remove(path);
+}
+
+TEST(RunHistory, EmptyRunsArrayIsOkAndEmpty) {
+  const std::string path = temp_file("fg_hist_empty.json");
+  write_file(path, "{\n  \"runs\": [\n  ]\n}\n");
+  std::string items;
+  EXPECT_EQ(load_runs_history(path, &items), HistoryStatus::kOk);
+  EXPECT_EQ(items, "");
+  std::filesystem::remove(path);
+}
+
+TEST(RunHistory, SchemaV2AppendPathRoundTrips) {
+  const std::string path = temp_file("fg_hist_append.json");
+  const std::string run1 = "{\"date\": \"2026-01-01T00:00:00Z\", \"n\": 1}";
+  const std::string run2 = "{\"date\": \"2026-02-02T00:00:00Z\", \"n\": 2}";
+
+  // Invocation 1: no prior history, write run1.
+  write_file(path, v2_file(append_run_record("", run1)));
+  std::string items;
+  ASSERT_EQ(load_runs_history(path, &items), HistoryStatus::kOk);
+  EXPECT_EQ(items, run1);
+
+  // Invocation 2: carry run1 forward, append run2.
+  write_file(path, v2_file(append_run_record(items, run2)));
+  ASSERT_EQ(load_runs_history(path, &items), HistoryStatus::kOk);
+  EXPECT_NE(items.find("\"n\": 1"), std::string::npos);
+  EXPECT_NE(items.find("\"n\": 2"), std::string::npos);
+  // Order preserved: run1 before run2.
+  EXPECT_LT(items.find("\"n\": 1"), items.find("\"n\": 2"));
+
+  // Invocation 3: the carried-forward list still parses (stability under
+  // repeated append — the regression PR 4 guards against).
+  const std::string run3 = "{\"date\": \"2026-03-03T00:00:00Z\", \"n\": 3}";
+  write_file(path, v2_file(append_run_record(items, run3)));
+  ASSERT_EQ(load_runs_history(path, &items), HistoryStatus::kOk);
+  EXPECT_LT(items.find("\"n\": 2"), items.find("\"n\": 3"));
+  std::filesystem::remove(path);
+}
+
+TEST(RunHistory, StatusNamesAreStable) {
+  EXPECT_STREQ(history_status_name(HistoryStatus::kOk), "ok");
+  EXPECT_STREQ(history_status_name(HistoryStatus::kMissing), "missing");
+  EXPECT_STREQ(history_status_name(HistoryStatus::kMalformed), "malformed");
+}
+
+}  // namespace
+}  // namespace fg

@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/run_history.h"
 #include "src/common/simctl.h"
 #include "src/common/thread_pool.h"
 #include "src/soc/figures.h"
@@ -172,30 +173,6 @@ u64 arg_u64(const char* arg, const char* prefix, u64 fallback) {
   return std::strtoull(arg + n, nullptr, 10);
 }
 
-/// Extract the existing `"runs": [ ... ]` array items from a previous
-/// BENCH_sim_speed.json so the history is carried forward. Text-level: the
-/// file is this tool's own output format.
-std::string prior_runs(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return "";
-  std::string text;
-  char buf[4096];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
-  const size_t tag = text.find("\"runs\": [");
-  if (tag == std::string::npos) return "";
-  const size_t open = text.find('[', tag);
-  const size_t close = text.find(']', open);
-  if (open == std::string::npos || close == std::string::npos) return "";
-  std::string items = text.substr(open + 1, close - open - 1);
-  // Trim whitespace-only histories to empty.
-  const size_t first = items.find_first_not_of(" \t\r\n");
-  if (first == std::string::npos) return "";
-  const size_t last = items.find_last_not_of(" \t\r\n,");
-  return items.substr(first, last - first + 1);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,6 +200,32 @@ int main(int argc, char** argv) {
     }
   }
   if (quick) trace_len = std::min<u64>(trace_len, 20'000);
+
+  // History preflight BEFORE any measurement. The runs[] history is the
+  // whole point of the checked-in JSON; under --check a missing, unreadable
+  // or runs-less file is a CI misconfiguration that must fail loudly and
+  // immediately (it used to exit 0 and silently start a fresh history), and
+  // an unwritable output path must not be discovered only after minutes of
+  // sweeping.
+  std::string history;
+  const HistoryStatus hist_status = load_runs_history(out_path, &history);
+  if (check && hist_status != HistoryStatus::kOk) {
+    std::fprintf(stderr,
+                 "FAIL: --check requires an existing schema-v2 history at %s "
+                 "(status: %s). Run once without --check to start a history, "
+                 "or fix the path.\n",
+                 out_path.c_str(), history_status_name(hist_status));
+    return 1;
+  }
+  if (check) {
+    FILE* probe = std::fopen(out_path.c_str(), "r+");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "FAIL: --check output path %s is not writable\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::fclose(probe);
+  }
 
   const u32 hw = std::max<u32>(1, std::thread::hardware_concurrency());
   std::printf("simspeed: trace_len=%llu jobs=%u (hw %u)%s\n",
@@ -311,7 +314,6 @@ int main(int argc, char** argv) {
   // single-worker "parallel" run (1-core box) is serial plus noise.
   const bool parallel_regressed = effective_workers > 1 && speedup < 1.0;
 
-  const std::string history = prior_runs(out_path);
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -359,19 +361,21 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"bit_identical\": %s\n",
                bit_identical ? "true" : "false");
   std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"runs\": [\n");
-  if (!history.empty()) std::fprintf(f, "    %s,\n", history.c_str());
-  std::fprintf(
-      f,
-      "    {\"date\": \"%s\", \"quick\": %s, \"trace_len\": %llu, "
+  // The append goes through the same helper the regression tests exercise
+  // (src/common/run_history.h), so the tested path IS the production path.
+  char record[320];
+  std::snprintf(
+      record, sizeof(record),
+      "{\"date\": \"%s\", \"quick\": %s, \"trace_len\": %llu, "
       "\"pmc_cycles_per_sec\": %.0f, \"asan_cycles_per_sec\": %.0f, "
       "\"event_speedup_pmc\": %.3f, \"sweep_speedup\": %.3f, "
-      "\"bit_identical\": %s}\n",
+      "\"bit_identical\": %s}",
       stamp, quick ? "true" : "false",
       static_cast<unsigned long long>(trace_len),
       hot[0].sim_cycles_per_sec, hot[1].sim_cycles_per_sec,
       hot[0].event_speedup, speedup, bit_identical ? "true" : "false");
-  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "  \"runs\": [\n    %s\n  ]\n",
+               append_run_record(history, record).c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
