@@ -19,14 +19,12 @@ void register_all() {
     for (bool ma : {true, false}) {
       const std::string mode = ma ? "ma_stage" : "post_commit";
       for (const std::string& w : workloads()) {
-        soc::SweepPoint p;
-        p.wl = make_wl(w);
-        p.sc = soc::table2_soc();
-        p.sc.ucore.isax_ma_stage = ma;
-        p.sc.kernels = {soc::deploy(k.kind, 4)};
-        register_point(
+        api::ExperimentSpec s = make_spec(w);
+        s.soc.ucore.isax_ma_stage = ma;
+        s.soc.kernels = {soc::deploy(k.kind, 4)};
+        register_spec(
             "ablation_isax/" + std::string(k.name) + "/" + mode + "/" + w,
-            std::string(k.name) + "/" + mode, std::move(p));
+            std::string(k.name) + "/" + mode, s);
       }
     }
   }

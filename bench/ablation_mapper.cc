@@ -20,15 +20,12 @@ void report_mapper_stall(benchmark::State& st, const soc::PointResult& r) {
 void register_all() {
   for (const u32 width : {1u, 2u, 4u}) {
     for (const std::string& w : workloads()) {
-      soc::SweepPoint p;
-      p.wl = make_wl(w);
-      p.sc = soc::table2_soc();
-      p.sc.frontend.mapper_width = width;
-      p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-      register_point(
+      api::ExperimentSpec s = make_spec(w);
+      s.soc.frontend.mapper_width = width;
+      s.soc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+      register_spec(
           "ablation_mapper/sanitizer/w" + std::to_string(width) + "/" + w,
-          "mapper_width=" + std::to_string(width), std::move(p),
-          report_mapper_stall);
+          "mapper_width=" + std::to_string(width), s, report_mapper_stall);
     }
   }
 }

@@ -29,14 +29,12 @@ void register_all() {
   for (const Mode m : {Mode{"flat", false, false}, Mode{"detailed_dram", true, false},
                        Mode{"detailed_dram_ptw", true, true}}) {
     for (const std::string& w : workloads()) {
-      soc::SweepPoint p;
-      p.wl = make_wl(w);
-      p.sc = soc::table2_soc();
-      p.sc.mem.detailed_dram = m.dram;
-      p.sc.mem.detailed_ptw = m.ptw;
-      p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-      register_point("ablation_memory/" + std::string(m.name) + "/" + w,
-                     m.name, std::move(p), report_base_ipc);
+      api::ExperimentSpec s = make_spec(w);
+      s.soc.mem.detailed_dram = m.dram;
+      s.soc.mem.detailed_ptw = m.ptw;
+      s.soc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+      register_spec("ablation_memory/" + std::string(m.name) + "/" + w,
+                    m.name, s, report_base_ipc);
     }
   }
 }

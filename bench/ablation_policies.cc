@@ -29,18 +29,15 @@ void register_all() {
       // policies on SS are included to show why block mode is required
       // (detection coverage drops along with locality).
       for (const std::string& w : workloads()) {
-        soc::SweepPoint p;
-        p.wl = make_wl(w, {{k.attack, 20}});
-        p.sc = soc::table2_soc();
-        soc::KernelDeployment dep = soc::deploy(k.kind, 4);
-        dep.policy = pol;
-        dep.policy_overridden = true;
-        p.sc.kernels = {dep};
-        register_point("ablation_policies/" + std::string(k.name) + "/" +
-                           core::sched_policy_name(pol) + "/" + w,
-                       std::string(k.name) + "/" +
-                           core::sched_policy_name(pol),
-                       std::move(p), report_detections);
+        api::ExperimentSpec s = make_spec(w, {{k.attack, 20}});
+        // deploy()'s policy parameter keeps (policy, policy_overridden)
+        // consistent — no more hand-set flag pairs.
+        s.soc.kernels = {soc::deploy(k.kind, 4, kernels::ProgModel::kHybrid,
+                                     false, pol)};
+        register_spec("ablation_policies/" + std::string(k.name) + "/" +
+                          core::sched_policy_name(pol) + "/" + w,
+                      std::string(k.name) + "/" + core::sched_policy_name(pol),
+                      s, report_detections);
       }
     }
   }

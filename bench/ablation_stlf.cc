@@ -21,13 +21,11 @@ void register_all() {
   for (const bool stlf : {false, true}) {
     const char* tag = stlf ? "stlf_on" : "stlf_off";
     for (const std::string& w : workloads()) {
-      soc::SweepPoint p;
-      p.wl = make_wl(w);
-      p.sc = soc::table2_soc();
-      p.sc.core.store_load_forwarding = stlf;
-      p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-      register_point("ablation_stlf/" + std::string(tag) + "/" + w, tag,
-                     std::move(p), report_base_cycles);
+      api::ExperimentSpec s = make_spec(w);
+      s.soc.core.store_load_forwarding = stlf;
+      s.soc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+      register_spec("ablation_stlf/" + std::string(tag) + "/" + w, tag, s,
+                    report_base_cycles);
     }
   }
 }

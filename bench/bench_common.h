@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/api/spec.h"
 #include "src/common/stats.h"
 #include "src/soc/figures.h"
 #include "src/soc/sweep.h"
@@ -48,6 +49,20 @@ inline trace::WorkloadConfig make_wl(
     std::vector<std::pair<trace::AttackKind, u32>> attacks = {}) {
   return soc::paper_workload(name, soc::default_trace_len(),
                              std::move(attacks));
+}
+
+/// Declarative starting point for a bench experiment: Table II SoC (no
+/// kernels deployed yet), the named workload at the bench trace length with
+/// warmup = one tenth, plus an optional attack plan. Benches mutate the
+/// spec (deployments, knob overrides) and hand it to register_spec — every
+/// bench point is an ExperimentSpec first and a simulation second.
+inline api::ExperimentSpec make_spec(
+    const std::string& workload,
+    std::vector<std::pair<trace::AttackKind, u32>> attacks = {}) {
+  api::ExperimentSpec s;
+  s.workload = make_wl(workload, std::move(attacks));
+  s.soc = soc::table2_soc();
+  return s;
 }
 
 /// Extra per-point reporting hook: fill benchmark counters from the result.
@@ -82,6 +97,19 @@ inline void register_point(std::string name, std::string series,
   p.name = std::move(name);
   p.series = std::move(series);
   register_point(std::move(p), std::move(extra));
+}
+
+/// Spec-path registration: the declarative ExperimentSpec is converted to a
+/// SweepRunner point via api::to_sweep_point — identical simulation inputs,
+/// one canonical description (serializable with api::spec_to_json, runnable
+/// standalone with `fgsim run`).
+inline void register_spec(std::string name, std::string series,
+                          const api::ExperimentSpec& spec, Reporter extra = {},
+                          bool want_slowdown = true) {
+  soc::SweepPoint p = api::to_sweep_point(spec);
+  p.want_slowdown = want_slowdown;
+  register_point(std::move(name), std::move(series), std::move(p),
+                 std::move(extra));
 }
 
 /// Standard bench main: run the sweep in parallel, then let google-benchmark

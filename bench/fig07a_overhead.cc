@@ -18,22 +18,16 @@ void register_all() {
   using baseline::SwScheme;
   for (const std::string& w : workloads()) {
     auto reg_fg = [&](const char* series, KernelKind k, bool ha) {
-      soc::SweepPoint p;
-      p.wl = make_wl(w);
-      p.sc = soc::table2_soc();
-      p.sc.kernels = {
+      api::ExperimentSpec s = make_spec(w);
+      s.soc.kernels = {
           soc::deploy(k, ha ? 1 : 4, kernels::ProgModel::kHybrid, ha)};
-      register_point("fig07a/" + std::string(series) + "/" + w, series,
-                     std::move(p));
+      register_spec("fig07a/" + std::string(series) + "/" + w, series, s);
     };
-    auto reg_sw = [&](const char* series, SwScheme s) {
-      soc::SweepPoint p;
-      p.wl = make_wl(w);
-      p.sc = soc::table2_soc();
-      p.kind = soc::SweepPoint::Kind::kSoftware;
-      p.scheme = s;
-      register_point("fig07a/" + std::string(series) + "/" + w, series,
-                     std::move(p));
+    auto reg_sw = [&](const char* series, SwScheme scheme) {
+      api::ExperimentSpec s = make_spec(w);
+      s.mode = api::Mode::kSoftware;
+      s.scheme = scheme;
+      register_spec("fig07a/" + std::string(series) + "/" + w, series, s);
     };
     reg_fg("pmc_fireguard_4ucores", KernelKind::kPmc, false);
     reg_fg("pmc_fireguard_1ha", KernelKind::kPmc, true);

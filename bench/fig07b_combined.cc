@@ -36,23 +36,15 @@ const std::vector<Combo>& combos() {
   return kCombos;
 }
 
-soc::SocConfig combo_soc(const Combo& c) {
-  soc::SocConfig sc = soc::table2_soc();
-  for (const auto& [kind, ha] : c.kernels) {
-    sc.kernels.push_back(
-        soc::deploy(kind, ha ? 1 : 4, kernels::ProgModel::kHybrid, ha));
-  }
-  return sc;
-}
-
 void register_all() {
   for (const Combo& c : combos()) {
     for (const std::string& w : workloads()) {
-      soc::SweepPoint p;
-      p.wl = make_wl(w);
-      p.sc = combo_soc(c);
-      register_point("fig07b/" + std::string(c.name) + "/" + w, c.name,
-                     std::move(p));
+      api::ExperimentSpec s = make_spec(w);
+      for (const auto& [kind, ha] : c.kernels) {
+        s.soc.kernels.push_back(
+            soc::deploy(kind, ha ? 1 : 4, kernels::ProgModel::kHybrid, ha));
+      }
+      register_spec("fig07b/" + std::string(c.name) + "/" + w, c.name, s);
     }
   }
 }

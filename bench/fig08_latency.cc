@@ -45,13 +45,12 @@ void report_latency(benchmark::State& st, const soc::PointResult& r) {
 void register_all() {
   for (const Scenario& s : scenarios()) {
     for (const std::string& w : workloads()) {
-      soc::SweepPoint p;
-      p.wl = make_wl(w, {{s.attack, soc::default_attack_count()}});
-      p.sc = soc::table2_soc();
-      p.sc.kernels = {soc::deploy(s.kind, 4)};
-      p.want_slowdown = false;  // the figure plots latency, not overhead
-      register_point("fig08/" + std::string(s.series) + "/" + w, "",
-                     std::move(p), report_latency);
+      api::ExperimentSpec spec =
+          make_spec(w, {{s.attack, soc::default_attack_count()}});
+      spec.soc.kernels = {soc::deploy(s.kind, 4)};
+      // want_slowdown off: the figure plots latency, not overhead.
+      register_spec("fig08/" + std::string(s.series) + "/" + w, "", spec,
+                    report_latency, /*want_slowdown=*/false);
     }
   }
 }

@@ -27,14 +27,11 @@ void report_stalls(benchmark::State& st, const soc::PointResult& r) {
 void register_all() {
   for (u32 width : {4u, 2u, 1u}) {
     for (const std::string& w : workloads()) {
-      soc::SweepPoint p;
-      p.wl = make_wl(w);
-      p.sc = soc::table2_soc();
-      p.sc.frontend.filter.width = width;
-      p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-      register_point("fig09/width" + std::to_string(width) + "/" + w,
-                     "width" + std::to_string(width), std::move(p),
-                     report_stalls);
+      api::ExperimentSpec s = make_spec(w);
+      s.soc.frontend.filter.width = width;
+      s.soc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+      register_spec("fig09/width" + std::to_string(width) + "/" + w,
+                    "width" + std::to_string(width), s, report_stalls);
     }
   }
 }

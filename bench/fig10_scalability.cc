@@ -16,8 +16,11 @@ namespace fgbench {
 namespace {
 
 void register_all() {
-  for (soc::SweepPoint& p : soc::fig10_points(soc::default_trace_len())) {
-    register_point(std::move(p));
+  // Same grid definition tools/simspeed measures (src/soc/figures.cc),
+  // lifted onto the spec path: each point round-trips through an
+  // ExperimentSpec, so any point is exportable and runnable standalone.
+  for (const soc::SweepPoint& p : soc::fig10_points(soc::default_trace_len())) {
+    register_spec(p.name, p.series, api::spec_of_point(p));
   }
 }
 

@@ -21,13 +21,11 @@ const std::vector<kernels::ProgModel>& models() {
 void register_all() {
   for (kernels::ProgModel m : models()) {
     for (const std::string& w : workloads()) {
-      soc::SweepPoint p;
-      p.wl = make_wl(w);
-      p.sc = soc::table2_soc();
-      p.sc.kernels = {soc::deploy(kernels::KernelKind::kPmc, 4, m)};
-      register_point(
+      api::ExperimentSpec s = make_spec(w);
+      s.soc.kernels = {soc::deploy(kernels::KernelKind::kPmc, 4, m)};
+      register_spec(
           "fig11/" + std::string(kernels::prog_model_name(m)) + "/" + w,
-          kernels::prog_model_name(m), std::move(p));
+          kernels::prog_model_name(m), s);
     }
   }
 }

@@ -42,17 +42,15 @@ void print_config() {
 }
 
 void register_all() {
-  soc::SweepPoint p;
-  p.wl = make_wl("blackscholes");
-  p.wl.n_insts = 30000;
-  p.wl.warmup_insts = p.wl.n_insts / 10;
-  p.sc = soc::table2_soc();
-  p.sc.kernels = {soc::deploy(kernels::KernelKind::kPmc, 4)};
-  p.want_slowdown = false;
-  register_point("table2/reference_run", "", std::move(p),
-                 [](benchmark::State& st, const soc::PointResult& r) {
-                   st.counters["ipc"] = r.run.ipc;
-                 });
+  api::ExperimentSpec s = make_spec("blackscholes");
+  s.workload.n_insts = 30000;
+  s.workload.warmup_insts = s.workload.n_insts / 10;
+  s.soc.kernels = {soc::deploy(kernels::KernelKind::kPmc, 4)};
+  register_spec("table2/reference_run", "", s,
+                [](benchmark::State& st, const soc::PointResult& r) {
+                  st.counters["ipc"] = r.run.ipc;
+                },
+                /*want_slowdown=*/false);
 }
 
 }  // namespace

@@ -38,12 +38,10 @@ void report_energy_rows(benchmark::State& st, const soc::PointResult& pr) {
 void register_all() {
   // One representative run to extract IPC, filtered-packet fraction and
   // µcore duty cycle.
-  soc::SweepPoint p;
-  p.wl = make_wl("ferret");
-  p.sc = soc::table2_soc();
-  p.sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
-  p.want_slowdown = false;
-  register_point("table_energy/rows", "", std::move(p), report_energy_rows);
+  api::ExperimentSpec s = make_spec("ferret");
+  s.soc.kernels = {soc::deploy(kernels::KernelKind::kAsan, 4)};
+  register_spec("table_energy/rows", "", s, report_energy_rows,
+                /*want_slowdown=*/false);
 }
 
 }  // namespace

@@ -1,17 +1,20 @@
 // Quickstart: monitor a workload with AddressSanitizer on four analysis
-// engines and compare against the unmonitored baseline.
+// engines and compare against the unmonitored baseline — through the
+// declarative experiment API.
 //
 //   $ ./quickstart [workload] [n_ucores]
 //
-// This walks the whole FireGuard pipeline: the synthetic workload commits
-// through the BOOM model, the event filter picks out loads/stores/allocator
-// events, the mapper routes them across the clock-domain crossing, and the
-// µcores run the generated AddressSanitizer guardian kernel.
+// One ExperimentSpec describes the whole experiment (workload, attacks, SoC,
+// kernel deployment); the SimSession facade runs it and hands back the
+// derived metrics plus the bit-exact StatSnapshot. The same spec, exported
+// with api::spec_to_json, is directly runnable from the command line:
+//
+//   $ fgsim run --spec examples/table2.json
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "src/soc/experiment.h"
+#include "src/api/session.h"
 
 int main(int argc, char** argv) {
   using namespace fg;
@@ -19,42 +22,44 @@ int main(int argc, char** argv) {
   const std::string workload = argc > 1 ? argv[1] : "blackscholes";
   const u32 n_ucores = argc > 2 ? static_cast<u32>(std::atoi(argv[2])) : 4;
 
-  // 1) Describe the workload (a PARSEC-like synthetic profile) and inject a
-  //    handful of out-of-bounds attacks for the kernel to catch.
-  trace::WorkloadConfig wl;
-  wl.profile = trace::profile_by_name(workload);
-  wl.seed = 42;
-  wl.n_insts = soc::default_trace_len();
-  wl.attacks = {{trace::AttackKind::kHeapOob, 20}};
+  // 1) Declare the experiment: Table II SoC, a PARSEC-like synthetic
+  //    profile, a handful of out-of-bounds attacks, ASan on n µcores.
+  api::ExperimentSpec spec = api::table2_spec(workload);
+  spec.name = "quickstart/" + workload;
+  spec.workload.attacks = {{trace::AttackKind::kHeapOob, 20}};
+  spec.soc.kernels = {soc::deploy(kernels::KernelKind::kAsan, n_ucores)};
 
-  // 2) Configure the SoC per Table II and deploy AddressSanitizer.
-  soc::SocConfig sc = soc::table2_soc();
-  sc.kernels = {soc::deploy(kernels::KernelKind::kAsan, n_ucores)};
-
-  // 3) Run baseline and monitored systems on the identical trace.
-  const Cycle base = soc::run_baseline_cycles(wl, sc);
-  const soc::RunResult r = soc::run_fireguard(wl, sc);
+  // 2) Run it. The session also runs the unmonitored baseline on the
+  //    identical trace (memoized) and derives the slowdown.
+  api::SimSession session(spec);
+  const api::RunOutcome& r = session.run();
 
   std::printf("workload           : %s (%llu instructions)\n", workload.c_str(),
-              static_cast<unsigned long long>(wl.n_insts));
+              static_cast<unsigned long long>(spec.workload.n_insts));
   std::printf("baseline cycles    : %llu (IPC %.2f)\n",
-              static_cast<unsigned long long>(base),
-              static_cast<double>(r.committed) / static_cast<double>(base));
+              static_cast<unsigned long long>(r.baseline_cycles),
+              static_cast<double>(r.result.committed) /
+                  static_cast<double>(r.baseline_cycles));
   std::printf("fireguard cycles   : %llu (IPC %.2f)\n",
-              static_cast<unsigned long long>(r.cycles), r.ipc);
-  std::printf("slowdown           : %.3fx with %u ucores\n",
-              static_cast<double>(r.cycles) / static_cast<double>(base), n_ucores);
-  std::printf("packets analyzed   : %llu\n", static_cast<unsigned long long>(r.packets));
-  std::printf("attacks detected   : %zu / %llu\n", r.detections.size(),
-              static_cast<unsigned long long>(r.planned_attacks));
-  if (!r.detections.empty()) {
+              static_cast<unsigned long long>(r.result.cycles), r.result.ipc);
+  std::printf("slowdown           : %.3fx with %u ucores\n", r.slowdown,
+              n_ucores);
+  std::printf("packets analyzed   : %llu\n",
+              static_cast<unsigned long long>(r.result.packets));
+  std::printf("attacks detected   : %zu / %llu\n", r.result.detections.size(),
+              static_cast<unsigned long long>(r.result.planned_attacks));
+  if (!r.result.detections.empty()) {
     double worst = 0, sum = 0;
-    for (const auto& d : r.detections) {
+    for (const auto& d : r.result.detections) {
       worst = d.latency_ns > worst ? d.latency_ns : worst;
       sum += d.latency_ns;
     }
     std::printf("detection latency  : mean %.0f ns, worst %.0f ns\n",
-                sum / static_cast<double>(r.detections.size()), worst);
+                sum / static_cast<double>(r.result.detections.size()), worst);
   }
+
+  // 3) The experiment is a value: export it and re-run it anywhere.
+  std::printf("\nreproduce with     : fgsim run --spec <file> "
+              "(api::spec_to_json exports this exact spec)\n");
   return 0;
 }

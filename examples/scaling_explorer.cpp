@@ -1,15 +1,22 @@
 // Scalability explorer: sweep µcore counts for a kernel/workload pair and
 // print the slowdown curve plus where the bottleneck sits (the Figure 9/10
-// analysis as an interactive tool).
+// analysis as an interactive tool) — built on the declarative sweep API.
 //
 //   $ ./scaling_explorer [kernel] [workload] [max_ucores]
 //   kernels: pmc | ss | asan | uaf
+//
+// The whole sweep is ONE ExperimentSpec with an "engines" axis; the
+// SimSession expands the grid, shares one memoized baseline across every
+// point, and reports progress per completed point. The identical sweep runs
+// from the shell:
+//
+//   $ fgsim sweep --spec <exported spec with the engines axis>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "src/soc/experiment.h"
+#include "src/api/session.h"
 
 int main(int argc, char** argv) {
   using namespace fg;
@@ -18,44 +25,48 @@ int main(int argc, char** argv) {
   const std::string workload = argc > 2 ? argv[2] : "x264";
   const u32 max_ucores = argc > 3 ? static_cast<u32>(std::atoi(argv[3])) : 12;
 
-  kernels::KernelKind kind;
-  if (kernel == "pmc") {
-    kind = kernels::KernelKind::kPmc;
-  } else if (kernel == "ss") {
-    kind = kernels::KernelKind::kShadowStack;
-  } else if (kernel == "asan") {
-    kind = kernels::KernelKind::kAsan;
-  } else if (kernel == "uaf") {
-    kind = kernels::KernelKind::kUaf;
-  } else {
-    std::fprintf(stderr, "unknown kernel '%s' (pmc|ss|asan|uaf)\n", kernel.c_str());
+  // "ss" is accepted as a short spelling by the spec layer's kernel map.
+  api::ExperimentSpec spec = api::table2_spec(workload);
+  spec.name = kernel + "/" + workload;
+  std::string err;
+  if (!api::apply_set(&spec, "kernel", kernel, &err)) {
+    std::fprintf(stderr, "%s (pmc|ss|asan|uaf)\n", err.c_str());
     return 1;
   }
+  api::SweepAxis axis;
+  axis.key = "engines";
+  for (u32 n = 2; n <= max_ucores; n += 2) {
+    axis.values.push_back(std::to_string(n));
+  }
+  spec.sweep = {axis};
 
-  trace::WorkloadConfig wl;
-  wl.profile = trace::profile_by_name(workload);
-  wl.seed = 42;
-  wl.n_insts = soc::default_trace_len();
+  api::SimSession session(spec);
+  // Live progress on stderr (points may complete out of order across
+  // workers); the ordered table prints from the stable results below.
+  session.on_progress([](const api::Progress& p) {
+    std::fprintf(stderr, "\r  simulated %zu/%zu points", p.completed, p.total);
+    if (p.completed == p.total) std::fprintf(stderr, "\n");
+  });
+  const std::vector<api::RunOutcome>& results = session.run_all();
 
-  soc::SocConfig sc = soc::table2_soc();
-  const Cycle base = soc::run_baseline_cycles(wl, sc);
+  const Cycle base = results.front().baseline_cycles;
   std::printf("%s on %s — baseline %llu cycles (IPC %.2f)\n\n", kernel.c_str(),
               workload.c_str(), static_cast<unsigned long long>(base),
-              static_cast<double>(wl.n_insts) / static_cast<double>(base));
+              static_cast<double>(spec.workload.n_insts) /
+                  static_cast<double>(base));
   std::printf("%8s %10s %10s %28s\n", "ucores", "slowdown", "packets",
               "commit stalls (f/m/c/e %)");
-
-  for (u32 n = 2; n <= max_ucores; n += 2) {
-    soc::SocConfig s2 = sc;
-    s2.kernels = {soc::deploy(kind, n)};
-    const soc::RunResult r = soc::run_fireguard(wl, s2);
-    const double slow = static_cast<double>(r.cycles) / static_cast<double>(base);
-    std::printf("%8u %9.3fx %10llu %9.1f %5.1f %5.1f %5.1f\n", n, slow,
-                static_cast<unsigned long long>(r.packets),
-                100 * r.stall_fractions[static_cast<size_t>(core::StallCause::kFilter)],
-                100 * r.stall_fractions[static_cast<size_t>(core::StallCause::kMapper)],
-                100 * r.stall_fractions[static_cast<size_t>(core::StallCause::kCdc)],
-                100 * r.stall_fractions[static_cast<size_t>(core::StallCause::kEngines)]);
+  for (const api::RunOutcome& r : results) {
+    const size_t eq = r.name.rfind('=');
+    const std::string ucores =
+        eq == std::string::npos ? r.name : r.name.substr(eq + 1);
+    std::printf(
+        "%8s %9.3fx %10llu %9.1f %5.1f %5.1f %5.1f\n", ucores.c_str(),
+        r.slowdown, static_cast<unsigned long long>(r.result.packets),
+        100 * r.result.stall_fractions[static_cast<size_t>(core::StallCause::kFilter)],
+        100 * r.result.stall_fractions[static_cast<size_t>(core::StallCause::kMapper)],
+        100 * r.result.stall_fractions[static_cast<size_t>(core::StallCause::kCdc)],
+        100 * r.result.stall_fractions[static_cast<size_t>(core::StallCause::kEngines)]);
   }
   return 0;
 }

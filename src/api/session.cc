@@ -1,0 +1,233 @@
+#include "src/api/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "src/baseline/instrument.h"
+#include "src/common/check.h"
+#include "src/common/invariant.h"
+#include "src/common/thread_pool.h"
+#include "src/soc/soc.h"
+
+namespace fg::api {
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RunOutcome run_spec(const ExperimentSpec& spec) {
+  const u64 checks0 = inv::checks();
+  const u64 viol0 = inv::violations();
+
+  RunOutcome out;
+  out.name = spec.name;
+  const double t0 = now_ms();
+
+  switch (spec.mode) {
+    case Mode::kFireguard: {
+      // Identical construction order to the legacy run_fireguard() — the
+      // bit-identity acceptance gate compares the two paths.
+      trace::WorkloadGen gen(spec.workload);
+      soc::SocConfig sc = spec.soc;
+      sc.kparams.text_lo = gen.text_lo();
+      sc.kparams.text_hi = gen.text_hi();
+      sc.warm_regions =
+          soc::default_warm_regions(gen, spec.workload.profile);
+      soc::Soc soc(sc, gen);
+      soc.run();
+
+      soc::RunResult& r = out.result;
+      r.cycles = soc.core_cycles();
+      r.committed = soc.committed();
+      r.ipc = r.cycles ? static_cast<double>(r.committed) /
+                             static_cast<double>(r.cycles)
+                       : 0.0;
+      r.stall_fractions = soc.stall_fractions();
+      r.detections = soc.detections();
+      r.spurious = soc.spurious_detections();
+      r.packets = soc.total_packets_processed();
+      r.planned_attacks = gen.planned_attacks();
+      r.sched = soc.sched_stats();
+      out.snapshot = snapshot_of(soc, gen.planned_attacks());
+      break;
+    }
+    case Mode::kBaseline: {
+      trace::WorkloadGen gen(spec.workload);
+      mem::MemHierarchy mem(spec.soc.mem);
+      for (const auto& [lo, hi] :
+           soc::default_warm_regions(gen, spec.workload.profile)) {
+        mem.warm_region(lo, hi);
+      }
+      mem.reset_stats();
+      boom::BoomCore core(spec.soc.core, mem, gen);
+      core.run_to_end(nullptr, spec.soc.max_fast_cycles);
+      out.result.cycles = core.now();
+      out.result.committed = core.stats().committed;
+      out.result.ipc =
+          out.result.cycles
+              ? static_cast<double>(out.result.committed) /
+                    static_cast<double>(out.result.cycles)
+              : 0.0;
+      out.snapshot.cycles = core.now();
+      out.snapshot.total_cycles = core.now();
+      out.snapshot.committed = core.stats().committed;
+      break;
+    }
+    case Mode::kSoftware: {
+      trace::WorkloadGen gen(spec.workload);
+      baseline::InstrumentedSource inst(gen, spec.scheme);
+      mem::MemHierarchy mem(spec.soc.mem);
+      for (const auto& [lo, hi] :
+           soc::default_warm_regions(gen, spec.workload.profile)) {
+        mem.warm_region(lo, hi);
+      }
+      mem.reset_stats();
+      boom::BoomCore core(spec.soc.core, mem, inst);
+      core.run_to_end(nullptr, spec.soc.max_fast_cycles);
+      out.result.cycles = core.now();
+      out.result.committed = core.stats().committed;
+      out.result.ipc =
+          out.result.cycles
+              ? static_cast<double>(out.result.committed) /
+                    static_cast<double>(out.result.cycles)
+              : 0.0;
+      out.result.expansion = inst.expansion();
+      out.snapshot.cycles = core.now();
+      out.snapshot.total_cycles = core.now();
+      out.snapshot.committed = core.stats().committed;
+      break;
+    }
+  }
+
+  out.wall_ms = now_ms() - t0;
+  out.snapshot.invariant_checks = inv::checks() - checks0;
+  out.snapshot.invariant_violations = inv::violations() - viol0;
+  out.executed = true;
+  return out;
+}
+
+SimSession::SimSession(ExperimentSpec spec, SessionConfig cfg)
+    : spec_(std::move(spec)), cfg_(cfg) {
+  std::string err;
+  FG_CHECK(expand_grid(spec_, &points_, &err) && "invalid sweep axis");
+  results_.resize(points_.size());
+  const u32 jobs = cfg_.jobs > 0 ? cfg_.jobs : ThreadPool::default_jobs();
+  workers_ = std::min(
+      jobs, std::max<u32>(1, std::thread::hardware_concurrency()));
+}
+
+RunOutcome SimSession::execute(u32 index) {
+  const GridPoint& p = points_[index];
+  RunOutcome out = run_spec(p.spec);
+  if (cfg_.with_baseline && p.spec.mode != Mode::kBaseline) {
+    const double b0 = now_ms();
+    bool ran_baseline = false;
+    out.baseline_cycles = cache_.get(p.spec.workload, p.spec.soc,
+                                     &ran_baseline);
+    // Only the point that actually ran the baseline is charged for it.
+    if (ran_baseline) out.wall_ms += now_ms() - b0;
+    out.slowdown = static_cast<double>(out.result.cycles) /
+                   static_cast<double>(std::max<Cycle>(1, out.baseline_cycles));
+  }
+  if (progress_) {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    ++completed_;
+    Progress ev;
+    ev.index = index;
+    ev.total = points_.size();
+    ev.completed = completed_;
+    ev.outcome = &out;
+    progress_(ev);
+  }
+  return out;
+}
+
+const RunOutcome& SimSession::run() {
+  if (!results_.front().executed) results_.front() = execute(0);
+  return results_.front();
+}
+
+const std::vector<RunOutcome>& SimSession::run_all() {
+  if (ran_) return results_;
+  const double t0 = now_ms();
+  std::vector<u32> todo;  // run() may have executed a point already
+  todo.reserve(points_.size());
+  for (u32 i = 0; i < points_.size(); ++i) {
+    if (!results_[i].executed) todo.push_back(i);
+  }
+  if (workers_ <= 1 || todo.size() <= 1) {
+    for (const u32 i : todo) results_[i] = execute(i);
+  } else {
+    ThreadPool pool(workers_);
+    std::vector<std::future<RunOutcome>> futures;
+    futures.reserve(todo.size());
+    for (const u32 i : todo) {
+      futures.push_back(pool.submit([this, i] { return execute(i); }));
+    }
+    // Collected in grid order: results are stable regardless of which
+    // worker finished first.
+    for (size_t k = 0; k < todo.size(); ++k) {
+      results_[todo[k]] = futures[k].get();
+    }
+  }
+  wall_ms_ = now_ms() - t0;
+  ran_ = true;
+  return results_;
+}
+
+std::string outcome_json(const RunOutcome& o, int indent) {
+  using json::Value;
+  Value v = Value::object();
+  v.set("schema", Value::of_str("fireguard/outcome/v1"));
+  v.set("name", Value::of_str(o.name));
+  v.set("cycles", Value::of(o.result.cycles));
+  v.set("committed", Value::of(o.result.committed));
+  v.set("ipc", Value::of_double(o.result.ipc));
+  v.set("baseline_cycles", Value::of(o.baseline_cycles));
+  v.set("slowdown", Value::of_double(o.slowdown));
+  v.set("packets", Value::of(o.result.packets));
+  v.set("spurious", Value::of(o.result.spurious));
+  v.set("planned_attacks", Value::of(o.result.planned_attacks));
+  v.set("attacks_detected",
+        Value::of(static_cast<u64>(o.result.detections.size())));
+  double worst_ns = 0.0;
+  for (const soc::DetectionRecord& d : o.result.detections) {
+    worst_ns = std::max(worst_ns, d.latency_ns);
+  }
+  v.set("worst_latency_ns", Value::of_double(worst_ns));
+  Value stalls = Value::array();
+  for (const double f : o.result.stall_fractions) {
+    stalls.push(Value::of_double(f));
+  }
+  v.set("stall_fractions", std::move(stalls));
+  v.set("expansion", Value::of_double(o.result.expansion));
+  Value sched = Value::object();
+  sched.set("cycles_stepped", Value::of(o.result.sched.cycles_stepped));
+  sched.set("cycles_skipped", Value::of(o.result.sched.cycles_skipped));
+  sched.set("skips", Value::of(o.result.sched.skips));
+  sched.set("slow_ticks_run", Value::of(o.result.sched.slow_ticks_run));
+  sched.set("slow_ticks_skipped",
+            Value::of(o.result.sched.slow_ticks_skipped));
+  v.set("sched", std::move(sched));
+  v.set("wall_ms", Value::of_double(o.wall_ms));
+  std::string out = json::dump(v, indent);
+  // Splice in the snapshot via its canonical serializer (one authoritative
+  // snapshot writer in snapshot.cc).
+  FG_CHECK(out.size() >= 2 && out.back() == '}');
+  out.erase(out.size() - (indent > 0 ? 2 : 1));  // drop "\n}" / "}"
+  out += indent > 0 ? ",\n" : ", ";
+  out += indent > 0 ? std::string(static_cast<size_t>(indent), ' ') : "";
+  out += "\"snapshot\":\n" + snapshot_json(o.snapshot, indent) + "\n}";
+  return out;
+}
+
+}  // namespace fg::api

@@ -1,0 +1,114 @@
+// SimSession: the façade that turns a declarative ExperimentSpec into
+// structured results.
+//
+// Construct from a spec, then either `run()` the single experiment
+// synchronously or `run_all()` the sweep grid (the spec's axes expanded as
+// a cross product) across the shared ThreadPool. Every point produces a
+// RunOutcome: the all-integer StatSnapshot (bit-exact, JSON-exportable),
+// the derived RunResult metrics (IPC, stall fractions, detection
+// latencies, SchedStats), and — unless disabled — the unmonitored baseline
+// cycles and slowdown, memoized across the grid by the session's
+// BaselineCache, which keys on the canonical serialized baseline-relevant
+// sub-spec.
+//
+// Determinism contract: a point's outcome depends only on its spec, never
+// on worker count or completion order — `run_all()` with 8 jobs is
+// bit-identical to jobs=1, and the FireGuard path is bit-identical to the
+// legacy run_fireguard() free function for the same workload/SoC pair.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "src/api/snapshot.h"
+#include "src/api/spec.h"
+
+namespace fg::api {
+
+struct RunOutcome {
+  std::string name;
+  soc::RunResult result;   // derived metrics (doubles, latencies, sched)
+  StatSnapshot snapshot;   // all-integer semantics (bit-identity unit)
+  Cycle baseline_cycles = 0;
+  double slowdown = 0.0;   // 0 when the baseline was not run
+  double wall_ms = 0.0;    // this point's own simulation wall clock
+  bool executed = false;
+};
+
+/// Per-point completion event (sweep progress reporting).
+struct Progress {
+  u32 index = 0;   // grid index, in expansion order
+  size_t total = 0;
+  size_t completed = 0;  // points finished so far, this one included
+  const RunOutcome* outcome = nullptr;
+};
+
+struct SessionConfig {
+  /// Worker threads for run_all: 0 = FG_JOBS env, else hardware
+  /// concurrency (the same rule as the sweep runner).
+  u32 jobs = 0;
+  /// Run the unmonitored baseline (memoized) and fill slowdown. Ignored
+  /// for mode == baseline specs, whose run IS the baseline.
+  bool with_baseline = true;
+};
+
+class SimSession {
+ public:
+  /// Expands the sweep grid eagerly; FG_CHECKs on an invalid axis (validate
+  /// specs with expand_grid first for a recoverable error).
+  explicit SimSession(ExperimentSpec spec, SessionConfig cfg = {});
+
+  using ProgressFn = std::function<void(const Progress&)>;
+  /// Registers a progress callback, invoked once per completed point under
+  /// an internal mutex (callbacks run on worker threads; keep them short).
+  void on_progress(ProgressFn fn) { progress_ = std::move(fn); }
+
+  const ExperimentSpec& spec() const { return spec_; }
+  const std::vector<GridPoint>& points() const { return points_; }
+  size_t n_points() const { return points_.size(); }
+
+  /// Run the first (for a sweep-free spec: the only) point synchronously.
+  const RunOutcome& run();
+
+  /// Run the whole grid; results in grid order, independent of jobs.
+  /// Idempotent: a second call returns the cached results.
+  const std::vector<RunOutcome>& run_all();
+
+  const std::vector<RunOutcome>& results() const { return results_; }
+  soc::BaselineCache& baseline_cache() { return cache_; }
+  u32 workers() const { return workers_; }
+  /// Whole-grid wall clock of run_all in milliseconds.
+  double wall_ms() const { return wall_ms_; }
+
+ private:
+  RunOutcome execute(u32 index);
+
+  ExperimentSpec spec_;
+  SessionConfig cfg_;
+  u32 workers_ = 1;
+  std::vector<GridPoint> points_;
+  std::vector<RunOutcome> results_;
+  bool ran_ = false;
+  double wall_ms_ = 0.0;
+  soc::BaselineCache cache_;
+  ProgressFn progress_;
+  std::mutex progress_mu_;
+  size_t completed_ = 0;
+};
+
+/// The one shared run path under every front-end (SimSession, the fuzz
+/// driver's scenario runner, the golden corpus, `fgsim run`): simulate
+/// `spec` to completion under the CURRENT scheduler mode and freeze the
+/// outcome. Baseline cycles/slowdown are NOT attached (that is session
+/// policy); invariant-counter deltas for the run are. Those deltas come
+/// from process-global counters: exact for serial runs (the fuzzer, the
+/// golden corpus, `run()`), but in a multi-worker `run_all()` concurrent
+/// points share the counters — treat them as run-wide diagnostics there,
+/// not per-point attribution (they are excluded from snapshot equality
+/// either way).
+RunOutcome run_spec(const ExperimentSpec& spec);
+
+/// JSON export of an outcome: derived metrics + the full snapshot.
+std::string outcome_json(const RunOutcome& o, int indent = 2);
+
+}  // namespace fg::api

@@ -1,0 +1,260 @@
+#include "src/api/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/json.h"
+#include "src/soc/soc.h"
+
+namespace fg::api {
+
+StatSnapshot snapshot_of(const soc::Soc& soc, u64 planned_attacks) {
+  StatSnapshot out;
+  out.cycles = soc.core_cycles();
+  out.total_cycles = soc.total_core_cycles();
+  out.committed = soc.committed();
+  out.packets = soc.total_packets_processed();
+  out.spurious = soc.spurious_detections();
+  out.planned_attacks = planned_attacks;
+  for (const soc::DetectionRecord& d : soc.detections()) {
+    out.detections.push_back(
+        DetectionSnap{d.attack_id, d.engine, d.commit_fast, d.detect_fast});
+  }
+  const core::Frontend& fe = soc.frontend();
+  out.stall_by_cause = fe.stats().stall_by_cause;
+  out.dropped_unrouted = fe.stats().dropped_unrouted;
+  out.mapper_conflicts = fe.stats().mapper_port_conflicts;
+  const core::EventFilterStats& fs = fe.filter().stats();
+  out.filter_seen = fs.committed_seen;
+  out.filter_valid = fs.valid_packets;
+  out.filter_invalid = fs.invalid_packets;
+  out.filter_rejects_width = fs.lane_rejects_width;
+  out.filter_rejects_full = fs.lane_rejects_full;
+  out.arbiter_output = fs.arbiter_output;
+  out.arbiter_blocked = fs.arbiter_blocked;
+  const core::CdcStats& cs = fe.cdc().stats();
+  out.cdc_pushes = cs.pushes;
+  out.cdc_pops = cs.pops;
+  out.cdc_rejects = cs.full_rejects;
+  const core::NocStats& ns = soc.noc().stats();
+  out.noc_messages = ns.messages;
+  out.noc_hops = ns.total_hops;
+  out.noc_contention = ns.link_contention_cycles;
+  for (u32 i = 0; i < soc.n_engines(); ++i) {
+    EngineSnap e;
+    if (const ucore::UCore* uc = soc.engine_ucore(i)) {
+      const ucore::UCoreStats& us = uc->stats();
+      e.instructions = us.instructions;
+      e.busy_cycles = us.busy_cycles;
+      e.stall_cycles = us.stall_cycles;
+      e.packets_popped = us.packets_popped;
+      e.pushes = us.pushes;
+      e.detections = us.detections;
+    } else {
+      e.is_ha = true;
+      e.processed = soc.engine_ha(i)->packets_processed();
+    }
+    out.engines.push_back(e);
+  }
+  out.sched_cycles_stepped = soc.sched_stats().cycles_stepped;
+  out.sched_cycles_skipped = soc.sched_stats().cycles_skipped;
+  return out;
+}
+
+namespace {
+
+/// The semantic scalar fields, enumerated once for equality, diff and JSON
+/// (a new field added here is automatically compared and serialized).
+struct Field {
+  const char* name;
+  u64 StatSnapshot::* member;
+};
+
+constexpr Field kFields[] = {
+    {"cycles", &StatSnapshot::cycles},
+    {"total_cycles", &StatSnapshot::total_cycles},
+    {"committed", &StatSnapshot::committed},
+    {"packets", &StatSnapshot::packets},
+    {"spurious", &StatSnapshot::spurious},
+    {"planned_attacks", &StatSnapshot::planned_attacks},
+    {"filter_seen", &StatSnapshot::filter_seen},
+    {"filter_valid", &StatSnapshot::filter_valid},
+    {"filter_invalid", &StatSnapshot::filter_invalid},
+    {"filter_rejects_width", &StatSnapshot::filter_rejects_width},
+    {"filter_rejects_full", &StatSnapshot::filter_rejects_full},
+    {"arbiter_output", &StatSnapshot::arbiter_output},
+    {"arbiter_blocked", &StatSnapshot::arbiter_blocked},
+    {"dropped_unrouted", &StatSnapshot::dropped_unrouted},
+    {"mapper_conflicts", &StatSnapshot::mapper_conflicts},
+    {"cdc_pushes", &StatSnapshot::cdc_pushes},
+    {"cdc_pops", &StatSnapshot::cdc_pops},
+    {"cdc_rejects", &StatSnapshot::cdc_rejects},
+    {"noc_messages", &StatSnapshot::noc_messages},
+    {"noc_hops", &StatSnapshot::noc_hops},
+    {"noc_contention", &StatSnapshot::noc_contention},
+};
+
+}  // namespace
+
+bool snapshots_equal(const StatSnapshot& a, const StatSnapshot& b) {
+  for (const Field& f : kFields) {
+    if (a.*(f.member) != b.*(f.member)) return false;
+  }
+  return a.stall_by_cause == b.stall_by_cause &&
+         a.detections == b.detections && a.engines == b.engines;
+}
+
+std::string snapshot_diff(const StatSnapshot& a, const StatSnapshot& b,
+                          const char* la, const char* lb) {
+  std::string out;
+  char buf[256];   // scratch for composed field names (never add()'s target)
+  char line[384];  // add()'s own buffer, distinct from buf: name may point
+                   // into buf, and snprintf sources must not overlap the
+                   // destination
+  auto add = [&](const char* name, u64 va, u64 vb) {
+    if (va == vb) return;
+    std::snprintf(line, sizeof(line), "  %-22s %s=%llu %s=%llu\n", name, la,
+                  static_cast<unsigned long long>(va), lb,
+                  static_cast<unsigned long long>(vb));
+    out += line;
+  };
+  for (const Field& f : kFields) add(f.name, a.*(f.member), b.*(f.member));
+  for (size_t i = 0; i < a.stall_by_cause.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "stall_by_cause[%zu]", i);
+    add(buf, a.stall_by_cause[i], b.stall_by_cause[i]);
+  }
+  add("detections.size", a.detections.size(), b.detections.size());
+  for (size_t i = 0; i < std::min(a.detections.size(), b.detections.size());
+       ++i) {
+    if (a.detections[i] == b.detections[i]) continue;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  detections[%zu]        %s={id %u e %u c %llu d %llu} "
+        "%s={id %u e %u c %llu d %llu}\n",
+        i, la, a.detections[i].attack_id, a.detections[i].engine,
+        static_cast<unsigned long long>(a.detections[i].commit_fast),
+        static_cast<unsigned long long>(a.detections[i].detect_fast), lb,
+        b.detections[i].attack_id, b.detections[i].engine,
+        static_cast<unsigned long long>(b.detections[i].commit_fast),
+        static_cast<unsigned long long>(b.detections[i].detect_fast));
+    out += buf;
+  }
+  add("engines.size", a.engines.size(), b.engines.size());
+  for (size_t i = 0; i < std::min(a.engines.size(), b.engines.size()); ++i) {
+    const EngineSnap& ea = a.engines[i];
+    const EngineSnap& eb = b.engines[i];
+    if (ea == eb) continue;
+    std::snprintf(buf, sizeof(buf), "engine[%zu].", i);
+    const std::string pre = buf;
+    add((pre + "is_ha").c_str(), ea.is_ha, eb.is_ha);
+    add((pre + "instructions").c_str(), ea.instructions, eb.instructions);
+    add((pre + "busy_cycles").c_str(), ea.busy_cycles, eb.busy_cycles);
+    add((pre + "stall_cycles").c_str(), ea.stall_cycles, eb.stall_cycles);
+    add((pre + "packets_popped").c_str(), ea.packets_popped,
+        eb.packets_popped);
+    add((pre + "pushes").c_str(), ea.pushes, eb.pushes);
+    add((pre + "detections").c_str(), ea.detections, eb.detections);
+    add((pre + "processed").c_str(), ea.processed, eb.processed);
+  }
+  return out;
+}
+
+std::string snapshot_json(const StatSnapshot& s, int indent) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::string out = pad + "{\n";
+  char buf[256];
+  auto line = [&](const char* name, u64 v, bool comma = true) {
+    std::snprintf(buf, sizeof(buf), "%s  \"%s\": %llu%s\n", pad.c_str(), name,
+                  static_cast<unsigned long long>(v), comma ? "," : "");
+    out += buf;
+  };
+  out += pad + "  \"schema\": \"fireguard/snapshot/v1\",\n";
+  for (const Field& f : kFields) line(f.name, s.*(f.member));
+  out += pad + "  \"stall_by_cause\": [";
+  for (size_t i = 0; i < s.stall_by_cause.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", i != 0 ? ", " : "",
+                  static_cast<unsigned long long>(s.stall_by_cause[i]));
+    out += buf;
+  }
+  out += "],\n";
+  out += pad + "  \"detections\": [";
+  for (size_t i = 0; i < s.detections.size(); ++i) {
+    const DetectionSnap& d = s.detections[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n%s    {\"attack_id\": %u, \"engine\": %u, "
+                  "\"commit_fast\": %llu, \"detect_fast\": %llu}",
+                  i != 0 ? "," : "", pad.c_str(), d.attack_id, d.engine,
+                  static_cast<unsigned long long>(d.commit_fast),
+                  static_cast<unsigned long long>(d.detect_fast));
+    out += buf;
+  }
+  out += s.detections.empty() ? std::string("],\n") : "\n" + pad + "  ],\n";
+  out += pad + "  \"engines\": [";
+  for (size_t i = 0; i < s.engines.size(); ++i) {
+    const EngineSnap& e = s.engines[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n%s    {\"is_ha\": %s, \"instructions\": %llu, "
+        "\"busy_cycles\": %llu, \"stall_cycles\": %llu, "
+        "\"packets_popped\": %llu, \"pushes\": %llu, \"detections\": %llu, "
+        "\"processed\": %llu}",
+        i != 0 ? "," : "", pad.c_str(), e.is_ha ? "true" : "false",
+        static_cast<unsigned long long>(e.instructions),
+        static_cast<unsigned long long>(e.busy_cycles),
+        static_cast<unsigned long long>(e.stall_cycles),
+        static_cast<unsigned long long>(e.packets_popped),
+        static_cast<unsigned long long>(e.pushes),
+        static_cast<unsigned long long>(e.detections),
+        static_cast<unsigned long long>(e.processed));
+    out += buf;
+  }
+  out += s.engines.empty() ? std::string("]\n") : "\n" + pad + "  ]\n";
+  out += pad + "}";
+  return out;
+}
+
+bool snapshot_from_json(const std::string& text, StatSnapshot* out) {
+  json::Value root;
+  if (!json::parse(text, &root) || !root.is_object()) return false;
+  if (root.get_str("schema") != "fireguard/snapshot/v1") return false;
+  *out = StatSnapshot{};
+  for (const Field& f : kFields) out->*(f.member) = root.get_u64(f.name);
+  if (const json::Value* v = root.get("stall_by_cause");
+      v != nullptr && v->is_array() && v->arr.size() == 5) {
+    for (size_t i = 0; i < 5; ++i) out->stall_by_cause[i] = v->arr[i].num;
+  } else {
+    return false;
+  }
+  if (const json::Value* v = root.get("detections");
+      v != nullptr && v->is_array()) {
+    for (const json::Value& d : v->arr) {
+      out->detections.push_back(DetectionSnap{
+          static_cast<u32>(d.get_u64("attack_id")),
+          static_cast<u32>(d.get_u64("engine")), d.get_u64("commit_fast"),
+          d.get_u64("detect_fast")});
+    }
+  } else {
+    return false;
+  }
+  if (const json::Value* v = root.get("engines");
+      v != nullptr && v->is_array()) {
+    for (const json::Value& e : v->arr) {
+      EngineSnap snap;
+      const json::Value* ha = e.get("is_ha");
+      snap.is_ha = ha != nullptr && ha->b;
+      snap.instructions = e.get_u64("instructions");
+      snap.busy_cycles = e.get_u64("busy_cycles");
+      snap.stall_cycles = e.get_u64("stall_cycles");
+      snap.packets_popped = e.get_u64("packets_popped");
+      snap.pushes = e.get_u64("pushes");
+      snap.detections = e.get_u64("detections");
+      snap.processed = e.get_u64("processed");
+      out->engines.push_back(snap);
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fg::api

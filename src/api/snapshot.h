@@ -1,0 +1,110 @@
+// Bit-exact stat snapshots of a simulation run.
+//
+// A StatSnapshot freezes everything a simulation's semantics determine —
+// run-level results (cycles, commits, packets, detections) plus the
+// per-component counters of the frontend (filter, CDC), the NoC, and every
+// analysis engine. Integers only, so equality is bit-for-bit and the JSON
+// round-trip is exact. Scheduler diagnostics (SchedStats) and invariant
+// counters are carried for reporting but EXCLUDED from equality: the
+// cycle-exact reference loop skips nothing and evaluates more checks by
+// construction.
+//
+// Promoted from src/testing into the public API layer: it is the result
+// unit of a SimSession run, the comparison unit of the differential fuzz
+// driver (event vs. FG_CYCLE_EXACT must produce equal snapshots), and the
+// storage unit of the golden corpus (tests/golden/*.json).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg::soc {
+class Soc;
+}
+
+namespace fg::api {
+
+struct DetectionSnap {
+  u32 attack_id = 0;
+  u32 engine = 0;
+  u64 commit_fast = 0;
+  u64 detect_fast = 0;
+  bool operator==(const DetectionSnap&) const = default;
+};
+
+struct EngineSnap {
+  bool is_ha = false;
+  // µcore counters (zero for HA engines).
+  u64 instructions = 0;
+  u64 busy_cycles = 0;
+  u64 stall_cycles = 0;
+  u64 packets_popped = 0;
+  u64 pushes = 0;
+  u64 detections = 0;
+  // HA counter (zero for µcore engines).
+  u64 processed = 0;
+  bool operator==(const EngineSnap&) const = default;
+};
+
+struct StatSnapshot {
+  // Run-level.
+  u64 cycles = 0;        // post-warmup window (slowdown numerator)
+  u64 total_cycles = 0;  // full run
+  u64 committed = 0;
+  u64 packets = 0;
+  u64 spurious = 0;
+  u64 planned_attacks = 0;
+  std::vector<DetectionSnap> detections;
+  std::array<u64, 5> stall_by_cause{};  // frontend refusal attribution
+
+  // Frontend: event filter + arbiter.
+  u64 filter_seen = 0;
+  u64 filter_valid = 0;
+  u64 filter_invalid = 0;
+  u64 filter_rejects_width = 0;
+  u64 filter_rejects_full = 0;
+  u64 arbiter_output = 0;
+  u64 arbiter_blocked = 0;
+  u64 dropped_unrouted = 0;
+  u64 mapper_conflicts = 0;
+
+  // Clock-domain crossing.
+  u64 cdc_pushes = 0;
+  u64 cdc_pops = 0;
+  u64 cdc_rejects = 0;
+
+  // Mesh NoC.
+  u64 noc_messages = 0;
+  u64 noc_hops = 0;
+  u64 noc_contention = 0;
+
+  // Per-engine, in engine-id order.
+  std::vector<EngineSnap> engines;
+
+  // Diagnostics — excluded from equality / JSON comparison semantics.
+  u64 invariant_checks = 0;
+  u64 invariant_violations = 0;
+  u64 sched_cycles_stepped = 0;
+  u64 sched_cycles_skipped = 0;
+};
+
+/// Freeze a finished SoC simulation into a snapshot. `planned_attacks`
+/// comes from the trace generator; invariant counters are left zero (the
+/// caller, which bracketed the run, fills the deltas).
+StatSnapshot snapshot_of(const soc::Soc& soc, u64 planned_attacks);
+
+/// Bit-for-bit equality over every semantic field (diagnostics excluded).
+bool snapshots_equal(const StatSnapshot& a, const StatSnapshot& b);
+
+/// Human-readable field-by-field difference report; empty when equal.
+/// `la` / `lb` label the two sides ("exact" / "event", "golden" / "run").
+std::string snapshot_diff(const StatSnapshot& a, const StatSnapshot& b,
+                          const char* la, const char* lb);
+
+std::string snapshot_json(const StatSnapshot& s, int indent = 0);
+bool snapshot_from_json(const std::string& text, StatSnapshot* out);
+
+}  // namespace fg::api

@@ -1,0 +1,379 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fg::json {
+
+Value Value::object() {
+  Value v;
+  v.kind = Kind::kObject;
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind = Kind::kArray;
+  return v;
+}
+
+Value Value::of(u64 n) {
+  Value v;
+  v.kind = Kind::kNumber;
+  v.num = n;
+  return v;
+}
+
+Value Value::of_double(double d) {
+  Value v;
+  v.kind = Kind::kNumber;
+  v.is_float = true;
+  v.dbl = d;
+  return v;
+}
+
+Value Value::of_bool(bool b) {
+  Value v;
+  v.kind = Kind::kBool;
+  v.b = b;
+  return v;
+}
+
+Value Value::of_str(std::string s) {
+  Value v;
+  v.kind = Kind::kString;
+  v.str = std::move(s);
+  return v;
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  kind = Kind::kObject;
+  obj[key] = std::move(v);
+  return *this;
+}
+
+Value& Value::push(Value v) {
+  kind = Kind::kArray;
+  arr.push_back(std::move(v));
+  return *this;
+}
+
+const Value* Value::get(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+u64 Value::get_u64(const std::string& key, u64 fallback) const {
+  const Value* v = get(key);
+  return (v != nullptr && v->kind == Kind::kNumber && !v->is_float)
+             ? v->num
+             : fallback;
+}
+
+std::string Value::get_str(const std::string& key) const {
+  const Value* v = get(key);
+  return (v != nullptr && v->kind == Kind::kString) ? v->str : std::string{};
+}
+
+bool Value::get_bool(const std::string& key, bool fallback) const {
+  const Value* v = get(key);
+  return (v != nullptr && v->kind == Kind::kBool) ? v->b : fallback;
+}
+
+double Value::get_double(const std::string& key, double fallback) const {
+  const Value* v = get(key);
+  if (v == nullptr || v->kind != Kind::kNumber) return fallback;
+  return v->is_float ? v->dbl : static_cast<double>(v->num);
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* s) {
+    const char* q = p;
+    while (*s != '\0') {
+      if (q >= end || *q != *s) return false;
+      ++q;
+      ++s;
+    }
+    p = q;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case '/': out->push_back('/'); break;
+          default: return false;  // subset: no \u etc.
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_number(Value* out) {
+    // Scan the token first: digits only → exact u64 (overflow is an error);
+    // '.' / exponent present → double. Grammar: digits ['.' digits]
+    // [('e'|'E') ['+'|'-'] digits].
+    const char* q = p;
+    bool is_float = false;
+    auto digits = [&] {
+      const char* start = q;
+      while (q < end && std::isdigit(static_cast<unsigned char>(*q))) ++q;
+      return q != start;
+    };
+    if (!digits()) return false;
+    if (q < end && *q == '.') {
+      is_float = true;
+      ++q;
+      if (!digits()) return false;
+    }
+    if (q < end && (*q == 'e' || *q == 'E')) {
+      is_float = true;
+      ++q;
+      if (q < end && (*q == '+' || *q == '-')) ++q;
+      if (!digits()) return false;
+    }
+    out->kind = Value::Kind::kNumber;
+    if (is_float) {
+      char* after = nullptr;
+      const std::string tok(p, q);
+      out->is_float = true;
+      out->dbl = std::strtod(tok.c_str(), &after);
+      if (after != tok.c_str() + tok.size() || !std::isfinite(out->dbl)) {
+        return false;  // malformed mantissa/exponent, or overflow to inf
+      }
+      p = q;
+      return true;
+    }
+    u64 v = 0;
+    for (const char* d = p; d < q; ++d) {
+      const u64 digit = static_cast<u64>(*d - '0');
+      if (v > (~u64{0} - digit) / 10) return false;  // u64 overflow
+      v = v * 10 + digit;
+    }
+    out->num = v;
+    p = q;
+    return true;
+  }
+
+  bool parse_value(Value* out) {
+    skip_ws();
+    if (p >= end) return false;
+    if (*p == '{') {
+      ++p;
+      out->kind = Value::Kind::kObject;
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (p >= end || *p != ':') return false;
+        ++p;
+        Value v;
+        if (!parse_value(&v)) return false;
+        // Duplicate keys: last one wins, matching Value::set and the
+        // conventional JSON-parser behavior.
+        out->obj.insert_or_assign(std::move(key), std::move(v));
+        skip_ws();
+        if (p >= end) return false;
+        if (*p == ',') {
+          ++p;
+          skip_ws();
+          continue;  // strict: exactly one comma between members
+        }
+        if (*p == '}') {
+          ++p;
+          return true;
+        }
+        return false;  // missing comma / trailing garbage
+      }
+    }
+    if (*p == '[') {
+      ++p;
+      out->kind = Value::Kind::kArray;
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        Value v;
+        if (!parse_value(&v)) return false;
+        out->arr.push_back(std::move(v));
+        skip_ws();
+        if (p >= end) return false;
+        if (*p == ',') {
+          ++p;
+          skip_ws();
+          continue;
+        }
+        if (*p == ']') {
+          ++p;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*p == '"') {
+      out->kind = Value::Kind::kString;
+      return parse_string(&out->str);
+    }
+    if (literal("true")) {
+      out->kind = Value::Kind::kBool;
+      out->b = true;
+      return true;
+    }
+    if (literal("false")) {
+      out->kind = Value::Kind::kBool;
+      out->b = false;
+      return true;
+    }
+    if (literal("null")) {
+      out->kind = Value::Kind::kNull;
+      return true;
+    }
+    if (std::isdigit(static_cast<unsigned char>(*p))) {
+      return parse_number(out);
+    }
+    return false;  // subset: no negative numbers in our formats
+  }
+};
+
+void dump_to(const Value& v, int indent, int level, std::string* out) {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * (level + 1), ' ')
+                 : std::string{};
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * level, ' ')
+                 : std::string{};
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* sep = indent > 0 ? ": " : ":";
+  char buf[40];
+  switch (v.kind) {
+    case Value::Kind::kNull:
+      *out += "null";
+      break;
+    case Value::Kind::kBool:
+      *out += v.b ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      if (v.is_float) {
+        // %.17g round-trips every finite double exactly through strtod.
+        std::snprintf(buf, sizeof(buf), "%.17g", v.dbl);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v.num));
+      }
+      *out += buf;
+      break;
+    case Value::Kind::kString:
+      *out += '"';
+      *out += escape(v.str);
+      *out += '"';
+      break;
+    case Value::Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const Value& e : v.arr) {
+        if (!first) *out += indent > 0 ? "," : ", ";
+        first = false;
+        *out += nl;
+        *out += pad;
+        dump_to(e, indent, level + 1, out);
+      }
+      if (!v.arr.empty() && indent > 0) {
+        *out += nl;
+        *out += close_pad;
+      }
+      *out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.obj) {
+        if (!first) *out += indent > 0 ? "," : ", ";
+        first = false;
+        *out += nl;
+        *out += pad;
+        *out += '"';
+        *out += escape(k);
+        *out += '"';
+        *out += sep;
+        dump_to(e, indent, level + 1, out);
+      }
+      if (!v.obj.empty() && indent > 0) {
+        *out += nl;
+        *out += close_pad;
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool parse(const std::string& text, Value* out) {
+  Parser parser{text.data(), text.data() + text.size()};
+  if (!parser.parse_value(out)) return false;
+  parser.skip_ws();
+  return parser.p == parser.end;
+}
+
+std::string dump(const Value& v, int indent) {
+  std::string out;
+  dump_to(v, indent, 0, &out);
+  return out;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace fg::json

@@ -1,0 +1,86 @@
+// fg_json: the repository's one JSON reader/writer.
+//
+// Promoted from the fuzzing subsystem's minijson so every layer — the
+// experiment spec (src/api), the baseline cache key (src/soc), the stat
+// snapshots and golden corpus (src/testing), and the CLI (tools/fgsim) —
+// parses and emits the same dialect with the same exactness guarantees:
+//
+//  * Unsigned integers parse as u64 and round-trip bit-exactly (a double
+//    would lose precision past 2^53, and seeds are full 64-bit values).
+//    Integer overflow is a PARSE ERROR, never a silent saturation.
+//  * Floating-point numbers ('.' or exponent present) parse as double and
+//    are emitted with %.17g, which round-trips every finite double exactly.
+//  * Strings support the \" \\ \/ \n \t \r escapes; any other escape (and
+//    any truncated input) is a parse error. Commas are REQUIRED between
+//    members — a missing, doubled, or trailing comma is a syntax error,
+//    never silently accepted. Duplicate object keys: last one wins
+//    (matching Value::set).
+//  * Objects serialize with sorted keys, so dump(parse(dump(v))) == dump(v)
+//    — the dump of a Value is a canonical form usable as a cache key.
+//
+// This is intentionally NOT a general JSON library: no \uXXXX escapes, no
+// negative numbers (nothing in the simulator's formats is signed), and no
+// NaN/Inf (not representable in JSON at all).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  u64 num = 0;        // integer numbers (is_float == false)
+  double dbl = 0.0;   // floating-point numbers (is_float == true)
+  bool is_float = false;
+  std::string str;
+  std::vector<Value> arr;
+  // Sorted keys give the canonical serialization; lookups dominate anyway.
+  std::map<std::string, Value> obj;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  // --- builders (for writers: spec export, snapshots, cache keys) ---
+  static Value object();
+  static Value array();
+  static Value of(u64 v);
+  static Value of_double(double v);
+  static Value of_bool(bool v);
+  static Value of_str(std::string v);
+
+  /// Object field insert/overwrite; returns *this for chaining.
+  Value& set(const std::string& key, Value v);
+  /// Array append.
+  Value& push(Value v);
+
+  // --- accessors ---
+  /// Object field access; returns nullptr when absent or not an object.
+  const Value* get(const std::string& key) const;
+  /// Convenience: field's u64 (fallback when absent), string ("" when
+  /// absent), bool / double (fallback when absent or wrong kind). A double
+  /// field accepts an integer number too (12.0 canonically serializes as
+  /// "12" and reparses as an integer).
+  u64 get_u64(const std::string& key, u64 fallback = 0) const;
+  std::string get_str(const std::string& key) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+  double get_double(const std::string& key, double fallback = 0.0) const;
+};
+
+/// Parse `text` into `*out`. Returns false on any syntax error, truncated
+/// input, bad escape, or integer/double overflow.
+bool parse(const std::string& text, Value* out);
+
+/// Serialize. indent == 0: one-line canonical form (the cache-key form);
+/// indent > 0: pretty-printed with `indent` spaces per level.
+std::string dump(const Value& v, int indent = 0);
+
+/// Escape a string for embedding in JSON output (quotes not included).
+std::string escape(const std::string& s);
+
+}  // namespace fg::json

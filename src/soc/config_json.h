@@ -1,0 +1,59 @@
+// Exact JSON round-trips for the simulator's configuration types.
+//
+// `to_json` writes EVERY field (the export of a config is self-contained
+// and bit-exact: u64 counters stay u64, doubles are emitted with enough
+// digits to reparse to the identical bits). `from_json` starts from a
+// caller-supplied base — typically the library defaults (`table2_soc()`,
+// `profile_by_name(name)`) — and overrides only the fields present, so a
+// hand-written spec file can name a profile and tweak two knobs while an
+// exported file reproduces its source struct field-for-field.
+//
+// This is the canonical serialization: the experiment spec (src/api) embeds
+// these objects, and the BaselineCache keys on the compact dump of the
+// baseline-relevant subset, so "same serialized sub-spec" and "same
+// baseline run" are the same statement.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/baseline/instrument.h"
+#include "src/common/json.h"
+#include "src/soc/soc.h"
+#include "src/trace/workload.h"
+
+namespace fg::soc {
+
+// --- enum name maps (serialize via the canonical *_name functions) -------
+std::optional<kernels::KernelKind> kernel_kind_from_name(const std::string&);
+std::optional<kernels::ProgModel> prog_model_from_name(const std::string&);
+std::optional<core::SchedPolicy> sched_policy_from_name(const std::string&);
+std::optional<trace::AttackKind> attack_kind_from_name(const std::string&);
+std::optional<baseline::SwScheme> sw_scheme_from_name(const std::string&);
+
+// --- workload ------------------------------------------------------------
+json::Value profile_to_json(const trace::WorkloadProfile& p);
+/// Base: the named profile when "name" is known, else `base`.
+bool profile_from_json(const json::Value& v, trace::WorkloadProfile* out,
+                       std::string* err);
+json::Value workload_to_json(const trace::WorkloadConfig& wl);
+bool workload_from_json(const json::Value& v, trace::WorkloadConfig* out,
+                        std::string* err);
+
+// --- SoC -----------------------------------------------------------------
+json::Value deployment_to_json(const KernelDeployment& d);
+bool deployment_from_json(const json::Value& v, KernelDeployment* out,
+                          std::string* err);
+json::Value soc_to_json(const SocConfig& sc);
+/// Starts from `*out` (pass `table2_soc()` for the paper defaults) and
+/// overrides the fields present in `v`.
+bool soc_from_json(const json::Value& v, SocConfig* out, std::string* err);
+
+/// Canonical serialized baseline-relevant sub-spec: everything the
+/// unmonitored baseline run reads (workload stream incl. attacks — attacks
+/// inject real instructions — plus the full core + memory configuration and
+/// the cycle cap). Compact one-line dump; used as the BaselineCache key.
+std::string baseline_subspec_json(const trace::WorkloadConfig& wl,
+                                  const SocConfig& sc);
+
+}  // namespace fg::soc

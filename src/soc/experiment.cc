@@ -5,34 +5,33 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/common/env.h"
 #include "src/common/stats.h"
+#include "src/soc/config_json.h"
 
 namespace fg::soc {
 
 SocConfig table2_soc() { return SocConfig{}; }
 
 KernelDeployment deploy(kernels::KernelKind kind, u32 n_engines,
-                        kernels::ProgModel model, bool use_ha) {
+                        kernels::ProgModel model, bool use_ha,
+                        std::optional<core::SchedPolicy> policy) {
   KernelDeployment d;
   d.kind = kind;
   d.n_engines = n_engines;
   d.model = model;
   d.use_ha = use_ha;
+  if (policy) {
+    d.policy = *policy;
+    d.policy_overridden = true;
+  }
   return d;
 }
 
-namespace {
-u64 env_u64(const char* name, u64 fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strtoull(v, nullptr, 10);
-}
-}  // namespace
-
-u64 default_trace_len() { return env_u64("FG_TRACE_LEN", 150'000); }
-u32 default_attack_count() {
-  return static_cast<u32>(env_u64("FG_ATTACKS", 60));
-}
+// Strict parses: a malformed FG_TRACE_LEN / FG_ATTACKS aborts loudly
+// instead of silently simulating the wrong experiment (src/common/env.h).
+u64 default_trace_len() { return env_u64_or("FG_TRACE_LEN", 150'000); }
+u32 default_attack_count() { return env_u32_or("FG_ATTACKS", 60); }
 
 /// The regions a long-running instance of this workload would have resident
 /// in L2/LLC: streaming buffers, hot globals, the live heap, code, and the
@@ -109,106 +108,12 @@ RunResult run_software(const trace::WorkloadConfig& wl, baseline::SwScheme schem
   return r;
 }
 
-namespace {
-/// Serializes everything the unmonitored baseline run reads: the workload
-/// stream (profile, seed, length, warmup, attack plan — attacks inject real
-/// instructions) and the FULL core + memory configuration, because
-/// run_baseline_cycles consumes all of sc.core and sc.mem. Enumerated
-/// field-by-field rather than hashed from raw bytes (struct padding is
-/// indeterminate); a new baseline-relevant field must be added here, which
-/// is why the enumeration is exhaustive rather than limited to the knobs
-/// today's benches vary.
-std::string baseline_key(const trace::WorkloadConfig& wl, const SocConfig& sc) {
-  std::string key = wl.profile.name;
-  auto add = [&key](u64 v) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "/%llx", static_cast<unsigned long long>(v));
-    key += buf;
-  };
-  // Doubles keyed by bit pattern: exact, and NaN-free in practice.
-  auto add_f = [&add](double d) {
-    u64 bits;
-    std::memcpy(&bits, &d, sizeof(bits));
-    add(bits);
-  };
-  // The profile's fields, not just its name — a sweep may clone a named
-  // profile and tweak a field (the sc knobs below get the same treatment).
-  const trace::WorkloadProfile& pf = wl.profile;
-  for (const double d : {pf.f_load, pf.f_store, pf.f_fp, pf.f_muldiv,
-                         pf.f_branch, pf.f_call, pf.f_hard_branch,
-                         pf.loop_frac, pf.mean_trips, pf.ptr_chase,
-                         pf.m_stack, pf.m_global, pf.m_heap, pf.m_stream,
-                         pf.stream_revisit, pf.allocs_per_kinst}) {
-    add_f(d);
-  }
-  for (const u64 v :
-       {static_cast<u64>(pf.n_funcs), static_cast<u64>(pf.blocks_per_func),
-        static_cast<u64>(pf.block_len), pf.stream_footprint,
-        u64{pf.global_hot_words}, u64{pf.mean_alloc_size},
-        u64{pf.live_target}}) {
-    add(v);
-  }
-  add(wl.seed);
-  add(wl.n_insts);
-  add(wl.warmup_insts);
-  for (const auto& [kind, count] : wl.attacks) {
-    add(static_cast<u64>(kind));
-    add(count);
-  }
-  const boom::CoreConfig& c = sc.core;
-  for (const u64 v :
-       {u64{c.fetch_width}, u64{c.commit_width}, u64{c.rob_entries},
-        u64{c.iq_entries}, u64{c.ldq_entries}, u64{c.stq_entries},
-        u64{c.phys_regs}, u64{c.n_int_alu}, u64{c.n_fp}, u64{c.n_mem},
-        u64{c.n_jmp}, u64{c.n_csr}, u64{c.lat_int}, u64{c.lat_mul},
-        u64{c.lat_div}, u64{c.lat_fp}, u64{c.lat_fp_muldiv}, u64{c.lat_jmp},
-        u64{c.front_depth}, u64{c.redirect_penalty}, u64{c.btb_bubble},
-        u64{c.store_load_forwarding}, u64{c.stlf_latency},
-        u64{c.predictor.bimodal_entries}, u64{c.predictor.tage_tables},
-        u64{c.predictor.tage_entries}, u64{c.predictor.min_history},
-        u64{c.predictor.max_history}, u64{c.predictor.btb_entries},
-        u64{c.predictor.ras_entries}}) {
-    add(v);
-  }
-  const mem::HierarchyConfig& m = sc.mem;
-  auto add_cache = [&](const mem::CacheConfig& cc) {
-    add(cc.size_bytes);
-    add(cc.ways);
-    add(cc.line_bytes);
-    add(cc.hit_latency);
-    add(cc.mshrs);
-    add(cc.writeback_penalty);
-  };
-  add_cache(m.l1i);
-  add_cache(m.l1d);
-  add_cache(m.l2);
-  add_cache(m.llc);
-  add(m.dram_latency);
-  for (const mem::TlbConfig& t : {m.itlb, m.dtlb}) {
-    add(t.entries);
-    add(t.page_bytes);
-    add(t.walk_latency);
-  }
-  add(m.detailed_dram);
-  for (const u64 v : {u64{m.dram.n_banks}, u64{m.dram.row_bytes},
-                      u64{m.dram.t_cas}, u64{m.dram.t_rcd}, u64{m.dram.t_rp},
-                      u64{m.dram.burst_cycles}, u64{m.dram.max_requests}}) {
-    add(v);
-  }
-  add(m.detailed_ptw);
-  for (const u64 v : {u64{m.ptw.levels}, u64{m.ptw.page_bits},
-                      u64{m.ptw.index_bits}, m.ptw.root_base,
-                      u64{m.ptw.walker_overhead}}) {
-    add(v);
-  }
-  add(sc.max_fast_cycles);
-  return key;
-}
-}  // namespace
-
 Cycle BaselineCache::get(const trace::WorkloadConfig& wl, const SocConfig& sc,
                          bool* ran_baseline) {
-  const std::string key = baseline_key(wl, sc);
+  // Canonical serialized baseline-relevant sub-spec (config_json.h): the
+  // key IS the spec, so two points share a baseline exactly when their
+  // serialized baseline-relevant configuration is identical.
+  const std::string key = baseline_subspec_json(wl, sc);
 
   Entry* e = nullptr;
   {

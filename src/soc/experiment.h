@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,9 +21,16 @@ namespace fg::soc {
 /// names it explicitly for benches and tests).
 SocConfig table2_soc();
 
-KernelDeployment deploy(kernels::KernelKind kind, u32 n_engines,
-                        kernels::ProgModel model = kernels::ProgModel::kHybrid,
-                        bool use_ha = false);
+/// Build a deployment. Passing `policy` sets BOTH the policy and
+/// `policy_overridden` — assigning the field by hand risked the
+/// inconsistent (policy set, flag false) state, which the allocator would
+/// silently ignore; every in-tree caller now goes through here or the spec
+/// layer (src/api), both of which keep the pair consistent.
+KernelDeployment deploy(
+    kernels::KernelKind kind, u32 n_engines,
+    kernels::ProgModel model = kernels::ProgModel::kHybrid,
+    bool use_ha = false,
+    std::optional<core::SchedPolicy> policy = std::nullopt);
 
 /// Dynamic trace length for experiments: FG_TRACE_LEN env var, else 150000.
 u64 default_trace_len();

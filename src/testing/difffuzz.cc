@@ -6,7 +6,7 @@
 
 #include "src/common/invariant.h"
 #include "src/common/simctl.h"
-#include "src/testing/minijson.h"
+#include "src/common/json.h"
 
 namespace fg::fuzz {
 
@@ -68,8 +68,8 @@ std::string write_artifact(const FuzzOptions& opt, const FuzzFailure& f,
 }  // namespace
 
 Scenario with_trace_len(Scenario s, u64 len) {
-  s.wl.n_insts = len;
-  if (s.wl.warmup_insts > len / 5) s.wl.warmup_insts = len / 5;
+  s.wl().n_insts = len;
+  if (s.wl().warmup_insts > len / 5) s.wl().warmup_insts = len / 5;
   return s;
 }
 
@@ -119,8 +119,8 @@ FuzzReport run_fuzz(const FuzzOptions& opt, const ScenarioRunner& runner_in) {
     f.seed = seed;
     f.kind = diff.empty() ? "invariant" : "event_vs_exact";
     f.summary = scenario_summary(s);
-    f.trace_len = s.wl.n_insts;
-    f.shrunk_len = s.wl.n_insts;
+    f.trace_len = s.wl().n_insts;
+    f.shrunk_len = s.wl().n_insts;
     if (!diff.empty()) {
       ++report.mismatches;
     } else {
@@ -130,9 +130,9 @@ FuzzReport run_fuzz(const FuzzOptions& opt, const ScenarioRunner& runner_in) {
     // Shrink by trace-length bisection: find the smallest length that still
     // mismatches. Mismatch is not guaranteed monotone in length, so this is
     // a best-effort minimizer (standard fuzzing practice), biased low.
-    if (opt.shrink && !diff.empty() && s.wl.n_insts > opt.env.min_insts) {
+    if (opt.shrink && !diff.empty() && s.wl().n_insts > opt.env.min_insts) {
       u64 lo = opt.env.min_insts;  // not known to fail
-      u64 hi = s.wl.n_insts;       // known to fail
+      u64 hi = s.wl().n_insts;       // known to fail
       std::string hi_diff = diff;
       const std::string lo_diff = check_scenario(with_trace_len(s, lo), nullptr);
       if (lo_diff.empty()) {

@@ -4,7 +4,7 @@
 #include <sstream>
 
 #include "src/common/simctl.h"
-#include "src/testing/minijson.h"
+#include "src/common/json.h"
 
 namespace fg::fuzz {
 

@@ -7,7 +7,7 @@
 #include "src/common/rng.h"
 #include "src/core/packet.h"
 #include "src/soc/figures.h"
-#include "src/testing/minijson.h"
+#include "src/common/json.h"
 
 namespace fg::fuzz {
 
@@ -35,19 +35,21 @@ Scenario scenario_from_seed(u64 seed, const ScenarioEnvelope& env) {
   Scenario s;
   s.seed = seed;
   s.name = hex_name(seed);
+  s.spec.name = s.name;
+  s.spec.mode = api::Mode::kFireguard;
 
   // --- Workload -------------------------------------------------------
   const auto& names = soc::paper_workloads();
   const std::string& wl_name = names[rng.below(names.size())];
   const u64 n_insts = rng.range(env.min_insts, env.max_insts);
-  s.wl = soc::paper_workload(wl_name, n_insts);
-  s.wl.seed = rng.next();  // workload stream decorrelated from the knobs
-  s.wl.warmup_insts = rng.below(n_insts / 5 + 1);
+  s.wl() = soc::paper_workload(wl_name, n_insts);
+  s.wl().seed = rng.next();  // workload stream decorrelated from the knobs
+  s.wl().warmup_insts = rng.below(n_insts / 5 + 1);
   for (const trace::AttackKind kind :
        {trace::AttackKind::kPcHijack, trace::AttackKind::kRetCorrupt,
         trace::AttackKind::kHeapOob, trace::AttackKind::kUseAfterFree}) {
     if (env.max_attacks_per_kind > 0 && rng.chance(0.6)) {
-      s.wl.attacks.emplace_back(
+      s.wl().attacks.emplace_back(
           kind, static_cast<u32>(rng.range(1, env.max_attacks_per_kind)));
     }
   }
@@ -55,8 +57,8 @@ Scenario scenario_from_seed(u64 seed, const ScenarioEnvelope& env) {
   // --- Kernel deployments ---------------------------------------------
   // Engine budget: the AE bitmap is 16-bit, and every deployment needs at
   // least one engine; the budget walk guarantees both.
-  s.sc = soc::table2_soc();
-  s.sc.kernels.clear();
+  s.sc() = soc::table2_soc();
+  s.sc().kernels.clear();
   const u32 n_deploy = 1 + static_cast<u32>(rng.below(env.max_deployments));
   u32 budget = core::kMaxEngines;
   for (u32 d = 0; d < n_deploy && budget > 0; ++d) {
@@ -80,46 +82,46 @@ Scenario scenario_from_seed(u64 seed, const ScenarioEnvelope& env) {
                                      kernels::ProgModel::kDuff,
                                      kernels::ProgModel::kUnrolled,
                                      kernels::ProgModel::kHybrid});
-    s.sc.kernels.push_back(soc::deploy(kind, n_engines, model, use_ha));
+    s.sc().kernels.push_back(soc::deploy(kind, n_engines, model, use_ha));
     budget -= use_ha ? 1 : n_engines;
   }
 
   // --- Fast-domain frontend -------------------------------------------
-  s.sc.frontend.cdc_depth = pick(rng, {4u, 8u, 16u});
-  s.sc.frontend.filter.fifo_depth = pick(rng, {4u, 8u, 16u, 32u});
-  s.sc.frontend.freq_ratio = pick(rng, {2u, 3u, 4u});
-  s.sc.frontend.mapper_width = rng.chance(0.25) ? 2 : 1;
+  s.sc().frontend.cdc_depth = pick(rng, {4u, 8u, 16u});
+  s.sc().frontend.filter.fifo_depth = pick(rng, {4u, 8u, 16u, 32u});
+  s.sc().frontend.freq_ratio = pick(rng, {2u, 3u, 4u});
+  s.sc().frontend.mapper_width = rng.chance(0.25) ? 2 : 1;
 
   // --- Analysis engines -----------------------------------------------
-  s.sc.ucore.msgq_depth = pick(rng, {8u, 16u, 32u});
-  s.sc.ucore.isax_ma_stage = rng.chance(0.75);
-  s.sc.noc_hop_latency = static_cast<u32>(rng.range(1, 3));
-  s.sc.engine_l2.size_bytes = pick(rng, {256u * 1024, 512u * 1024});
+  s.sc().ucore.msgq_depth = pick(rng, {8u, 16u, 32u});
+  s.sc().ucore.isax_ma_stage = rng.chance(0.75);
+  s.sc().noc_hop_latency = static_cast<u32>(rng.range(1, 3));
+  s.sc().engine_l2.size_bytes = pick(rng, {256u * 1024, 512u * 1024});
 
   // --- Main core ------------------------------------------------------
   if (env.allow_core_resizing && rng.chance(0.5)) {
-    s.sc.core.rob_entries = pick(rng, {32u, 64u, 128u});
-    s.sc.core.iq_entries = pick(rng, {16u, 32u, 96u});
-    s.sc.core.ldq_entries = pick(rng, {8u, 16u, 32u});
-    s.sc.core.stq_entries = pick(rng, {8u, 16u, 32u});
-    s.sc.core.phys_regs = pick(rng, {64u, 128u});
+    s.sc().core.rob_entries = pick(rng, {32u, 64u, 128u});
+    s.sc().core.iq_entries = pick(rng, {16u, 32u, 96u});
+    s.sc().core.ldq_entries = pick(rng, {8u, 16u, 32u});
+    s.sc().core.stq_entries = pick(rng, {8u, 16u, 32u});
+    s.sc().core.phys_regs = pick(rng, {64u, 128u});
   }
-  s.sc.core.store_load_forwarding = rng.chance(0.25);
+  s.sc().core.store_load_forwarding = rng.chance(0.25);
 
   // --- Memory hierarchy ------------------------------------------------
-  s.sc.mem.dram_latency = static_cast<u32>(rng.range(120, 260));
-  s.sc.mem.l2.size_bytes = pick(rng, {256u * 1024, 512u * 1024});
+  s.sc().mem.dram_latency = static_cast<u32>(rng.range(120, 260));
+  s.sc().mem.l2.size_bytes = pick(rng, {256u * 1024, 512u * 1024});
   if (env.allow_detailed_mem) {
-    s.sc.mem.detailed_dram = rng.chance(0.25);
-    s.sc.mem.detailed_ptw = rng.chance(0.25);
+    s.sc().mem.detailed_dram = rng.chance(0.25);
+    s.sc().mem.detailed_ptw = rng.chance(0.25);
   }
   return s;
 }
 
 std::string scenario_summary(const Scenario& s) {
-  std::string out = s.name + " " + s.wl.profile.name + "/" +
-                    std::to_string(s.wl.n_insts) + "insts";
-  for (const soc::KernelDeployment& d : s.sc.kernels) {
+  std::string out = s.name + " " + s.wl().profile.name + "/" +
+                    std::to_string(s.wl().n_insts) + "insts";
+  for (const soc::KernelDeployment& d : s.sc().kernels) {
     out += " ";
     out += kernels::kernel_name(d.kind);
     if (d.use_ha) {
@@ -132,70 +134,39 @@ std::string scenario_summary(const Scenario& s) {
   char knobs[160];
   std::snprintf(knobs, sizeof(knobs),
                 " cdc%u fifo%u ratio%u mapw%u msgq%u %s noc%u rob%u iq%u%s%s",
-                s.sc.frontend.cdc_depth, s.sc.frontend.filter.fifo_depth,
-                s.sc.frontend.freq_ratio, s.sc.frontend.mapper_width,
-                s.sc.ucore.msgq_depth,
-                s.sc.ucore.isax_ma_stage ? "ma" : "postcommit",
-                s.sc.noc_hop_latency, s.sc.core.rob_entries,
-                s.sc.core.iq_entries, s.sc.mem.detailed_dram ? " dram" : "",
-                s.sc.mem.detailed_ptw ? " ptw" : "");
+                s.sc().frontend.cdc_depth, s.sc().frontend.filter.fifo_depth,
+                s.sc().frontend.freq_ratio, s.sc().frontend.mapper_width,
+                s.sc().ucore.msgq_depth,
+                s.sc().ucore.isax_ma_stage ? "ma" : "postcommit",
+                s.sc().noc_hop_latency, s.sc().core.rob_entries,
+                s.sc().core.iq_entries, s.sc().mem.detailed_dram ? " dram" : "",
+                s.sc().mem.detailed_ptw ? " ptw" : "");
   out += knobs;
   return out;
 }
 
 std::string scenario_json(const Scenario& s, int indent) {
+  // The authoritative description is the full ExperimentSpec (every knob the
+  // generator drew, via the one canonical config serializer); seed, name and
+  // the human summary ride on top. Reconstruction is still by seed.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(s.seed));
+  json::Value v = json::Value::object();
+  v.set("seed", json::Value::of_str(buf));
+  v.set("name", json::Value::of_str(s.name));
+  v.set("summary", json::Value::of_str(scenario_summary(s)));
+  v.set("spec", api::spec_to_json_value(s.spec));
+  std::string text = json::dump(v, 2);
+  if (indent <= 0) return text;
+  // Re-base the block onto `indent` leading spaces per line (the golden
+  // files embed it under a "scenario" key).
   const std::string pad(static_cast<size_t>(indent), ' ');
-  char buf[512];
-  std::string out = pad + "{\n";
-  auto line = [&](const char* fmt, auto... args) {
-    std::snprintf(buf, sizeof(buf), fmt, args...);
-    out += pad + "  " + buf + "\n";
-  };
-  line("\"seed\": \"0x%016llx\",", static_cast<unsigned long long>(s.seed));
-  line("\"name\": \"%s\",", s.name.c_str());
-  line("\"workload\": \"%s\",", s.wl.profile.name.c_str());
-  line("\"n_insts\": %llu,", static_cast<unsigned long long>(s.wl.n_insts));
-  line("\"warmup_insts\": %llu,",
-       static_cast<unsigned long long>(s.wl.warmup_insts));
-  line("\"wl_seed\": \"0x%016llx\",",
-       static_cast<unsigned long long>(s.wl.seed));
-  out += pad + "  \"attacks\": [";
-  for (size_t i = 0; i < s.wl.attacks.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "%s{\"kind\": \"%s\", \"count\": %u}",
-                  i != 0 ? ", " : "",
-                  trace::attack_kind_name(s.wl.attacks[i].first),
-                  s.wl.attacks[i].second);
-    out += buf;
+  std::string out = pad;
+  for (const char c : text) {
+    out += c;
+    if (c == '\n') out += pad;
   }
-  out += "],\n";
-  out += pad + "  \"kernels\": [";
-  for (size_t i = 0; i < s.sc.kernels.size(); ++i) {
-    const soc::KernelDeployment& d = s.sc.kernels[i];
-    std::snprintf(buf, sizeof(buf),
-                  "%s{\"kind\": \"%s\", \"engines\": %u, \"ha\": %s, "
-                  "\"model\": \"%s\"}",
-                  i != 0 ? ", " : "", kernels::kernel_name(d.kind),
-                  d.n_engines, d.use_ha ? "true" : "false",
-                  kernels::prog_model_name(d.model));
-    out += buf;
-  }
-  out += "],\n";
-  line("\"cdc_depth\": %u,", s.sc.frontend.cdc_depth);
-  line("\"filter_fifo_depth\": %u,", s.sc.frontend.filter.fifo_depth);
-  line("\"freq_ratio\": %u,", s.sc.frontend.freq_ratio);
-  line("\"mapper_width\": %u,", s.sc.frontend.mapper_width);
-  line("\"msgq_depth\": %u,", s.sc.ucore.msgq_depth);
-  line("\"isax_ma_stage\": %s,", s.sc.ucore.isax_ma_stage ? "true" : "false");
-  line("\"noc_hop_latency\": %u,", s.sc.noc_hop_latency);
-  line("\"rob\": %u, \"iq\": %u, \"ldq\": %u, \"stq\": %u, \"pregs\": %u,",
-       s.sc.core.rob_entries, s.sc.core.iq_entries, s.sc.core.ldq_entries,
-       s.sc.core.stq_entries, s.sc.core.phys_regs);
-  line("\"stlf\": %s,", s.sc.core.store_load_forwarding ? "true" : "false");
-  line("\"dram_latency\": %u,", s.sc.mem.dram_latency);
-  line("\"detailed_dram\": %s,", s.sc.mem.detailed_dram ? "true" : "false");
-  line("\"detailed_ptw\": %s,", s.sc.mem.detailed_ptw ? "true" : "false");
-  line("\"summary\": \"%s\"", json::escape(scenario_summary(s)).c_str());
-  out += pad + "}";
   return out;
 }
 

@@ -17,8 +17,7 @@
 
 #include <string>
 
-#include "src/soc/experiment.h"
-#include "src/trace/workload.h"
+#include "src/api/spec.h"
 
 namespace fg::fuzz {
 
@@ -36,14 +35,24 @@ struct ScenarioEnvelope {
   bool allow_core_resizing = true;
 };
 
+/// A Scenario IS a seed-expanded ExperimentSpec plus its provenance: the
+/// generator draws every knob into `spec`, so anything the fuzzer can
+/// produce is expressible — and serializable — through the same declarative
+/// surface users write by hand (src/api/spec.h). The `wl()` / `sc()`
+/// accessors are shorthands into the spec.
 struct Scenario {
   u64 seed = 0;
   std::string name;  // "s<seed hex>"
-  trace::WorkloadConfig wl;
-  soc::SocConfig sc;
+  api::ExperimentSpec spec;
+
+  trace::WorkloadConfig& wl() { return spec.workload; }
+  const trace::WorkloadConfig& wl() const { return spec.workload; }
+  soc::SocConfig& sc() { return spec.soc; }
+  const soc::SocConfig& sc() const { return spec.soc; }
 };
 
-/// Deterministically expand `seed` into a full scenario within `env`.
+/// Deterministically expand `seed` into a full scenario (an ExperimentSpec)
+/// within `env`.
 Scenario scenario_from_seed(u64 seed, const ScenarioEnvelope& env = {});
 
 /// One-line human summary (workload, kernels, key knobs).

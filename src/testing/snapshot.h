@@ -1,110 +1,33 @@
-// Bit-exact stat snapshots of a scenario run.
+// Scenario runners for the fuzzing subsystem.
 //
-// A StatSnapshot freezes everything a simulation's semantics determine —
-// run-level results (cycles, commits, packets, detections) plus the
-// per-component counters of the frontend (filter, CDC), the NoC, and every
-// analysis engine. Integers only, so equality is bit-for-bit and the JSON
-// round-trip is exact. Scheduler diagnostics (SchedStats) and invariant
-// counters are carried for reporting but EXCLUDED from equality: the
-// cycle-exact reference loop skips nothing and evaluates more checks by
-// construction.
-//
-// This is the comparison unit of the differential fuzz driver (event vs.
-// FG_CYCLE_EXACT must produce equal snapshots) and the storage unit of the
-// golden corpus (tests/golden/*.json freeze snapshots against future
-// refactors).
+// The snapshot type itself — and its equality / diff / JSON machinery —
+// lives in the public API layer (src/api/snapshot.h); this header aliases
+// it into fg::fuzz and adds the scenario-shaped entry points the fuzz
+// driver and the golden corpus share. Both delegate to api::run_spec, so
+// the fuzzer exercises exactly the code path `fgsim run` serves users with.
 #pragma once
 
-#include <array>
-#include <string>
-#include <vector>
-
+#include "src/api/session.h"
 #include "src/testing/scenario.h"
 
 namespace fg::fuzz {
 
-struct DetectionSnap {
-  u32 attack_id = 0;
-  u32 engine = 0;
-  u64 commit_fast = 0;
-  u64 detect_fast = 0;
-  bool operator==(const DetectionSnap&) const = default;
-};
+using api::DetectionSnap;
+using api::EngineSnap;
+using api::StatSnapshot;
 
-struct EngineSnap {
-  bool is_ha = false;
-  // µcore counters (zero for HA engines).
-  u64 instructions = 0;
-  u64 busy_cycles = 0;
-  u64 stall_cycles = 0;
-  u64 packets_popped = 0;
-  u64 pushes = 0;
-  u64 detections = 0;
-  // HA counter (zero for µcore engines).
-  u64 processed = 0;
-  bool operator==(const EngineSnap&) const = default;
-};
+using api::snapshot_diff;
+using api::snapshot_from_json;
+using api::snapshot_json;
+using api::snapshots_equal;
 
-struct StatSnapshot {
-  // Run-level.
-  u64 cycles = 0;        // post-warmup window (slowdown numerator)
-  u64 total_cycles = 0;  // full run
-  u64 committed = 0;
-  u64 packets = 0;
-  u64 spurious = 0;
-  u64 planned_attacks = 0;
-  std::vector<DetectionSnap> detections;
-  std::array<u64, 5> stall_by_cause{};  // frontend refusal attribution
-
-  // Frontend: event filter + arbiter.
-  u64 filter_seen = 0;
-  u64 filter_valid = 0;
-  u64 filter_invalid = 0;
-  u64 filter_rejects_width = 0;
-  u64 filter_rejects_full = 0;
-  u64 arbiter_output = 0;
-  u64 arbiter_blocked = 0;
-  u64 dropped_unrouted = 0;
-  u64 mapper_conflicts = 0;
-
-  // Clock-domain crossing.
-  u64 cdc_pushes = 0;
-  u64 cdc_pops = 0;
-  u64 cdc_rejects = 0;
-
-  // Mesh NoC.
-  u64 noc_messages = 0;
-  u64 noc_hops = 0;
-  u64 noc_contention = 0;
-
-  // Per-engine, in engine-id order.
-  std::vector<EngineSnap> engines;
-
-  // Diagnostics — excluded from equality / JSON comparison semantics.
-  u64 invariant_checks = 0;
-  u64 invariant_violations = 0;
-  u64 sched_cycles_stepped = 0;
-  u64 sched_cycles_skipped = 0;
-};
-
-/// Build the scenario's SoC, run it to completion under the CURRENT
-/// scheduler mode (fg::cycle_exact()), and snapshot it.
+/// Run the scenario's spec to completion under the CURRENT scheduler mode
+/// (fg::cycle_exact()) and snapshot it.
 StatSnapshot run_scenario_snapshot(const Scenario& s);
 
 /// The default ScenarioRunner shared by the fuzz driver and the golden
 /// corpus: select the scheduler mode, then simulate. Leaves the mode set —
 /// callers guard entry/exit (difffuzz's FuzzModeGuard, golden's ModeGuard).
 StatSnapshot run_scenario_snapshot_in_mode(const Scenario& s, bool exact);
-
-/// Bit-for-bit equality over every semantic field (diagnostics excluded).
-bool snapshots_equal(const StatSnapshot& a, const StatSnapshot& b);
-
-/// Human-readable field-by-field difference report; empty when equal.
-/// `la` / `lb` label the two sides ("exact" / "event", "golden" / "run").
-std::string snapshot_diff(const StatSnapshot& a, const StatSnapshot& b,
-                          const char* la, const char* lb);
-
-std::string snapshot_json(const StatSnapshot& s, int indent = 0);
-bool snapshot_from_json(const std::string& text, StatSnapshot* out);
 
 }  // namespace fg::fuzz

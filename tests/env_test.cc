@@ -1,0 +1,119 @@
+// Strict environment parsing (src/common/env.h): FG_TRACE_LEN / FG_ATTACKS
+// style knobs must be exact decimals — malformed or overflowing values
+// abort loudly instead of silently simulating the wrong experiment.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/common/env.h"
+#include "src/soc/experiment.h"
+
+namespace fg {
+namespace {
+
+struct EnvGuard {
+  const char* name;
+  std::string saved;
+  bool had = false;
+  explicit EnvGuard(const char* n) : name(n) {
+    if (const char* v = std::getenv(n)) {
+      saved = v;
+      had = true;
+    }
+  }
+  ~EnvGuard() {
+    if (had) {
+      setenv(name, saved.c_str(), 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+};
+
+TEST(EnvStrict, ParsesExactDecimals) {
+  EXPECT_EQ(parse_u64_strict("0"), 0u);
+  EXPECT_EQ(parse_u64_strict("150000"), 150000u);
+  EXPECT_EQ(parse_u64_strict("18446744073709551615"), ~u64{0});
+}
+
+TEST(EnvStrict, RejectsMalformedAndOverflow) {
+  EXPECT_FALSE(parse_u64_strict(nullptr).has_value());
+  EXPECT_FALSE(parse_u64_strict("").has_value());
+  EXPECT_FALSE(parse_u64_strict("150k").has_value());
+  EXPECT_FALSE(parse_u64_strict("1_000").has_value());
+  EXPECT_FALSE(parse_u64_strict(" 5").has_value());
+  EXPECT_FALSE(parse_u64_strict("5 ").has_value());
+  EXPECT_FALSE(parse_u64_strict("-1").has_value());
+  EXPECT_FALSE(parse_u64_strict("+1").has_value());
+  EXPECT_FALSE(parse_u64_strict("0x10").has_value());
+  EXPECT_FALSE(parse_u64_strict("1.5").has_value());
+  EXPECT_FALSE(parse_u64_strict("18446744073709551616").has_value());
+}
+
+TEST(EnvStrict, UnsetAndEmptyFallBack) {
+  EnvGuard guard("FG_TEST_ENV_U64");
+  unsetenv("FG_TEST_ENV_U64");
+  EXPECT_EQ(env_u64_or("FG_TEST_ENV_U64", 42), 42u);
+  setenv("FG_TEST_ENV_U64", "", 1);
+  EXPECT_EQ(env_u64_or("FG_TEST_ENV_U64", 42), 42u);
+  setenv("FG_TEST_ENV_U64", "7", 1);
+  EXPECT_EQ(env_u64_or("FG_TEST_ENV_U64", 42), 7u);
+}
+
+using EnvStrictDeath = ::testing::Test;
+
+TEST(EnvStrictDeath, MalformedValueAbortsLoudly) {
+  EXPECT_DEATH(
+      {
+        setenv("FG_TEST_ENV_U64", "150k", 1);
+        env_u64_or("FG_TEST_ENV_U64", 1);
+      },
+      "FG_TEST_ENV_U64");
+}
+
+TEST(EnvStrictDeath, U32RangeIsEnforced) {
+  EXPECT_DEATH(
+      {
+        setenv("FG_TEST_ENV_U32", "4294967296", 1);  // 2^32
+        env_u32_or("FG_TEST_ENV_U32", 1);
+      },
+      "out of u32 range");
+}
+
+// The two experiment knobs the issue names, end to end.
+TEST(EnvStrictDeath, TraceLenRejectsGarbage) {
+  EXPECT_DEATH(
+      {
+        setenv("FG_TRACE_LEN", "fast", 1);
+        soc::default_trace_len();
+      },
+      "FG_TRACE_LEN");
+}
+
+TEST(EnvStrictDeath, AttacksRejectsOverflow) {
+  EXPECT_DEATH(
+      {
+        setenv("FG_ATTACKS", "99999999999999999999", 1);
+        soc::default_attack_count();
+      },
+      "FG_ATTACKS");
+}
+
+TEST(EnvStrict, TraceLenAndAttacksHonorValidValues) {
+  {
+    EnvGuard g1("FG_TRACE_LEN");
+    setenv("FG_TRACE_LEN", "12345", 1);
+    EXPECT_EQ(soc::default_trace_len(), 12345u);
+  }
+  {
+    EnvGuard g2("FG_ATTACKS");
+    setenv("FG_ATTACKS", "77", 1);
+    EXPECT_EQ(soc::default_attack_count(), 77u);
+  }
+  EnvGuard g3("FG_TRACE_LEN");
+  unsetenv("FG_TRACE_LEN");
+  EXPECT_EQ(soc::default_trace_len(), 150000u);
+}
+
+}  // namespace
+}  // namespace fg

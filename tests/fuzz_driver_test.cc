@@ -10,7 +10,7 @@
 
 #include "src/common/invariant.h"
 #include "src/testing/difffuzz.h"
-#include "src/testing/minijson.h"
+#include "src/common/json.h"
 
 namespace fg::fuzz {
 namespace {
@@ -37,8 +37,8 @@ TEST(FuzzDriver, ShrinksAMismatchToThePlantedThreshold) {
   auto fake = [](const Scenario& s, bool exact) {
     StatSnapshot snap;
     snap.cycles = 1000;
-    snap.committed = s.wl.n_insts;
-    if (!exact && s.wl.n_insts >= kBugLen) snap.cycles += 7;  // the "bug"
+    snap.committed = s.wl().n_insts;
+    if (!exact && s.wl().n_insts >= kBugLen) snap.cycles += 7;  // the "bug"
     return snap;
   };
   FuzzOptions opt;

@@ -16,8 +16,8 @@ namespace {
 /// independent) so corpus mechanics are testable without 20 simulations.
 StatSnapshot fake_runner(const Scenario& s, bool) {
   StatSnapshot snap;
-  snap.cycles = s.seed * 1000 + s.wl.n_insts;
-  snap.committed = s.wl.n_insts;
+  snap.cycles = s.seed * 1000 + s.wl().n_insts;
+  snap.committed = s.wl().n_insts;
   snap.engines.push_back(EngineSnap{false, s.seed, 0, 0, 0, 0, 0, 0});
   return snap;
 }

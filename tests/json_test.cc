@@ -1,0 +1,157 @@
+// fg_json (src/common/json.h): the one JSON dialect every layer shares.
+// Round-trips (u64 exactness, double exactness, canonical dumps) and the
+// malformed-input contract: truncation, bad escapes, and number overflow
+// are parse errors, never silent best-effort values.
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+
+namespace fg::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  Value v;
+  ASSERT_TRUE(parse("42", &v));
+  EXPECT_EQ(v.kind, Value::Kind::kNumber);
+  EXPECT_FALSE(v.is_float);
+  EXPECT_EQ(v.num, 42u);
+
+  ASSERT_TRUE(parse("true", &v));
+  EXPECT_TRUE(v.b);
+  ASSERT_TRUE(parse("false", &v));
+  EXPECT_FALSE(v.b);
+  ASSERT_TRUE(parse("null", &v));
+  EXPECT_EQ(v.kind, Value::Kind::kNull);
+  ASSERT_TRUE(parse("\"hi\\n\\t\\\"there\\\"\"", &v));
+  EXPECT_EQ(v.str, "hi\n\t\"there\"");
+}
+
+TEST(Json, U64RoundTripIsExact) {
+  // Full 64-bit values (seeds, counters) must survive exactly.
+  const u64 kValues[] = {0, 1, (1ull << 53) + 1, ~u64{0}};
+  for (const u64 x : kValues) {
+    const std::string text = dump(Value::of(x));
+    Value v;
+    ASSERT_TRUE(parse(text, &v)) << text;
+    EXPECT_FALSE(v.is_float);
+    EXPECT_EQ(v.num, x);
+  }
+}
+
+TEST(Json, DoubleRoundTripIsExact) {
+  const double kValues[] = {0.25, 0.1, 1.0 / 3.0, 3.2, 1e-300, 1.7e308};
+  for (const double x : kValues) {
+    const std::string text = dump(Value::of_double(x));
+    Value v;
+    ASSERT_TRUE(parse(text, &v)) << text;
+    // %.17g either prints an integer form (reparsed as u64) or a float
+    // form; get via an object field to exercise the accessor used by the
+    // config readers.
+    Value obj = Value::object();
+    obj.set("x", Value::of_double(x));
+    Value back;
+    ASSERT_TRUE(parse(dump(obj), &back));
+    EXPECT_EQ(back.get_double("x"), x) << text;
+  }
+}
+
+TEST(Json, CanonicalDumpIsAFixedPoint) {
+  const std::string text =
+      "{\"b\": [1, 2, {\"x\": true}], \"a\": 0.5, \"s\": \"hi\"}";
+  Value v;
+  ASSERT_TRUE(parse(text, &v));
+  const std::string canon = dump(v);
+  Value v2;
+  ASSERT_TRUE(parse(canon, &v2));
+  EXPECT_EQ(dump(v2), canon);  // parse(dump) is the identity on dumps
+  // Sorted keys: "a" before "b" before "s".
+  EXPECT_LT(canon.find("\"a\""), canon.find("\"b\""));
+  EXPECT_LT(canon.find("\"b\""), canon.find("\"s\""));
+}
+
+TEST(Json, PrettyDumpReparses) {
+  Value v = Value::object();
+  v.set("nested", Value::object().set("k", Value::of(7)));
+  v.set("arr", Value::array().push(Value::of(1)).push(Value::of_str("two")));
+  Value back;
+  ASSERT_TRUE(parse(dump(v, 2), &back));
+  EXPECT_EQ(dump(back), dump(v));
+}
+
+TEST(Json, RejectsTruncation) {
+  Value v;
+  EXPECT_FALSE(parse("{\"a\": 1", &v));
+  EXPECT_FALSE(parse("[1, 2", &v));
+  EXPECT_FALSE(parse("\"unterminated", &v));
+  EXPECT_FALSE(parse("{\"a\"", &v));
+  EXPECT_FALSE(parse("{\"a\":", &v));
+  EXPECT_FALSE(parse("", &v));
+}
+
+TEST(Json, RejectsBadEscapes) {
+  Value v;
+  EXPECT_FALSE(parse("\"bad \\q escape\"", &v));
+  EXPECT_FALSE(parse("\"unicode \\u0041\"", &v));  // outside the subset
+  EXPECT_FALSE(parse("\"dangling \\", &v));
+}
+
+TEST(Json, RejectsIntegerOverflow) {
+  Value v;
+  // 2^64 - 1 parses; 2^64 (and wider) must be a loud error, not a wrap.
+  EXPECT_TRUE(parse("18446744073709551615", &v));
+  EXPECT_EQ(v.num, ~u64{0});
+  EXPECT_FALSE(parse("18446744073709551616", &v));
+  EXPECT_FALSE(parse("99999999999999999999999", &v));
+  EXPECT_FALSE(parse("{\"x\": 18446744073709551616}", &v));
+}
+
+TEST(Json, RejectsDoubleOverflowAndMalformedNumbers) {
+  Value v;
+  EXPECT_FALSE(parse("1e99999", &v));   // overflows to inf
+  EXPECT_FALSE(parse("1.", &v));        // digits required after the point
+  EXPECT_FALSE(parse("1e", &v));        // exponent needs digits
+  EXPECT_FALSE(parse("1e+", &v));
+  EXPECT_FALSE(parse("-3", &v));        // subset: no negative numbers
+}
+
+TEST(Json, RejectsMissingDoubledAndTrailingCommas) {
+  Value v;
+  EXPECT_FALSE(parse("{\"a\": 1 \"b\": 2}", &v));   // missing comma
+  EXPECT_FALSE(parse("{\"a\": 1,, \"b\": 2}", &v)); // doubled comma
+  EXPECT_FALSE(parse("{\"a\": 1,}", &v));           // trailing comma
+  EXPECT_FALSE(parse("[1 2]", &v));
+  EXPECT_FALSE(parse("[1,,2]", &v));
+  EXPECT_FALSE(parse("[1,]", &v));
+  EXPECT_FALSE(parse("[,1]", &v));
+  EXPECT_TRUE(parse("{\"a\": 1, \"b\": [1, 2]}", &v));
+  EXPECT_TRUE(parse("{}", &v));
+  EXPECT_TRUE(parse("[]", &v));
+}
+
+TEST(Json, DuplicateObjectKeysLastOneWins) {
+  Value v;
+  ASSERT_TRUE(parse("{\"k\": 1, \"other\": 0, \"k\": 2}", &v));
+  EXPECT_EQ(v.get_u64("k"), 2u);
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  Value v;
+  EXPECT_FALSE(parse("42 garbage", &v));
+  EXPECT_FALSE(parse("{} []", &v));
+}
+
+TEST(Json, AccessorsTypeCheck) {
+  Value v;
+  ASSERT_TRUE(parse("{\"n\": 3, \"f\": 0.5, \"s\": \"x\", \"b\": true}", &v));
+  EXPECT_EQ(v.get_u64("n"), 3u);
+  EXPECT_EQ(v.get_u64("f", 7), 7u);  // float is not silently an int
+  EXPECT_EQ(v.get_double("n"), 3.0);  // int promotes to double
+  EXPECT_EQ(v.get_double("f"), 0.5);
+  EXPECT_EQ(v.get_str("s"), "x");
+  EXPECT_TRUE(v.get_bool("b"));
+  EXPECT_EQ(v.get_u64("missing", 9), 9u);
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace fg::json

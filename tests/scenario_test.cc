@@ -30,17 +30,17 @@ TEST(Scenario, EveryDrawStaysInsideTheEnvelope) {
   env.max_attacks_per_kind = 3;
   for (u64 seed = 1; seed <= 300; ++seed) {
     const Scenario s = scenario_from_seed(seed, env);
-    EXPECT_GE(s.wl.n_insts, env.min_insts) << seed;
-    EXPECT_LE(s.wl.n_insts, env.max_insts) << seed;
-    EXPECT_LE(s.wl.warmup_insts, s.wl.n_insts / 5) << seed;
-    for (const auto& [kind, count] : s.wl.attacks) {
+    EXPECT_GE(s.wl().n_insts, env.min_insts) << seed;
+    EXPECT_LE(s.wl().n_insts, env.max_insts) << seed;
+    EXPECT_LE(s.wl().warmup_insts, s.wl().n_insts / 5) << seed;
+    for (const auto& [kind, count] : s.wl().attacks) {
       EXPECT_GE(count, 1u) << seed;
       EXPECT_LE(count, env.max_attacks_per_kind) << seed;
     }
-    ASSERT_GE(s.sc.kernels.size(), 1u) << seed;
-    ASSERT_LE(s.sc.kernels.size(), env.max_deployments) << seed;
+    ASSERT_GE(s.sc().kernels.size(), 1u) << seed;
+    ASSERT_LE(s.sc().kernels.size(), env.max_deployments) << seed;
     u32 engines = 0;
-    for (const soc::KernelDeployment& d : s.sc.kernels) {
+    for (const soc::KernelDeployment& d : s.sc().kernels) {
       EXPECT_GE(d.n_engines, 1u) << seed;
       EXPECT_LE(d.n_engines, env.max_engines_per_kernel) << seed;
       if (d.use_ha) {
@@ -52,15 +52,15 @@ TEST(Scenario, EveryDrawStaysInsideTheEnvelope) {
       engines += d.use_ha ? 1 : d.n_engines;
     }
     EXPECT_LE(engines, core::kMaxEngines) << seed;
-    EXPECT_GE(s.sc.frontend.cdc_depth, 4u) << seed;
-    EXPECT_GE(s.sc.frontend.filter.fifo_depth, 2u) << seed;  // FG_CHECK floor
-    EXPECT_GE(s.sc.frontend.freq_ratio, 2u) << seed;
-    EXPECT_LE(s.sc.frontend.freq_ratio, 4u) << seed;
-    EXPECT_GE(s.sc.noc_hop_latency, 1u) << seed;
-    EXPECT_LE(s.sc.noc_hop_latency, 3u) << seed;
-    EXPECT_GE(s.sc.mem.dram_latency, 120u) << seed;
-    EXPECT_LE(s.sc.mem.dram_latency, 260u) << seed;
-    EXPECT_GE(s.sc.core.phys_regs, 64u) << seed;  // > 32 logical: no deadlock
+    EXPECT_GE(s.sc().frontend.cdc_depth, 4u) << seed;
+    EXPECT_GE(s.sc().frontend.filter.fifo_depth, 2u) << seed;  // FG_CHECK floor
+    EXPECT_GE(s.sc().frontend.freq_ratio, 2u) << seed;
+    EXPECT_LE(s.sc().frontend.freq_ratio, 4u) << seed;
+    EXPECT_GE(s.sc().noc_hop_latency, 1u) << seed;
+    EXPECT_LE(s.sc().noc_hop_latency, 3u) << seed;
+    EXPECT_GE(s.sc().mem.dram_latency, 120u) << seed;
+    EXPECT_LE(s.sc().mem.dram_latency, 260u) << seed;
+    EXPECT_GE(s.sc().core.phys_regs, 64u) << seed;  // > 32 logical: no deadlock
   }
 }
 
@@ -76,18 +76,18 @@ TEST(Scenario, SeedsCoverTheConfigurationSpace) {
   std::set<std::string> workloads;
   for (u64 seed = 1; seed <= 200; ++seed) {
     const Scenario s = scenario_from_seed(seed);
-    workloads.insert(s.wl.profile.name);
-    for (const soc::KernelDeployment& d : s.sc.kernels) {
+    workloads.insert(s.wl().profile.name);
+    for (const soc::KernelDeployment& d : s.sc().kernels) {
       kinds.insert(d.kind);
       models.insert(d.model);
       saw_ha |= d.use_ha;
     }
-    saw_postcommit |= !s.sc.ucore.isax_ma_stage;
-    saw_mixed |= s.sc.kernels.size() > 1;
-    saw_detailed_dram |= s.sc.mem.detailed_dram;
-    saw_detailed_ptw |= s.sc.mem.detailed_ptw;
-    saw_stlf |= s.sc.core.store_load_forwarding;
-    saw_mapper2 |= s.sc.frontend.mapper_width == 2;
+    saw_postcommit |= !s.sc().ucore.isax_ma_stage;
+    saw_mixed |= s.sc().kernels.size() > 1;
+    saw_detailed_dram |= s.sc().mem.detailed_dram;
+    saw_detailed_ptw |= s.sc().mem.detailed_ptw;
+    saw_stlf |= s.sc().core.store_load_forwarding;
+    saw_mapper2 |= s.sc().frontend.mapper_width == 2;
   }
   EXPECT_EQ(kinds.size(), 4u);
   EXPECT_EQ(models.size(), 4u);
@@ -108,9 +108,9 @@ TEST(Scenario, GoldenCorpusCoversAllKernels) {
   bool saw_mixed = false, saw_postcommit = false;
   for (const GoldenEntry& e : golden_entries()) {
     const Scenario s = scenario_from_seed(e.seed, golden_envelope());
-    for (const soc::KernelDeployment& d : s.sc.kernels) kinds.insert(d.kind);
-    saw_mixed |= s.sc.kernels.size() > 1;
-    saw_postcommit |= !s.sc.ucore.isax_ma_stage;
+    for (const soc::KernelDeployment& d : s.sc().kernels) kinds.insert(d.kind);
+    saw_mixed |= s.sc().kernels.size() > 1;
+    saw_postcommit |= !s.sc().ucore.isax_ma_stage;
   }
   EXPECT_EQ(kinds.size(), 4u);
   EXPECT_TRUE(saw_mixed);
@@ -119,10 +119,10 @@ TEST(Scenario, GoldenCorpusCoversAllKernels) {
 
 TEST(Scenario, WithTraceLenClampsWarmup) {
   Scenario s = scenario_from_seed(7);
-  s.wl.warmup_insts = 2'000;
+  s.wl().warmup_insts = 2'000;
   const Scenario t = with_trace_len(s, 500);
-  EXPECT_EQ(t.wl.n_insts, 500u);
-  EXPECT_LE(t.wl.warmup_insts, 100u);
+  EXPECT_EQ(t.wl().n_insts, 500u);
+  EXPECT_LE(t.wl().warmup_insts, 100u);
 }
 
 TEST(Snapshot, RunIsDeterministic) {
@@ -143,7 +143,7 @@ TEST(Snapshot, JsonRoundTripIsExact) {
   env.max_insts = 3'000;
   // An attack-bearing scenario so the detections array is non-trivial.
   Scenario s = scenario_from_seed(3, env);
-  s.wl.attacks = {{trace::AttackKind::kPcHijack, 2},
+  s.wl().attacks = {{trace::AttackKind::kPcHijack, 2},
                   {trace::AttackKind::kHeapOob, 2}};
   const StatSnapshot a = run_scenario_snapshot(s);
   StatSnapshot back;

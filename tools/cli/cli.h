@@ -1,0 +1,32 @@
+// The fgsim command set.
+//
+// One binary, one surface: every subcommand consumes the declarative
+// ExperimentSpec (src/api/spec.h) — from a --spec file, --set overrides, or
+// legacy flags — and drives the SimSession facade. The historical binaries
+// (fireguard-sim, simspeed, fgfuzz) are thin deprecated wrappers over these
+// same entry points.
+//
+// Every *_main takes (argc, argv) with argv[0] being the FIRST ARGUMENT
+// (program and subcommand names already stripped by the dispatcher).
+#pragma once
+
+namespace fg::cli {
+
+/// `fgsim run`: one experiment, key-value summary on stdout.
+/// Accepts --spec/--set plus the legacy fireguard-sim flag set.
+int run_main(int argc, char** argv);
+
+/// `fgsim sweep`: expand a spec's sweep axes and run the grid in parallel.
+int sweep_main(int argc, char** argv);
+
+/// `fgsim spec`: resolve and print a spec (--schema / --keys for tooling).
+int spec_main(int argc, char** argv);
+
+/// `fgsim fuzz`: the differential scenario fuzzer + golden-corpus
+/// maintainer (the fgfuzz CLI).
+int fuzz_main(int argc, char** argv);
+
+/// `fgsim speed`: the simulator-speed tracker (the simspeed CLI).
+int speed_main(int argc, char** argv);
+
+}  // namespace fg::cli

@@ -1,0 +1,63 @@
+// fgsim: the unified FireGuard experiment CLI.
+//
+// One binary, one declarative surface: every subcommand consumes the
+// serializable ExperimentSpec (src/api/spec.h) and drives the SimSession
+// facade, so anything a user can write in a spec file is runnable,
+// sweepable, and fuzz-comparable through the same code path.
+//
+//   fgsim run   --spec FILE [--set k=v ...]   one experiment, key-value summary
+//   fgsim sweep --spec FILE [--jobs=N]        expand sweep axes, run the grid
+//   fgsim spec  [--spec FILE] [--set ...]     resolve + export a spec
+//   fgsim fuzz  [--seeds N ...]               differential scenario fuzzer
+//   fgsim speed [--quick ...]                 simulator-speed tracker
+//
+// The historical binaries remain as deprecated aliases:
+//   fireguard-sim == fgsim run   (legacy flags accepted by both)
+//   fgfuzz        == fgsim fuzz
+//   simspeed      == fgsim speed
+#include <cstdio>
+#include <cstring>
+
+#include "tools/cli/cli.h"
+
+namespace {
+
+void usage() {
+  std::puts(
+      "usage: fgsim <command> [options]\n"
+      "  run     run one experiment from a spec file / --set overrides\n"
+      "  sweep   expand a spec's sweep axes and run the whole grid\n"
+      "  spec    resolve and print a spec (--keys | --schema for tooling)\n"
+      "  fuzz    differential scenario fuzzer + golden corpus maintainer\n"
+      "  speed   simulator-speed tracker (BENCH_sim_speed.json)\n"
+      "Run `fgsim <command> --help` for per-command options.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0 || std::strcmp(argv[1], "help") == 0) {
+    usage();
+    return argc < 2 ? 2 : 0;
+  }
+  const char* cmd = argv[1];
+  const int sub_argc = argc - 2;
+  char** sub_argv = argv + 2;
+  if (std::strcmp(cmd, "run") == 0) return fg::cli::run_main(sub_argc, sub_argv);
+  if (std::strcmp(cmd, "sweep") == 0) {
+    return fg::cli::sweep_main(sub_argc, sub_argv);
+  }
+  if (std::strcmp(cmd, "spec") == 0) {
+    return fg::cli::spec_main(sub_argc, sub_argv);
+  }
+  if (std::strcmp(cmd, "fuzz") == 0) {
+    return fg::cli::fuzz_main(sub_argc, sub_argv);
+  }
+  if (std::strcmp(cmd, "speed") == 0) {
+    return fg::cli::speed_main(sub_argc, sub_argv);
+  }
+  std::fprintf(stderr, "fgsim: unknown command '%s'\n", cmd);
+  usage();
+  return 2;
+}

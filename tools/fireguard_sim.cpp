@@ -1,234 +1,17 @@
-// fireguard-sim: command-line experiment driver.
+// fireguard-sim: deprecated alias for `fgsim run`.
 //
-// One binary that runs any single FireGuard configuration and prints a
-// machine-readable summary — the knob set covers everything the paper's
-// evaluation sweeps (kernel, engine count, HA, filter width, mapper width,
-// scheduling policy, programming model, workload, attack injection), so a
-// reader can reproduce any point of any figure without writing code:
-//
-//   $ fireguard-sim --kernel=asan --engines=4 --workload=x264
-//   $ fireguard-sim --kernel=shadow --engines=6 --policy=block --attacks=50
-//   $ fireguard-sim --kernel=pmc --ha --workload=ferret
-//   $ fireguard-sim --kernel=asan --filter-width=1 --trace-len=200000
-//   $ fireguard-sim --software=asan_x86 --workload=dedup
-//
-// Output is "key value" lines on stdout; exit status is nonzero on a
-// configuration error or (with --attacks) when any attack goes undetected.
+// The full legacy flag set (--kernel/--engines/--workload/--software/...)
+// is still accepted — `fgsim run` maps every flag onto the declarative
+// ExperimentSpec and prints the same machine-readable "key value" summary
+// with the same exit codes (2 on configuration error, 1 on a missed
+// attack). The implementation lives in tools/cli/run_cmd.cc.
 #include <cstdio>
-#include <cstring>
-#include <optional>
-#include <string>
-#include <vector>
 
-#include "src/soc/experiment.h"
-
-namespace {
-
-using namespace fg;
-
-struct Options {
-  std::string workload = "blackscholes";
-  std::string kernel = "asan";
-  std::optional<std::string> software;
-  u32 engines = 4;
-  bool ha = false;
-  u32 filter_width = 4;
-  u32 mapper_width = 1;
-  std::optional<std::string> policy;
-  std::string model = "hybrid";
-  u32 attacks = 0;
-  u64 trace_len = 0;  // 0 = default
-  u64 seed = 42;
-  bool stlf = false;
-  bool detailed_mem = false;
-  bool help = false;
-};
-
-void usage() {
-  std::puts(
-      "fireguard-sim — run one FireGuard configuration\n"
-      "  --workload=NAME     parsec-like profile (blackscholes..x264)\n"
-      "  --kernel=K          pmc | shadow | asan | uaf\n"
-      "  --software=S        run the software baseline instead:\n"
-      "                      shadow_llvm | asan_aarch64 | asan_x86 | dangsan\n"
-      "  --engines=N         µcores for the kernel (default 4)\n"
-      "  --ha                use one hardware accelerator (pmc/shadow only)\n"
-      "  --filter-width=N    mini-filters (1/2/4, default 4)\n"
-      "  --mapper-width=N    mapper issue width (default 1, footnote 5)\n"
-      "  --policy=P          fixed | round_robin | block (default per kernel)\n"
-      "  --model=M           conventional | duff | unrolled | hybrid\n"
-      "  --attacks=N         inject N attacks matched to the kernel\n"
-      "  --trace-len=N       dynamic instructions (default FG_TRACE_LEN/150k)\n"
-      "  --seed=N            workload seed (default 42)\n"
-      "  --stlf              enable store-to-load forwarding in the core\n"
-      "  --detailed-mem      bank/row DRAM + Sv39 page walks\n");
-}
-
-std::optional<Options> parse(int argc, char** argv) {
-  Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto eat = [&](const char* prefix, std::string* out) {
-      const size_t n = std::strlen(prefix);
-      if (arg.rfind(prefix, 0) == 0) {
-        *out = arg.substr(n);
-        return true;
-      }
-      return false;
-    };
-    std::string v;
-    if (arg == "--help" || arg == "-h") o.help = true;
-    else if (eat("--workload=", &v)) o.workload = v;
-    else if (eat("--kernel=", &v)) o.kernel = v;
-    else if (eat("--software=", &v)) o.software = v;
-    else if (eat("--engines=", &v)) o.engines = static_cast<u32>(std::stoul(v));
-    else if (arg == "--ha") o.ha = true;
-    else if (eat("--filter-width=", &v)) o.filter_width = static_cast<u32>(std::stoul(v));
-    else if (eat("--mapper-width=", &v)) o.mapper_width = static_cast<u32>(std::stoul(v));
-    else if (eat("--policy=", &v)) o.policy = v;
-    else if (eat("--model=", &v)) o.model = v;
-    else if (eat("--attacks=", &v)) o.attacks = static_cast<u32>(std::stoul(v));
-    else if (eat("--trace-len=", &v)) o.trace_len = std::stoull(v);
-    else if (eat("--seed=", &v)) o.seed = std::stoull(v);
-    else if (arg == "--stlf") o.stlf = true;
-    else if (arg == "--detailed-mem") o.detailed_mem = true;
-    else {
-      std::fprintf(stderr, "unknown option '%s' (try --help)\n", arg.c_str());
-      return std::nullopt;
-    }
-  }
-  return o;
-}
-
-std::optional<kernels::KernelKind> kernel_by_name(const std::string& k) {
-  if (k == "pmc") return kernels::KernelKind::kPmc;
-  if (k == "shadow") return kernels::KernelKind::kShadowStack;
-  if (k == "asan") return kernels::KernelKind::kAsan;
-  if (k == "uaf") return kernels::KernelKind::kUaf;
-  return std::nullopt;
-}
-
-std::optional<baseline::SwScheme> software_by_name(const std::string& s) {
-  if (s == "shadow_llvm") return baseline::SwScheme::kShadowStackLlvm;
-  if (s == "asan_aarch64") return baseline::SwScheme::kAsanAarch64;
-  if (s == "asan_x86") return baseline::SwScheme::kAsanX8664;
-  if (s == "dangsan") return baseline::SwScheme::kDangSan;
-  return std::nullopt;
-}
-
-std::optional<core::SchedPolicy> policy_by_name(const std::string& p) {
-  if (p == "fixed") return core::SchedPolicy::kFixed;
-  if (p == "round_robin") return core::SchedPolicy::kRoundRobin;
-  if (p == "block") return core::SchedPolicy::kBlock;
-  return std::nullopt;
-}
-
-std::optional<kernels::ProgModel> model_by_name(const std::string& m) {
-  if (m == "conventional") return kernels::ProgModel::kConventional;
-  if (m == "duff") return kernels::ProgModel::kDuff;
-  if (m == "unrolled") return kernels::ProgModel::kUnrolled;
-  if (m == "hybrid") return kernels::ProgModel::kHybrid;
-  return std::nullopt;
-}
-
-trace::AttackKind attack_for(kernels::KernelKind k) {
-  switch (k) {
-    case kernels::KernelKind::kPmc: return trace::AttackKind::kPcHijack;
-    case kernels::KernelKind::kShadowStack: return trace::AttackKind::kRetCorrupt;
-    case kernels::KernelKind::kAsan: return trace::AttackKind::kHeapOob;
-    case kernels::KernelKind::kUaf: return trace::AttackKind::kUseAfterFree;
-  }
-  return trace::AttackKind::kHeapOob;
-}
-
-}  // namespace
+#include "tools/cli/cli.h"
 
 int main(int argc, char** argv) {
-  const std::optional<Options> opt = parse(argc, argv);
-  if (!opt) return 2;
-  if (opt->help) {
-    usage();
-    return 0;
-  }
-
-  trace::WorkloadConfig wl;
-  wl.profile = trace::profile_by_name(opt->workload);
-  wl.seed = opt->seed;
-  wl.n_insts = opt->trace_len ? opt->trace_len : soc::default_trace_len();
-  wl.warmup_insts = wl.n_insts / 10;
-
-  soc::SocConfig sc = soc::table2_soc();
-  sc.frontend.filter.width = opt->filter_width;
-  sc.frontend.mapper_width = opt->mapper_width;
-  sc.core.store_load_forwarding = opt->stlf;
-  sc.mem.detailed_dram = opt->detailed_mem;
-  sc.mem.detailed_ptw = opt->detailed_mem;
-
-  const Cycle base = soc::run_baseline_cycles(wl, sc);
-  std::printf("workload %s\n", opt->workload.c_str());
-  std::printf("trace_len %llu\n", static_cast<unsigned long long>(wl.n_insts));
-  std::printf("baseline_cycles %llu\n", static_cast<unsigned long long>(base));
-
-  soc::RunResult r;
-  if (opt->software) {
-    const auto scheme = software_by_name(*opt->software);
-    if (!scheme) {
-      std::fprintf(stderr, "unknown software scheme '%s'\n", opt->software->c_str());
-      return 2;
-    }
-    r = soc::run_software(wl, *scheme, sc);
-    std::printf("mode software/%s\n", opt->software->c_str());
-    std::printf("expansion %.3f\n", r.expansion);
-  } else {
-    const auto kind = kernel_by_name(opt->kernel);
-    if (!kind) {
-      std::fprintf(stderr, "unknown kernel '%s'\n", opt->kernel.c_str());
-      return 2;
-    }
-    const auto model = model_by_name(opt->model);
-    if (!model) {
-      std::fprintf(stderr, "unknown programming model '%s'\n", opt->model.c_str());
-      return 2;
-    }
-    soc::KernelDeployment dep = soc::deploy(*kind, opt->engines, *model, opt->ha);
-    if (opt->policy) {
-      const auto pol = policy_by_name(*opt->policy);
-      if (!pol) {
-        std::fprintf(stderr, "unknown policy '%s'\n", opt->policy->c_str());
-        return 2;
-      }
-      dep.policy = *pol;
-      dep.policy_overridden = true;
-    }
-    sc.kernels = {dep};
-    if (opt->attacks > 0) wl.attacks = {{attack_for(*kind), opt->attacks}};
-    r = soc::run_fireguard(wl, sc);
-    std::printf("mode fireguard/%s engines=%u%s\n", opt->kernel.c_str(),
-                opt->engines, opt->ha ? " (HA)" : "");
-  }
-
-  std::printf("cycles %llu\n", static_cast<unsigned long long>(r.cycles));
-  std::printf("slowdown %.4f\n",
-              static_cast<double>(r.cycles) / static_cast<double>(base));
-  std::printf("ipc %.3f\n", r.ipc);
-  std::printf("packets %llu\n", static_cast<unsigned long long>(r.packets));
-  static const char* kCause[] = {"none", "filter", "mapper", "cdc", "engines"};
-  for (size_t i = 1; i < 5; ++i) {
-    std::printf("stall_%s %.4f\n", kCause[i], r.stall_fractions[i]);
-  }
-  if (opt->attacks > 0) {
-    std::printf("attacks_planned %llu\n",
-                static_cast<unsigned long long>(r.planned_attacks));
-    std::printf("attacks_detected %zu\n", r.detections.size());
-    double worst_ns = 0;
-    for (const auto& d : r.detections) worst_ns = std::max(worst_ns, d.latency_ns);
-    std::printf("worst_latency_ns %.1f\n", worst_ns);
-    if (r.detections.size() < r.planned_attacks) {
-      std::fprintf(stderr, "MISSED %llu attacks\n",
-                   static_cast<unsigned long long>(r.planned_attacks -
-                                                   r.detections.size()));
-      return 1;
-    }
-  }
-  return 0;
+  std::fprintf(stderr,
+               "note: fireguard-sim is deprecated; use `fgsim run` "
+               "(same flags, plus --spec/--set)\n");
+  return fg::cli::run_main(argc - 1, argv + 1);
 }

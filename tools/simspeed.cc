@@ -1,392 +1,7 @@
-// Simulator-speed tracker: emits BENCH_sim_speed.json so the performance
-// trajectory of the simulator itself is measured, not guessed.
-//
-// Measurements:
-//  1. Single-thread hot-loop speed — simulated fast-domain cycles per wall
-//     second (and committed instructions per second) for a light (PMC) and a
-//     heavy (ASan) kernel deployment, best of three runs. Each config is
-//     also run under the stepped FG_CYCLE_EXACT reference loop: the ratio is
-//     the event-driven scheduler's speedup, and the two runs' RunResults
-//     must be bit-identical (a mismatch fails the tool).
-//  2. The Figure-10 sweep grid executed serially (jobs=1) and with FG_JOBS
-//     workers: wall clock for each, honest parallel speedup and efficiency.
-//  3. A bit-identity audit: every parallel RunResult (cycles, committed,
-//     detections, packets) must equal its serial counterpart, byte for byte.
-//     A mismatch makes the tool exit non-zero.
-//  4. A cycle-accounting report from the scheduler (stepped vs skipped
-//     cycles, skip-length histogram, per-domain bounds) so future perf work
-//     can see where simulated time goes.
-//
-// The JSON keeps a `runs` history: each invocation appends one compact
-// record (carrying forward the records already in the file), so the
-// checked-in file tracks the per-PR perf trajectory.
-//
-// Usage: simspeed [--quick] [--jobs=N] [--trace-len=N] [--out=PATH] [--check]
-//   --quick      small trace (20k insts) and the PMC+ASan subset of the
-//                fig10 grid — for CI and smoke runs
-//   --jobs=N     parallel worker count (default: FG_JOBS env, else hw)
-//   --trace-len  per-point trace length (default: FG_TRACE_LEN env / 150k)
-//   --out=PATH   output JSON path (default: BENCH_sim_speed.json)
-//   --check      CI gate: also fail (exit 1) if the parallel sweep is slower
-//                than serial while real parallelism was available
-#include <algorithm>
-#include <chrono>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <ctime>
-#include <string>
-#include <thread>
-#include <vector>
-
-#include "src/common/run_history.h"
-#include "src/common/simctl.h"
-#include "src/common/thread_pool.h"
-#include "src/soc/figures.h"
-#include "src/soc/sweep.h"
-
-namespace {
-
-using namespace fg;
-
-double now_ms() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double, std::milli>(
-             clock::now().time_since_epoch())
-      .count();
-}
-
-struct HotLoopSpeed {
-  std::string name;
-  double sim_cycles_per_sec = 0.0;
-  double insts_per_sec = 0.0;
-  double wall_ms = 0.0;
-  double exact_cycles_per_sec = 0.0;  // FG_CYCLE_EXACT reference loop
-  double event_speedup = 0.0;         // event-driven vs stepped
-  bool exact_identical = true;
-  soc::SchedStats sched{};
-};
-
-bool run_results_identical(const soc::RunResult& a, const soc::RunResult& b) {
-  if (a.cycles != b.cycles) return false;
-  if (a.committed != b.committed) return false;
-  if (a.packets != b.packets) return false;
-  if (a.spurious != b.spurious) return false;
-  if (a.detections.size() != b.detections.size()) return false;
-  for (size_t i = 0; i < a.detections.size(); ++i) {
-    const soc::DetectionRecord& da = a.detections[i];
-    const soc::DetectionRecord& db = b.detections[i];
-    if (da.attack_id != db.attack_id || da.engine != db.engine ||
-        da.commit_fast != db.commit_fast || da.detect_fast != db.detect_fast) {
-      return false;
-    }
-  }
-  for (size_t i = 0; i < a.stall_fractions.size(); ++i) {
-    if (a.stall_fractions[i] != b.stall_fractions[i]) return false;
-  }
-  return true;
-}
-
-/// Timed run_fireguard, best of `reps` (single-run wall clocks on a shared
-/// box are noisy; the minimum is the standard noise-floor estimator).
-soc::RunResult timed_runs(const trace::WorkloadConfig& wl,
-                          const soc::SocConfig& sc, int reps, double* best_ms) {
-  soc::RunResult r;
-  *best_ms = 1e300;
-  for (int i = 0; i < reps; ++i) {
-    const double t0 = now_ms();
-    r = soc::run_fireguard(wl, sc);
-    *best_ms = std::min(*best_ms, now_ms() - t0);
-  }
-  return r;
-}
-
-HotLoopSpeed measure_hot_loop(const char* name, kernels::KernelKind kind,
-                              u64 n_insts) {
-  soc::SocConfig sc = soc::table2_soc();
-  sc.kernels = {soc::deploy(kind, 4)};
-  const trace::WorkloadConfig wl = soc::paper_workload("blackscholes", n_insts);
-
-  HotLoopSpeed s;
-  s.name = name;
-
-  // Measure both scheduler modes, then restore whatever mode the process
-  // entered with (a user-set FG_CYCLE_EXACT=1 must still govern the sweep).
-  const bool entry_mode = cycle_exact();
-  set_cycle_exact(false);
-  const soc::RunResult r = timed_runs(wl, sc, 5, &s.wall_ms);
-  set_cycle_exact(true);
-  double exact_ms = 0.0;
-  const soc::RunResult rx = timed_runs(wl, sc, 5, &exact_ms);
-  set_cycle_exact(entry_mode);
-
-  s.exact_identical = run_results_identical(r, rx);
-  s.sched = r.sched;
-  if (s.wall_ms > 0.0) {
-    s.sim_cycles_per_sec = static_cast<double>(r.cycles) / (s.wall_ms / 1000.0);
-    s.insts_per_sec = static_cast<double>(r.committed) / (s.wall_ms / 1000.0);
-  }
-  if (exact_ms > 0.0) {
-    s.exact_cycles_per_sec =
-        static_cast<double>(rx.cycles) / (exact_ms / 1000.0);
-    s.event_speedup = exact_ms / s.wall_ms;
-  }
-  return s;
-}
-
-/// The Figure-10 grid, from the same definition bench_fig10_scalability
-/// registers (src/soc/figures.cc) — the measured grid cannot drift from the
-/// real one.
-void add_fig10_grid(soc::SweepRunner& runner, u64 n_insts, bool quick) {
-  for (soc::SweepPoint& p : soc::fig10_points(n_insts, quick)) {
-    runner.add(std::move(p));
-  }
-}
-
-bool results_identical(const soc::PointResult& a, const soc::PointResult& b) {
-  if (a.baseline_cycles != b.baseline_cycles) return false;
-  return run_results_identical(a.run, b.run);
-}
-
-void print_sched_report(const char* name, const soc::SchedStats& s) {
-  std::printf(
-      "sched %-14s: %llu stepped + %llu skipped cycles (%.1f%% skipped in "
-      "%llu skips), slow ticks %llu run / %llu skipped\n",
-      name, static_cast<unsigned long long>(s.cycles_stepped),
-      static_cast<unsigned long long>(s.cycles_skipped),
-      100.0 * s.skipped_fraction(), static_cast<unsigned long long>(s.skips),
-      static_cast<unsigned long long>(s.slow_ticks_run),
-      static_cast<unsigned long long>(s.slow_ticks_skipped));
-  std::printf("      skip lengths [1,2-3,...,>=128]:");
-  for (const u64 h : s.skip_len_hist) {
-    std::printf(" %llu", static_cast<unsigned long long>(h));
-  }
-  std::printf("  bounds core/slow/cap: %llu/%llu/%llu\n",
-              static_cast<unsigned long long>(s.bound_core),
-              static_cast<unsigned long long>(s.bound_slow),
-              static_cast<unsigned long long>(s.bound_cap));
-}
-
-u64 arg_u64(const char* arg, const char* prefix, u64 fallback) {
-  const size_t n = std::strlen(prefix);
-  if (std::strncmp(arg, prefix, n) != 0) return fallback;
-  return std::strtoull(arg + n, nullptr, 10);
-}
-
-}  // namespace
+// simspeed: deprecated alias for `fgsim speed` (same flags, same behavior).
+// The implementation lives in tools/cli/speed_cmd.cc.
+#include "tools/cli/cli.h"
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  bool check = false;
-  u32 jobs = ThreadPool::default_jobs();
-  u64 trace_len = soc::default_trace_len();
-  std::string out_path = "BENCH_sim_speed.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--check") == 0) {
-      check = true;
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      jobs = static_cast<u32>(arg_u64(argv[i], "--jobs=", jobs));
-    } else if (std::strncmp(argv[i], "--trace-len=", 12) == 0) {
-      trace_len = arg_u64(argv[i], "--trace-len=", trace_len);
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      out_path = argv[i] + 6;
-    } else {
-      std::fprintf(stderr,
-                   "usage: simspeed [--quick] [--jobs=N] [--trace-len=N] "
-                   "[--out=PATH] [--check]\n");
-      return 2;
-    }
-  }
-  if (quick) trace_len = std::min<u64>(trace_len, 20'000);
-
-  // History preflight BEFORE any measurement. The runs[] history is the
-  // whole point of the checked-in JSON; under --check a missing, unreadable
-  // or runs-less file is a CI misconfiguration that must fail loudly and
-  // immediately (it used to exit 0 and silently start a fresh history), and
-  // an unwritable output path must not be discovered only after minutes of
-  // sweeping.
-  std::string history;
-  const HistoryStatus hist_status = load_runs_history(out_path, &history);
-  if (check && hist_status != HistoryStatus::kOk) {
-    std::fprintf(stderr,
-                 "FAIL: --check requires an existing schema-v2 history at %s "
-                 "(status: %s). Run once without --check to start a history, "
-                 "or fix the path.\n",
-                 out_path.c_str(), history_status_name(hist_status));
-    return 1;
-  }
-  if (check) {
-    FILE* probe = std::fopen(out_path.c_str(), "r+");
-    if (probe == nullptr) {
-      std::fprintf(stderr, "FAIL: --check output path %s is not writable\n",
-                   out_path.c_str());
-      return 1;
-    }
-    std::fclose(probe);
-  }
-
-  const u32 hw = std::max<u32>(1, std::thread::hardware_concurrency());
-  std::printf("simspeed: trace_len=%llu jobs=%u (hw %u)%s\n",
-              static_cast<unsigned long long>(trace_len), jobs, hw,
-              quick ? " (quick)" : "");
-
-  // 1) Single-thread hot-loop speed, event-driven vs stepped reference.
-  std::vector<HotLoopSpeed> hot;
-  hot.push_back(measure_hot_loop("pmc_4ucores", kernels::KernelKind::kPmc,
-                                 trace_len));
-  hot.push_back(measure_hot_loop("asan_4ucores", kernels::KernelKind::kAsan,
-                                 trace_len));
-  u32 mismatches = 0;
-  for (const HotLoopSpeed& s : hot) {
-    std::printf(
-        "hot loop %-14s: %8.2f M sim-cycles/s (%.1f ms), exact %8.2f M "
-        "(event speedup %.2fx) %s\n",
-        s.name.c_str(), s.sim_cycles_per_sec / 1e6, s.wall_ms,
-        s.exact_cycles_per_sec / 1e6, s.event_speedup,
-        s.exact_identical ? "" : "EXACT-MISMATCH");
-    print_sched_report(s.name.c_str(), s.sched);
-    if (!s.exact_identical) ++mismatches;
-  }
-
-  // 2) Fig. 10 sweep, serial then parallel.
-  soc::SweepRunner serial(soc::SweepConfig{1});
-  add_fig10_grid(serial, trace_len, quick);
-  serial.run_all();
-  std::printf("fig10 sweep serial  : %zu points, %.2f s\n", serial.n_points(),
-              serial.wall_ms() / 1000.0);
-
-  soc::SweepRunner parallel(soc::SweepConfig{jobs});
-  add_fig10_grid(parallel, trace_len, quick);
-  parallel.run_all();
-  // The runner is the single owner of the jobs→workers capping rule.
-  const u32 effective_workers = parallel.workers();
-  const double speedup = parallel.wall_ms() > 0.0
-                             ? serial.wall_ms() / parallel.wall_ms()
-                             : 0.0;
-  const double efficiency =
-      effective_workers > 0 ? speedup / effective_workers : 0.0;
-  std::printf(
-      "fig10 sweep parallel: %zu points on %u jobs (%u workers), %.2f s "
-      "(speedup %.2fx, efficiency %.2f)\n",
-      parallel.n_points(), jobs, effective_workers,
-      parallel.wall_ms() / 1000.0, speedup, efficiency);
-  std::printf(
-      "baseline cache      : %llu hits, %llu misses, %llu in-flight waits\n",
-      static_cast<unsigned long long>(parallel.baseline_cache().hits()),
-      static_cast<unsigned long long>(parallel.baseline_cache().misses()),
-      static_cast<unsigned long long>(
-          parallel.baseline_cache().inflight_waits()));
-
-  // 3) Bit-identity audit: parallel vs serial, point by point.
-  for (u32 i = 0; i < parallel.n_points(); ++i) {
-    if (!results_identical(serial.result(i), parallel.result(i))) {
-      std::fprintf(stderr, "MISMATCH at point %s\n",
-                   parallel.point(i).name.c_str());
-      ++mismatches;
-    }
-  }
-  std::printf("bit-identity audit  : %u mismatches over %zu points "
-              "(parallel-vs-serial and event-vs-exact)\n",
-              mismatches, parallel.n_points());
-
-  // Aggregate sweep-wide scheduler accounting.
-  soc::SchedStats sweep_sched{};
-  for (u32 i = 0; i < parallel.n_points(); ++i) {
-    const soc::SchedStats& s = parallel.result(i).run.sched;
-    sweep_sched.cycles_stepped += s.cycles_stepped;
-    sweep_sched.cycles_skipped += s.cycles_skipped;
-    sweep_sched.skips += s.skips;
-    sweep_sched.slow_ticks_run += s.slow_ticks_run;
-    sweep_sched.slow_ticks_skipped += s.slow_ticks_skipped;
-    sweep_sched.bound_core += s.bound_core;
-    sweep_sched.bound_slow += s.bound_slow;
-    sweep_sched.bound_cap += s.bound_cap;
-    for (size_t b = 0; b < s.skip_len_hist.size(); ++b) {
-      sweep_sched.skip_len_hist[b] += s.skip_len_hist[b];
-    }
-  }
-  print_sched_report("fig10_sweep", sweep_sched);
-
-  const bool bit_identical = mismatches == 0;
-  // The parallel-regression gate only fires when parallelism was real: a
-  // single-worker "parallel" run (1-core box) is serial plus noise.
-  const bool parallel_regressed = effective_workers > 1 && speedup < 1.0;
-
-  FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  char stamp[32];
-  {
-    const std::time_t t = std::time(nullptr);
-    std::tm tm{};
-    gmtime_r(&t, &tm);
-    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm);
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"fireguard/sim_speed/v2\",\n");
-  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(f, "  \"trace_len\": %llu,\n",
-               static_cast<unsigned long long>(trace_len));
-  std::fprintf(f, "  \"jobs\": %u,\n", jobs);
-  std::fprintf(f, "  \"effective_workers\": %u,\n", effective_workers);
-  std::fprintf(f, "  \"hot_loop\": [\n");
-  for (size_t i = 0; i < hot.size(); ++i) {
-    const soc::SchedStats& s = hot[i].sched;
-    std::fprintf(
-        f,
-        "    {\"config\": \"%s\", \"sim_cycles_per_sec\": %.0f, "
-        "\"insts_per_sec\": %.0f, \"wall_ms\": %.2f, "
-        "\"exact_sim_cycles_per_sec\": %.0f, \"event_speedup\": %.3f, "
-        "\"cycles_skipped_pct\": %.2f, \"skips\": %llu}%s\n",
-        hot[i].name.c_str(), hot[i].sim_cycles_per_sec, hot[i].insts_per_sec,
-        hot[i].wall_ms, hot[i].exact_cycles_per_sec, hot[i].event_speedup,
-        100.0 * s.skipped_fraction(), static_cast<unsigned long long>(s.skips),
-        i + 1 < hot.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"fig10_sweep\": {\n");
-  std::fprintf(f, "    \"points\": %zu,\n", parallel.n_points());
-  std::fprintf(f, "    \"serial_wall_s\": %.3f,\n", serial.wall_ms() / 1000.0);
-  std::fprintf(f, "    \"parallel_wall_s\": %.3f,\n",
-               parallel.wall_ms() / 1000.0);
-  std::fprintf(f, "    \"speedup\": %.3f,\n", speedup);
-  std::fprintf(f, "    \"parallel_efficiency\": %.3f,\n", efficiency);
-  std::fprintf(f, "    \"baseline_cache_inflight_waits\": %llu,\n",
-               static_cast<unsigned long long>(
-                   parallel.baseline_cache().inflight_waits()));
-  std::fprintf(f, "    \"bit_identical\": %s\n",
-               bit_identical ? "true" : "false");
-  std::fprintf(f, "  },\n");
-  // The append goes through the same helper the regression tests exercise
-  // (src/common/run_history.h), so the tested path IS the production path.
-  char record[320];
-  std::snprintf(
-      record, sizeof(record),
-      "{\"date\": \"%s\", \"quick\": %s, \"trace_len\": %llu, "
-      "\"pmc_cycles_per_sec\": %.0f, \"asan_cycles_per_sec\": %.0f, "
-      "\"event_speedup_pmc\": %.3f, \"sweep_speedup\": %.3f, "
-      "\"bit_identical\": %s}",
-      stamp, quick ? "true" : "false",
-      static_cast<unsigned long long>(trace_len),
-      hot[0].sim_cycles_per_sec, hot[1].sim_cycles_per_sec,
-      hot[0].event_speedup, speedup, bit_identical ? "true" : "false");
-  std::fprintf(f, "  \"runs\": [\n    %s\n  ]\n",
-               append_run_record(history, record).c_str());
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", out_path.c_str());
-
-  if (!bit_identical) return 1;
-  if (check && parallel_regressed) {
-    std::fprintf(stderr,
-                 "FAIL: parallel sweep regressed (speedup %.3f < 1.0 with %u "
-                 "workers)\n",
-                 speedup, effective_workers);
-    return 1;
-  }
-  return 0;
+  return fg::cli::speed_main(argc - 1, argv + 1);
 }
