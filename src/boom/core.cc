@@ -36,51 +36,6 @@ Cycle* BoomCore::fu_pick(std::vector<Cycle>& units) {
   return &*std::min_element(units.begin(), units.end());
 }
 
-void BoomCore::do_commit(CommitSink* sink) {
-  // Model PRF read-port contention from the data-forwarding channel: each
-  // port the sink preempts this cycle delays one integer-FU availability by
-  // a cycle (Figure 2 d: Mini-Filter[x] has priority on Read_Ctrl[x]).
-  if (sink != nullptr) {
-    const u32 preempted = sink->prf_ports_preempted();
-    if (preempted != 0) active_ = true;  // FU free times move: not a fixed point
-    for (u32 i = 0; i < preempted && i < fu_int_.size(); ++i) {
-      // The preempted read port pushes the next issue on this pipe back by
-      // one cycle ("an instruction attempting to use the same port will be
-      // delayed until the next cycle").
-      Cycle& next_free = fu_int_[i];
-      next_free = std::max(next_free, now_) + 1;
-      ++stats_.prf_contention_delays;
-    }
-  }
-
-  for (u32 lane = 0; lane < cfg_.commit_width; ++lane) {
-    if (rob_.empty()) {
-      ++stats_.commit_stall_empty;
-      return;
-    }
-    RobEntry& head = rob_.front();
-    if (head.done_at > now_) {
-      ++stats_.commit_stall_empty;
-      return;
-    }
-    if (sink != nullptr && !sink->can_commit(lane, head.inst)) {
-      ++stats_.commit_stall_fireguard;
-      // The refusal itself mutates sink-side stall attribution every cycle,
-      // so a refused commit can never be skipped over.
-      active_ = true;
-      return;  // in-order commit: younger lanes stall too
-    }
-    if (head.is_load) lsq_.commit_load();
-    if (head.is_store) lsq_.commit_store();
-    rename_.commit(head.ren);
-    if (sink != nullptr) sink->on_commit(lane, head.inst, now_);
-    ++stats_.committed;
-    if (stats_.committed == warmup_target_) warmup_cycle_ = now_;
-    rob_.pop();
-    active_ = true;
-  }
-}
-
 u32 BoomCore::exec_latency_class(const trace::TraceInst& ti) const {
   using isa::InstClass;
   switch (ti.cls) {
@@ -321,15 +276,7 @@ void BoomCore::do_dispatch(CommitSink*) {
   }
 }
 
-bool BoomCore::tick(CommitSink* sink) {
-  active_ = false;
-  dispatch_block_ = DispatchBlock::kNone;
-  do_commit(sink);
-  do_dispatch(sink);
-  ++now_;
-  ++stats_.cycles;
-  return active_;
-}
+bool BoomCore::tick(CommitSink* sink) { return tick_t(sink); }
 
 Cycle BoomCore::next_event() const {
   Cycle h = kNoEvent;

@@ -16,6 +16,7 @@
 // the main core down, plus modeled PRF read-port contention.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <vector>
 
@@ -110,6 +111,22 @@ class BoomCore {
   /// identical, so the scheduler may `skip_to` it in one step.
   bool tick(CommitSink* sink);
 
+  /// Statically-typed variant of `tick` for the per-commit hot path: when
+  /// `Sink` is a final class the three sink calls per commit lane
+  /// (can_commit / on_commit / prf_ports_preempted) devirtualize and can
+  /// inline, which removes the indirect call from every committed
+  /// instruction. Semantically identical to `tick(sink)`.
+  template <typename Sink>
+  bool tick_t(Sink* sink) {
+    active_ = false;
+    dispatch_block_ = DispatchBlock::kNone;
+    do_commit_t(sink);
+    do_dispatch(nullptr);
+    ++now_;
+    ++stats_.cycles;
+    return active_;
+  }
+
   /// Earliest cycle at which `tick` could make progress again. Only
   /// meaningful immediately after a `tick` that returned false; kNoEvent
   /// means the core will never progress again (trace done, ROB empty).
@@ -167,7 +184,8 @@ class BoomCore {
     kPregs,          // unblocks at commit (stale pregs free at commit)
   };
 
-  void do_commit(CommitSink* sink);
+  template <typename Sink>
+  void do_commit_t(Sink* sink);
   void do_dispatch(CommitSink* sink);
   bool fetch_next();
   Cycle* fu_pick(std::vector<Cycle>& units);
@@ -217,5 +235,53 @@ class BoomCore {
 
   CoreStats stats_;
 };
+
+// Defined in the header so tick_t's concrete instantiations (e.g. the SoC,
+// which is final) see the body and devirtualize the sink calls.
+template <typename Sink>
+void BoomCore::do_commit_t(Sink* sink) {
+  // Model PRF read-port contention from the data-forwarding channel: each
+  // port the sink preempts this cycle delays one integer-FU availability by
+  // a cycle (Figure 2 d: Mini-Filter[x] has priority on Read_Ctrl[x]).
+  if (sink != nullptr) {
+    const u32 preempted = sink->prf_ports_preempted();
+    if (preempted != 0) active_ = true;  // FU free times move: not a fixed point
+    for (u32 i = 0; i < preempted && i < fu_int_.size(); ++i) {
+      // The preempted read port pushes the next issue on this pipe back by
+      // one cycle ("an instruction attempting to use the same port will be
+      // delayed until the next cycle").
+      Cycle& next_free = fu_int_[i];
+      next_free = std::max(next_free, now_) + 1;
+      ++stats_.prf_contention_delays;
+    }
+  }
+
+  for (u32 lane = 0; lane < cfg_.commit_width; ++lane) {
+    if (rob_.empty()) {
+      ++stats_.commit_stall_empty;
+      return;
+    }
+    RobEntry& head = rob_.front();
+    if (head.done_at > now_) {
+      ++stats_.commit_stall_empty;
+      return;
+    }
+    if (sink != nullptr && !sink->can_commit(lane, head.inst)) {
+      ++stats_.commit_stall_fireguard;
+      // The refusal itself mutates sink-side stall attribution every cycle,
+      // so a refused commit can never be skipped over.
+      active_ = true;
+      return;  // in-order commit: younger lanes stall too
+    }
+    if (head.is_load) lsq_.commit_load();
+    if (head.is_store) lsq_.commit_store();
+    rename_.commit(head.ren);
+    if (sink != nullptr) sink->on_commit(lane, head.inst, now_);
+    ++stats_.committed;
+    if (stats_.committed == warmup_target_) warmup_cycle_ = now_;
+    rob_.pop();
+    active_ = true;
+  }
+}
 
 }  // namespace fg::boom

@@ -1,6 +1,7 @@
 #include "src/common/run_history.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace fg {
 
@@ -25,7 +26,25 @@ HistoryStatus load_runs_history(const std::string& path, std::string* items) {
   const size_t tag = text.find("\"runs\": [");
   if (tag == std::string::npos) return HistoryStatus::kMalformed;
   const size_t open = text.find('[', tag);
-  const size_t close = text.find(']', open);
+  // Matching close bracket by depth: v3 records nest an array (the
+  // skip-length histogram), so the first ']' after the open is NOT the end
+  // of the runs array.
+  size_t close = std::string::npos;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = open; i < text.size() && close == std::string::npos; ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '[') {
+      ++depth;
+    } else if (c == ']' && --depth == 0) {
+      close = i;
+    }
+  }
   if (open == std::string::npos || close == std::string::npos) {
     return HistoryStatus::kMalformed;
   }
@@ -42,6 +61,66 @@ std::string append_run_record(const std::string& items,
                               const std::string& run_record) {
   if (items.empty()) return run_record;
   return items + ",\n    " + run_record;
+}
+
+std::vector<std::string> split_run_records(const std::string& items) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_string = false;
+  size_t start = std::string::npos;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const char c = items[i];
+    if (in_string) {
+      if (c == '\\') ++i;         // skip the escaped character
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') { in_string = true; continue; }
+    if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      if (depth > 0 && --depth == 0 && start != std::string::npos) {
+        out.push_back(items.substr(start, i - start + 1));
+        start = std::string::npos;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Position just past `"key":` (plus whitespace) in `record`, or npos.
+size_t value_pos(const std::string& record, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = record.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  size_t v = at + needle.size();
+  while (v < record.size() && (record[v] == ' ' || record[v] == '\t')) ++v;
+  return v < record.size() ? v : std::string::npos;
+}
+
+}  // namespace
+
+bool run_record_number(const std::string& record, const std::string& key,
+                       double* out) {
+  const size_t v = value_pos(record, key);
+  if (v == std::string::npos) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(record.c_str() + v, &end);
+  if (end == record.c_str() + v) return false;
+  *out = parsed;
+  return true;
+}
+
+bool run_record_flag(const std::string& record, const std::string& key,
+                     bool* out) {
+  const size_t v = value_pos(record, key);
+  if (v == std::string::npos) return false;
+  if (record.compare(v, 4, "true") == 0) { *out = true; return true; }
+  if (record.compare(v, 5, "false") == 0) { *out = false; return true; }
+  return false;
 }
 
 }  // namespace fg

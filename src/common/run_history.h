@@ -1,6 +1,8 @@
 // Carry-forward loader for the `"runs": [ ... ]` history array that
 // tools/simspeed appends to BENCH_sim_speed.json (schema fireguard/
-// sim_speed/v2). Factored out of the tool so the append path is unit-testable
+// sim_speed/v3; v2 histories read identically — the loader is text-level
+// and the record helpers skip fields a record predates).
+// Factored out of the tool so the append path is unit-testable
 // and so --check can distinguish "no history file" (a CI misconfiguration
 // that must fail loudly) from "history present" — silently starting a fresh
 // history used to make a missing/unreadable file exit 0 and erase the
@@ -8,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace fg {
 
@@ -29,5 +32,23 @@ HistoryStatus load_runs_history(const std::string& path, std::string* items);
 /// item string, returning the new comma-joined item list.
 std::string append_run_record(const std::string& items,
                               const std::string& run_record);
+
+/// Splits a comma-joined history item string back into individual run
+/// records (top-level `{...}` objects; brace depth is tracked so nested
+/// arrays — e.g. the v3 skip-length histogram — don't split a record).
+/// The inverse of repeated append_run_record.
+std::vector<std::string> split_run_records(const std::string& items);
+
+/// Reads the numeric value of `"key"` from one run record. Returns false
+/// when the key is absent — the v2→v3 migration contract: a v3 reader walks
+/// a mixed history and simply skips records that predate a field, it never
+/// misparses or rejects them.
+bool run_record_number(const std::string& record, const std::string& key,
+                       double* out);
+
+/// Reads a true/false value of `"key"` from one run record; false (with
+/// `*out` untouched) when absent or not a bool literal.
+bool run_record_flag(const std::string& record, const std::string& key,
+                     bool* out);
 
 }  // namespace fg

@@ -8,6 +8,8 @@
 // (Table II: 8-entry CDC).
 #pragma once
 
+#include <algorithm>
+
 #include "src/common/ring_queue.h"
 #include "src/common/simctl.h"
 #include "src/core/packet.h"
@@ -38,6 +40,17 @@ class CdcFifo {
   /// (Entries settle in push order, so the head bounds the whole FIFO.)
   Cycle next_ready_slow() const {
     return q_.empty() ? kNoEvent : q_.front().ready_slow;
+  }
+
+  /// How many of the first `max_n` entries have settled by `now_slow` —
+  /// the burst a slow-domain wakeup may drain without re-checking the
+  /// handshake per packet. Settle times are monotone in push order, so the
+  /// scan stops at the first not-yet-ready entry.
+  u32 ready_count(Cycle now_slow, u32 max_n) const {
+    const u32 lim = static_cast<u32>(std::min<size_t>(max_n, q_.size()));
+    u32 n = 0;
+    while (n < lim && q_.at(n).ready_slow <= now_slow) ++n;
+    return n;
   }
 
   const Packet& front() const { return q_.front().p; }

@@ -13,6 +13,22 @@ namespace fg::soc {
 
 SocConfig table2_soc() { return SocConfig{}; }
 
+SocConfig memstall_soc() {
+  SocConfig sc = table2_soc();
+  sc.mem.detailed_dram = true;
+  sc.mem.detailed_ptw = true;
+  return sc;
+}
+
+trace::WorkloadConfig memstall_workload(u64 n_insts) {
+  trace::WorkloadConfig wl;
+  wl.profile = trace::profile_by_name("memstall");
+  wl.seed = 42;
+  wl.n_insts = n_insts;
+  wl.warmup_insts = n_insts / 10;
+  return wl;
+}
+
 KernelDeployment deploy(kernels::KernelKind kind, u32 n_engines,
                         kernels::ProgModel model, bool use_ha,
                         std::optional<core::SchedPolicy> policy) {

@@ -32,6 +32,16 @@ KernelDeployment deploy(
     bool use_ha = false,
     std::optional<core::SchedPolicy> policy = std::nullopt);
 
+/// Table II with the detailed DRAM and page-table-walk timing models on —
+/// the memory/stall-bound configuration the event scheduler's speedup
+/// acceptance is measured against (tools/simspeed, skip-stress tests).
+SocConfig memstall_soc();
+
+/// The synthetic memstall workload (trace profile "memstall") at `n_insts`,
+/// fixed seed 42, warmup one tenth — the stall-bound counterpart of
+/// soc::paper_workload.
+trace::WorkloadConfig memstall_workload(u64 n_insts);
+
 /// Dynamic trace length for experiments: FG_TRACE_LEN env var, else 150000.
 u64 default_trace_len();
 

@@ -73,6 +73,7 @@ Soc::Soc(const SocConfig& cfg, trace::TraceSource& src)
   mem_.reset_stats();
   engine_l2_->reset_stats();
   build_engines(src);
+  cdc_pop_budget_ = cfg_.frontend.freq_ratio * cfg_.frontend.mapper_width;
 }
 
 void Soc::build_engines(trace::TraceSource&) {
@@ -213,6 +214,9 @@ void Soc::deliver(const core::Packet& p) {
 }
 
 void Soc::slow_tick(Cycle now_slow) {
+  // Any slow tick may move engine / mesh state: retire the memoized rest
+  // horizon (recomputed lazily at the next skip evaluation).
+  ++slow_epoch_;
   core::CdcFifo& cdc = frontend_->cdc();
   const u32 n = static_cast<u32>(engines_.size());
 
@@ -240,11 +244,11 @@ void Soc::slow_tick(Cycle now_slow) {
   // 1) Multicast channel: the CDC's slow-domain read port is freq_ratio
   //    packets wide per mapper lane, so the crossing sustains the mapper's
   //    issue bandwidth end to end. Each packet is delivered atomically to
-  //    every interested engine.
+  //    every interested engine. The handshake is checked once for the whole
+  //    burst (settle times are monotone in push order), so one slow-domain
+  //    wakeup drains every packet that settled while the domain slept.
   engines_blocked_ = false;
-  for (u32 i = 0; i < cfg_.frontend.freq_ratio * cfg_.frontend.mapper_width;
-       ++i) {
-    if (!cdc.can_pop(now_slow)) break;
+  for (u32 i = cdc.ready_count(now_slow, cdc_pop_budget_); i != 0; --i) {
     const core::Packet& p = cdc.front();
     if (!can_deliver(p)) {
       engines_blocked_ = true;
@@ -290,25 +294,51 @@ bool Soc::engines_drained() const {
   return true;
 }
 
-Cycle Soc::slow_next_event(Cycle now_slow) const {
+Cycle Soc::slow_rest_horizon_fresh(Cycle now_slow) const {
   Cycle h = kNoEvent;
-  // CDC: the head entry's handshake settles at a known slow cycle; pops are
-  // in order, so it bounds the whole FIFO. (Delivery may then still block on
-  // a full message queue — but a full queue means a non-idle engine, whose
-  // own horizon already forces stepping.)
-  const Cycle cdc_ready = frontend_->cdc().next_ready_slow();
-  if (cdc_ready != kNoEvent) h = std::min(h, std::max(cdc_ready, now_slow));
   // Mesh: the earliest in-flight arrival.
   if (noc_->pending() != 0) {
     const Cycle arrival = noc_->next_arrival();
-    if (arrival != kNoEvent) h = std::min(h, std::max(arrival, now_slow));
+    if (arrival != kNoEvent) h = std::min(h, arrival);
   }
   // Engines: wake-from-stall / executable-now / output-drain horizons.
   for (const Engine& e : engines_) {
-    if (h == now_slow) break;  // cannot get earlier
+    if (h <= now_slow) break;  // cannot get earlier once clamped to now
     const Cycle ee = e.next_event(now_slow);
     if (ee != kNoEvent) h = std::min(h, ee);
   }
+  return h;
+}
+
+Cycle Soc::slow_rest_horizon(Cycle now_slow) const {
+  if (slow_rest_epoch_ != slow_epoch_) {
+    slow_rest_cache_ = slow_rest_horizon_fresh(now_slow);
+    slow_rest_epoch_ = slow_epoch_;
+  }
+  const Cycle h = slow_rest_cache_;
+#if FG_INVARIANTS_COMPILED
+  // The epoch-keyed memo must never go stale: engine / mesh state mutating
+  // anywhere but slow_tick would make the skip paths jump over a live event.
+  // (Clamped comparison: a cache computed at an earlier `now_slow` may hold
+  // that older cycle for an executable-now engine; both sides mean "now".)
+  const Cycle fresh = slow_rest_horizon_fresh(now_slow);
+  FG_INVARIANT(
+      (h == kNoEvent ? kNoEvent : std::max(h, now_slow)) ==
+          (fresh == kNoEvent ? kNoEvent : std::max(fresh, now_slow)),
+      "soc.slow_horizon_epoch");
+#endif
+  return h == kNoEvent ? kNoEvent : std::max(h, now_slow);
+}
+
+Cycle Soc::slow_next_event(Cycle now_slow) const {
+  Cycle h = slow_rest_horizon(now_slow);
+  // CDC: the head entry's handshake settles at a known slow cycle; pops are
+  // in order, so it bounds the whole FIFO. (Delivery may then still block on
+  // a full message queue — but a full queue means a non-idle engine, whose
+  // own horizon already forces stepping.) Read fresh: a fast-domain push is
+  // the one event the slow-tick epoch cannot see, and it is O(1) here.
+  const Cycle cdc_ready = frontend_->cdc().next_ready_slow();
+  if (cdc_ready != kNoEvent) h = std::min(h, std::max(cdc_ready, now_slow));
   return h;
 }
 
@@ -328,7 +358,7 @@ void Soc::run() {
   bool core_active = true;
 
   while (fast_now_ < cfg_.max_fast_cycles) {
-    // --- Event-driven fast-forward over provably dead cycles. -----------
+    // --- Event-driven fast-forward over provably dead fast cycles. -------
     // Preconditions: the stepped reference loop is not forced, the core is
     // at a fixed point (or finished), and the fast-domain frontend is empty
     // (a buffered packet makes the arbiter/mapper progress every cycle).
@@ -338,79 +368,124 @@ void Soc::run() {
                           : core_done                 ? kNoEvent
                                                       : core_->next_event();
     if (core_ev > fast_now_ + 1 && frontend_->filter().buffered() == 0) {
-      Cycle target = core_ev;
-      u64 bound_src = 0;  // 0=core, 1=slow, 2=cap
-      const size_t cdc_size = frontend_->cdc().size();
-      if (slow_now != slow_ev_cache_slow_now_ ||
-          cdc_size != slow_ev_cache_cdc_size_) {
-        slow_ev_cache_ = slow_next_event(slow_now);
-        slow_ev_cache_slow_now_ = slow_now;
-        slow_ev_cache_cdc_size_ = cdc_size;
-      }
-      const Cycle slow_ev = slow_ev_cache_;
-      // The memoized slow-domain horizon must never go stale: any state
-      // change the cache key (slow_now, CDC size) does not cover would make
-      // the skip loop jump over a live event.
-      FG_INVARIANT(slow_ev == slow_next_event(slow_now),
-                   "soc.slow_horizon_cache");
-      if (slow_ev != kNoEvent) {
-        const Cycle slow_ev_fast =
-            fast_now_ + (until_slow - 1) + (slow_ev - slow_now) * ratio;
-        if (slow_ev_fast < target) {
-          target = slow_ev_fast;
-          bound_src = 1;
-        }
-      }
-      // End-of-run caps replicate the stepped loop's exit conditions: the
-      // post-completion grace window and drain backstop advance (and break)
-      // exactly as if each quiescent cycle had been stepped.
-      Cycle cap = cfg_.max_fast_cycles;
-      bool grace_cond = false;
-      if (core_done) {
-        cap = std::min(cap, core_done_cycle_ + kDrainBackstop + 1);
-        grace_cond = frontend_->filter().buffered() == 0 &&
-                     frontend_->cdc().empty() && engines_drained();
-        if (grace_cond) cap = std::min(cap, fast_now_ + (kGraceLimit + 1 - grace));
-      }
-      if (cap < target) {
-        target = cap;
-        bound_src = 2;
-      }
-      if (target != kNoEvent && target > fast_now_ + 1) {
-        const u64 delta = target - fast_now_;
-        if (!core_done) core_->skip_to(target);
-        // Slow-domain bookkeeping: every slow boundary inside the window is
-        // a structural no-op (that is what the horizon proves), but stalled
-        // µcores still owe their per-tick stall accounting, and a no-op
-        // multicast pass always leaves engines_blocked_ false.
-        const Cycle first_boundary = fast_now_ + (until_slow - 1);
-        if (first_boundary < target) {
-          const u64 k = 1 + (target - 1 - first_boundary) / ratio;
-          for (const Engine& e : engines_) {
-            ucore::UCore* uc = e.ucore.get();
-            if (uc != nullptr && !uc->idle() && !uc->halted()) {
-              uc->charge_skipped_stall(k);
+      if (!core_done) {
+        // --- Drain window: jump the core to its own horizon. -------------
+        // With the core at a fixed point and the filter drained, nothing
+        // the slow domain does can reach the fast domain before the core's
+        // horizon: commits are the only filter feed, tick_fast is gated on
+        // a non-empty filter, and engine back-pressure is only read inside
+        // tick_fast. So the fast clock jumps straight to the horizon while
+        // the interior slow boundaries run in a tight loop — real ticks
+        // where the slow horizon says something happens, bulk elision of
+        // the provably dead stretches in between. This is what turns a
+        // 190-cycle DRAM miss into one skip instead of ratio-bounded
+        // two-cycle hops.
+        const Cycle target = std::min<Cycle>(core_ev, cfg_.max_fast_cycles);
+        if (target > fast_now_ + 1) {
+          const u64 delta = target - fast_now_;
+          core_->skip_to(target);
+          Cycle boundary = fast_now_ + (until_slow - 1);
+          const bool had_boundary = boundary < target;
+          while (boundary < target) {
+            const Cycle slow_ev = slow_next_event(slow_now);
+            if (slow_ev > slow_now) {
+              // Every boundary strictly before the slow horizon is a
+              // structural no-op; only stalled (non-idle, non-halted)
+              // µcores owe their per-tick stall accounting. Engine state is
+              // frozen between real slow ticks, so one predicate
+              // evaluation covers the whole stretch.
+              const u64 remaining = 1 + (target - 1 - boundary) / ratio;
+              const u64 nb =
+                  slow_ev == kNoEvent
+                      ? remaining
+                      : std::min<u64>(remaining, slow_ev - slow_now);
+              for (ucore::UCore* uc : ucores_) {
+                if (uc != nullptr && !uc->idle() && !uc->halted()) {
+                  uc->charge_skipped_stall(nb);
+                }
+              }
+              engines_blocked_ = false;
+              slow_now += nb;
+              boundary += nb * ratio;
+              sched_.slow_ticks_skipped += nb;
+            } else {
+              slow_tick(slow_now++);
+              ++sched_.slow_ticks_run;
+              boundary += ratio;
             }
           }
-          slow_now += k;
-          engines_blocked_ = false;
-          until_slow = static_cast<u32>(first_boundary + k * ratio - target + 1);
-          sched_.slow_ticks_skipped += k;
-        } else {
-          until_slow -= static_cast<u32>(delta);
+          until_slow = static_cast<u32>(boundary - target + 1);
+          fast_now_ = target;
+          sched_.cycles_skipped += delta;
+          ++sched_.skips;
+          if (had_boundary) ++sched_.drain_windows;
+          ++sched_.skip_len_hist[std::min<u32>(
+              static_cast<u32>(sched_.skip_len_hist.size() - 1),
+              std::bit_width(delta) - 1)];
+          if (target == core_ev) {
+            ++sched_.bound_core;
+          } else {
+            ++sched_.bound_cap;
+          }
+          continue;  // re-evaluate at the horizon
         }
-        fast_now_ = target;
-        sched_.cycles_skipped += delta;
-        ++sched_.skips;
-        ++sched_.skip_len_hist[std::min<u32>(7, std::bit_width(delta) - 1)];
-        if (bound_src == 0) {
-          ++sched_.bound_core;
-        } else if (bound_src == 1) {
-          ++sched_.bound_slow;
-        } else {
-          ++sched_.bound_cap;
+      } else {
+        // --- Post-completion skip: slow-horizon-capped. ------------------
+        // After the core finishes, the fast domain exists only to clock the
+        // slow domain toward quiescence; the skip target is the next slow
+        // event, capped by the grace window and drain backstop, which
+        // advance (and break) exactly as if each quiescent cycle had been
+        // stepped.
+        Cycle target = kNoEvent;
+        bool bound_is_slow = false;
+        const Cycle slow_ev = slow_next_event(slow_now);
+        if (slow_ev != kNoEvent) {
+          target = fast_now_ + (until_slow - 1) + (slow_ev - slow_now) * ratio;
+          bound_is_slow = true;
         }
-        if (core_done) {
+        Cycle cap = std::min(cfg_.max_fast_cycles,
+                             core_done_cycle_ + kDrainBackstop + 1);
+        const bool grace_cond = frontend_->cdc().empty() && engines_drained();
+        if (grace_cond) {
+          cap = std::min(cap, fast_now_ + (kGraceLimit + 1 - grace));
+        }
+        if (cap < target) {
+          target = cap;
+          bound_is_slow = false;
+        }
+        if (target != kNoEvent && target > fast_now_ + 1) {
+          const u64 delta = target - fast_now_;
+          // Slow-domain bookkeeping: every slow boundary inside the window
+          // is a structural no-op (that is what the horizon proves), but
+          // stalled µcores still owe their per-tick stall accounting, and a
+          // no-op multicast pass always leaves engines_blocked_ false.
+          const Cycle first_boundary = fast_now_ + (until_slow - 1);
+          if (first_boundary < target) {
+            const u64 k = 1 + (target - 1 - first_boundary) / ratio;
+            for (ucore::UCore* uc : ucores_) {
+              if (uc != nullptr && !uc->idle() && !uc->halted()) {
+                uc->charge_skipped_stall(k);
+              }
+            }
+            slow_now += k;
+            engines_blocked_ = false;
+            until_slow =
+                static_cast<u32>(first_boundary + k * ratio - target + 1);
+            sched_.slow_ticks_skipped += k;
+          } else {
+            until_slow -= static_cast<u32>(delta);
+          }
+          fast_now_ = target;
+          sched_.cycles_skipped += delta;
+          ++sched_.skips;
+          ++sched_.skip_len_hist[std::min<u32>(
+              static_cast<u32>(sched_.skip_len_hist.size() - 1),
+              std::bit_width(delta) - 1)];
+          if (bound_is_slow) {
+            ++sched_.bound_slow;
+          } else {
+            ++sched_.bound_cap;
+          }
           if (grace_cond) {
             grace += delta;
             if (grace > kGraceLimit) break;
@@ -418,15 +493,15 @@ void Soc::run() {
             grace = 0;
           }
           if (fast_now_ - core_done_cycle_ > kDrainBackstop) break;
+          continue;  // re-evaluate at the horizon
         }
-        continue;  // re-evaluate at the horizon (while-condition re-checked)
       }
     }
 
     // --- One stepped reference cycle. ------------------------------------
     core_active = false;
     if (!core_done) {
-      core_active = core_->tick(this);
+      core_active = core_->tick_t(this);
       if (core_->done()) {
         core_done = true;
         core_done_cycle_ = core_->now();

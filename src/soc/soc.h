@@ -81,10 +81,13 @@ struct SchedStats {
   u64 cycles_stepped = 0;
   u64 cycles_skipped = 0;
   u64 skips = 0;  // bulk-skip events
-  /// Skip lengths, log2-bucketed: [1], [2,3], [4,7], ... [128,inf).
-  std::array<u64, 8> skip_len_hist{};
+  /// Skip lengths, log2-bucketed: [1], [2,3], [4,7], ... [2048,inf).
+  std::array<u64, 12> skip_len_hist{};
   u64 slow_ticks_run = 0;
   u64 slow_ticks_skipped = 0;
+  /// Drain windows: core-horizon jumps that ran interior slow-domain
+  /// boundaries (real ticks and/or elided stretches) inside the window.
+  u64 drain_windows = 0;
   /// Which horizon bounded each skip (core fixed point, slow-domain event,
   /// or an end-of-run cap: max cycles / grace / drain backstop).
   u64 bound_core = 0;
@@ -174,6 +177,11 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
   /// structural no-op (CDC handshake settles, a µcore wakes or can execute,
   /// an output queue owes the fabric a drain, a mesh message arrives).
   Cycle slow_next_event(Cycle now_slow) const;
+  /// The engines-plus-mesh share of slow_next_event, unmemoized.
+  Cycle slow_rest_horizon_fresh(Cycle now_slow) const;
+  /// Memoized wrapper: engine and mesh state mutate only inside slow_tick,
+  /// so the joint horizon is cached under the slow-tick epoch counter.
+  Cycle slow_rest_horizon(Cycle now_slow) const;
   bool can_deliver(const core::Packet& p) const;
   void deliver(const core::Packet& p);
   bool engines_drained() const;
@@ -212,14 +220,21 @@ class Soc final : public boom::CommitSink, public core::QueueStatus {
 
   SchedStats sched_;
 
-  // Memoized slow-domain horizon. Engine, NoC and CDC-pop state mutate only
-  // inside slow_tick (keyed by slow_now); the CDC additionally grows on
-  // fast-domain pushes (keyed by its size). Anything else leaves the slow
-  // horizon untouched, so the cache turns the per-dead-cycle skip
-  // evaluation into two integer compares.
-  mutable Cycle slow_ev_cache_ = 0;
-  mutable Cycle slow_ev_cache_slow_now_ = ~Cycle{0};
-  mutable size_t slow_ev_cache_cdc_size_ = ~size_t{0};
+  // Memoized slow-domain horizon, split by who can invalidate it. Engine and
+  // mesh state mutate only inside slow_tick, so their joint horizon (an
+  // absolute slow cycle, or kNoEvent) is cached under a slow-tick epoch
+  // counter — nothing the fast domain does can stale it. CDC head-readiness
+  // is the one input the fast domain *can* move (a push), so it is read
+  // fresh on every evaluation; it is O(1) by handshake monotonicity. The
+  // net effect is the per-engine horizon memoization the delivery path
+  // invalidates only when a slow tick actually runs.
+  u64 slow_epoch_ = 0;
+  mutable u64 slow_rest_epoch_ = ~u64{0};
+  mutable Cycle slow_rest_cache_ = 0;
+
+  // CDC slow-side read bandwidth per slow tick (freq_ratio packets per
+  // mapper lane), hoisted out of the per-tick pop loop.
+  u32 cdc_pop_budget_ = 1;
 };
 
 }  // namespace fg::soc

@@ -50,6 +50,12 @@ const std::vector<GoldenEntry>& golden_entries() {
       {"g09", 0x0009}, {"g10", 0x000a}, {"g11", 0x000b}, {"g12", 0x000c},
       {"g13", 0x1111}, {"g14", 0x2222}, {"g15", 0x3333}, {"g16", 0x4444},
       {"g17", 0x5555}, {"g18", 0x6666}, {"g19", 0x7777}, {"g20", 0x8888},
+      // Memory/stall-bound slice (golden_stall_envelope): detailed DRAM +
+      // PTW with the pointer-chasing memstall workload, mixing ISAX-in-MA
+      // and deep post-commit µcore stalls. These freeze the semantics the
+      // event scheduler's skip horizons are most likely to perturb.
+      {"g21", 0x9999, true}, {"g22", 0xaaaa, true}, {"g23", 0xbbbb, true},
+      {"g24", 0xcccc, true}, {"g25", 0xdddd, true}, {"g26", 0xeeee, true},
   };
   return kEntries;
 }
@@ -61,11 +67,18 @@ ScenarioEnvelope golden_envelope() {
   return env;
 }
 
+ScenarioEnvelope golden_stall_envelope() {
+  ScenarioEnvelope env = golden_envelope();
+  env.stall_bound_bias = 1.0;
+  return env;
+}
+
 std::string update_golden(const std::string& dir, const ScenarioRunner& r) {
   const ScenarioRunner runner = r ? r : run_scenario_snapshot_in_mode;
   ModeGuard guard;
   for (const GoldenEntry& e : golden_entries()) {
-    const Scenario s = scenario_from_seed(e.seed, golden_envelope());
+    const Scenario s = scenario_from_seed(
+        e.seed, e.stall ? golden_stall_envelope() : golden_envelope());
     const StatSnapshot snap = runner(s, /*exact=*/false);
     std::ofstream out(golden_path(dir, e));
     if (!out) return "cannot write " + golden_path(dir, e);
@@ -121,7 +134,8 @@ std::string check_golden(const std::string& dir, const ScenarioRunner& r) {
       report += "UNPARSABLE " + path + " (snapshot)\n";
       continue;
     }
-    const Scenario s = scenario_from_seed(e.seed, golden_envelope());
+    const Scenario s = scenario_from_seed(
+        e.seed, e.stall ? golden_stall_envelope() : golden_envelope());
     const StatSnapshot fresh = runner(s, /*exact=*/false);
     if (!snapshots_equal(golden, fresh)) {
       report += "MISMATCH " + std::string(e.name) + " (" +

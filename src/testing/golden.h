@@ -22,6 +22,11 @@ namespace fg::fuzz {
 struct GoldenEntry {
   const char* name;  // file stem, e.g. "g03"
   u64 seed;
+  /// Expanded with golden_stall_envelope() instead of golden_envelope():
+  /// the memory/stall-bound slice of the corpus (g21..), which freezes the
+  /// event scheduler's widened skip horizons against the exact reference's
+  /// semantics on the configs where skipping actually pays.
+  bool stall = false;
 };
 
 /// The corpus definition (stable names and seeds).
@@ -29,6 +34,10 @@ const std::vector<GoldenEntry>& golden_entries();
 
 /// The reduced envelope every golden scenario is expanded with.
 ScenarioEnvelope golden_envelope();
+
+/// golden_envelope() with the stall-bound bias pinned on — every expansion
+/// lands in the memstall + detailed-DRAM/PTW regime.
+ScenarioEnvelope golden_stall_envelope();
 
 /// Re-simulate every entry and (over)write `dir`/<name>.json.
 /// Returns "" on success, else a message naming the failed file.

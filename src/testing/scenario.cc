@@ -7,6 +7,7 @@
 #include "src/common/rng.h"
 #include "src/core/packet.h"
 #include "src/soc/figures.h"
+#include "src/trace/profile.h"
 #include "src/common/json.h"
 
 namespace fg::fuzz {
@@ -114,6 +115,19 @@ Scenario scenario_from_seed(u64 seed, const ScenarioEnvelope& env) {
   if (env.allow_detailed_mem) {
     s.sc().mem.detailed_dram = rng.chance(0.25);
     s.sc().mem.detailed_ptw = rng.chance(0.25);
+  }
+
+  // --- Stall-bound bias -------------------------------------------------
+  // MUST stay the last draw, and must draw nothing when the bias is off:
+  // the short-circuit keeps every pre-existing (seed, envelope) expansion —
+  // including the checked-in golden corpus g01..g20 — byte-identical.
+  if (env.stall_bound_bias > 0.0 && rng.chance(env.stall_bound_bias)) {
+    s.wl().profile = trace::profile_by_name("memstall");
+    s.sc().mem.detailed_dram = true;
+    s.sc().mem.detailed_ptw = true;
+    // Half the biased corpus keeps ISAX in the MA stage, half takes the
+    // post-commit integration's deep multi-cycle µcore stalls.
+    s.sc().ucore.isax_ma_stage = rng.chance(0.5);
   }
   return s;
 }

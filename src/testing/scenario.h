@@ -33,6 +33,13 @@ struct ScenarioEnvelope {
   /// Allow shrinking ROB/IQ/LDQ/STQ below Table II to stress the lazy
   /// release-set and occupancy edge cases.
   bool allow_core_resizing = true;
+  /// Probability of re-biasing a drawn scenario into the memory/stall-bound
+  /// regime the event scheduler's skip horizons live on: the synthetic
+  /// memstall profile plus detailed DRAM + PTW timing (and a coin flip
+  /// between ISAX-in-MA and deep post-commit µcore stalls). Consulted LAST
+  /// in scenario_from_seed, and 0.0 draws nothing from the rng stream, so
+  /// scenarios generated before this knob existed expand byte-identically.
+  double stall_bound_bias = 0.0;
 };
 
 /// A Scenario IS a seed-expanded ExperimentSpec plus its provenance: the

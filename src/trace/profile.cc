@@ -129,6 +129,27 @@ std::vector<WorkloadProfile> build_profiles() {
     v.push_back(p);
   }
 
+  {  // memstall: not a PARSEC profile — a deliberately memory/stall-bound
+     // torture case for the event scheduler (serialized pointer chasing over
+     // a live heap far larger than the warmable window, almost no control
+     // flow so the analysis engines stay quiet). IPC ~0.05 with the detailed
+     // DRAM/PTW models: nearly every cycle is provably-dead miss latency,
+     // which is exactly what the wide-horizon skip paths must convert into
+     // wall-clock speedup (tools/simspeed's memstall hot loop and the
+     // stall-bound golden scenarios both draw this by name).
+    WorkloadProfile p;
+    p.name = "memstall";
+    p.f_load = 0.50; p.f_store = 0.04; p.f_fp = 0.02; p.f_muldiv = 0.0;
+    p.f_branch = 0.01; p.f_call = 0.0005; p.f_hard_branch = 0.05;
+    p.ptr_chase = 1.0;
+    p.n_funcs = 48; p.blocks_per_func = 5; p.block_len = 12;
+    p.loop_frac = 0.35; p.mean_trips = 24.0;
+    p.m_stack = 0.05; p.m_global = 0.05; p.m_heap = 0.85; p.m_stream = 0.05;
+    p.stream_revisit = 0.0; p.stream_footprint = 64u << 20; p.global_hot_words = 256;
+    p.allocs_per_kinst = 10.0; p.mean_alloc_size = 65536; p.live_target = 65536;
+    v.push_back(p);
+  }
+
   for (const auto& p : v) {
     const double mem_sum = p.m_stack + p.m_global + p.m_heap + p.m_stream;
     FG_CHECK(mem_sum > 0.99 && mem_sum < 1.01);

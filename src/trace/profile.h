@@ -67,7 +67,9 @@ struct WorkloadProfile {
 
 /// The nine PARSEC-like profiles evaluated in the paper, in the order the
 /// figures list them: blackscholes, bodytrack, dedup, ferret, fluidanimate,
-/// freqmine, streamcluster, swaptions, x264.
+/// freqmine, streamcluster, swaptions, x264 — plus the synthetic
+/// memory/stall-bound "memstall" torture profile (not part of the paper's
+/// figure grids; see soc::paper_workloads() for the figures' name list).
 const std::vector<WorkloadProfile>& parsec_profiles();
 
 /// Look up one profile by name (aborts if unknown).

@@ -235,12 +235,15 @@ void UCore::tick(Cycle now) {
     }
     case UOp::kNocRecv: {
       wrote_rd = true;
-      if (noc_inbox_.empty()) {
+      if (noc_inbox_empty()) {
         rd_val = 0;
         if (input_was_empty) set_spin = true;
       } else {
-        rd_val = noc_inbox_.front();
-        noc_inbox_.erase(noc_inbox_.begin());
+        rd_val = noc_inbox_[noc_head_];
+        if (++noc_head_ == noc_inbox_.size()) {
+          noc_inbox_.clear();
+          noc_head_ = 0;
+        }
         // The loop observed work: it is now executing the payload-handling
         // body, not spinning. Without this, idle() would go true again the
         // moment the inbox drains — freezing the engine mid-body, since

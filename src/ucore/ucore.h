@@ -81,6 +81,7 @@ class UCore {
 
   // --- fabric routing channel delivery ---
   void push_noc(u64 payload) { noc_inbox_.push_back(payload); }
+  bool noc_inbox_empty() const { return noc_head_ == noc_inbox_.size(); }
 
   /// Execute (at most) one instruction at slow-domain cycle `now`.
   void tick(Cycle now_slow);
@@ -102,7 +103,7 @@ class UCore {
   /// fixed point in the loop instead of a phase that depends on how long
   /// the engine spun — a wake-time shift of at most one spin iteration).
   bool idle() const {
-    return (halted_ || (spinning_ && input_.empty())) && noc_inbox_.empty() &&
+    return (halted_ || (spinning_ && input_.empty())) && noc_inbox_empty() &&
            output_.empty();
   }
 
@@ -150,7 +151,11 @@ class UCore {
 
   RingQueue<core::Packet> input_;
   RingQueue<u64> output_;
+  // NoC inbox as a vector + consumed-prefix cursor: payloads are appended by
+  // the fabric and consumed FIFO by kNocRecv; the cursor makes the pop O(1)
+  // (no erase-from-front) and the storage is reclaimed when it drains.
   std::vector<u64> noc_inbox_;
+  size_t noc_head_ = 0;
   core::Packet recent_{};  // most recently popped element (q.recent)
 
   mem::Cache dcache_;

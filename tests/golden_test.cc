@@ -91,14 +91,25 @@ TEST(Golden, MissingFileIsNamed) {
 
 TEST(Golden, CorpusDefinitionIsStable) {
   // Names and seeds are frozen: changing them orphans checked-in files.
-  ASSERT_EQ(golden_entries().size(), 20u);
+  ASSERT_EQ(golden_entries().size(), 26u);
   EXPECT_STREQ(golden_entries()[0].name, "g01");
   EXPECT_EQ(golden_entries()[0].seed, 1u);
   EXPECT_STREQ(golden_entries()[19].name, "g20");
   EXPECT_EQ(golden_entries()[19].seed, 0x8888u);
+  EXPECT_FALSE(golden_entries()[19].stall);
+  EXPECT_STREQ(golden_entries()[25].name, "g26");
+  EXPECT_EQ(golden_entries()[25].seed, 0xeeeeu);
+  EXPECT_TRUE(golden_entries()[25].stall);
   const ScenarioEnvelope env = golden_envelope();
   EXPECT_EQ(env.min_insts, 1'500u);
   EXPECT_EQ(env.max_insts, 5'000u);
+  // The stall slice differs from the base envelope ONLY in the bias knob —
+  // anything else would silently re-expand g21..g26.
+  const ScenarioEnvelope stall = golden_stall_envelope();
+  EXPECT_EQ(stall.min_insts, env.min_insts);
+  EXPECT_EQ(stall.max_insts, env.max_insts);
+  EXPECT_EQ(stall.stall_bound_bias, 1.0);
+  EXPECT_EQ(env.stall_bound_bias, 0.0);
 }
 
 }  // namespace

@@ -82,6 +82,88 @@ TEST(RunHistory, SchemaV2AppendPathRoundTrips) {
   std::filesystem::remove(path);
 }
 
+// --- v2 → v3 migration ----------------------------------------------------
+//
+// Schema v3 widens each run record with per-kernel speedups and a
+// skip-length histogram array. The history file is carried forward
+// text-level, so a v3 simspeed reads mixed histories: old v2 records (no
+// new fields) followed by v3 records (with them). These regressions pin the
+// migration contract: records split correctly even with nested arrays,
+// fields absent from v2 records are *skipped* (not misparsed), and the
+// trajectory gate's field extraction works on both generations.
+
+namespace {
+
+const char kV2Record[] =
+    "{\"date\": \"2026-07-26T17:34:00Z\", \"quick\": false, "
+    "\"trace_len\": 150000, \"pmc_cycles_per_sec\": 4524851, "
+    "\"event_speedup_pmc\": 1.048, \"sweep_speedup\": 1.140, "
+    "\"bit_identical\": true}";
+
+const char kV3Record[] =
+    "{\"date\": \"2026-08-08T00:00:00Z\", \"quick\": false, "
+    "\"trace_len\": 150000, \"pmc_cycles_per_sec\": 5100000, "
+    "\"event_speedup_pmc\": 1.102, \"event_speedup_asan\": 1.031, "
+    "\"event_speedup_memstall\": 1.870, "
+    "\"skip_len_hist\": [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11], "
+    "\"bit_identical\": true}";
+
+}  // namespace
+
+TEST(RunHistory, SplitHandlesMixedV2V3Records) {
+  const std::string items = append_run_record(kV2Record, kV3Record);
+  const std::vector<std::string> recs = split_run_records(items);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0], kV2Record);
+  // The nested histogram array must not split the v3 record.
+  EXPECT_EQ(recs[1], kV3Record);
+}
+
+TEST(RunHistory, SplitOfEmptyHistoryIsEmpty) {
+  EXPECT_TRUE(split_run_records("").empty());
+}
+
+TEST(RunHistory, V3FieldsAbsentFromV2RecordsAreSkippedNotMisparsed) {
+  double v = -1.0;
+  // Present in both generations.
+  ASSERT_TRUE(run_record_number(kV2Record, "event_speedup_pmc", &v));
+  EXPECT_DOUBLE_EQ(v, 1.048);
+  ASSERT_TRUE(run_record_number(kV3Record, "event_speedup_pmc", &v));
+  EXPECT_DOUBLE_EQ(v, 1.102);
+  // v3-only fields: absent from the v2 record, found in the v3 one.
+  EXPECT_FALSE(run_record_number(kV2Record, "event_speedup_memstall", &v));
+  ASSERT_TRUE(run_record_number(kV3Record, "event_speedup_memstall", &v));
+  EXPECT_DOUBLE_EQ(v, 1.870);
+}
+
+TEST(RunHistory, FlagExtractionWorksAcrossGenerations) {
+  bool b = false;
+  ASSERT_TRUE(run_record_flag(kV2Record, "bit_identical", &b));
+  EXPECT_TRUE(b);
+  ASSERT_TRUE(run_record_flag(kV3Record, "quick", &b));
+  EXPECT_FALSE(b);
+  // Absent key: untouched output, false return.
+  b = true;
+  EXPECT_FALSE(run_record_flag(kV2Record, "no_such_flag", &b));
+  EXPECT_TRUE(b);
+  // A key whose value is not a bool literal is not a flag.
+  EXPECT_FALSE(run_record_flag(kV3Record, "trace_len", &b));
+}
+
+TEST(RunHistory, MixedHistoryRoundTripsThroughFileAndBack) {
+  const std::string path = temp_file("fg_hist_v2v3.json");
+  write_file(path, v2_file(append_run_record(kV2Record, kV3Record)));
+  std::string items;
+  ASSERT_EQ(load_runs_history(path, &items), HistoryStatus::kOk);
+  const std::vector<std::string> recs = split_run_records(items);
+  ASSERT_EQ(recs.size(), 2u);
+  double v = 0.0;
+  EXPECT_FALSE(run_record_number(recs[0], "event_speedup_asan", &v));
+  EXPECT_TRUE(run_record_number(recs[1], "event_speedup_asan", &v));
+  EXPECT_DOUBLE_EQ(v, 1.031);
+  std::filesystem::remove(path);
+}
+
 TEST(RunHistory, StatusNamesAreStable) {
   EXPECT_STREQ(history_status_name(HistoryStatus::kOk), "ok");
   EXPECT_STREQ(history_status_name(HistoryStatus::kMissing), "missing");

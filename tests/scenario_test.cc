@@ -106,15 +106,51 @@ TEST(Scenario, SeedsCoverTheConfigurationSpace) {
 TEST(Scenario, GoldenCorpusCoversAllKernels) {
   std::set<kernels::KernelKind> kinds;
   bool saw_mixed = false, saw_postcommit = false;
+  bool stall_saw_ma = false, stall_saw_postcommit = false;
   for (const GoldenEntry& e : golden_entries()) {
-    const Scenario s = scenario_from_seed(e.seed, golden_envelope());
+    const Scenario s = scenario_from_seed(
+        e.seed, e.stall ? golden_stall_envelope() : golden_envelope());
     for (const soc::KernelDeployment& d : s.sc().kernels) kinds.insert(d.kind);
     saw_mixed |= s.sc().kernels.size() > 1;
     saw_postcommit |= !s.sc().ucore.isax_ma_stage;
+    if (e.stall) {
+      // The stall slice is what it claims to be: every entry lands in the
+      // memory/stall-bound regime the skip horizons are measured on...
+      EXPECT_EQ(s.wl().profile.name, "memstall") << e.name;
+      EXPECT_TRUE(s.sc().mem.detailed_dram) << e.name;
+      EXPECT_TRUE(s.sc().mem.detailed_ptw) << e.name;
+      stall_saw_ma |= s.sc().ucore.isax_ma_stage;
+      stall_saw_postcommit |= !s.sc().ucore.isax_ma_stage;
+    }
   }
   EXPECT_EQ(kinds.size(), 4u);
   EXPECT_TRUE(saw_mixed);
   EXPECT_TRUE(saw_postcommit);
+  // ...and mixes both ISAX integrations (deep post-commit µcore stalls are
+  // a distinct horizon shape from MA-stage stalls).
+  EXPECT_TRUE(stall_saw_ma);
+  EXPECT_TRUE(stall_saw_postcommit);
+}
+
+/// The bias knob's backward-compatibility contract: a zero bias consumes
+/// nothing from the rng stream, so pre-knob expansions (the checked-in
+/// g01..g20 snapshots) are byte-identical to current ones.
+TEST(Scenario, ZeroStallBiasDrawsNothing) {
+  ScenarioEnvelope off = golden_envelope();
+  ScenarioEnvelope stall = golden_stall_envelope();
+  for (u64 seed = 1; seed <= 40; ++seed) {
+    const Scenario base = scenario_from_seed(seed, golden_envelope());
+    const Scenario with_knob = scenario_from_seed(seed, off);
+    EXPECT_EQ(scenario_json(base), scenario_json(with_knob)) << seed;
+    // And the biased expansion shares everything the bias doesn't touch
+    // (same kernels — drawn before the bias is consulted).
+    const Scenario biased = scenario_from_seed(seed, stall);
+    ASSERT_EQ(biased.sc().kernels.size(), base.sc().kernels.size()) << seed;
+    for (size_t i = 0; i < biased.sc().kernels.size(); ++i) {
+      EXPECT_EQ(biased.sc().kernels[i].kind, base.sc().kernels[i].kind)
+          << seed;
+    }
+  }
 }
 
 TEST(Scenario, WithTraceLenClampsWarmup) {

@@ -44,7 +44,8 @@ TEST(SpecRoundTrip, EveryGoldenScenarioIsBitIdenticalThroughJson) {
   ModeGuard guard;
   set_cycle_exact(false);
   for (const GoldenEntry& e : golden_entries()) {
-    check_roundtrip(scenario_from_seed(e.seed, golden_envelope()));
+    check_roundtrip(scenario_from_seed(
+        e.seed, e.stall ? golden_stall_envelope() : golden_envelope()));
   }
 }
 
