@@ -115,8 +115,30 @@ RunOutcome run_spec(const ExperimentSpec& spec) {
   return out;
 }
 
+RunOutcome PointExecutor::execute(const GridPoint& p) {
+  RunOutcome out = run_spec(p.spec);
+  if (with_baseline_ && p.spec.mode != Mode::kBaseline) {
+    const double b0 = now_ms();
+    bool ran_baseline = false;
+    if (hooks_.lookup && hooks_.lookup(p.spec, &out.baseline_cycles)) {
+      // Served by the durable layer: nothing simulated, nothing to charge.
+    } else {
+      out.baseline_cycles =
+          cache_.get(p.spec.workload, p.spec.soc, &ran_baseline);
+      // Only the point that actually ran the baseline is charged for it.
+      if (ran_baseline) {
+        out.wall_ms += now_ms() - b0;
+        if (hooks_.publish) hooks_.publish(p.spec, out.baseline_cycles);
+      }
+    }
+    out.slowdown = static_cast<double>(out.result.cycles) /
+                   static_cast<double>(std::max<Cycle>(1, out.baseline_cycles));
+  }
+  return out;
+}
+
 SimSession::SimSession(ExperimentSpec spec, SessionConfig cfg)
-    : spec_(std::move(spec)), cfg_(cfg) {
+    : spec_(std::move(spec)), cfg_(cfg), executor_(cfg.with_baseline) {
   std::string err;
   FG_CHECK(expand_grid(spec_, &points_, &err) && "invalid sweep axis");
   results_.resize(points_.size());
@@ -126,18 +148,7 @@ SimSession::SimSession(ExperimentSpec spec, SessionConfig cfg)
 }
 
 RunOutcome SimSession::execute(u32 index) {
-  const GridPoint& p = points_[index];
-  RunOutcome out = run_spec(p.spec);
-  if (cfg_.with_baseline && p.spec.mode != Mode::kBaseline) {
-    const double b0 = now_ms();
-    bool ran_baseline = false;
-    out.baseline_cycles = cache_.get(p.spec.workload, p.spec.soc,
-                                     &ran_baseline);
-    // Only the point that actually ran the baseline is charged for it.
-    if (ran_baseline) out.wall_ms += now_ms() - b0;
-    out.slowdown = static_cast<double>(out.result.cycles) /
-                   static_cast<double>(std::max<Cycle>(1, out.baseline_cycles));
-  }
+  RunOutcome out = executor_.execute(points_[index]);
   if (progress_) {
     std::lock_guard<std::mutex> lock(progress_mu_);
     ++completed_;

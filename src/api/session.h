@@ -52,6 +52,39 @@ struct SessionConfig {
   bool with_baseline = true;
 };
 
+/// The execution half of the session: turns ONE concrete grid point into a
+/// RunOutcome (run_spec + the memoized baseline / slowdown policy).
+/// Orchestrators — SimSession's in-memory grid loop, the campaign runner's
+/// durable queue, a future `fgsim serve` daemon — decide WHAT to run and
+/// what to do with the outcome; this class owns HOW a point becomes one.
+/// Stateless across points except for the baseline cache, so one executor
+/// is shared by all workers of a run (it is thread-safe).
+class PointExecutor {
+ public:
+  explicit PointExecutor(bool with_baseline = true)
+      : with_baseline_(with_baseline) {}
+
+  /// Durable baseline layer hooks (the campaign runner wires these to the
+  /// content-addressed store): `lookup` is consulted before the in-memory
+  /// cache; `publish` is called after this executor computed a baseline.
+  struct BaselineHooks {
+    std::function<bool(const ExperimentSpec&, Cycle*)> lookup;
+    std::function<void(const ExperimentSpec&, Cycle)> publish;
+  };
+  void set_baseline_hooks(BaselineHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Simulate the point and, per policy, attach baseline cycles + slowdown.
+  RunOutcome execute(const GridPoint& p);
+
+  bool with_baseline() const { return with_baseline_; }
+  soc::BaselineCache& baseline_cache() { return cache_; }
+
+ private:
+  bool with_baseline_;
+  soc::BaselineCache cache_;
+  BaselineHooks hooks_;
+};
+
 class SimSession {
  public:
   /// Expands the sweep grid eagerly; FG_CHECKs on an invalid axis (validate
@@ -75,7 +108,7 @@ class SimSession {
   const std::vector<RunOutcome>& run_all();
 
   const std::vector<RunOutcome>& results() const { return results_; }
-  soc::BaselineCache& baseline_cache() { return cache_; }
+  soc::BaselineCache& baseline_cache() { return executor_.baseline_cache(); }
   u32 workers() const { return workers_; }
   /// Whole-grid wall clock of run_all in milliseconds.
   double wall_ms() const { return wall_ms_; }
@@ -90,7 +123,7 @@ class SimSession {
   std::vector<RunOutcome> results_;
   bool ran_ = false;
   double wall_ms_ = 0.0;
-  soc::BaselineCache cache_;
+  PointExecutor executor_;
   ProgressFn progress_;
   std::mutex progress_mu_;
   size_t completed_ = 0;

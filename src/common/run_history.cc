@@ -114,6 +114,12 @@ bool run_record_number(const std::string& record, const std::string& key,
   return true;
 }
 
+std::string quarantine_history(const std::string& path) {
+  const std::string dst = path + ".corrupt";
+  std::remove(dst.c_str());
+  return std::rename(path.c_str(), dst.c_str()) == 0 ? dst : std::string();
+}
+
 bool run_record_flag(const std::string& record, const std::string& key,
                      bool* out) {
   const size_t v = value_pos(record, key);

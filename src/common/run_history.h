@@ -51,4 +51,11 @@ bool run_record_number(const std::string& record, const std::string& key,
 bool run_record_flag(const std::string& record, const std::string& key,
                      bool* out);
 
+/// Move a malformed history file aside to `path + ".corrupt"` (replacing a
+/// previous quarantine of the same path) so a fresh history can start
+/// without destroying the evidence. Returns the quarantine path, or "" when
+/// the move failed. Callers must report the move loudly — silent recovery
+/// from a corrupt history erases the trajectory the file exists to track.
+std::string quarantine_history(const std::string& path);
+
 }  // namespace fg

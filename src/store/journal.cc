@@ -1,0 +1,154 @@
+#include "src/store/journal.h"
+
+#include <cstring>
+
+#include "src/store/faultfs.h"
+
+namespace fg::store {
+
+namespace {
+
+bool fail_with(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+
+/// Split into complete lines; a trailing fragment without '\n' (a torn
+/// final append) is dropped, not parsed.
+std::vector<std::string> complete_lines(const std::string& text) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail
+    out.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    const size_t sp = line.find(' ', pos);
+    const size_t end = sp == std::string::npos ? line.size() : sp;
+    if (end > pos) out.push_back(line.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+CampaignJournal::~CampaignJournal() { close(); }
+
+void CampaignJournal::close() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+bool CampaignJournal::open(const std::string& path,
+                           const std::string& campaign_hash, size_t n_points,
+                           std::string* err) {
+  close();
+  points_.assign(n_points, PointState{});
+
+  std::string text;
+  const bool existed = file_exists(path) && read_file(path, &text, nullptr);
+  if (existed) {
+    const std::vector<std::string> lines = complete_lines(text);
+    if (lines.empty()) {
+      // A file whose header never finished (killed during creation):
+      // treated as fresh.
+    } else {
+      const std::vector<std::string> head = split_words(lines[0]);
+      if (head.size() != 3 || head[0] != "campaign") {
+        return fail_with(err, "journal " + path + ": unrecognized header");
+      }
+      if (head[1] != campaign_hash) {
+        return fail_with(err, "journal " + path +
+                                  " belongs to a different campaign (" +
+                                  head[1] + " != " + campaign_hash + ")");
+      }
+      if (head[2] != std::to_string(n_points)) {
+        return fail_with(err, "journal " + path + ": grid size mismatch (" +
+                                  head[2] + " != " +
+                                  std::to_string(n_points) + ")");
+      }
+      for (size_t i = 1; i < lines.size(); ++i) {
+        const std::vector<std::string> w = split_words(lines[i]);
+        if (w.size() < 2) continue;  // unknown/garbled event: skip, don't die
+        char* end = nullptr;
+        const unsigned long idx = std::strtoul(w[1].c_str(), &end, 10);
+        if (end == w[1].c_str() || idx >= points_.size()) continue;
+        PointState& p = points_[idx];
+        if (w[0] == "begin") {
+          ++p.attempts;
+        } else if (w[0] == "done") {
+          p.done = true;
+          p.failed = false;
+          p.cached = w.size() > 2 && w[2] == "cache";
+        } else if (w[0] == "fail") {
+          p.failed = true;
+        }
+      }
+    }
+  }
+
+  f_ = std::fopen(path.c_str(), existed && !text.empty() ? "a" : "w");
+  if (f_ == nullptr) {
+    return fail_with(err, "journal: cannot open " + path + " for append");
+  }
+  if (!existed || text.empty()) {
+    if (!append("campaign " + campaign_hash + " " +
+                std::to_string(n_points))) {
+      close();
+      return fail_with(err, "journal: cannot write header to " + path);
+    }
+  }
+  return true;
+}
+
+size_t CampaignJournal::n_done() const {
+  size_t n = 0;
+  for (const PointState& p : points_) n += p.done ? 1 : 0;
+  return n;
+}
+
+bool CampaignJournal::append(const std::string& line) {
+  if (f_ == nullptr) return false;
+  if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()) return false;
+  if (std::fputc('\n', f_) == EOF) return false;
+  return std::fflush(f_) == 0;
+}
+
+bool CampaignJournal::record_begin(u32 index, u32 attempt) {
+  if (index < points_.size()) ++points_[index].attempts;
+  return append("begin " + std::to_string(index) + " " +
+                std::to_string(attempt));
+}
+
+bool CampaignJournal::record_done(u32 index, bool cached) {
+  if (index < points_.size()) {
+    points_[index].done = true;
+    points_[index].failed = false;
+    points_[index].cached = cached;
+  }
+  return append("done " + std::to_string(index) +
+                (cached ? " cache" : " run"));
+}
+
+bool CampaignJournal::record_failed(u32 index, const std::string& reason) {
+  if (index < points_.size()) points_[index].failed = true;
+  std::string slug;
+  for (const char c : reason) {
+    slug += (c == ' ' || c == '\n' || c == '\t') ? '_' : c;
+  }
+  if (slug.empty()) slug = "unknown";
+  return append("fail " + std::to_string(index) + " " + slug);
+}
+
+}  // namespace fg::store

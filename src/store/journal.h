@@ -1,0 +1,70 @@
+// Append-only campaign journal: the crash-safe record of a campaign's
+// point state (pending / attempted / done / failed).
+//
+// The journal is bookkeeping, not truth: resumability comes from the
+// content-addressed ResultStore (a point is done iff its validated entry
+// exists). What the journal adds is what the store cannot know — how many
+// attempts a point has consumed (so a resumed campaign keeps honest retry
+// accounting), which points failed permanently and why, and a forensic
+// trail of the run for the kill-and-resume drill.
+//
+// Crash model: events are appended line-by-line and flushed; a SIGKILL can
+// at worst tear the final line, which the loader tolerates by ignoring any
+// trailing line without a '\n'. The header binds the file to one campaign
+// (the hash of the campaign's canonical spec), so resuming with a different
+// spec against the same journal path is a loud error, not silent mixing.
+//
+// File format (one event per line):
+//   campaign <key-hash-16hex> <n_points>
+//   begin <index> <attempt>
+//   done <index> run|cache
+//   fail <index> <reason-slug>
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace fg::store {
+
+class CampaignJournal {
+ public:
+  struct PointState {
+    u32 attempts = 0;  // begin events seen (all runs of this journal)
+    bool done = false;
+    bool cached = false;  // done via a store hit, not a fresh simulation
+    bool failed = false;  // a fail event not followed by done
+  };
+
+  CampaignJournal() = default;
+  ~CampaignJournal();
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  /// Open `path` for the campaign addressed by `campaign_hash` (16-hex) over
+  /// `n_points` grid points. An existing journal replays its events into
+  /// points() — the resume path; a header naming a different campaign or
+  /// grid size is an error. A fresh file is created with the header.
+  bool open(const std::string& path, const std::string& campaign_hash,
+            size_t n_points, std::string* err);
+  void close();
+  bool is_open() const { return f_ != nullptr; }
+
+  const std::vector<PointState>& points() const { return points_; }
+  size_t n_done() const;
+
+  // Event appends (flushed immediately; false on write error).
+  bool record_begin(u32 index, u32 attempt);
+  bool record_done(u32 index, bool cached);
+  bool record_failed(u32 index, const std::string& reason);
+
+ private:
+  bool append(const std::string& line);
+
+  std::FILE* f_ = nullptr;
+  std::vector<PointState> points_;
+};
+
+}  // namespace fg::store

@@ -1,0 +1,253 @@
+#include "src/store/result_store.h"
+
+#include <filesystem>
+
+#include "src/common/json.h"
+#include "src/store/faultfs.h"
+
+namespace fg::store {
+
+u64 fnv1a64(const std::string& s) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hash_hex(const std::string& key) {
+  static const char* kHex = "0123456789abcdef";
+  u64 h = fnv1a64(key);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+bool ResultStore::open(const std::string& dir, std::string* err) {
+  std::string e;
+  if (!make_dirs(dir + "/objects", &e) || !make_dirs(dir + "/quarantine", &e) ||
+      !make_dirs(dir + "/campaigns", &e)) {
+    if (err != nullptr) *err = "store: " + e;
+    return false;
+  }
+  const std::string fmt_path = dir + "/format.json";
+  std::string text;
+  if (read_file(fmt_path, &text, nullptr)) {
+    json::Value v;
+    if (!json::parse(text, &v) || !v.is_object()) {
+      if (err != nullptr) {
+        *err = "store: " + fmt_path + " is unreadable (corrupt store root?)";
+      }
+      return false;
+    }
+    const u64 fmt = v.get_u64("format");
+    if (fmt > kFormatVersion) {
+      if (err != nullptr) {
+        *err = "store: " + dir + " uses future format " + std::to_string(fmt) +
+               " (this build understands " + std::to_string(kFormatVersion) +
+               ")";
+      }
+      return false;
+    }
+  } else {
+    json::Value v = json::Value::object();
+    v.set("schema", json::Value::of_str("fireguard/store/v1"));
+    v.set("format", json::Value::of(kFormatVersion));
+    if (!write_file_atomic(fmt_path, json::dump(v, 2) + "\n", &e)) {
+      if (err != nullptr) *err = "store: " + e;
+      return false;
+    }
+  }
+  dir_ = dir;
+  return true;
+}
+
+std::string ResultStore::entry_path(const std::string& key) const {
+  const std::string h = hash_hex(key);
+  return objects_dir() + "/" + h.substr(0, 2) + "/" + h + ".json";
+}
+
+bool ResultStore::put(const std::string& key, const std::string& payload,
+                      std::string* err) {
+  const std::string path = entry_path(key);
+  json::Value v = json::Value::object();
+  v.set("format", json::Value::of(kFormatVersion));
+  v.set("checksum", json::Value::of_str(hash_hex(payload)));
+  v.set("key", json::Value::of_str(key));
+  v.set("payload", json::Value::of_str(payload));
+  std::string e;
+  const std::string parent = path.substr(0, path.rfind('/'));
+  if (!make_dirs(parent, &e) ||
+      !write_file_atomic(path, json::dump(v), &e)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.publish_failures;
+    if (err != nullptr) *err = "store: " + e;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.publishes;
+  return true;
+}
+
+ResultStore::Validity ResultStore::validate_entry(
+    const std::string& text, const std::string* expect_key,
+    const std::string& expect_hash, std::string* payload,
+    std::string* reason) const {
+  json::Value v;
+  if (!json::parse(text, &v) || !v.is_object()) {
+    *reason = "parse";
+    return Validity::kCorrupt;
+  }
+  const json::Value* fmt = v.get("format");
+  if (fmt == nullptr || fmt->kind != json::Value::Kind::kNumber ||
+      fmt->num != kFormatVersion) {
+    *reason = "format";
+    return Validity::kCorrupt;
+  }
+  const json::Value* key = v.get("key");
+  const json::Value* sum = v.get("checksum");
+  const json::Value* pay = v.get("payload");
+  if (key == nullptr || sum == nullptr || pay == nullptr ||
+      key->kind != json::Value::Kind::kString ||
+      sum->kind != json::Value::Kind::kString ||
+      pay->kind != json::Value::Kind::kString) {
+    *reason = "field";
+    return Validity::kCorrupt;
+  }
+  if (sum->str != hash_hex(pay->str)) {
+    *reason = "checksum";
+    return Validity::kCorrupt;
+  }
+  if (expect_key != nullptr) {
+    if (key->str != *expect_key) return Validity::kWrongKey;
+  } else if (hash_hex(key->str) != expect_hash) {
+    // Audit path: the entry's address must be the hash of its stored key,
+    // or a stray copy/rename put a valid entry at the wrong address.
+    *reason = "address";
+    return Validity::kCorrupt;
+  }
+  *payload = pay->str;
+  return Validity::kValid;
+}
+
+void ResultStore::quarantine(const std::string& path,
+                             const std::string& reason) {
+  std::string e;
+  (void)make_dirs(quarantine_dir(), &e);
+  const std::string base = path.substr(path.rfind('/') + 1);
+  // First free slot: repeated corruption of the same entry keeps every
+  // generation of evidence.
+  for (int n = 0; n < 1000; ++n) {
+    // Built by append, not chained operator+ (GCC 12's -Wrestrict false
+    // positive on rvalue string concatenation, PR105329).
+    std::string dst = quarantine_dir();
+    dst += '/';
+    dst += base;
+    dst += '.';
+    dst += reason;
+    if (n > 0) {
+      dst += '.';
+      dst += std::to_string(n);
+    }
+    if (file_exists(dst)) continue;
+    if (rename_file(path, dst, &e)) break;
+    // Rename refused (injected fault or cross-device): fall back to
+    // removing the corrupt entry so it can never be loaded.
+    remove_file(path);
+    break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.quarantined;
+}
+
+ResultStore::GetStatus ResultStore::get(const std::string& key,
+                                        std::string* payload) {
+  payload->clear();
+  const std::string path = entry_path(key);
+  std::string text;
+  if (!file_exists(path) || !read_file(path, &text, nullptr)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return GetStatus::kMiss;
+  }
+  std::string reason;
+  switch (validate_entry(text, &key, "", payload, &reason)) {
+    case Validity::kValid: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hits;
+      return GetStatus::kHit;
+    }
+    case Validity::kWrongKey: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.collisions;
+      ++stats_.misses;
+      return GetStatus::kMiss;
+    }
+    case Validity::kCorrupt:
+      break;
+  }
+  quarantine(path, reason);
+  payload->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return GetStatus::kMiss;
+}
+
+bool ResultStore::contains(const std::string& key) {
+  std::string payload;
+  return get(key, &payload) == GetStatus::kHit;
+}
+
+bool ResultStore::audit(AuditReport* report, std::string* err) {
+  *report = AuditReport{};
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const fs::directory_entry& shard :
+       fs::directory_iterator(objects_dir(), ec)) {
+    if (!shard.is_directory()) continue;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(shard.path(), ec)) {
+      const std::string path = entry.path().string();
+      // Skip temp files a crashed publisher left behind — they were never
+      // published and are invisible to get().
+      if (path.size() < 5 || path.compare(path.size() - 5, 5, ".json") != 0) {
+        continue;
+      }
+      ++report->entries;
+      std::string text;
+      if (!read_file(path, &text, nullptr)) {
+        quarantine(path, "unreadable");
+        ++report->quarantined;
+        continue;
+      }
+      const std::string base = entry.path().stem().string();  // hash16
+      std::string payload, reason;
+      switch (validate_entry(text, nullptr, base, &payload, &reason)) {
+        case Validity::kValid:
+          ++report->ok;
+          break;
+        case Validity::kWrongKey:  // unreachable on the audit path
+        case Validity::kCorrupt:
+          quarantine(path, reason);
+          ++report->quarantined;
+          break;
+      }
+    }
+  }
+  if (ec) {
+    if (err != nullptr) *err = "store: audit walk failed: " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+StoreStats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace fg::store

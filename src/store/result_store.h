@@ -1,0 +1,112 @@
+// Disk-backed, content-addressed result store.
+//
+// Maps a canonical key string (for experiment results: the canonical
+// serialized ExperimentSpec, which PR 5 made bit-exact — equal specs ⇔
+// equal strings) to an opaque payload (the outcome JSON). This is the
+// durable generalization of the in-memory BaselineCache: once a point has
+// been simulated and published, no process ever simulates it again — a
+// crash, OOM kill, or power cut between campaigns costs only the points not
+// yet published.
+//
+// Durability contract:
+//  * Publishes are atomic (unique temp sibling + fsync + rename via
+//    store::write_file_atomic): a reader — concurrent or after a crash —
+//    sees the old entry or the new one, never a mix.
+//  * Every entry carries a format version and a checksum of its payload.
+//    A truncated, bit-flipped, stale-format, or otherwise unparsable entry
+//    is DETECTED on load, moved aside into quarantine/ (evidence, not
+//    destruction), and reported as a miss so the caller recomputes — a
+//    corrupt entry is never loaded as a result.
+//  * Keys are addressed by a 64-bit FNV-1a hash of the canonical key, but
+//    the full key is stored inside the entry and verified on load: a hash
+//    collision reads as a miss (and the later publish overwrites), never as
+//    the wrong experiment's result.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace fg::store {
+
+/// FNV-1a 64-bit over the bytes of `s`.
+u64 fnv1a64(const std::string& s);
+
+/// 16-char lowercase-hex FNV-1a hash — the store's address form.
+std::string hash_hex(const std::string& key);
+
+struct StoreStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 collisions = 0;   // valid entry, different key (hash collision)
+  u64 quarantined = 0;  // corrupt entries moved aside by get()/audit()
+  u64 publishes = 0;
+  u64 publish_failures = 0;
+};
+
+class ResultStore {
+ public:
+  /// Entry format version. Entries with any other version are quarantined
+  /// on load (stale format = recompute, never misinterpret).
+  static constexpr u64 kFormatVersion = 1;
+
+  ResultStore() = default;
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Open (creating the layout if needed): dir/format.json, dir/objects/,
+  /// dir/quarantine/, dir/campaigns/. Fails when the directory cannot be
+  /// created/written or dir/format.json announces a future store format.
+  bool open(const std::string& dir, std::string* err);
+  bool is_open() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Atomic, checksummed publish of `payload` under `key`. Thread- and
+  /// process-safe: concurrent publishers of the same key each write a
+  /// unique temp and the last rename wins (deterministic payloads make the
+  /// race harmless).
+  bool put(const std::string& key, const std::string& payload,
+           std::string* err);
+
+  /// Validated load. kMiss covers: absent entry, hash collision (an entry
+  /// for a different key), and corrupt entries — which are additionally
+  /// quarantined before returning.
+  enum class GetStatus { kHit, kMiss };
+  GetStatus get(const std::string& key, std::string* payload);
+  bool contains(const std::string& key);
+
+  /// Validate every entry in objects/ (checksum + format + address match).
+  /// Corrupt entries are quarantined. `ok` counts clean entries.
+  struct AuditReport {
+    u64 entries = 0;
+    u64 ok = 0;
+    u64 quarantined = 0;
+  };
+  bool audit(AuditReport* report, std::string* err);
+
+  StoreStats stats() const;
+
+  /// objects/<hh>/<hash16>.json for this key.
+  std::string entry_path(const std::string& key) const;
+  std::string objects_dir() const { return dir_ + "/objects"; }
+  std::string quarantine_dir() const { return dir_ + "/quarantine"; }
+  std::string campaigns_dir() const { return dir_ + "/campaigns"; }
+
+ private:
+  enum class Validity { kValid, kWrongKey, kCorrupt };
+  /// Parse + verify one entry text. On kValid fills *payload; on kCorrupt
+  /// fills *reason with a short slug (parse/format/checksum/field).
+  /// `expect_key == nullptr` checks the address (hash of the stored key)
+  /// against `expect_hash` instead — the audit path.
+  Validity validate_entry(const std::string& text, const std::string* expect_key,
+                          const std::string& expect_hash, std::string* payload,
+                          std::string* reason) const;
+  void quarantine(const std::string& path, const std::string& reason);
+
+  std::string dir_;
+  mutable std::mutex mu_;  // guards stats_
+  StoreStats stats_;
+};
+
+}  // namespace fg::store

@@ -1,0 +1,308 @@
+// Campaign runner tests: the crash-safe contract end to end. A campaign
+// killed at any instant resumes bit-identical with zero re-simulation;
+// corrupt store entries are recomputed; hung points are watchdog-killed and
+// retried; crashing points cost one attempt, not the campaign. Every fault
+// here is injected deterministically via store/faultfs.h.
+#include "src/api/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/store/faultfs.h"
+
+namespace fg::api {
+namespace {
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store::fault_clear();
+    dir_ = testing::TempDir() + "campaign_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // stale stores from prior runs
+  }
+  void TearDown() override { store::fault_clear(); }
+
+  // A fast sweep-free spec (~800 instructions); add axes per test.
+  static ExperimentSpec tiny_spec(const std::string& name) {
+    ExperimentSpec spec = default_spec();
+    spec.name = name;
+    spec.sweep.clear();
+    std::string err;
+    EXPECT_TRUE(apply_set(&spec, "trace_len", "800", &err)) << err;
+    return spec;
+  }
+
+  static void configure_fault(const std::string& text) {
+    store::FaultConfig cfg;
+    std::string err;
+    ASSERT_TRUE(store::parse_fault_spec(text, &cfg, &err)) << err;
+    store::fault_configure(cfg);
+  }
+
+  CampaignConfig quick_cfg(const std::string& store_subdir) {
+    CampaignConfig cfg;
+    cfg.store_dir = dir_ + "/" + store_subdir;
+    cfg.with_baseline = false;
+    cfg.isolate = false;
+    cfg.backoff_ms = 1;  // keep injected-retry tests fast
+    return cfg;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CampaignTest, KeysSeparateBaselinePolicyAndSpec) {
+  const ExperimentSpec a = tiny_spec("a");
+  ExperimentSpec b = tiny_spec("a");
+  std::string err;
+  ASSERT_TRUE(apply_set(&b, "seed", "99", &err));
+
+  EXPECT_NE(result_key(a, true), result_key(a, false));
+  EXPECT_NE(result_key(a, false), result_key(b, false));
+  EXPECT_EQ(result_key(a, false), result_key(tiny_spec("a"), false));
+  // For a baseline-mode spec the flag is inert and must not split entries.
+  ExperimentSpec base = tiny_spec("a");
+  ASSERT_TRUE(apply_set(&base, "mode", "baseline", &err));
+  EXPECT_EQ(result_key(base, true), result_key(base, false));
+
+  const std::string hash = campaign_hash(a, true);
+  EXPECT_EQ(hash.size(), 16u);
+  EXPECT_EQ(hash.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_NE(hash, campaign_hash(a, false));
+}
+
+TEST_F(CampaignTest, OutcomePayloadZeroesNondeterministicFields) {
+  const GridPoint point{"p", tiny_spec("payload")};
+  PointExecutor exec(/*with_baseline=*/false);
+  RunOutcome o = exec.execute(point);
+  RunOutcome o2 = o;
+  o2.wall_ms = 1234.5;  // the machine-dependent fields must not leak into
+  o2.snapshot.invariant_checks = 7;     // the durable payload
+  o2.snapshot.invariant_violations = 1;
+  EXPECT_EQ(outcome_payload(o), outcome_payload(o2));
+  EXPECT_NE(outcome_payload(o).find("\"cycles\""), std::string::npos);
+}
+
+TEST_F(CampaignTest, RunPublishesAndResumeServesFromStore) {
+  ExperimentSpec spec = tiny_spec("resume");
+  spec.sweep = {{"seed", {"1", "2", "3"}}, {"engines", {"2", "4"}}};
+  CampaignConfig cfg = quick_cfg("store");
+  cfg.with_baseline = true;  // exercise the durable baseline hooks too
+
+  CampaignRunner first(spec, cfg);
+  std::string err;
+  ASSERT_TRUE(first.run(&err)) << err;
+  EXPECT_EQ(first.stats().points, 6u);
+  EXPECT_EQ(first.stats().executed, 6u);
+  EXPECT_EQ(first.stats().from_store, 0u);
+  EXPECT_EQ(first.stats().failed, 0u);
+  for (const std::string& p : first.payloads()) EXPECT_FALSE(p.empty());
+
+  // Same spec, same store: everything is served from disk, nothing runs.
+  CampaignRunner second(spec, cfg);
+  size_t cache_events = 0;
+  second.on_event([&](const CampaignRunner::Event& ev) {
+    cache_events += std::string(ev.what) == "cache" ? 1 : 0;
+  });
+  ASSERT_TRUE(second.run(&err)) << err;
+  EXPECT_EQ(second.stats().from_store, 6u);
+  EXPECT_EQ(second.stats().executed, 0u);
+  EXPECT_EQ(cache_events, 6u);
+  EXPECT_EQ(second.payloads(), first.payloads());
+}
+
+#if !defined(_WIN32)
+TEST_F(CampaignTest, IsolateAndInProcessAreBitIdentical) {
+  ExperimentSpec spec = tiny_spec("modes");
+  spec.sweep = {{"seed", {"5", "6"}}, {"kernel", {"pmc", "asan"}}};
+  std::string err;
+
+  CampaignConfig in_proc = quick_cfg("store_inproc");
+  in_proc.with_baseline = true;
+  CampaignRunner a(spec, in_proc);
+  ASSERT_TRUE(a.run(&err)) << err;
+
+  CampaignConfig isolated = quick_cfg("store_isolated");
+  isolated.with_baseline = true;
+  isolated.isolate = true;
+  CampaignRunner b(spec, isolated);
+  ASSERT_TRUE(b.run(&err)) << err;
+
+  EXPECT_EQ(a.stats().executed, 4u);
+  EXPECT_EQ(b.stats().executed, 4u);
+  EXPECT_EQ(a.payloads(), b.payloads());
+}
+#endif
+
+// The acceptance drill: a 200-point campaign killed dead mid-run (injected
+// crash = _Exit at point 100, same observable effect as SIGKILL: no
+// destructors, no flushes beyond what already hit the disk) resumes with
+// zero re-simulation of the published points and a bit-identical result
+// set.
+TEST_F(CampaignTest, KilledCampaignResumesBitIdenticalWithZeroReruns) {
+  ExperimentSpec spec = tiny_spec("kill200");
+  std::vector<std::string> seeds;
+  for (int s = 1; s <= 50; ++s) seeds.push_back(std::to_string(s));
+  spec.sweep = {{"seed", seeds},
+                {"kernel", {"pmc", "asan"}},
+                {"engines", {"2", "4"}}};
+  const CampaignConfig cfg = quick_cfg("store");
+  std::string err;
+
+  CampaignRunner first(spec, cfg);
+  ASSERT_TRUE(first.init(&err)) << err;
+  ASSERT_EQ(first.points().size(), 200u);
+  configure_fault("crash@point:100");
+  EXPECT_EXIT(first.run(&err),
+              ::testing::ExitedWithCode(store::kFaultCrashExit),
+              "injected crash at point 100");
+  store::fault_clear();
+
+  CampaignRunner resumed(spec, cfg);
+  size_t cache_events = 0;
+  resumed.on_event([&](const CampaignRunner::Event& ev) {
+    cache_events += std::string(ev.what) == "cache" ? 1 : 0;
+  });
+  ASSERT_TRUE(resumed.run(&err)) << err;
+  // Points 0..99 were published before the kill: all served from the store.
+  EXPECT_EQ(resumed.stats().from_store, 100u);
+  EXPECT_EQ(cache_events, 100u);
+  EXPECT_EQ(resumed.stats().executed, 100u);
+  EXPECT_EQ(resumed.stats().failed, 0u);
+  // The journal replay credits the killed run's attempt on point 100.
+  EXPECT_EQ(resumed.journal().points()[100].attempts, 2u);
+
+  // Bit-identity: each payload — whether computed before the kill, or after
+  // the resume — equals an independent direct execution of that point.
+  PointExecutor exec(/*with_baseline=*/false);
+  for (const u32 i : {0u, 99u, 100u, 199u}) {
+    EXPECT_EQ(resumed.payloads()[i],
+              outcome_payload(exec.execute(resumed.points()[i])))
+        << "point " << i;
+  }
+  for (const std::string& p : resumed.payloads()) EXPECT_FALSE(p.empty());
+}
+
+TEST_F(CampaignTest, CorruptEntryIsQuarantinedAndRecomputed) {
+  ExperimentSpec spec = tiny_spec("corrupt");
+  spec.sweep = {{"seed", {"1", "2", "3"}}};
+  const CampaignConfig cfg = quick_cfg("store");
+  std::string err;
+
+  CampaignRunner first(spec, cfg);
+  ASSERT_TRUE(first.run(&err)) << err;
+  const std::vector<std::string> golden = first.payloads();
+
+  // Flip bits in point 1's entry on disk.
+  const std::string path =
+      first.result_store().entry_path(first.point_key(1));
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fputs("XXXX", f);
+  std::fclose(f);
+
+  CampaignRunner again(spec, cfg);
+  ASSERT_TRUE(again.run(&err)) << err;
+  EXPECT_EQ(again.stats().from_store, 2u);
+  EXPECT_EQ(again.stats().executed, 1u) << "the corrupt entry must recompute";
+  EXPECT_EQ(again.stats().failed, 0u);
+  EXPECT_EQ(again.payloads(), golden) << "recompute must be bit-identical";
+  EXPECT_GE(again.result_store().stats().quarantined, 1u);
+}
+
+#if !defined(_WIN32)
+TEST_F(CampaignTest, WatchdogKillsHungPointAndRetrySucceeds) {
+  ExperimentSpec spec = tiny_spec("hang");
+  spec.sweep = {{"seed", {"1", "2"}}};
+  CampaignConfig cfg = quick_cfg("store");
+  cfg.isolate = true;
+  cfg.point_timeout_s = 0.3;
+  cfg.max_attempts = 2;
+  // Point 0 hangs 30 s on its first attempt; the watchdog must SIGKILL it
+  // long before that and the retry runs clean.
+  configure_fault("hang@point:0:30000");
+
+  CampaignRunner runner(spec, cfg);
+  std::string err;
+  ASSERT_TRUE(runner.run(&err)) << err;
+  EXPECT_EQ(runner.stats().executed, 2u);
+  EXPECT_EQ(runner.stats().failed, 0u);
+  EXPECT_EQ(runner.stats().timeouts, 1u);
+  EXPECT_EQ(runner.stats().retries, 1u);
+  for (const std::string& p : runner.payloads()) EXPECT_FALSE(p.empty());
+}
+
+TEST_F(CampaignTest, CrashingPointCostsOneAttemptNotTheCampaign) {
+  ExperimentSpec spec = tiny_spec("contained");
+  spec.sweep = {{"seed", {"1", "2"}}};
+  CampaignConfig cfg = quick_cfg("store");
+  cfg.isolate = true;  // the crash lands in a forked child
+  configure_fault("crash@point:1");
+
+  CampaignRunner runner(spec, cfg);
+  std::string err;
+  ASSERT_TRUE(runner.run(&err)) << err;
+  EXPECT_EQ(runner.stats().executed, 2u);
+  EXPECT_EQ(runner.stats().failed, 0u);
+  EXPECT_EQ(runner.stats().retries, 1u);
+}
+#endif
+
+TEST_F(CampaignTest, TornPublishIsRetriedAndSucceeds) {
+  const ExperimentSpec spec = tiny_spec("torn");  // one point, no sweep
+  CampaignConfig cfg = quick_cfg("store");
+  cfg.max_attempts = 2;
+
+  CampaignRunner runner(spec, cfg);
+  std::string err;
+  // init() first: the store's own format.json write must not consume the
+  // injected ordinal (fault_configure resets the op counters).
+  ASSERT_TRUE(runner.init(&err)) << err;
+  configure_fault("torn@write:1");
+  ASSERT_TRUE(runner.run(&err)) << err;
+  store::fault_clear();
+  EXPECT_EQ(runner.stats().executed, 1u);
+  EXPECT_EQ(runner.stats().retries, 1u);
+  EXPECT_EQ(runner.stats().failed, 0u);
+  std::string payload;
+  EXPECT_EQ(runner.result_store().get(runner.point_key(0), &payload),
+            store::ResultStore::GetStatus::kHit);
+  EXPECT_EQ(payload, runner.payloads()[0]);
+}
+
+TEST_F(CampaignTest, AttemptsExhaustedRecordsFailedPoint) {
+  ExperimentSpec spec = tiny_spec("permafail");
+  spec.sweep = {{"seed", {"1", "2"}}};
+  CampaignConfig cfg = quick_cfg("store");
+  cfg.max_attempts = 2;
+  configure_fault("fail@point:0x99");  // every attempt of point 0 fails
+
+  CampaignRunner runner(spec, cfg);
+  std::string err;
+  ASSERT_TRUE(runner.run(&err)) << err;  // env ok; failure is per-point
+  EXPECT_EQ(runner.stats().failed, 1u);
+  EXPECT_EQ(runner.stats().retries, 1u);
+  EXPECT_EQ(runner.stats().executed, 1u);
+  EXPECT_TRUE(runner.payloads()[0].empty());
+  EXPECT_FALSE(runner.payloads()[1].empty());
+  EXPECT_TRUE(runner.journal().points()[0].failed);
+
+  // A later campaign (fault gone) completes the failed point.
+  store::fault_clear();
+  CampaignRunner again(spec, cfg);
+  ASSERT_TRUE(again.run(&err)) << err;
+  EXPECT_EQ(again.stats().from_store, 1u);
+  EXPECT_EQ(again.stats().executed, 1u);
+  EXPECT_EQ(again.stats().failed, 0u);
+  EXPECT_FALSE(again.journal().points()[0].failed)
+      << "a successful retry must clear the journal's failure mark";
+}
+
+}  // namespace
+}  // namespace fg::api

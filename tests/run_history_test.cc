@@ -170,5 +170,42 @@ TEST(RunHistory, StatusNamesAreStable) {
   EXPECT_STREQ(history_status_name(HistoryStatus::kMalformed), "malformed");
 }
 
+// --- corrupt-history quarantine -------------------------------------------
+//
+// simspeed recovers from a malformed history by moving it aside (never
+// silently overwriting the evidence) and starting fresh; these pin the
+// quarantine helper that recovery rests on.
+
+TEST(RunHistory, QuarantineMovesFileAside) {
+  const std::string path = temp_file("fg_hist_quarantine.json");
+  write_file(path, "truncated garb");
+  const std::string dst = quarantine_history(path);
+  EXPECT_EQ(dst, path + ".corrupt");
+  EXPECT_FALSE(std::filesystem::exists(path));
+  ASSERT_TRUE(std::filesystem::exists(dst));
+  // The evidence is preserved byte for byte.
+  std::ifstream in(dst);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, "truncated garb");
+  std::filesystem::remove(dst);
+}
+
+TEST(RunHistory, QuarantineReplacesPreviousQuarantine) {
+  const std::string path = temp_file("fg_hist_requarantine.json");
+  write_file(path + ".corrupt", "older corruption");
+  write_file(path, "newer corruption");
+  EXPECT_EQ(quarantine_history(path), path + ".corrupt");
+  std::ifstream in(path + ".corrupt");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, "newer corruption");
+  std::filesystem::remove(path + ".corrupt");
+}
+
+TEST(RunHistory, QuarantineOfMissingFileFailsCleanly) {
+  EXPECT_EQ(quarantine_history(temp_file("fg_hist_never_existed.json")), "");
+}
+
 }  // namespace
 }  // namespace fg

@@ -1,0 +1,354 @@
+// Durability tests for the content-addressed ResultStore and the campaign
+// journal: atomic publish, corruption quarantine (truncated / bit-flipped /
+// stale-format entries detected, moved aside, never loaded), hash-collision
+// safety, audit, and the journal's torn-tail-tolerant replay.
+#include "src/store/result_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/store/faultfs.h"
+#include "src/store/journal.h"
+
+namespace fg::store {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault_clear();
+    dir_ = testing::TempDir() + "store_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // stale state from prior runs
+    std::string err;
+    ASSERT_TRUE(make_dirs(dir_, &err)) << err;
+    ASSERT_TRUE(store_.open(dir_ + "/store", &err)) << err;
+  }
+  void TearDown() override { fault_clear(); }
+
+  // Rewrite an entry file in place, bypassing the store (simulated disk
+  // corruption: the atomic writer can never produce these states itself).
+  static void clobber(const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+    std::fclose(f);
+  }
+
+  static std::string read_or_die(const std::string& path) {
+    std::string text, err;
+    EXPECT_TRUE(read_file(path, &text, &err)) << err;
+    return text;
+  }
+
+  std::string dir_;
+  ResultStore store_;
+};
+
+TEST_F(StoreTest, PutGetRoundtrip) {
+  const std::string key = "fireguard/outcome/v1|spec-a";
+  std::string payload;
+  EXPECT_EQ(store_.get(key, &payload), ResultStore::GetStatus::kMiss);
+  std::string err;
+  ASSERT_TRUE(store_.put(key, "payload-a", &err)) << err;
+  ASSERT_EQ(store_.get(key, &payload), ResultStore::GetStatus::kHit);
+  EXPECT_EQ(payload, "payload-a");
+  EXPECT_TRUE(store_.contains(key));
+  // Re-publish overwrites atomically.
+  ASSERT_TRUE(store_.put(key, "payload-b", &err));
+  ASSERT_EQ(store_.get(key, &payload), ResultStore::GetStatus::kHit);
+  EXPECT_EQ(payload, "payload-b");
+  const StoreStats s = store_.stats();
+  EXPECT_EQ(s.publishes, 2u);
+  EXPECT_EQ(s.hits, 3u);  // contains() is a get
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.quarantined, 0u);
+}
+
+TEST_F(StoreTest, ReopenSeesPublishedEntries) {
+  std::string err;
+  ASSERT_TRUE(store_.put("key", "durable", &err));
+  ResultStore other;
+  ASSERT_TRUE(other.open(dir_ + "/store", &err)) << err;
+  std::string payload;
+  ASSERT_EQ(other.get("key", &payload), ResultStore::GetStatus::kHit);
+  EXPECT_EQ(payload, "durable");
+}
+
+// A hash collision must read as a miss for the colliding key — never as the
+// wrong experiment's result. Real 64-bit collisions are impractical to
+// construct, so plant key A's (valid) entry at key B's address.
+TEST_F(StoreTest, CollisionReadsAsMissNotWrongResult) {
+  std::string err;
+  ASSERT_TRUE(store_.put("key-a", "payload-a", &err));
+  const std::string text = read_or_die(store_.entry_path("key-a"));
+  const std::string b_path = store_.entry_path("key-b");
+  ASSERT_TRUE(make_dirs(b_path.substr(0, b_path.rfind('/')), &err));
+  clobber(b_path, text);
+
+  std::string payload;
+  EXPECT_EQ(store_.get("key-b", &payload), ResultStore::GetStatus::kMiss);
+  EXPECT_TRUE(payload.empty());
+  EXPECT_EQ(store_.stats().collisions, 1u);
+  // The colliding entry is evidence of a collision, not corruption: it
+  // stays in place (a later put of key-b overwrites it).
+  EXPECT_TRUE(file_exists(b_path));
+  EXPECT_EQ(store_.stats().quarantined, 0u);
+  ASSERT_TRUE(store_.put("key-b", "payload-b", &err));
+  ASSERT_EQ(store_.get("key-b", &payload), ResultStore::GetStatus::kHit);
+  EXPECT_EQ(payload, "payload-b");
+}
+
+struct CorruptionCase {
+  const char* name;
+  std::string (*mutate)(const std::string& text);
+};
+
+// The quarantine trio from the issue: truncated entry, flipped payload bit
+// (checksum mismatch), stale format version. Each must be detected on load,
+// moved into quarantine/, reported as a miss, and recomputable.
+TEST_F(StoreTest, CorruptEntriesAreQuarantinedAndRecomputed) {
+  const CorruptionCase cases[] = {
+      {"truncated",
+       [](const std::string& t) { return t.substr(0, t.size() / 2); }},
+      {"bitflip",
+       [](const std::string& t) {
+         std::string out = t;
+         const size_t at = out.find("precious");
+         EXPECT_NE(at, std::string::npos);
+         out[at] ^= 0x1;
+         return out;
+       }},
+      {"stale_format",
+       [](const std::string& t) {
+         std::string out = t;
+         const size_t at = out.find("\"format\":1");
+         EXPECT_NE(at, std::string::npos);
+         out.replace(at, 10, "\"format\":9");
+         return out;
+       }},
+  };
+  u64 quarantined = 0;
+  for (const CorruptionCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string key = std::string("key-") + c.name;
+    std::string err;
+    ASSERT_TRUE(store_.put(key, "precious-result", &err));
+    const std::string path = store_.entry_path(key);
+    clobber(path, c.mutate(read_or_die(path)));
+
+    std::string payload;
+    EXPECT_EQ(store_.get(key, &payload), ResultStore::GetStatus::kMiss)
+        << "a corrupt entry must never be loaded";
+    EXPECT_TRUE(payload.empty());
+    EXPECT_FALSE(file_exists(path)) << "corrupt entry left at its address";
+    EXPECT_EQ(store_.stats().quarantined, ++quarantined);
+
+    // Recompute path: the next publish repopulates the same address.
+    ASSERT_TRUE(store_.put(key, "precious-result", &err));
+    ASSERT_EQ(store_.get(key, &payload), ResultStore::GetStatus::kHit);
+    EXPECT_EQ(payload, "precious-result");
+  }
+}
+
+TEST_F(StoreTest, FutureStoreFormatRefusesToOpen) {
+  const std::string dir = dir_ + "/future";
+  std::string err;
+  ASSERT_TRUE(make_dirs(dir, &err));
+  ASSERT_TRUE(write_file_atomic(dir + "/format.json",
+                                "{\"format\":99,\"schema\":\"x\"}\n", &err));
+  ResultStore s;
+  EXPECT_FALSE(s.open(dir, &err));
+  EXPECT_NE(err.find("future format"), std::string::npos) << err;
+  EXPECT_FALSE(s.is_open());
+}
+
+TEST_F(StoreTest, AuditCountsAndQuarantines) {
+  std::string err;
+  ASSERT_TRUE(store_.put("audit-a", "pa", &err));
+  ASSERT_TRUE(store_.put("audit-b", "pb", &err));
+  ASSERT_TRUE(store_.put("audit-c", "pc", &err));
+  // Corrupt one entry on disk.
+  const std::string bad = store_.entry_path("audit-b");
+  clobber(bad, "not json at all");
+  // A crashed publisher's leftover temp must be skipped, not counted.
+  const std::string tmp = store_.entry_path("audit-a") + ".tmp.999.0";
+  clobber(tmp, "half-written");
+  // A valid entry parked at the wrong address (stray copy): quarantined.
+  const std::string stray =
+      store_.objects_dir() + "/de/deadbeefdeadbeef.json";
+  ASSERT_TRUE(make_dirs(store_.objects_dir() + "/de", &err));
+  clobber(stray, read_or_die(store_.entry_path("audit-c")));
+
+  ResultStore::AuditReport report;
+  ASSERT_TRUE(store_.audit(&report, &err)) << err;
+  EXPECT_EQ(report.entries, 4u);  // 3 real + 1 stray; temp skipped
+  EXPECT_EQ(report.ok, 2u);
+  EXPECT_EQ(report.quarantined, 2u);
+  EXPECT_FALSE(file_exists(bad));
+  EXPECT_FALSE(file_exists(stray));
+  EXPECT_TRUE(file_exists(tmp)) << "audit must not touch temp files";
+
+  std::string payload;
+  EXPECT_EQ(store_.get("audit-a", &payload), ResultStore::GetStatus::kHit);
+  EXPECT_EQ(store_.get("audit-c", &payload), ResultStore::GetStatus::kHit);
+  EXPECT_EQ(store_.get("audit-b", &payload), ResultStore::GetStatus::kMiss);
+}
+
+TEST_F(StoreTest, QuarantineKeepsEveryGeneration) {
+  std::string err, payload;
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(store_.put("flappy", "value", &err));
+    clobber(store_.entry_path("flappy"), "garbage");
+    EXPECT_EQ(store_.get("flappy", &payload), ResultStore::GetStatus::kMiss);
+  }
+  // Three corruptions of the same address → three evidence files.
+  const std::string base =
+      store_.entry_path("flappy").substr(
+          store_.entry_path("flappy").rfind('/') + 1);
+  EXPECT_TRUE(file_exists(store_.quarantine_dir() + "/" + base + ".parse"));
+  EXPECT_TRUE(file_exists(store_.quarantine_dir() + "/" + base + ".parse.1"));
+  EXPECT_TRUE(file_exists(store_.quarantine_dir() + "/" + base + ".parse.2"));
+}
+
+// A crash at the worst instant of a re-publish (temp durable, rename
+// pending) must leave the previous entry fully intact.
+TEST_F(StoreTest, CrashMidPublishLeavesOldEntryIntact) {
+  std::string err;
+  ASSERT_TRUE(store_.put("crashy", "old-value", &err));
+  FaultConfig cfg;
+  ASSERT_TRUE(parse_fault_spec("crash@write:1", &cfg, &err)) << err;
+  fault_configure(cfg);
+  EXPECT_EXIT(store_.put("crashy", "new-value", &err),
+              ::testing::ExitedWithCode(kFaultCrashExit), "injected crash");
+  fault_clear();
+  std::string payload;
+  ASSERT_EQ(store_.get("crashy", &payload), ResultStore::GetStatus::kHit);
+  EXPECT_EQ(payload, "old-value");
+  // The crashed publisher's temp is invisible to the audit.
+  ResultStore::AuditReport report;
+  ASSERT_TRUE(store_.audit(&report, &err)) << err;
+  EXPECT_EQ(report.entries, 1u);
+  EXPECT_EQ(report.ok, 1u);
+}
+
+TEST_F(StoreTest, TornPublishReportsFailureAndKeepsOldEntry) {
+  std::string err;
+  ASSERT_TRUE(store_.put("torny", "old-value", &err));
+  FaultConfig cfg;
+  ASSERT_TRUE(parse_fault_spec("torn@write:1", &cfg, &err)) << err;
+  fault_configure(cfg);
+  EXPECT_FALSE(store_.put("torny", "new-value", &err));
+  fault_clear();
+  EXPECT_EQ(store_.stats().publish_failures, 1u);
+  std::string payload;
+  ASSERT_EQ(store_.get("torny", &payload), ResultStore::GetStatus::kHit);
+  EXPECT_EQ(payload, "old-value");
+}
+
+// --- campaign journal ------------------------------------------------------
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault_clear();
+    dir_ = testing::TempDir() + "journal_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::string err;
+    ASSERT_TRUE(make_dirs(dir_, &err)) << err;
+    path_ = dir_ + "/c.journal";
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(JournalTest, ReplayRestoresPointState) {
+  {
+    CampaignJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(path_, "aaaabbbbccccdddd", 4, &err)) << err;
+    ASSERT_TRUE(j.record_begin(0, 0));
+    ASSERT_TRUE(j.record_done(0, /*cached=*/false));
+    ASSERT_TRUE(j.record_begin(1, 0));
+    ASSERT_TRUE(j.record_failed(1, "timeout after 3s"));
+    ASSERT_TRUE(j.record_done(2, /*cached=*/true));
+  }
+  CampaignJournal j;
+  std::string err;
+  ASSERT_TRUE(j.open(path_, "aaaabbbbccccdddd", 4, &err)) << err;
+  ASSERT_EQ(j.points().size(), 4u);
+  EXPECT_TRUE(j.points()[0].done);
+  EXPECT_FALSE(j.points()[0].cached);
+  EXPECT_EQ(j.points()[0].attempts, 1u);
+  EXPECT_TRUE(j.points()[1].failed);
+  EXPECT_FALSE(j.points()[1].done);
+  EXPECT_TRUE(j.points()[2].done);
+  EXPECT_TRUE(j.points()[2].cached);
+  EXPECT_FALSE(j.points()[3].done);
+  EXPECT_EQ(j.n_done(), 2u);
+  // fail → later done (a successful retry) clears the failure.
+  ASSERT_TRUE(j.record_done(1, false));
+  EXPECT_FALSE(j.points()[1].failed);
+}
+
+TEST_F(JournalTest, TornFinalLineIsIgnored) {
+  {
+    CampaignJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(path_, "aaaabbbbccccdddd", 3, &err)) << err;
+    ASSERT_TRUE(j.record_done(0, false));
+  }
+  // SIGKILL mid-append: the final line has no newline.
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("done 1 ru", f);  // torn — no '\n'
+  std::fclose(f);
+
+  CampaignJournal j;
+  std::string err;
+  ASSERT_TRUE(j.open(path_, "aaaabbbbccccdddd", 3, &err)) << err;
+  EXPECT_TRUE(j.points()[0].done);
+  EXPECT_FALSE(j.points()[1].done) << "a torn line must not be replayed";
+  EXPECT_EQ(j.n_done(), 1u);
+}
+
+TEST_F(JournalTest, RejectsForeignCampaignOrGridSize) {
+  {
+    CampaignJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(path_, "aaaabbbbccccdddd", 3, &err)) << err;
+  }
+  CampaignJournal j;
+  std::string err;
+  EXPECT_FALSE(j.open(path_, "0123456789abcdef", 3, &err));
+  EXPECT_NE(err.find("different campaign"), std::string::npos) << err;
+  EXPECT_FALSE(j.open(path_, "aaaabbbbccccdddd", 7, &err));
+  EXPECT_NE(err.find("grid size"), std::string::npos) << err;
+}
+
+TEST_F(JournalTest, GarbledEventsAreSkippedNotFatal) {
+  {
+    CampaignJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(path_, "aaaabbbbccccdddd", 2, &err)) << err;
+    ASSERT_TRUE(j.record_done(0, false));
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("done notanumber run\nfrobnicate 1\ndone 99 run\n", f);
+  std::fclose(f);
+  CampaignJournal j;
+  std::string err;
+  ASSERT_TRUE(j.open(path_, "aaaabbbbccccdddd", 2, &err)) << err;
+  EXPECT_EQ(j.n_done(), 1u);
+}
+
+}  // namespace
+}  // namespace fg::store

@@ -6,11 +6,26 @@
 // (fireguard-sim, simspeed, fgfuzz) are thin deprecated wrappers over these
 // same entry points.
 //
+// Exit-code contract (uniform across subcommands, stable for scripts/CI):
+//   0  success
+//   1  experiment failure: missed attacks, failed campaign points, a
+//      regression gate or store audit finding — the tool ran, the result is
+//      bad
+//   2  usage error: unknown option/command, malformed spec or --set value
+//   3  I/O error: unreadable spec file, unwritable output/store path
+// Every nonzero exit is accompanied by a one-line summary on stderr.
+//
 // Every *_main takes (argc, argv) with argv[0] being the FIRST ARGUMENT
 // (program and subcommand names already stripped by the dispatcher).
 #pragma once
 
 namespace fg::cli {
+
+// The exit-code contract above, by name.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFailure = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitIo = 3;
 
 /// `fgsim run`: one experiment, key-value summary on stdout.
 /// Accepts --spec/--set plus the legacy fireguard-sim flag set.
@@ -18,6 +33,11 @@ int run_main(int argc, char** argv);
 
 /// `fgsim sweep`: expand a spec's sweep axes and run the grid in parallel.
 int sweep_main(int argc, char** argv);
+
+/// `fgsim campaign`: run a sweep grid against a durable result store —
+/// resumable after a crash/kill, with per-point isolation, watchdog, and
+/// bounded retry.
+int campaign_main(int argc, char** argv);
 
 /// `fgsim spec`: resolve and print a spec (--schema / --keys for tooling).
 int spec_main(int argc, char** argv);

@@ -6,8 +6,9 @@
 //   $ fgsim run --kernel=asan --engines=4 --workload=x264        (legacy flags)
 //   $ fgsim run --software=asan_x86 --workload=dedup
 //
-// Exit status: 2 on a configuration error, 1 when --attacks / the spec's
-// attack plan goes undetected, 0 otherwise.
+// Exit status (the cli.h contract): 2 on a configuration error, 3 when a
+// file cannot be read or written, 1 when --attacks / the spec's attack plan
+// goes undetected, 0 otherwise.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,21 +43,23 @@ void usage() {
       "  --model=M --attacks=N --trace-len=N --seed=N --stlf --detailed-mem");
 }
 
-bool load_spec_file(const std::string& path, api::ExperimentSpec* spec) {
+/// kExitOk, or the exit code the caller should return (kExitIo for an
+/// unreadable file, kExitUsage for malformed spec JSON).
+int load_spec_file(const std::string& path, api::ExperimentSpec* spec) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "fgsim run: cannot read spec file %s\n",
                  path.c_str());
-    return false;
+    return kExitIo;
   }
   std::stringstream ss;
   ss << in.rdbuf();
   std::string err;
   if (!api::spec_from_json(ss.str(), spec, &err)) {
     std::fprintf(stderr, "fgsim run: %s: %s\n", path.c_str(), err.c_str());
-    return false;
+    return kExitUsage;
   }
-  return true;
+  return kExitOk;
 }
 
 trace::AttackKind attack_for(kernels::KernelKind k) {
@@ -102,10 +105,10 @@ int run_main(int argc, char** argv) {
       usage();
       return 0;
     } else if (arg == "--spec") {
-      if (!load_spec_file(next("--spec"), &spec)) return 2;
+      if (const int rc = load_spec_file(next("--spec"), &spec)) return rc;
       spec_loaded = true;
     } else if (eat("--spec=", &v)) {
-      if (!load_spec_file(v, &spec)) return 2;
+      if (const int rc = load_spec_file(v, &spec)) return rc;
       spec_loaded = true;
     } else if (arg == "--set") {
       v = next("--set");
@@ -224,7 +227,7 @@ int run_main(int argc, char** argv) {
     std::ofstream out(json_out);
     if (!out) {
       std::fprintf(stderr, "fgsim run: cannot write %s\n", json_out.c_str());
-      return 2;
+      return kExitIo;
     }
     out << api::outcome_json(r) << "\n";
   }

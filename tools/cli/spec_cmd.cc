@@ -84,7 +84,7 @@ int spec_main(int argc, char** argv) {
     std::ifstream in(spec_path);
     if (!in) {
       std::fprintf(stderr, "fgsim spec: cannot read %s\n", spec_path.c_str());
-      return 2;
+      return kExitIo;
     }
     std::stringstream ss;
     ss << in.rdbuf();

@@ -36,6 +36,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +52,7 @@
 #include "src/common/thread_pool.h"
 #include "src/soc/figures.h"
 #include "src/soc/sweep.h"
+#include "src/store/faultfs.h"
 
 namespace {
 
@@ -171,6 +173,28 @@ void print_sched_report(const char* name, const soc::SchedStats& s) {
               static_cast<unsigned long long>(s.drain_windows));
 }
 
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string* out, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  char small[1024];
+  const int n = std::vsnprintf(small, sizeof(small), fmt, ap);
+  va_end(ap);
+  if (n < 0) return;
+  if (static_cast<size_t>(n) < sizeof(small)) {
+    out->append(small, static_cast<size_t>(n));
+    return;
+  }
+  // Carried-forward histories can exceed the stack buffer.
+  std::vector<char> big(static_cast<size_t>(n) + 1);
+  va_start(ap, fmt);
+  std::vsnprintf(big.data(), big.size(), fmt, ap);
+  va_end(ap);
+  out->append(big.data(), static_cast<size_t>(n));
+}
+
 u64 arg_u64(const char* arg, const char* prefix, u64 fallback) {
   const size_t n = std::strlen(prefix);
   if (std::strncmp(arg, prefix, n) != 0) return fallback;
@@ -221,16 +245,29 @@ int speed_main(int argc, char** argv) {
                  "(status: %s). Run once without --check to start a history, "
                  "or fix the path.\n",
                  out_path.c_str(), history_status_name(hist_status));
-    return 1;
+    return kExitIo;
   }
   if (check) {
     FILE* probe = std::fopen(out_path.c_str(), "r+");
     if (probe == nullptr) {
       std::fprintf(stderr, "FAIL: --check output path %s is not writable\n",
                    out_path.c_str());
-      return 1;
+      return kExitIo;
     }
     std::fclose(probe);
+  }
+  if (!check && hist_status == HistoryStatus::kMalformed) {
+    // Recovery must be loud: the file exists but carries no runs[] history
+    // (truncated write, merge damage). Quarantine the evidence and start
+    // fresh rather than silently overwriting it.
+    const std::string moved = quarantine_history(out_path);
+    std::fprintf(stderr,
+                 "WARNING: %s exists but has no runs[] history (corrupt?); "
+                 "%s%s; starting a fresh history\n",
+                 out_path.c_str(),
+                 moved.empty() ? "could not move it aside"
+                               : "moved it aside to ",
+                 moved.c_str());
   }
 
   const u32 hw = std::max<u32>(1, std::thread::hardware_concurrency());
@@ -361,11 +398,6 @@ int speed_main(int argc, char** argv) {
       best_prev_pmc > 0.0 &&
       hot[0].event_speedup < kSpeedupTolerance * best_prev_pmc;
 
-  FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
   char stamp[32];
   {
     const std::time_t t = std::time(nullptr);
@@ -373,18 +405,19 @@ int speed_main(int argc, char** argv) {
     gmtime_r(&t, &tm);
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm);
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"fireguard/sim_speed/v3\",\n");
-  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(f, "  \"trace_len\": %llu,\n",
+  std::string doc;
+  appendf(&doc, "{\n");
+  appendf(&doc, "  \"schema\": \"fireguard/sim_speed/v3\",\n");
+  appendf(&doc, "  \"quick\": %s,\n", quick ? "true" : "false");
+  appendf(&doc, "  \"trace_len\": %llu,\n",
                static_cast<unsigned long long>(trace_len));
-  std::fprintf(f, "  \"jobs\": %u,\n", jobs);
-  std::fprintf(f, "  \"effective_workers\": %u,\n", effective_workers);
-  std::fprintf(f, "  \"hot_loop\": [\n");
+  appendf(&doc, "  \"jobs\": %u,\n", jobs);
+  appendf(&doc, "  \"effective_workers\": %u,\n", effective_workers);
+  appendf(&doc, "  \"hot_loop\": [\n");
   for (size_t i = 0; i < hot.size(); ++i) {
     const soc::SchedStats& s = hot[i].sched;
-    std::fprintf(
-        f,
+    appendf(
+        &doc,
         "    {\"config\": \"%s\", \"sim_cycles_per_sec\": %.0f, "
         "\"insts_per_sec\": %.0f, \"wall_ms\": %.2f, "
         "\"exact_sim_cycles_per_sec\": %.0f, \"event_speedup\": %.3f, "
@@ -394,20 +427,20 @@ int speed_main(int argc, char** argv) {
         100.0 * s.skipped_fraction(), static_cast<unsigned long long>(s.skips),
         i + 1 < hot.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"fig10_sweep\": {\n");
-  std::fprintf(f, "    \"points\": %zu,\n", parallel.n_points());
-  std::fprintf(f, "    \"serial_wall_s\": %.3f,\n", serial.wall_ms() / 1000.0);
-  std::fprintf(f, "    \"parallel_wall_s\": %.3f,\n",
+  appendf(&doc, "  ],\n");
+  appendf(&doc, "  \"fig10_sweep\": {\n");
+  appendf(&doc, "    \"points\": %zu,\n", parallel.n_points());
+  appendf(&doc, "    \"serial_wall_s\": %.3f,\n", serial.wall_ms() / 1000.0);
+  appendf(&doc, "    \"parallel_wall_s\": %.3f,\n",
                parallel.wall_ms() / 1000.0);
-  std::fprintf(f, "    \"speedup\": %.3f,\n", speedup);
-  std::fprintf(f, "    \"parallel_efficiency\": %.3f,\n", efficiency);
-  std::fprintf(f, "    \"baseline_cache_inflight_waits\": %llu,\n",
+  appendf(&doc, "    \"speedup\": %.3f,\n", speedup);
+  appendf(&doc, "    \"parallel_efficiency\": %.3f,\n", efficiency);
+  appendf(&doc, "    \"baseline_cache_inflight_waits\": %llu,\n",
                static_cast<unsigned long long>(
                    parallel.baseline_cache().inflight_waits()));
-  std::fprintf(f, "    \"bit_identical\": %s\n",
+  appendf(&doc, "    \"bit_identical\": %s\n",
                bit_identical ? "true" : "false");
-  std::fprintf(f, "  },\n");
+  appendf(&doc, "  },\n");
   // The append goes through the same helper the regression tests exercise
   // (src/common/run_history.h), so the tested path IS the production path.
   // Schema v3 record: v2 fields plus per-kernel event speedups and the
@@ -441,28 +474,35 @@ int speed_main(int argc, char** argv) {
       hot[2].sim_cycles_per_sec, hot[0].event_speedup, hot[1].event_speedup,
       hot[2].event_speedup, hist_json.c_str(), speedup,
       bit_identical ? "true" : "false");
-  std::fprintf(f, "  \"runs\": [\n    %s\n  ]\n",
+  appendf(&doc, "  \"runs\": [\n    %s\n  ]\n",
                append_run_record(history, record).c_str());
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  appendf(&doc, "}\n");
+  std::string werr;
+  // Atomic temp+rename publish (fsync'd): a crash mid-write can never leave
+  // a truncated BENCH_sim_speed.json that a later run would quarantine.
+  if (!store::write_file_atomic(out_path, doc, &werr)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 werr.c_str());
+    return kExitIo;
+  }
   std::printf("wrote %s\n", out_path.c_str());
 
-  if (!bit_identical) return 1;
+  if (!bit_identical) return kExitFailure;
   if (check && parallel_regressed) {
     std::fprintf(stderr,
                  "FAIL: parallel sweep regressed (speedup %.3f < 1.0 with %u "
                  "workers)\n",
                  speedup, effective_workers);
-    return 1;
+    return kExitFailure;
   }
   if (check && speedup_regressed) {
     std::fprintf(stderr,
                  "FAIL: event_speedup_pmc %.3f fell below the checked-in "
                  "trajectory (best same-mode record %.3f, tolerance %.2f)\n",
                  hot[0].event_speedup, best_prev_pmc, kSpeedupTolerance);
-    return 1;
+    return kExitFailure;
   }
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace fg::cli

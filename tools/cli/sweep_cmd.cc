@@ -86,7 +86,7 @@ int sweep_main(int argc, char** argv) {
   std::ifstream in(spec_path);
   if (!in) {
     std::fprintf(stderr, "fgsim sweep: cannot read %s\n", spec_path.c_str());
-    return 2;
+    return kExitIo;
   }
   std::stringstream ss;
   ss << in.rdbuf();
@@ -160,7 +160,7 @@ int sweep_main(int argc, char** argv) {
     if (!out) {
       std::fprintf(stderr, "fgsim sweep: cannot write %s\n",
                    json_out.c_str());
-      return 2;
+      return kExitIo;
     }
     out << "[\n";
     for (size_t i = 0; i < results.size(); ++i) {

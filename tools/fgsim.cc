@@ -5,11 +5,15 @@
 // facade, so anything a user can write in a spec file is runnable,
 // sweepable, and fuzz-comparable through the same code path.
 //
-//   fgsim run   --spec FILE [--set k=v ...]   one experiment, key-value summary
-//   fgsim sweep --spec FILE [--jobs=N]        expand sweep axes, run the grid
-//   fgsim spec  [--spec FILE] [--set ...]     resolve + export a spec
-//   fgsim fuzz  [--seeds N ...]               differential scenario fuzzer
-//   fgsim speed [--quick ...]                 simulator-speed tracker
+//   fgsim run      --spec FILE [--set k=v ...] one experiment, key-value summary
+//   fgsim sweep    --spec FILE [--jobs=N]      expand sweep axes, run the grid
+//   fgsim campaign --spec FILE --store DIR     resumable sweep vs durable store
+//   fgsim spec     [--spec FILE] [--set ...]   resolve + export a spec
+//   fgsim fuzz     [--seeds N ...]             differential scenario fuzzer
+//   fgsim speed    [--quick ...]               simulator-speed tracker
+//
+// Exit codes (see tools/cli/cli.h): 0 ok, 1 experiment failure, 2 usage,
+// 3 I/O.
 //
 // The historical binaries remain as deprecated aliases:
 //   fireguard-sim == fgsim run   (legacy flags accepted by both)
@@ -25,12 +29,14 @@ namespace {
 void usage() {
   std::puts(
       "usage: fgsim <command> [options]\n"
-      "  run     run one experiment from a spec file / --set overrides\n"
-      "  sweep   expand a spec's sweep axes and run the whole grid\n"
-      "  spec    resolve and print a spec (--keys | --schema for tooling)\n"
-      "  fuzz    differential scenario fuzzer + golden corpus maintainer\n"
-      "  speed   simulator-speed tracker (BENCH_sim_speed.json)\n"
-      "Run `fgsim <command> --help` for per-command options.");
+      "  run       run one experiment from a spec file / --set overrides\n"
+      "  sweep     expand a spec's sweep axes and run the whole grid\n"
+      "  campaign  resumable sweep against a durable result store\n"
+      "  spec      resolve and print a spec (--keys | --schema for tooling)\n"
+      "  fuzz      differential scenario fuzzer + golden corpus maintainer\n"
+      "  speed     simulator-speed tracker (BENCH_sim_speed.json)\n"
+      "Run `fgsim <command> --help` for per-command options.\n"
+      "Exit codes: 0 ok, 1 experiment failure, 2 usage error, 3 I/O error.");
 }
 
 }  // namespace
@@ -47,6 +53,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "run") == 0) return fg::cli::run_main(sub_argc, sub_argv);
   if (std::strcmp(cmd, "sweep") == 0) {
     return fg::cli::sweep_main(sub_argc, sub_argv);
+  }
+  if (std::strcmp(cmd, "campaign") == 0) {
+    return fg::cli::campaign_main(sub_argc, sub_argv);
   }
   if (std::strcmp(cmd, "spec") == 0) {
     return fg::cli::spec_main(sub_argc, sub_argv);
