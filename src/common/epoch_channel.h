@@ -1,0 +1,120 @@
+// Two-thread command/acknowledge gate for the epoch-pipelined scheduler.
+//
+// The fast-domain thread (producer) submits at most ONE in-flight command to
+// the slow-domain thread (consumer) and later collects the acknowledgment.
+// Because the protocol never has two commands outstanding, a single Cmd slot
+// and a single Ack slot are race-free without locks: the producer only
+// writes cmd_ after observing done_ == seq of the previous command (so the
+// consumer is finished reading it), and the consumer only writes ack_ before
+// release-storing done_, which the producer acquire-loads before reading
+// ack_. The two sequence counters go_ / done_ carry all the ordering:
+//
+//   producer: cmd_ = c;  go_.store(seq, release)
+//   consumer: go_.load(acquire) == seq;  read cmd_;  work;
+//             ack_ = a;  done_.store(seq, release)
+//   producer: done_.load(acquire) == seq;  read ack_
+//
+// This release/acquire chain also orders every OTHER memory write the
+// producer made before submit() (e.g. shadow-heap updates from committed
+// split-kernel instructions) before the consumer's work — the property the
+// pipelined scheduler leans on to keep split kernels bit-identical.
+//
+// Waiting: bounded spin (with a pause hint) then std::this_thread::yield().
+// The yield fallback matters on oversubscribed or single-core hosts, where a
+// pure spin would deadlock-by-starvation against the very thread it waits
+// for. Spin iterations observed are reported so SchedStats can surface
+// barrier contention.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/types.h"
+
+namespace fg {
+
+namespace detail {
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+}  // namespace detail
+
+template <typename Cmd, typename Ack>
+class EpochChannel {
+ public:
+  // --- producer side (fast-domain thread) ----------------------------------
+
+  /// True when no command is in flight (the previous one was collected).
+  bool idle() const { return submitted_ == collected_; }
+
+  /// Submit the next command. Requires idle(): at most one in flight.
+  void submit(const Cmd& cmd) {
+    cmd_ = cmd;
+    ++submitted_;
+    go_.store(submitted_, std::memory_order_release);
+  }
+
+  /// Block until the in-flight command is acknowledged; returns the ack.
+  /// Adds the spin iterations waited to *spins (may be null).
+  Ack collect(u64* spins) {
+    wait_for(done_, submitted_, spins);
+    ++collected_;
+    return ack_;
+  }
+
+  /// True when the in-flight command has already been acknowledged (a
+  /// collect() would not block).
+  bool ready() const {
+    return done_.load(std::memory_order_acquire) == submitted_;
+  }
+
+  // --- consumer side (slow-domain thread) ----------------------------------
+
+  /// Block until the next command arrives and copy it out.
+  void next(Cmd* cmd, u64* spins) {
+    wait_for(go_, served_ + 1, spins);
+    *cmd = cmd_;
+  }
+
+  /// Acknowledge the command most recently returned by next().
+  void ack(const Ack& a) {
+    ack_ = a;
+    ++served_;
+    done_.store(served_, std::memory_order_release);
+  }
+
+ private:
+  static void wait_for(const std::atomic<u64>& var, u64 want, u64* spins) {
+    u64 n = 0;
+    for (u32 spin = 0; var.load(std::memory_order_acquire) != want; ++n) {
+      if (++spin < 200) {
+        detail::cpu_pause();
+      } else {
+        // Oversubscribed (or single-core) host: hand the core to the thread
+        // we are waiting for instead of burning its timeslice.
+        std::this_thread::yield();
+      }
+    }
+    if (spins != nullptr) *spins += n;
+  }
+
+  // Producer-owned bookkeeping.
+  u64 submitted_ = 0;
+  u64 collected_ = 0;
+
+  // Consumer-owned bookkeeping.
+  u64 served_ = 0;
+
+  // Single slots, guarded by the go_/done_ sequence protocol above.
+  Cmd cmd_{};
+  Ack ack_{};
+
+  alignas(64) std::atomic<u64> go_{0};
+  alignas(64) std::atomic<u64> done_{0};
+};
+
+}  // namespace fg

@@ -1,0 +1,159 @@
+// Single-producer single-consumer ring with explicit epoch publication.
+//
+// The two-thread pipelined scheduler hands CDC traffic between the fast
+// domain (producer) and the slow domain (consumer) only at epoch boundaries.
+// This ring makes that handoff double-buffered by construction: each side
+// works against a PRIVATE index plus a CACHED view of the other side's
+// published index, and the shared atomics are touched only by the explicit
+// publish/acquire calls the scheduler issues at barriers. Between barriers
+// neither thread reads the other's live state — the producer appends behind
+// its private tail against a frozen head, the consumer drains up to a frozen
+// tail — which is exactly the property the epoch_barrier_test suite pins.
+//
+// Indices are monotonic u64 sequence numbers (never wrapped), so
+// `tail - head` is the true occupancy and overflow is a non-issue at
+// simulator timescales (2^64 pushes). Memory ordering: publish is a release
+// store of the private index; acquire is an acquire load into the cache.
+// Slot contents written before producer_publish() are therefore visible to
+// any consumer read that follows consumer_acquire() observing that tail
+// (release/acquire pairing on pub_tail_), and symmetrically a popped slot is
+// only reusable by the producer after producer_acquire() observes the
+// published head — by then the consumer has long copied the element out.
+//
+// No-overwrite proof: push() would collide with an unconsumed slot only if
+// tail - head >= capacity; the producer gates on tail - head_cache < capacity
+// and head_cache <= head always (the cache only lags), so the conservative
+// check blocks first.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace fg {
+
+template <typename T>
+class EpochRing {
+ public:
+  explicit EpochRing(size_t capacity) : buf_(capacity) {
+    FG_CHECK(capacity > 0);
+  }
+
+  size_t capacity() const { return buf_.size(); }
+
+  // --- producer side (fast-domain thread only) -----------------------------
+
+  bool can_push() const { return tail_ - head_cache_ < buf_.size(); }
+
+  void push(const T& v) {
+    FG_CHECK(can_push());
+    buf_[tail_ % buf_.size()] = v;
+    ++tail_;
+  }
+
+  /// Occupancy as the producer sees it: private tail minus the head acquired
+  /// at the last barrier. Exact (not just conservative) whenever the producer
+  /// re-acquires at every boundary, because the consumer only pops at
+  /// boundaries.
+  size_t producer_size() const { return static_cast<size_t>(tail_ - head_cache_); }
+
+  /// Oldest element not yet known-consumed (producer's view).
+  const T& producer_front() const {
+    FG_CHECK(producer_size() > 0);
+    return buf_[head_cache_ % buf_.size()];
+  }
+
+  /// Element i behind the producer-view head (0 == producer_front).
+  const T& producer_at(size_t i) const {
+    FG_CHECK(i < producer_size());
+    return buf_[(head_cache_ + i) % buf_.size()];
+  }
+
+  /// Barrier: make every push so far visible to the consumer.
+  void producer_publish() {
+    pub_tail_.store(tail_, std::memory_order_release);
+  }
+
+  /// Barrier: learn every pop the consumer has published.
+  void producer_acquire() {
+    head_cache_ = pub_head_.load(std::memory_order_acquire);
+  }
+
+  /// Lifetime total of pushes (producer thread only).
+  u64 producer_pushes() const { return tail_; }
+
+  // --- consumer side (slow-domain thread only) -----------------------------
+
+  size_t consumer_size() const { return static_cast<size_t>(tail_cache_ - head_); }
+
+  const T& front() const {
+    FG_CHECK(consumer_size() > 0);
+    return buf_[head_ % buf_.size()];
+  }
+
+  /// Element i behind the consumer head (0 == front).
+  const T& at(size_t i) const {
+    FG_CHECK(i < consumer_size());
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  T pop() {
+    FG_CHECK(consumer_size() > 0);
+    T v = buf_[head_ % buf_.size()];
+    ++head_;
+    return v;
+  }
+
+  /// Barrier: make every pop so far visible to the producer.
+  void consumer_publish() {
+    pub_head_.store(head_, std::memory_order_release);
+  }
+
+  /// Barrier: learn every push the producer has published.
+  void consumer_acquire() {
+    tail_cache_ = pub_tail_.load(std::memory_order_acquire);
+  }
+
+  /// Lifetime total of pops (consumer thread only).
+  u64 consumer_pops() const { return head_; }
+
+  // --- cross-thread-safe counters (published values only) ------------------
+
+  /// Pushes visible to anyone (release-published). Safe from either thread.
+  u64 published_pushes() const {
+    return pub_tail_.load(std::memory_order_acquire);
+  }
+
+  /// Pops visible to anyone (release-published). Safe from either thread.
+  u64 published_pops() const {
+    return pub_head_.load(std::memory_order_acquire);
+  }
+
+  /// Post-join teardown: publish both private indices. Only valid once the
+  /// other thread has been joined (the join provides the happens-before that
+  /// makes both private indices readable here).
+  void finalize() {
+    pub_tail_.store(tail_, std::memory_order_relaxed);
+    pub_head_.store(head_, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> buf_;
+
+  // Producer-owned (no atomics: only the producer thread touches these).
+  u64 tail_ = 0;
+  u64 head_cache_ = 0;
+
+  // Consumer-owned.
+  u64 head_ = 0;
+  u64 tail_cache_ = 0;
+
+  // The only shared state, on separate cache lines to avoid false sharing.
+  alignas(64) std::atomic<u64> pub_tail_{0};
+  alignas(64) std::atomic<u64> pub_head_{0};
+};
+
+}  // namespace fg

@@ -1,7 +1,7 @@
 // Carry-forward loader for the `"runs": [ ... ]` history array that
 // tools/simspeed appends to BENCH_sim_speed.json (schema fireguard/
-// sim_speed/v3; v2 histories read identically — the loader is text-level
-// and the record helpers skip fields a record predates).
+// sim_speed/v4; v2/v3 histories read identically — the loader is
+// text-level and the record helpers skip fields a record predates).
 // Factored out of the tool so the append path is unit-testable
 // and so --check can distinguish "no history file" (a CI misconfiguration
 // that must fail loudly) from "history present" — silently starting a fresh

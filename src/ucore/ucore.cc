@@ -67,6 +67,17 @@ u64 UCore::queue_word(const core::Packet& p, i64 bit_offset) const {
   return core::packet_word(p, static_cast<u32>(bit_offset / 64));
 }
 
+void UCore::charge_skipped_stall(u64 n) {
+  // The horizon contract this bulk charge stands on (pinned by the
+  // UCoreStallWindowIsPureStallAccounting property test): every tick
+  // strictly before stall_until_ on a non-idle, non-halted core is exactly
+  // `++stall_cycles` and nothing else. An idle or halted core accrues no
+  // stalls, so charging one would diverge from the stepped reference —
+  // catch the caller here rather than as a bit-identity diff downstream.
+  FG_INVARIANT(!halted_ && !idle(), "ucore.charge_skipped_stall_state");
+  stats_.stall_cycles += n;
+}
+
 void UCore::tick(Cycle now) {
 #if FG_INVARIANTS_COMPILED
   // Simulated time must never run backwards for this core — the event

@@ -1,0 +1,238 @@
+// The deterministic two-domain pipeline's bit-identity proof, as a test
+// layer: every golden scenario and the full workload × kernel grid must
+// produce StatSnapshots bit-identical to the FG_CYCLE_EXACT reference when
+// run under the FG_PIPELINE two-thread scheduler, repeated pipelined runs
+// of the same seed must be byte-stable (no schedule-dependent state leaks
+// through the epoch barriers), and SimSession results must stay invariant
+// in the worker count when the pipelined scheduler is forced per-session.
+//
+// The grid trace length is overridable via FG_PIPE_GRID_TRACE (default
+// 8000) so slow sanitizer CI jobs (TSan ~10× slowdown) can shrink the grid
+// without forking the suite.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/common/env.h"
+#include "src/common/simctl.h"
+#include "src/soc/experiment.h"
+#include "src/soc/figures.h"
+#include "src/soc/soc.h"
+#include "src/testing/golden.h"
+#include "src/testing/scenario.h"
+#include "src/testing/snapshot.h"
+#include "src/trace/workload.h"
+
+namespace fg {
+namespace {
+
+/// Restores the scheduler mode even if an assertion fails mid-test.
+struct ExactMode {
+  explicit ExactMode(bool exact) { set_cycle_exact(exact); }
+  ~ExactMode() { set_cycle_exact(false); }
+};
+
+/// Restores the pipeline flag even if an assertion fails mid-test.
+struct PipelineMode {
+  explicit PipelineMode(bool on) { set_pipeline(on); }
+  ~PipelineMode() { set_pipeline(false); }
+};
+
+fuzz::StatSnapshot run_exact(const fuzz::Scenario& s) {
+  ExactMode mode(true);
+  return fuzz::run_scenario_snapshot(s);
+}
+
+fuzz::StatSnapshot run_piped(const fuzz::Scenario& s) {
+  ExactMode mode(false);
+  PipelineMode pipe(true);
+  return fuzz::run_scenario_snapshot(s);
+}
+
+// --- Golden corpus --------------------------------------------------------
+//
+// All 26 checked-in golden scenarios (g01–g26, including the g21+ memory/
+// stall-bound slice where the skip horizons do the most work) re-simulated
+// under the pipelined scheduler against the exact reference. This is the
+// same corpus `fgfuzz --check-golden` freezes; a pipeline bug that survives
+// it would have to be invisible to every frozen semantic field.
+TEST(PipelineDeterminism, GoldenCorpusPipelinedMatchesExact) {
+  for (const fuzz::GoldenEntry& e : fuzz::golden_entries()) {
+    const fuzz::Scenario s = fuzz::scenario_from_seed(
+        e.seed,
+        e.stall ? fuzz::golden_stall_envelope() : fuzz::golden_envelope());
+    const fuzz::StatSnapshot exact = run_exact(s);
+    const fuzz::StatSnapshot piped = run_piped(s);
+    EXPECT_TRUE(fuzz::snapshots_equal(exact, piped))
+        << e.name << " " << fuzz::scenario_summary(s) << "\n"
+        << fuzz::snapshot_diff(exact, piped, "exact", "pipelined");
+  }
+}
+
+// --- Paper workload × kernel grid -----------------------------------------
+
+void expect_identical(const soc::RunResult& exact, const soc::RunResult& piped,
+                      const std::string& label) {
+  EXPECT_EQ(exact.cycles, piped.cycles) << label;
+  EXPECT_EQ(exact.committed, piped.committed) << label;
+  EXPECT_EQ(exact.packets, piped.packets) << label;
+  EXPECT_EQ(exact.spurious, piped.spurious) << label;
+  for (size_t i = 0; i < exact.stall_fractions.size(); ++i) {
+    EXPECT_EQ(exact.stall_fractions[i], piped.stall_fractions[i])
+        << label << " stall cause " << i;
+  }
+  ASSERT_EQ(exact.detections.size(), piped.detections.size()) << label;
+  for (size_t i = 0; i < exact.detections.size(); ++i) {
+    const soc::DetectionRecord& a = exact.detections[i];
+    const soc::DetectionRecord& b = piped.detections[i];
+    EXPECT_EQ(a.attack_id, b.attack_id) << label;
+    EXPECT_EQ(a.engine, b.engine) << label;
+    EXPECT_EQ(a.commit_fast, b.commit_fast) << label;
+    EXPECT_EQ(a.detect_fast, b.detect_fast) << label;
+  }
+  // The pipelined fast thread steps or skips exactly the reference cycles.
+  EXPECT_EQ(piped.sched.cycles_stepped + piped.sched.cycles_skipped,
+            exact.sched.cycles_stepped)
+      << label;
+}
+
+std::vector<std::pair<trace::AttackKind, u32>> attack_plan() {
+  return {{trace::AttackKind::kPcHijack, 3},
+          {trace::AttackKind::kRetCorrupt, 3},
+          {trace::AttackKind::kHeapOob, 3},
+          {trace::AttackKind::kUseAfterFree, 3}};
+}
+
+/// Every figures.cc workload under each guardian kernel, with attacks so
+/// detections (and the ASan/UAF split-kernel serialization path) are
+/// exercised — the pipelined mirror of EventSkip's grid.
+TEST(PipelineDeterminism, PaperWorkloadGridPipelinedMatchesExact) {
+  const u64 trace_len = env_u32_or("FG_PIPE_GRID_TRACE", 8'000);
+  struct Config {
+    kernels::KernelKind kind;
+    u32 engines;
+  };
+  const std::vector<Config> grid = {
+      {kernels::KernelKind::kPmc, 4},
+      {kernels::KernelKind::kShadowStack, 2},
+      {kernels::KernelKind::kAsan, 4},
+      {kernels::KernelKind::kUaf, 2},
+  };
+  for (const std::string& w : soc::paper_workloads()) {
+    for (const Config& c : grid) {
+      soc::SocConfig sc = soc::table2_soc();
+      sc.kernels = {soc::deploy(c.kind, c.engines)};
+      const trace::WorkloadConfig cfg =
+          soc::paper_workload(w, trace_len, attack_plan());
+      const std::string label = w + "/" + kernels::kernel_name(c.kind) + "/" +
+                                std::to_string(c.engines);
+      soc::RunResult exact, piped;
+      {
+        ExactMode mode(true);
+        exact = soc::run_fireguard(cfg, sc);
+      }
+      {
+        ExactMode mode(false);
+        PipelineMode pipe(true);
+        piped = soc::run_fireguard(cfg, sc);
+        EXPECT_GT(piped.sched.pipe_epochs, 0u) << label;
+      }
+      expect_identical(exact, piped, label);
+    }
+  }
+}
+
+// --- Run-to-run stability -------------------------------------------------
+//
+// Bit-identity against the reference implies determinism, but only via a
+// reference run; this pins the cheaper, sharper property directly: the SAME
+// pipelined scenario, re-run many times in one process, never varies. Any
+// schedule-dependent result (a racy counter, an epoch boundary that drifted
+// with thread timing) shows up here as a one-in-N flake magnet, so the
+// whole loop runs under FG_INVARIANT-instrumented components in Debug.
+TEST(PipelineDeterminism, RepeatedPipelinedRunsAreByteStable) {
+  const fuzz::Scenario s =
+      fuzz::scenario_from_seed(0x5eed, fuzz::golden_envelope());
+  const fuzz::StatSnapshot first = run_piped(s);
+  for (int i = 1; i < 20; ++i) {
+    const fuzz::StatSnapshot again = run_piped(s);
+    ASSERT_TRUE(fuzz::snapshots_equal(first, again))
+        << "run " << i << " diverged\n"
+        << fuzz::snapshot_diff(first, again, "run0", "runN");
+  }
+}
+
+// --- Mode precedence ------------------------------------------------------
+//
+// FG_CYCLE_EXACT wins over FG_PIPELINE: a user forcing the stepped
+// reference must get it even with the pipeline flag set (the differential
+// harness depends on this — its exact leg runs with FG_PIPELINE=1 still in
+// the environment).
+TEST(PipelineDeterminism, CycleExactOverridesPipeline) {
+  const fuzz::Scenario s =
+      fuzz::scenario_from_seed(0x0042, fuzz::golden_envelope());
+  fuzz::StatSnapshot exact_alone, exact_with_pipe;
+  {
+    ExactMode mode(true);
+    exact_alone = fuzz::run_scenario_snapshot(s);
+  }
+  {
+    ExactMode mode(true);
+    PipelineMode pipe(true);
+    exact_with_pipe = fuzz::run_scenario_snapshot(s);
+  }
+  // Equality of the sched accounting (excluded from snapshots_equal) is the
+  // witness that BOTH runs took the stepped path: a pipelined run reports
+  // pipe_epochs > 0, a stepped run exactly 0.
+  EXPECT_TRUE(fuzz::snapshots_equal(exact_alone, exact_with_pipe));
+  ExactMode mode(true);
+  PipelineMode pipe(true);
+  const soc::RunResult r =
+      soc::run_fireguard(s.wl(), s.sc());
+  EXPECT_EQ(r.sched.pipe_epochs, 0u);
+}
+
+// --- SimSession jobs invariance -------------------------------------------
+//
+// SessionConfig::Sched::kPipelined forces the pipelined scheduler for the
+// session (restoring the process flag afterwards), and grid results must be
+// invariant in the worker count: each worker thread spawns its own slow
+// thread, so jobs=4 runs up to 8 threads, all exchanging only through the
+// per-Soc epoch channels.
+TEST(PipelineDeterminism, SimSessionResultsInvariantInJobsWhenPipelined) {
+  api::ExperimentSpec spec = api::default_spec();
+  spec.workload.n_insts = 4'000;
+  spec.sweep = {{"engines", {"1", "2", "4"}}, {"kernel", {"pmc", "asan"}}};
+
+  auto run_with_jobs = [&](u32 jobs) {
+    api::SessionConfig cfg;
+    cfg.jobs = jobs;
+    cfg.with_baseline = false;
+    cfg.sched = api::SessionConfig::Sched::kPipelined;
+    api::SimSession session(spec, cfg);
+    std::vector<fuzz::StatSnapshot> snaps;
+    for (const api::RunOutcome& o : session.run_all()) {
+      snaps.push_back(o.snapshot);
+    }
+    return snaps;
+  };
+
+  const bool entry_pipe = pipeline_enabled();
+  const std::vector<fuzz::StatSnapshot> serial_jobs = run_with_jobs(1);
+  const std::vector<fuzz::StatSnapshot> parallel_jobs = run_with_jobs(4);
+  // The session restored the process-wide flag.
+  EXPECT_EQ(pipeline_enabled(), entry_pipe);
+  ASSERT_EQ(serial_jobs.size(), 6u);
+  ASSERT_EQ(serial_jobs.size(), parallel_jobs.size());
+  for (size_t i = 0; i < serial_jobs.size(); ++i) {
+    EXPECT_TRUE(fuzz::snapshots_equal(serial_jobs[i], parallel_jobs[i]))
+        << "grid point " << i << "\n"
+        << fuzz::snapshot_diff(serial_jobs[i], parallel_jobs[i], "jobs1",
+                               "jobs4");
+  }
+}
+
+}  // namespace
+}  // namespace fg

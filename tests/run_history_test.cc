@@ -3,6 +3,7 @@
 // former), and the schema-v2 append path round-trips across "invocations".
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -162,6 +163,72 @@ TEST(RunHistory, MixedHistoryRoundTripsThroughFileAndBack) {
   EXPECT_TRUE(run_record_number(recs[1], "event_speedup_asan", &v));
   EXPECT_DOUBLE_EQ(v, 1.031);
   std::filesystem::remove(path);
+}
+
+// --- v3 → v4 migration ----------------------------------------------------
+//
+// Schema v4 widens each run record with per-kernel pipeline speedups (the
+// two-thread FG_PIPELINE scheduler vs the serial event loop). Same contract
+// as v2→v3: mixed histories split cleanly, v4-only fields are skipped (not
+// misparsed) on older records, and the extraction the trajectory gate uses
+// works on every generation.
+
+namespace {
+
+const char kV4Record[] =
+    "{\"date\": \"2026-08-08T12:00:00Z\", \"quick\": false, "
+    "\"trace_len\": 150000, \"pmc_cycles_per_sec\": 5200000, "
+    "\"event_speedup_pmc\": 1.110, \"event_speedup_asan\": 1.040, "
+    "\"event_speedup_memstall\": 1.902, "
+    "\"pipeline_speedup_pmc\": 1.310, \"pipeline_speedup_asan\": 1.420, "
+    "\"pipeline_speedup_memstall\": 1.150, "
+    "\"skip_len_hist\": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12], "
+    "\"sweep_speedup\": 1.210, \"bit_identical\": true}";
+
+}  // namespace
+
+TEST(RunHistory, SplitHandlesMixedV2V3V4Records) {
+  const std::string items =
+      append_run_record(append_run_record(kV2Record, kV3Record), kV4Record);
+  const std::vector<std::string> recs = split_run_records(items);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0], kV2Record);
+  EXPECT_EQ(recs[1], kV3Record);
+  // The nested histogram array must not split the v4 record either.
+  EXPECT_EQ(recs[2], kV4Record);
+}
+
+TEST(RunHistory, V4FieldsAbsentFromOlderRecordsAreSkippedNotMisparsed) {
+  double v = -1.0;
+  // Shared fields still read from every generation.
+  ASSERT_TRUE(run_record_number(kV4Record, "event_speedup_pmc", &v));
+  EXPECT_DOUBLE_EQ(v, 1.110);
+  // v4-only fields: absent from v2 and v3 records, found in the v4 one.
+  EXPECT_FALSE(run_record_number(kV2Record, "pipeline_speedup_pmc", &v));
+  EXPECT_FALSE(run_record_number(kV3Record, "pipeline_speedup_pmc", &v));
+  ASSERT_TRUE(run_record_number(kV4Record, "pipeline_speedup_pmc", &v));
+  EXPECT_DOUBLE_EQ(v, 1.310);
+  ASSERT_TRUE(run_record_number(kV4Record, "pipeline_speedup_memstall", &v));
+  EXPECT_DOUBLE_EQ(v, 1.150);
+}
+
+TEST(RunHistory, V4TrajectoryExtractionSkipsOtherGenerations) {
+  // The simspeed --check gate walks the whole history and takes the best
+  // same-mode value of a field; records predating the field contribute
+  // nothing. Mirror that walk over a three-generation history.
+  const std::string items =
+      append_run_record(append_run_record(kV2Record, kV3Record), kV4Record);
+  double best = 0.0;
+  int readable = 0;
+  for (const std::string& rec : split_run_records(items)) {
+    double v = 0.0;
+    if (run_record_number(rec, "pipeline_speedup_asan", &v)) {
+      best = std::max(best, v);
+      ++readable;
+    }
+  }
+  EXPECT_EQ(readable, 1);
+  EXPECT_DOUBLE_EQ(best, 1.420);
 }
 
 TEST(RunHistory, StatusNamesAreStable) {

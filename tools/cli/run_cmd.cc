@@ -35,6 +35,9 @@ void usage() {
       "  --json PATH         also write the structured outcome "
       "(metrics + snapshot) as JSON\n"
       "  --no-baseline       skip the unmonitored baseline run / slowdown\n"
+      "  --pipeline          two-thread epoch-pipelined scheduler "
+      "(bit-identical; also FG_PIPELINE=1)\n"
+      "  --serial            force the serial event scheduler\n"
       "Legacy flags (the deprecated fireguard-sim surface):\n"
       "  --workload=NAME     parsec-like profile (blackscholes..x264)\n"
       "  --kernel=K          pmc | shadow | asan | uaf\n"
@@ -81,6 +84,7 @@ int run_main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> sets;
   std::string json_out;
   bool with_baseline = true;
+  api::SessionConfig::Sched sched = api::SessionConfig::Sched::kInherit;
   u32 legacy_attacks = 0;
 
   for (int i = 0; i < argc; ++i) {
@@ -125,6 +129,10 @@ int run_main(int argc, char** argv) {
       json_out = v;
     } else if (arg == "--no-baseline") {
       with_baseline = false;
+    } else if (arg == "--pipeline") {
+      sched = api::SessionConfig::Sched::kPipelined;
+    } else if (arg == "--serial") {
+      sched = api::SessionConfig::Sched::kSerial;
     }
     // --- legacy fireguard-sim flags, mapped onto the spec knobs ---
     else if (eat("--workload=", &v)) sets.emplace_back("workload", v);
@@ -175,6 +183,7 @@ int run_main(int argc, char** argv) {
   api::SessionConfig cfg;
   cfg.jobs = 1;
   cfg.with_baseline = with_baseline && spec.mode != api::Mode::kBaseline;
+  cfg.sched = sched;
   api::SimSession session(spec, cfg);
   const api::RunOutcome& r = session.run();
 

@@ -7,9 +7,10 @@
 //     heavy (ASan) kernel deployment on blackscholes, plus the
 //     memory/stall-bound memstall config (detailed DRAM + PTW), best of
 //     five runs. Each config is also run under the stepped FG_CYCLE_EXACT
-//     reference loop: the ratio is the event-driven scheduler's speedup,
-//     and the two runs' RunResults must be bit-identical (a mismatch fails
-//     the tool).
+//     reference loop (the ratio is the event-driven scheduler's speedup)
+//     and under the two-thread FG_PIPELINE epoch-pipelined scheduler (the
+//     ratio against the serial event loop is pipeline_speedup); all three
+//     runs' RunResults must be bit-identical (a mismatch fails the tool).
 //  2. The Figure-10 sweep grid executed serially (jobs=1) and with FG_JOBS
 //     workers: wall clock for each, honest parallel speedup and efficiency.
 //  3. A bit-identity audit: every parallel RunResult (cycles, committed,
@@ -72,8 +73,12 @@ struct HotLoopSpeed {
   double wall_ms = 0.0;
   double exact_cycles_per_sec = 0.0;  // FG_CYCLE_EXACT reference loop
   double event_speedup = 0.0;         // event-driven vs stepped
+  double pipeline_cycles_per_sec = 0.0;  // FG_PIPELINE two-thread loop
+  double pipeline_speedup = 0.0;         // pipelined vs serial event-driven
   bool exact_identical = true;
+  bool pipeline_identical = true;
   soc::SchedStats sched{};
+  soc::SchedStats pipe_sched{};
 };
 
 bool run_results_identical(const soc::RunResult& a, const soc::RunResult& b) {
@@ -115,18 +120,28 @@ HotLoopSpeed measure_hot_loop(const char* name, const trace::WorkloadConfig& wl,
   HotLoopSpeed s;
   s.name = name;
 
-  // Measure both scheduler modes, then restore whatever mode the process
-  // entered with (a user-set FG_CYCLE_EXACT=1 must still govern the sweep).
+  // Measure all three scheduler modes, then restore whatever mode the
+  // process entered with (a user-set FG_CYCLE_EXACT=1 / FG_PIPELINE=1 must
+  // still govern the sweep).
   const bool entry_mode = cycle_exact();
+  const bool entry_pipe = pipeline_enabled();
   set_cycle_exact(false);
+  set_pipeline(false);
   const soc::RunResult r = timed_runs(wl, sc, 5, &s.wall_ms);
   set_cycle_exact(true);
   double exact_ms = 0.0;
   const soc::RunResult rx = timed_runs(wl, sc, 5, &exact_ms);
+  set_cycle_exact(false);
+  set_pipeline(true);
+  double pipe_ms = 0.0;
+  const soc::RunResult rp = timed_runs(wl, sc, 5, &pipe_ms);
   set_cycle_exact(entry_mode);
+  set_pipeline(entry_pipe);
 
   s.exact_identical = run_results_identical(r, rx);
+  s.pipeline_identical = run_results_identical(r, rp);
   s.sched = r.sched;
+  s.pipe_sched = rp.sched;
   if (s.wall_ms > 0.0) {
     s.sim_cycles_per_sec = static_cast<double>(r.cycles) / (s.wall_ms / 1000.0);
     s.insts_per_sec = static_cast<double>(r.committed) / (s.wall_ms / 1000.0);
@@ -135,6 +150,11 @@ HotLoopSpeed measure_hot_loop(const char* name, const trace::WorkloadConfig& wl,
     s.exact_cycles_per_sec =
         static_cast<double>(rx.cycles) / (exact_ms / 1000.0);
     s.event_speedup = exact_ms / s.wall_ms;
+  }
+  if (pipe_ms > 0.0) {
+    s.pipeline_cycles_per_sec =
+        static_cast<double>(rp.cycles) / (pipe_ms / 1000.0);
+    s.pipeline_speedup = s.wall_ms / pipe_ms;
   }
   return s;
 }
@@ -305,8 +325,21 @@ int speed_main(int argc, char** argv) {
         s.name.c_str(), s.sim_cycles_per_sec / 1e6, s.wall_ms,
         s.exact_cycles_per_sec / 1e6, s.event_speedup,
         s.exact_identical ? "" : "EXACT-MISMATCH");
+    const soc::SchedStats& ps = s.pipe_sched;
+    std::printf(
+        "      pipelined     : %8.2f M sim-cycles/s (pipeline speedup "
+        "%.2fx), %llu epochs (%llu prereleased / %llu synced), spins "
+        "fast %llu slow %llu %s\n",
+        s.pipeline_cycles_per_sec / 1e6, s.pipeline_speedup,
+        static_cast<unsigned long long>(ps.pipe_epochs),
+        static_cast<unsigned long long>(ps.pipe_prereleased),
+        static_cast<unsigned long long>(ps.pipe_synced),
+        static_cast<unsigned long long>(ps.pipe_fast_spins),
+        static_cast<unsigned long long>(ps.pipe_slow_spins),
+        s.pipeline_identical ? "" : "PIPELINE-MISMATCH");
     print_sched_report(s.name.c_str(), s.sched);
     if (!s.exact_identical) ++mismatches;
+    if (!s.pipeline_identical) ++mismatches;
   }
 
   // 2) Fig. 10 sweep, serial then parallel.
@@ -347,7 +380,7 @@ int speed_main(int argc, char** argv) {
     }
   }
   std::printf("bit-identity audit  : %u mismatches over %zu points "
-              "(parallel-vs-serial and event-vs-exact)\n",
+              "(parallel-vs-serial, event-vs-exact, pipelined-vs-serial)\n",
               mismatches, parallel.n_points());
 
   // Aggregate sweep-wide scheduler accounting.
@@ -407,7 +440,7 @@ int speed_main(int argc, char** argv) {
   }
   std::string doc;
   appendf(&doc, "{\n");
-  appendf(&doc, "  \"schema\": \"fireguard/sim_speed/v3\",\n");
+  appendf(&doc, "  \"schema\": \"fireguard/sim_speed/v4\",\n");
   appendf(&doc, "  \"quick\": %s,\n", quick ? "true" : "false");
   appendf(&doc, "  \"trace_len\": %llu,\n",
                static_cast<unsigned long long>(trace_len));
@@ -421,9 +454,16 @@ int speed_main(int argc, char** argv) {
         "    {\"config\": \"%s\", \"sim_cycles_per_sec\": %.0f, "
         "\"insts_per_sec\": %.0f, \"wall_ms\": %.2f, "
         "\"exact_sim_cycles_per_sec\": %.0f, \"event_speedup\": %.3f, "
+        "\"pipeline_sim_cycles_per_sec\": %.0f, "
+        "\"pipeline_speedup\": %.3f, \"pipe_epochs\": %llu, "
+        "\"pipe_prereleased\": %llu, \"pipe_synced\": %llu, "
         "\"cycles_skipped_pct\": %.2f, \"skips\": %llu}%s\n",
         hot[i].name.c_str(), hot[i].sim_cycles_per_sec, hot[i].insts_per_sec,
         hot[i].wall_ms, hot[i].exact_cycles_per_sec, hot[i].event_speedup,
+        hot[i].pipeline_cycles_per_sec, hot[i].pipeline_speedup,
+        static_cast<unsigned long long>(hot[i].pipe_sched.pipe_epochs),
+        static_cast<unsigned long long>(hot[i].pipe_sched.pipe_prereleased),
+        static_cast<unsigned long long>(hot[i].pipe_sched.pipe_synced),
         100.0 * s.skipped_fraction(), static_cast<unsigned long long>(s.skips),
         i + 1 < hot.size() ? "," : "");
   }
@@ -443,10 +483,11 @@ int speed_main(int argc, char** argv) {
   appendf(&doc, "  },\n");
   // The append goes through the same helper the regression tests exercise
   // (src/common/run_history.h), so the tested path IS the production path.
-  // Schema v3 record: v2 fields plus per-kernel event speedups and the
-  // aggregate skip-length histogram across the three hot loops. Old v2
-  // records in the carried-forward history stay untouched (text-level
-  // append); readers skip fields a record predates (run_record_number).
+  // Schema v4 record: v3 fields plus per-kernel pipeline speedups (the
+  // two-thread epoch-pipelined scheduler vs the serial event loop). Old
+  // v2/v3 records in the carried-forward history stay untouched
+  // (text-level append); readers skip fields a record predates
+  // (run_record_number).
   std::array<u64, 12> hist_sum{};
   for (const HotLoopSpeed& s : hot) {
     for (size_t b = 0; b < hist_sum.size(); ++b) {
@@ -459,20 +500,23 @@ int speed_main(int argc, char** argv) {
     if (b + 1 < hist_sum.size()) hist_json += ", ";
   }
   hist_json += "]";
-  char record[768];
+  char record[1024];
   std::snprintf(
       record, sizeof(record),
       "{\"date\": \"%s\", \"quick\": %s, \"trace_len\": %llu, "
       "\"pmc_cycles_per_sec\": %.0f, \"asan_cycles_per_sec\": %.0f, "
       "\"memstall_cycles_per_sec\": %.0f, "
       "\"event_speedup_pmc\": %.3f, \"event_speedup_asan\": %.3f, "
-      "\"event_speedup_memstall\": %.3f, \"skip_len_hist\": %s, "
+      "\"event_speedup_memstall\": %.3f, "
+      "\"pipeline_speedup_pmc\": %.3f, \"pipeline_speedup_asan\": %.3f, "
+      "\"pipeline_speedup_memstall\": %.3f, \"skip_len_hist\": %s, "
       "\"sweep_speedup\": %.3f, \"bit_identical\": %s}",
       stamp, quick ? "true" : "false",
       static_cast<unsigned long long>(trace_len),
       hot[0].sim_cycles_per_sec, hot[1].sim_cycles_per_sec,
       hot[2].sim_cycles_per_sec, hot[0].event_speedup, hot[1].event_speedup,
-      hot[2].event_speedup, hist_json.c_str(), speedup,
+      hot[2].event_speedup, hot[0].pipeline_speedup, hot[1].pipeline_speedup,
+      hot[2].pipeline_speedup, hist_json.c_str(), speedup,
       bit_identical ? "true" : "false");
   appendf(&doc, "  \"runs\": [\n    %s\n  ]\n",
                append_run_record(history, record).c_str());
