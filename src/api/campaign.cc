@@ -74,6 +74,66 @@ std::string outcome_payload(RunOutcome o) {
   return outcome_json(o, 0);
 }
 
+PointExecutor::BaselineHooks store_baseline_hooks(store::ResultStore* store) {
+  PointExecutor::BaselineHooks h;
+  h.lookup = [store](const ExperimentSpec& s, Cycle* cycles) {
+    std::string payload;
+    if (store->get(baseline_key(s), &payload) !=
+        store::ResultStore::GetStatus::kHit) {
+      return false;
+    }
+    json::Value v;
+    if (!json::parse(payload, &v) || !v.is_object()) return false;
+    *cycles = v.get_u64("baseline_cycles", 0);
+    return *cycles != 0;
+  };
+  h.publish = [store](const ExperimentSpec& s, Cycle cycles) {
+    json::Value v = json::Value::object();
+    v.set("baseline_cycles", json::Value::of(cycles));
+    std::string err;
+    // Best effort: a failed baseline publish only costs a recompute in some
+    // later process, never correctness.
+    store->put(baseline_key(s), json::dump(v, 0), &err);
+  };
+  return h;
+}
+
+bool execute_point_to_store(const GridPoint& p, u64 fault_index, u32 attempt,
+                            bool with_baseline, store::ResultStore* store,
+                            std::string* payload, std::string* why) {
+  if (auto f = store::point_fault(fault_index, attempt)) {
+    switch (f->kind) {
+      case store::FaultKind::kCrash:
+        std::fprintf(stderr,
+                     "FG_FAULT: injected crash at point %llu attempt %u\n",
+                     static_cast<unsigned long long>(fault_index), attempt);
+        std::fflush(stderr);
+        std::_Exit(store::kFaultCrashExit);
+      case store::FaultKind::kHang:
+        // In isolate mode the watchdog SIGKILLs us mid-sleep; in-process we
+        // just stall, then proceed (no safe way to interrupt a thread).
+        sleep_ms(static_cast<double>(f->hang_ms));
+        break;
+      default:
+        *why = "injected_point_fail";
+        return false;
+    }
+  }
+  PointExecutor exec(with_baseline);
+  exec.set_baseline_hooks(store_baseline_hooks(store));
+  RunOutcome o = exec.execute(p);
+  std::string text = outcome_payload(std::move(o));
+  std::string err;
+  if (!store->put(result_key(p.spec, with_baseline), text, &err)) {
+    *why = "publish_failed";
+    std::fprintf(stderr, "fgsim: point %llu publish failed: %s\n",
+                 static_cast<unsigned long long>(fault_index), err.c_str());
+    return false;
+  }
+  if (payload != nullptr) *payload = std::move(text);
+  return true;
+}
+
 CampaignRunner::CampaignRunner(ExperimentSpec spec, CampaignConfig cfg)
     : spec_(std::move(spec)), cfg_(cfg) {}
 
@@ -118,64 +178,16 @@ void CampaignRunner::emit(u32 index, u32 attempt, const char* what) {
   event_fn_(ev);
 }
 
-PointExecutor::BaselineHooks CampaignRunner::store_baseline_hooks() {
-  PointExecutor::BaselineHooks h;
-  h.lookup = [this](const ExperimentSpec& s, Cycle* cycles) {
-    std::string payload;
-    if (store_.get(baseline_key(s), &payload) !=
-        store::ResultStore::GetStatus::kHit) {
-      return false;
-    }
-    json::Value v;
-    if (!json::parse(payload, &v) || !v.is_object()) return false;
-    *cycles = v.get_u64("baseline_cycles", 0);
-    return *cycles != 0;
-  };
-  h.publish = [this](const ExperimentSpec& s, Cycle cycles) {
-    json::Value v = json::Value::object();
-    v.set("baseline_cycles", json::Value::of(cycles));
-    std::string err;
-    // Best effort: a failed baseline publish only costs a recompute in some
-    // later process, never correctness.
-    store_.put(baseline_key(s), json::dump(v, 0), &err);
-  };
-  return h;
-}
-
 bool CampaignRunner::execute_and_publish(u32 index, u32 attempt,
                                          std::string* why) {
-  if (auto f = store::point_fault(index, attempt)) {
-    switch (f->kind) {
-      case store::FaultKind::kCrash:
-        std::fprintf(stderr,
-                     "FG_FAULT: injected crash at point %u attempt %u\n",
-                     index, attempt);
-        std::fflush(stderr);
-        std::_Exit(store::kFaultCrashExit);
-      case store::FaultKind::kHang:
-        // In isolate mode the watchdog SIGKILLs us mid-sleep; in-process we
-        // just stall, then proceed (no safe way to interrupt a thread).
-        sleep_ms(static_cast<double>(f->hang_ms));
-        break;
-      default:
-        *why = "injected_point_fail";
-        return false;
-    }
-  }
-  PointExecutor exec(cfg_.with_baseline);
-  exec.set_baseline_hooks(store_baseline_hooks());
-  RunOutcome o = exec.execute(points_[index]);
-  const std::string payload = outcome_payload(std::move(o));
-  std::string err;
-  if (!store_.put(point_key(index), payload, &err)) {
-    *why = "publish_failed";
-    std::fprintf(stderr, "fgsim: point %u publish failed: %s\n", index,
-                 err.c_str());
+  std::string payload;
+  if (!execute_point_to_store(points_[index], index, attempt,
+                              cfg_.with_baseline, &store_, &payload, why)) {
     return false;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    payloads_[index] = payload;
+    payloads_[index] = std::move(payload);
   }
   return true;
 }

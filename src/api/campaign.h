@@ -87,6 +87,22 @@ std::string campaign_hash(const ExperimentSpec& spec, bool with_baseline);
 /// resume boundaries.
 std::string outcome_payload(RunOutcome o);
 
+/// Baseline memoization hooks backed by a ResultStore (the durable layer
+/// under the in-memory BaselineCache): lookup consults
+/// baseline_key(spec), publish records a computed baseline best-effort.
+PointExecutor::BaselineHooks store_baseline_hooks(store::ResultStore* store);
+
+/// One point attempt against a durable store — the worker-side body shared
+/// by the campaign runner's forked children and the serve daemon's: consult
+/// the injected point faults (FG_FAULT ...@point:<fault_index>), simulate
+/// `p` via PointExecutor with store-backed baseline memoization, publish
+/// under result_key(p.spec, with_baseline). True when a validated entry is
+/// in the store; on failure *why carries a slug. `payload` (optional)
+/// receives the published payload.
+bool execute_point_to_store(const GridPoint& p, u64 fault_index, u32 attempt,
+                            bool with_baseline, store::ResultStore* store,
+                            std::string* payload, std::string* why);
+
 class CampaignRunner {
  public:
   /// Per-point lifecycle event, for progress reporting. `what` is one of
@@ -128,7 +144,6 @@ class CampaignRunner {
 
  private:
   void emit(u32 index, u32 attempt, const char* what);
-  PointExecutor::BaselineHooks store_baseline_hooks();
   /// One in-child / in-process point attempt: consult the injected point
   /// faults, simulate, publish. True when a validated entry is in the store.
   bool execute_and_publish(u32 index, u32 attempt, std::string* why);

@@ -1,0 +1,98 @@
+#include "src/serve/client.h"
+
+#if !defined(_WIN32)
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace fg::serve {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool Client::connect(const std::string& socket_path, std::string* err) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    *err = "socket path too long: " + socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *err = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *err = "no daemon listening on " + socket_path + " (" +
+           std::strerror(errno) + "); start one with `fgsim serve`";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_raw(const std::string& bytes, std::string* err) {
+  if (fd_ < 0) {
+    *err = "not connected";
+    return false;
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    *err = std::string("send(): ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Client::read_response(std::string* line, std::string* err) {
+  if (fd_ < 0) {
+    *err = "not connected";
+    return false;
+  }
+  while (!in_.take_line(line)) {
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    *err = n == 0 ? "daemon closed the connection"
+                  : std::string("recv(): ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Client::call(const std::string& request_line, json::Value* resp,
+                  std::string* err) {
+  if (!send_raw(request_line + "\n", err)) return false;
+  std::string line;
+  if (!read_response(&line, err)) return false;
+  if (!json::parse(line, resp) || !resp->is_object()) {
+    *err = "unparsable response from daemon: " + line.substr(0, 200);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fg::serve
+
+#endif  // !_WIN32

@@ -1,0 +1,50 @@
+// Blocking NDJSON client for the fgsim serve daemon: connect to the Unix
+// socket, send one-line request frames, read one-line responses. This is
+// the whole client side of the protocol — `fgsim submit/jobs/status` are
+// thin argument parsers over it, and tests drive malformed frames through
+// send_raw/read_response directly.
+#pragma once
+
+#include <string>
+
+#include "src/common/json.h"
+#include "src/serve/protocol.h"
+
+namespace fg::serve {
+
+#if !defined(_WIN32)
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a daemon. False with *err when the socket is absent or
+  /// nothing is listening (the daemon-not-running case callers turn into
+  /// exit code 3).
+  bool connect(const std::string& socket_path, std::string* err);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One round trip: send `request_line` (newline appended), block for the
+  /// response frame, parse it into *resp. False with *err on transport
+  /// failure or unparsable response; a daemon-side {"ok": false} is a
+  /// SUCCESSFUL call — callers check resp->get_bool("ok").
+  bool call(const std::string& request_line, json::Value* resp,
+            std::string* err);
+
+  /// Raw frame send (no newline added) — the malformed-protocol test hook.
+  bool send_raw(const std::string& bytes, std::string* err);
+  /// Block for the next response line (terminator stripped).
+  bool read_response(std::string* line, std::string* err);
+
+ private:
+  int fd_ = -1;
+  FrameBuffer in_;
+};
+
+#endif  // !_WIN32
+
+}  // namespace fg::serve

@@ -1,0 +1,140 @@
+// ServeDaemon: the sharded, deduplicating experiment service.
+//
+// One daemon process owns a durable ResultStore and a Unix-domain socket.
+// Clients submit ExperimentSpecs (sweep axes expanded into points keyed by
+// the canonical result_key); the daemon answers already-published points
+// straight from the store, attaches duplicate in-flight points to the one
+// execution (two clients submitting the same point get one simulation and
+// two answers), and schedules the rest onto a pool of forked workers with
+// the campaign layer's watchdog + bounded-retry machinery. Idle workers
+// drain the global backlog round-robin across submissions (work stealing),
+// so a small submission never queues behind a giant one.
+//
+// Crash safety: every accepted submission is journaled as an atomic
+// faultfs-published file under <store>/serve/queue/ before it is
+// acknowledged, and removed only when the submission completes. A killed
+// daemon (SIGKILL, power cut) restarts into the same queue: journaled
+// submissions are replayed, already-published points are store hits (zero
+// re-execution), and only genuinely unfinished points run. Workers are
+// forked processes whose only side effect is an atomic store publish, so a
+// daemon death cannot corrupt results — the store's checksummed entries and
+// the journal's atomicity carry the whole burden, exactly as in `fgsim
+// campaign` (and exercised by the same FG_FAULT machinery).
+//
+// Concurrency model: ONE event-loop thread (poll over the listen socket and
+// client connections, waitpid(WNOHANG) over workers). Simulation happens in
+// forked children only; nothing in the daemon needs a lock. run() blocks
+// until a shutdown request, request_stop() (signal handlers), or a fatal
+// socket error.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/serve/queue.h"
+#include "src/store/result_store.h"
+
+namespace fg::serve {
+
+struct ServeConfig {
+  std::string store_dir;
+  std::string socket_path;
+  /// Forked worker slots. 0 = hardware concurrency.
+  u32 workers = 0;
+  /// Attempts per point before it counts as failed.
+  u32 max_attempts = 3;
+  /// Per-point wall-clock watchdog in seconds; 0 disables.
+  double point_timeout_s = 0.0;
+  /// Base retry backoff, doubled per subsequent attempt.
+  u64 backoff_ms = 50;
+  bool quiet = false;
+};
+
+#if !defined(_WIN32)
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(ServeConfig cfg);
+  ~ServeDaemon();
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Open the store, bind + listen on the socket (refusing a socket another
+  /// live daemon holds; unlinking a stale one), replay the submission
+  /// journal. False with *err on store/socket I/O failure.
+  bool init(std::string* err);
+
+  /// The event loop; blocks until shutdown. True on a clean stop, false on
+  /// a fatal socket error (*err set).
+  bool run(std::string* err);
+
+  /// Async stop (safe from signal handlers and other threads): the loop
+  /// exits at its next wakeup, leaving journaled submissions for a restart.
+  void request_stop() { stop_.store(true); }
+
+  const ServeConfig& config() const { return cfg_; }
+  u32 workers() const { return workers_; }
+  const ServeStats& stats() const { return queue_.stats(); }
+  /// <store>/serve/queue — one atomic JSON file per unfinished submission.
+  std::string journal_dir() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameBuffer in;
+    /// Deferred-response state: a submit --wait or drain parks here.
+    u64 wait_sub = 0;  // 0 = no deferred submit response
+    bool want_results = false;
+    bool drain_wait = false;
+  };
+  struct Worker {
+    pid_t pid = -1;           // -1 = idle slot
+    std::string key;          // the PointRun being executed
+    u64 sub = 0;              // submission whose backlog the point came from
+    u64 last_sub = 0;         // for the steal counter
+    double deadline_ms = 0;   // watchdog; 0 = none
+    bool timed_out = false;
+  };
+
+  bool bind_socket(std::string* err);
+  void replay_journal();
+  u64 accept_submission(const Request& req, bool replayed, u64 forced_id,
+                        Submission** out, std::string* err);
+  void launch_ready_workers();
+  void reap_workers();
+  void finish_submission(u64 id);
+  void answer_waiters(u64 sub_id);
+  void check_drain_waiters();
+
+  void handle_line(Conn& c, const std::string& line);
+  void handle_request(Conn& c, const Request& req);
+  json::Value submission_json(const Submission& sub, bool with_results) const;
+  json::Value stats_json() const;
+
+  /// Queue `text` as a frame on the connection (best effort; a dead client
+  /// only loses its own response — its fd is closed and marked for sweep).
+  void send(Conn& c, const std::string& text);
+  /// The live connection currently holding `fd`, or nullptr.
+  Conn* find_conn(int fd);
+  /// Erase connections marked closed (fd < 0) during this loop iteration.
+  void sweep_closed_conns();
+
+  ServeConfig cfg_;
+  u32 workers_ = 1;
+  store::ResultStore store_;
+  SubmissionQueue queue_;
+  std::vector<Worker> slots_;
+  std::vector<Conn> conns_;
+  int listen_fd_ = -1;
+  u64 next_id_ = 1;
+  bool draining_ = false;
+  std::atomic<bool> stop_{false};
+  bool inited_ = false;
+};
+
+#endif  // !_WIN32
+
+}  // namespace fg::serve

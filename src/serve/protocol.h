@@ -1,0 +1,110 @@
+// The fgsim serve wire protocol: newline-delimited JSON over a Unix-domain
+// stream socket.
+//
+// Framing: one request or response per line ('\n'-terminated one-line JSON
+// object, no embedded newlines — fg::json never emits them at indent 0). A
+// frame longer than kMaxFrameBytes is a protocol violation: the daemon
+// answers a structured error and closes that connection (the line boundary
+// is unrecoverable), but stays up. Anything short of that — garbage JSON,
+// unknown request kinds, a stale protocol version, missing fields — is
+// answered with {"ok": false, "error": ...} on the same connection, which
+// remains usable. A truncated final line (client died mid-write) is
+// discarded when the connection closes.
+//
+// Versioning: every request carries "v". The daemon speaks exactly
+// kProtocolVersion; any other value (or a missing "v") is answered with an
+// error naming the supported version, so a stale client fails loudly and
+// immediately rather than mis-parsing.
+//
+// Request kinds (the "kind" field; full schema in docs/API.md):
+//   submit    submit an ExperimentSpec — sweep axes are expanded into grid
+//             points keyed by the canonical result_key ("submit-spec" and
+//             "submit-campaign" are accepted aliases; a campaign is just a
+//             spec with sweep axes). Options: wait (defer the response
+//             until every point resolved), results (attach the stored
+//             outcome payloads, grid order), with_baseline.
+//   status    per-submission progress (all jobs, or one via "id")
+//   cancel    drop a submission's pending points (running ones finish and
+//             publish; points shared with other submissions keep running)
+//   stats     the observability surface: queue depth, per-worker state,
+//             store hits vs executions, dedupe hits, retry/timeout counts
+//   drain     stop accepting submissions; respond once the backlog is empty
+//   shutdown  respond, then exit the daemon (journaled submissions resume
+//             on the next start)
+#pragma once
+
+#include <string>
+
+#include "src/api/spec.h"
+#include "src/common/json.h"
+
+namespace fg::serve {
+
+inline constexpr u64 kProtocolVersion = 1;
+/// Hard per-frame byte cap (a 200-point sweep spec is ~4 KB; 8 MiB is
+/// three orders of magnitude of headroom, not a real limit).
+inline constexpr size_t kMaxFrameBytes = 8u << 20;
+
+enum class RequestKind : u8 {
+  kSubmit,
+  kStatus,
+  kCancel,
+  kStats,
+  kDrain,
+  kShutdown,
+};
+
+const char* request_kind_name(RequestKind k);
+
+struct Request {
+  RequestKind kind = RequestKind::kStats;
+  // submit
+  api::ExperimentSpec spec;
+  bool wait = false;
+  bool want_results = false;
+  bool with_baseline = true;
+  std::string name;  // optional client-chosen label
+  // status / cancel
+  u64 id = 0;
+  bool has_id = false;
+};
+
+/// Parse one request line. False with a one-line reason in *err on garbage
+/// JSON, a missing/unsupported protocol version, an unknown kind, or a
+/// submit without a valid spec — the daemon turns *err into a structured
+/// error response verbatim.
+bool parse_request(const std::string& line, Request* out, std::string* err);
+
+// --- request builders (the client side) ------------------------------------
+std::string submit_request(const api::ExperimentSpec& spec, bool wait,
+                           bool want_results, bool with_baseline,
+                           const std::string& name = "");
+/// kind in {"status", "stats", "drain", "shutdown"}.
+std::string simple_request(const char* kind);
+std::string status_request(u64 id);
+std::string cancel_request(u64 id);
+
+// --- response helpers -------------------------------------------------------
+/// {"ok": false, "v": 1, "error": msg} — the structured error form.
+std::string error_response(const std::string& msg);
+/// Serialize a response object (adds ok/v fields) to the one-line frame.
+std::string ok_response(json::Value fields);
+
+/// Incremental line framer shared by the daemon's connections and the
+/// client: feed raw bytes, take complete lines. Enforces kMaxFrameBytes on
+/// the unconsumed tail.
+class FrameBuffer {
+ public:
+  void append(const char* data, size_t n) { buf_.append(data, n); }
+  /// Extract the next complete ('\n'-terminated) line, terminator stripped.
+  bool take_line(std::string* line);
+  /// True once the unconsumed tail exceeds kMaxFrameBytes with no newline —
+  /// the peer is writing an oversized frame.
+  bool over_limit() const;
+  size_t pending() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace fg::serve

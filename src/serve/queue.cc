@@ -1,0 +1,231 @@
+#include "src/serve/queue.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fg::serve {
+
+namespace {
+
+u64 backoff_for(u64 base_ms, u32 attempt) {
+  return base_ms << std::min<u32>(attempt, 10);
+}
+
+}  // namespace
+
+Submission& SubmissionQueue::add_submission(u64 id, const std::string& name,
+                                            std::vector<api::GridPoint> points,
+                                            std::vector<std::string> keys,
+                                            std::vector<std::string> resolved,
+                                            bool with_baseline, bool replayed) {
+  FG_CHECK(points.size() == keys.size() && points.size() == resolved.size());
+  Submission& sub = subs_[id];
+  sub.id = id;
+  sub.name = name;
+  sub.with_baseline = with_baseline;
+  sub.replayed = replayed;
+  sub.n_points = points.size();
+  sub.keys = std::move(keys);
+  sub.payloads.assign(points.size(), "");
+
+  ++stats_.submissions_accepted;
+  if (replayed) ++stats_.submissions_replayed;
+  stats_.points_submitted += points.size();
+
+  for (u32 i = 0; i < points.size(); ++i) {
+    const std::string& key = sub.keys[i];
+    if (!resolved[i].empty()) {
+      // The store answered this point at accept time.
+      sub.payloads[i] = std::move(resolved[i]);
+      ++sub.done;
+      ++sub.from_store;
+      ++stats_.store_hits;
+      continue;
+    }
+    auto it = points_.find(key);
+    if (it != points_.end()) {
+      // In-flight dedupe: one execution, every submitter answered.
+      it->second.waiters.emplace_back(id, i);
+      ++sub.deduped;
+      ++stats_.dedupe_hits;
+      continue;
+    }
+    PointRun run;
+    run.key = key;
+    run.point = std::move(points[i]);
+    run.with_baseline = with_baseline;
+    run.fault_index = i;
+    run.waiters.emplace_back(id, i);
+    points_.emplace(key, std::move(run));
+    backlog_[id].push_back(key);
+  }
+  return sub;
+}
+
+PointRun* SubmissionQueue::take_next(double now_ms, u64 last_sub) {
+  // Retry backlog first: a point past its backoff gate is older than
+  // anything still unstarted.
+  for (size_t i = 0; i < backoff_.size(); ++i) {
+    auto it = points_.find(backoff_[i]);
+    if (it == points_.end() || it->second.state != PointState::kBackoff) {
+      backoff_.erase(backoff_.begin() + static_cast<long>(i--));
+      continue;
+    }
+    if (it->second.ready_ms > now_ms) continue;
+    backoff_.erase(backoff_.begin() + static_cast<long>(i));
+    it->second.state = PointState::kRunning;
+    ++it->second.attempts;
+    ++running_;
+    return &it->second;
+  }
+
+  // Round-robin over per-submission backlogs, starting after the last
+  // submission served, so every worker slot drains the global queue fairly.
+  if (backlog_.empty()) return nullptr;
+  auto start = backlog_.upper_bound(rr_cursor_);
+  if (start == backlog_.end()) start = backlog_.begin();
+  auto it = start;
+  do {
+    std::deque<std::string>& dq = it->second;
+    while (!dq.empty()) {
+      auto pit = points_.find(dq.front());
+      if (pit == points_.end() || pit->second.state != PointState::kPending ||
+          pit->second.waiters.empty()) {
+        dq.pop_front();  // stale after cancel/steal; drop lazily
+        continue;
+      }
+      dq.pop_front();
+      pit->second.state = PointState::kRunning;
+      ++pit->second.attempts;
+      ++running_;
+      rr_cursor_ = it->first;
+      if (last_sub != 0 && last_sub != it->first) ++stats_.steals;
+      if (dq.empty()) backlog_.erase(it);
+      return &pit->second;
+    }
+    auto next = std::next(it);
+    backlog_.erase(it);
+    it = next == backlog_.end() ? backlog_.begin() : next;
+  } while (!backlog_.empty() && it != backlog_.end());
+  return nullptr;
+}
+
+double SubmissionQueue::next_ready_ms() const {
+  double earliest = 0.0;
+  for (const std::string& key : backoff_) {
+    auto it = points_.find(key);
+    if (it == points_.end() || it->second.state != PointState::kBackoff) {
+      continue;
+    }
+    if (earliest == 0.0 || it->second.ready_ms < earliest) {
+      earliest = it->second.ready_ms;
+    }
+  }
+  return earliest;
+}
+
+std::vector<u64> SubmissionQueue::resolve_waiters(PointRun* p,
+                                                  const std::string& payload,
+                                                  bool failed) {
+  std::vector<u64> completed;
+  for (const auto& [sub_id, index] : p->waiters) {
+    auto sit = subs_.find(sub_id);
+    if (sit == subs_.end() || sit->second.cancelled) continue;
+    Submission& sub = sit->second;
+    if (failed) {
+      ++sub.failed;
+    } else {
+      sub.payloads[index] = payload;
+      ++sub.done;
+    }
+    if (sub.complete()) completed.push_back(sub_id);
+  }
+  return completed;
+}
+
+std::vector<u64> SubmissionQueue::complete_point(PointRun* p,
+                                                 const std::string& payload) {
+  FG_CHECK(p->state == PointState::kRunning);
+  --running_;
+  ++stats_.executed;
+  std::vector<u64> completed = resolve_waiters(p, payload, /*failed=*/false);
+  points_.erase(p->key);
+  return completed;
+}
+
+std::vector<u64> SubmissionQueue::fail_attempt(PointRun* p,
+                                               const std::string& why,
+                                               bool timed_out, u32 max_attempts,
+                                               u64 backoff_ms, double now_ms) {
+  FG_CHECK(p->state == PointState::kRunning);
+  --running_;
+  if (timed_out) ++stats_.timeouts;
+  if (p->attempts < max_attempts) {
+    ++stats_.retries;
+    p->state = PointState::kBackoff;
+    p->ready_ms =
+        now_ms + static_cast<double>(backoff_for(backoff_ms, p->attempts - 1));
+    backoff_.push_back(p->key);
+    return {};
+  }
+  p->state = PointState::kFailed;
+  p->why = why;
+  ++stats_.failed_points;
+  std::vector<u64> completed = resolve_waiters(p, "", /*failed=*/true);
+  points_.erase(p->key);
+  return completed;
+}
+
+size_t SubmissionQueue::cancel(u64 id) {
+  auto sit = subs_.find(id);
+  if (sit == subs_.end()) return static_cast<size_t>(-1);
+  Submission& sub = sit->second;
+  if (sub.cancelled) return 0;
+  sub.cancelled = true;
+  ++stats_.submissions_cancelled;
+  size_t dropped = 0;
+  // Detach from every point; a pending/backoff point left with no waiters
+  // has no customer — drop it (its backlog/backoff entries go stale and are
+  // skipped lazily). Running points finish and publish: the store keeps the
+  // work either way.
+  for (auto it = points_.begin(); it != points_.end();) {
+    PointRun& p = it->second;
+    auto w = std::remove_if(
+        p.waiters.begin(), p.waiters.end(),
+        [id](const std::pair<u64, u32>& e) { return e.first == id; });
+    const bool was_ours = w != p.waiters.end();
+    p.waiters.erase(w, p.waiters.end());
+    if (was_ours && p.waiters.empty() && p.state != PointState::kRunning) {
+      ++dropped;
+      ++stats_.cancelled_points;
+      it = points_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+  backlog_.erase(id);
+  return dropped;
+}
+
+Submission* SubmissionQueue::find(u64 id) {
+  auto it = subs_.find(id);
+  return it == subs_.end() ? nullptr : &it->second;
+}
+
+PointRun* SubmissionQueue::find_point(const std::string& key) {
+  auto it = points_.find(key);
+  return it == points_.end() ? nullptr : &it->second;
+}
+
+size_t SubmissionQueue::queue_depth() const {
+  size_t n = 0;
+  for (const auto& [key, p] : points_) {
+    if (p.state == PointState::kPending || p.state == PointState::kBackoff) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace fg::serve

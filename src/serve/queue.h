@@ -1,0 +1,161 @@
+// The daemon's submission registry and global point queue.
+//
+// Two layers of dedupe make "no simulation ever runs twice" hold fleet-wide:
+//  * Store dedupe: a point whose canonical result_key is already published
+//    in the ResultStore is answered from disk at accept time (the daemon
+//    consults the store; this class only records the hit).
+//  * In-flight dedupe: a point that is pending, running, or in retry
+//    backoff when a second submission names the same key is NOT enqueued
+//    again — the new submission attaches as a waiter and both submissions
+//    are answered by the one execution.
+//
+// Scheduling is a work-stealing round-robin over per-submission backlogs:
+// every idle worker slot takes the next ready point from the next
+// submission with pending work, regardless of which submission it belongs
+// to, so one giant submission cannot starve a small one and an almost-done
+// submission's stragglers are drained by every worker, not just "its own".
+// A worker that crosses from one submission to another counts as a steal in
+// the stats (the fleet-debuggability counter, not a correctness knob).
+//
+// Threading: this class is owned and mutated ONLY by the daemon's event
+// loop thread (workers are forked processes, not threads), so it is
+// deliberately lock-free in the single-threaded sense — no mutexes to get
+// wrong. The (trivially copyable) ServeStats snapshot is the only thing
+// handed across the API boundary.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/api/spec.h"
+
+namespace fg::serve {
+
+struct ServeStats {
+  u64 submissions_accepted = 0;
+  u64 submissions_completed = 0;
+  u64 submissions_cancelled = 0;
+  u64 submissions_replayed = 0;  // journal-recovered on daemon start
+  u64 points_submitted = 0;      // across submissions, duplicates included
+  u64 store_hits = 0;            // answered straight from the ResultStore
+  u64 dedupe_hits = 0;           // attached to an in-flight execution
+  u64 executed = 0;              // fresh executions that published an entry
+  u64 retries = 0;
+  u64 timeouts = 0;  // watchdog kills (a subset of retries/failures)
+  u64 failed_points = 0;
+  /// Pending points dropped by cancel before any execution. Closes the
+  /// books: points_submitted == store_hits + dedupe_hits + executed +
+  /// failed_points + cancelled_points + in-flight (queue depth + running).
+  u64 cancelled_points = 0;
+  u64 steals = 0;  // worker slots that crossed submissions
+};
+
+enum class PointState : u8 { kPending, kRunning, kBackoff, kDone, kFailed };
+
+/// One unique in-flight point: the unit of execution and of dedupe.
+struct PointRun {
+  std::string key;       // canonical result_key — the identity
+  api::GridPoint point;  // the first submitter's concrete spec
+  bool with_baseline = true;
+  PointState state = PointState::kPending;
+  u32 attempts = 0;      // begun executions
+  double ready_ms = 0;   // backoff gate (steady-clock ms); 0 = now
+  u64 fault_index = 0;   // FG_FAULT @point index: the first submitter's
+  std::string why;       // failure slug after attempts exhaust
+  /// (submission id, point index within that submission).
+  std::vector<std::pair<u64, u32>> waiters;
+};
+
+struct Submission {
+  u64 id = 0;
+  std::string name;
+  bool with_baseline = true;
+  bool replayed = false;   // recovered from the on-disk submission journal
+  bool cancelled = false;
+  /// Daemon-side: journal removed + completion counted + waiters answered.
+  bool finalized = false;
+  size_t n_points = 0;
+  size_t done = 0;         // resolved points (store hit or executed)
+  size_t failed = 0;
+  size_t from_store = 0;   // answered from the ResultStore at accept time
+  size_t deduped = 0;      // attached to an in-flight execution
+  /// Stored outcome payloads in grid order ("" until resolved / on failure).
+  std::vector<std::string> payloads;
+  /// result_key per grid point (grid order).
+  std::vector<std::string> keys;
+
+  bool complete() const { return done + failed >= n_points; }
+};
+
+class SubmissionQueue {
+ public:
+  /// Register a submission whose grid is already expanded. For each point,
+  /// `resolved[i]` non-empty means the store answered it at accept time
+  /// (payload recorded, no execution). The rest join the global queue or
+  /// attach to an in-flight point with the same key.
+  Submission& add_submission(u64 id, const std::string& name,
+                             std::vector<api::GridPoint> points,
+                             std::vector<std::string> keys,
+                             std::vector<std::string> resolved,
+                             bool with_baseline, bool replayed);
+
+  /// Work stealing: the next point ready to execute (pending, past its
+  /// backoff gate), round-robin across submissions with pending work.
+  /// `last_sub` is the submission the calling worker slot last executed
+  /// for (0 = none) — crossing submissions counts a steal. nullptr when
+  /// nothing is ready.
+  PointRun* take_next(double now_ms, u64 last_sub);
+
+  /// The earliest backoff gate among pending points (0 when none are
+  /// gated) — the daemon's poll-timeout hint.
+  double next_ready_ms() const;
+
+  /// Execution finished and the store holds a validated entry: resolve the
+  /// point for every waiter. Returns the submissions completed by this.
+  std::vector<u64> complete_point(PointRun* p, const std::string& payload);
+
+  /// One attempt failed. Re-queues with a backoff gate while attempts
+  /// remain, else marks the point (and its waiters' slots) failed.
+  /// `timed_out` routes the timeout counter. Returns completed submissions.
+  std::vector<u64> fail_attempt(PointRun* p, const std::string& why,
+                                bool timed_out, u32 max_attempts,
+                                u64 backoff_ms, double now_ms);
+
+  /// Cancel a submission: detach it from its pending points (a point with
+  /// no waiters left is dropped from the queue; running points finish and
+  /// publish — the store keeps the work). Returns pending points dropped,
+  /// or SIZE_MAX for an unknown id.
+  size_t cancel(u64 id);
+
+  Submission* find(u64 id);
+  const std::map<u64, Submission>& submissions() const { return subs_; }
+  PointRun* find_point(const std::string& key);
+
+  /// Pending points not yet running (the queue depth the stats report).
+  size_t queue_depth() const;
+  bool idle() const { return queue_depth() == 0 && running_ == 0; }
+  size_t running() const { return running_; }
+
+  ServeStats& stats() { return stats_; }
+  const ServeStats& stats() const { return stats_; }
+
+ private:
+  std::vector<u64> resolve_waiters(PointRun* p, const std::string& payload,
+                                   bool failed);
+
+  std::map<u64, Submission> subs_;
+  std::map<std::string, PointRun> points_;  // key → the one in-flight run
+  /// Per-submission backlog of keys not yet handed to a worker, plus the
+  /// round-robin cursor over submission ids.
+  std::map<u64, std::deque<std::string>> backlog_;
+  /// Keys in retry backoff, scanned before the backlog (stale entries —
+  /// points since completed or cancelled away — are dropped lazily).
+  std::vector<std::string> backoff_;
+  u64 rr_cursor_ = 0;
+  size_t running_ = 0;
+  ServeStats stats_;
+};
+
+}  // namespace fg::serve

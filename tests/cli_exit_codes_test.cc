@@ -138,6 +138,74 @@ TEST_F(CliExitCodesTest, CorruptStoreAuditExitsOne) {
   EXPECT_EQ(fgsim("campaign --store " + store + " --audit"), cli::kExitOk);
 }
 
+TEST_F(CliExitCodesTest, ServeFamilyUsageErrorsExitTwo) {
+  EXPECT_EQ(fgsim("serve"), cli::kExitUsage);  // --store/--socket missing
+  EXPECT_EQ(fgsim("serve --store " + dir_ + "/s"), cli::kExitUsage);
+  EXPECT_EQ(fgsim("serve --store " + dir_ + "/s --socket " + dir_ +
+                  "/fg.sock --max-attempts=0"),
+            cli::kExitUsage);
+  EXPECT_EQ(fgsim("serve --no-such-flag"), cli::kExitUsage);
+  EXPECT_EQ(fgsim("submit"), cli::kExitUsage);  // --spec missing
+  EXPECT_EQ(fgsim("submit --spec " + write_tiny_spec()),
+            cli::kExitUsage);  // --socket missing, no FG_SOCKET
+  EXPECT_EQ(fgsim("submit --spec " + write_tiny_spec() + " --set notkey"),
+            cli::kExitUsage);
+  EXPECT_EQ(fgsim("jobs --no-such-flag"), cli::kExitUsage);
+  EXPECT_EQ(fgsim("jobs --cancel=notanumber"), cli::kExitUsage);
+  EXPECT_EQ(fgsim("status --no-such-flag"), cli::kExitUsage);
+  EXPECT_EQ(fgsim("store"), cli::kExitUsage);  // subcommand missing
+  EXPECT_EQ(fgsim("store frobnicate"), cli::kExitUsage);
+  EXPECT_EQ(fgsim("store stats"), cli::kExitUsage);  // --store missing
+  // Malformed spec content stays a usage error through submit too.
+  const std::string bad = dir_ + "/bad.json";
+  std::ofstream(bad) << "{\"this is\": not json";
+  EXPECT_EQ(fgsim("submit --spec " + bad + " --socket " + dir_ + "/fg.sock"),
+            cli::kExitUsage);
+}
+
+TEST_F(CliExitCodesTest, DaemonNotRunningExitsThree) {
+  // No daemon was ever started: the socket path simply doesn't exist.
+  const std::string sock = " --socket " + dir_ + "/no_daemon.sock";
+  EXPECT_EQ(fgsim("submit --spec " + write_tiny_spec() + sock), cli::kExitIo);
+  EXPECT_EQ(fgsim("jobs" + sock), cli::kExitIo);
+  EXPECT_EQ(fgsim("status" + sock), cli::kExitIo);
+  // A socket path that exists but is a plain file is just as dead.
+  std::ofstream(dir_ + "/notasocket") << "x";
+  EXPECT_EQ(fgsim("status --socket " + dir_ + "/notasocket"), cli::kExitIo);
+  // And the daemon itself refuses to listen there (it won't unlink a
+  // non-socket file).
+  EXPECT_EQ(fgsim("serve --store " + dir_ + "/s --socket " + dir_ +
+                  "/notasocket"),
+            cli::kExitIo);
+  // A store rooted inside a plain file cannot be created.
+  EXPECT_EQ(fgsim("serve --store " + dir_ + "/notasocket/store --socket " +
+                  dir_ + "/fg.sock"),
+            cli::kExitIo);
+  EXPECT_EQ(fgsim("store stats --store " + dir_ + "/notasocket/store"),
+            cli::kExitIo);
+  EXPECT_EQ(fgsim("submit --spec " + dir_ + "/no_such.json" + sock),
+            cli::kExitIo);
+}
+
+TEST_F(CliExitCodesTest, StoreStatsCleanExitsZeroQuarantineExitsOne) {
+  const std::string store = dir_ + "/store";
+  ASSERT_EQ(fgsim("campaign --spec " + write_tiny_spec() + " --store " +
+                  store + " --no-baseline --in-process --quiet"),
+            cli::kExitOk);
+  EXPECT_EQ(fgsim("store stats --store " + store), cli::kExitOk);
+  EXPECT_EQ(fgsim("store stats --store " + store + " --json"), cli::kExitOk);
+  // Corrupt the published entry: the audit quarantines it and the exit
+  // code says so — and KEEPS saying so while quarantine/ holds evidence.
+  for (const auto& shard :
+       std::filesystem::directory_iterator(store + "/objects")) {
+    for (const auto& entry : std::filesystem::directory_iterator(shard)) {
+      std::ofstream(entry.path()) << "garbage";
+    }
+  }
+  EXPECT_EQ(fgsim("store stats --store " + store), cli::kExitFailure);
+  EXPECT_EQ(fgsim("store stats --store " + store), cli::kExitFailure);
+}
+
 TEST_F(CliExitCodesTest, MalformedFaultEnvAbortsLoudly) {
   ::setenv("FG_FAULT", "not-a-fault-spec", 1);
   const std::string cmd = std::string(FGSIM_BINARY) + " campaign --spec " +

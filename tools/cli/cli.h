@@ -49,4 +49,22 @@ int fuzz_main(int argc, char** argv);
 /// `fgsim speed`: the simulator-speed tracker (the simspeed CLI).
 int speed_main(int argc, char** argv);
 
+/// `fgsim serve`: the batch experiment daemon — durable store + Unix socket
+/// + forked workers with store/in-flight dedupe and work stealing.
+int serve_main(int argc, char** argv);
+
+/// `fgsim submit`: send a spec to a running serve daemon (--wait blocks
+/// until every point resolves).
+int submit_main(int argc, char** argv);
+
+/// `fgsim jobs`: list (or cancel) a serve daemon's submissions.
+int jobs_main(int argc, char** argv);
+
+/// `fgsim status`: a serve daemon's live counters (--drain / --shutdown).
+int status_main(int argc, char** argv);
+
+/// `fgsim store`: direct store inspection (stats: objects, bytes,
+/// quarantine, full audit) — no daemon needed.
+int store_main(int argc, char** argv);
+
 }  // namespace fg::cli

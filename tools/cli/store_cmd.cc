@@ -1,0 +1,133 @@
+// `fgsim store`: direct inspection of a durable result store, no daemon
+// needed.
+//
+//   fgsim store stats --store DIR [--json]
+//       object count, total bytes, quarantine count, and a full audit
+//       (every entry's checksum, format version, and address verified).
+//       Exit 1 while anything sits in quarantine/ — the store serves
+//       every readable entry, but something rotted on disk and the
+//       evidence hasn't been examined and cleared yet.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/store/result_store.h"
+#include "tools/cli/cli.h"
+
+namespace fg::cli {
+
+namespace {
+
+void usage() {
+  std::puts(
+      "fgsim store — inspect a durable result store\n"
+      "  stats --store DIR [--json]   object count, bytes, quarantine count, "
+      "full audit");
+}
+
+/// Total size and file count under `dir` (0/0 when absent).
+void dir_usage(const std::string& dir, u64* files, u64* bytes) {
+  *files = 0;
+  *bytes = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    ++*files;
+    *bytes += static_cast<u64>(entry.file_size(ec));
+  }
+}
+
+}  // namespace
+
+int store_main(int argc, char** argv) {
+  if (argc < 1 || std::strcmp(argv[0], "--help") == 0 ||
+      std::strcmp(argv[0], "-h") == 0) {
+    usage();
+    return argc < 1 ? kExitUsage : kExitOk;
+  }
+  if (std::strcmp(argv[0], "stats") != 0) {
+    std::fprintf(stderr, "fgsim store: unknown subcommand '%s' (try --help)\n",
+                 argv[0]);
+    return kExitUsage;
+  }
+
+  std::string store_dir;
+  bool as_json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return kExitOk;
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (arg.rfind("--store=", 0) == 0) {
+      store_dir = arg.substr(8);
+    } else if (arg == "--json") {
+      as_json = true;
+    } else {
+      std::fprintf(stderr,
+                   "fgsim store stats: unknown option '%s' (try --help)\n",
+                   arg.c_str());
+      return kExitUsage;
+    }
+  }
+  if (store_dir.empty()) {
+    std::fprintf(stderr, "fgsim store stats: --store DIR is required\n");
+    return kExitUsage;
+  }
+
+  store::ResultStore store;
+  std::string err;
+  if (!store.open(store_dir, &err)) {
+    std::fprintf(stderr, "fgsim store stats: %s\n", err.c_str());
+    return kExitIo;
+  }
+  store::ResultStore::AuditReport report;
+  if (!store.audit(&report, &err)) {
+    std::fprintf(stderr, "fgsim store stats: %s\n", err.c_str());
+    return kExitIo;
+  }
+  u64 obj_files = 0, obj_bytes = 0, q_files = 0, q_bytes = 0;
+  dir_usage(store.objects_dir(), &obj_files, &obj_bytes);
+  dir_usage(store.quarantine_dir(), &q_files, &q_bytes);
+
+  if (as_json) {
+    json::Value v = json::Value::object();
+    v.set("store", json::Value::of_str(store.dir()));
+    v.set("objects", json::Value::of(obj_files));
+    v.set("bytes", json::Value::of(obj_bytes));
+    v.set("quarantined_files", json::Value::of(q_files));
+    json::Value a = json::Value::object();
+    a.set("entries", json::Value::of(report.entries));
+    a.set("ok", json::Value::of(report.ok));
+    a.set("quarantined", json::Value::of(report.quarantined));
+    v.set("audit", std::move(a));
+    std::printf("%s\n", json::dump(v, 2).c_str());
+  } else {
+    std::printf(
+        "store %s: %llu objects, %llu bytes\n"
+        "audit: %llu entries, %llu ok, %llu quarantined this pass\n"
+        "quarantine/: %llu files, %llu bytes\n",
+        store.dir().c_str(), static_cast<unsigned long long>(obj_files),
+        static_cast<unsigned long long>(obj_bytes),
+        static_cast<unsigned long long>(report.entries),
+        static_cast<unsigned long long>(report.ok),
+        static_cast<unsigned long long>(report.quarantined),
+        static_cast<unsigned long long>(q_files),
+        static_cast<unsigned long long>(q_bytes));
+  }
+  if (report.quarantined > 0 || q_files > 0) {
+    std::fprintf(stderr,
+                 "fgsim store stats: %llu corrupt entries in quarantine "
+                 "(see %s)\n",
+                 static_cast<unsigned long long>(q_files),
+                 store.quarantine_dir().c_str());
+    return kExitFailure;
+  }
+  return kExitOk;
+}
+
+}  // namespace fg::cli

@@ -11,6 +11,11 @@
 //   fgsim spec     [--spec FILE] [--set ...]   resolve + export a spec
 //   fgsim fuzz     [--seeds N ...]             differential scenario fuzzer
 //   fgsim speed    [--quick ...]               simulator-speed tracker
+//   fgsim serve    --store DIR --socket PATH   batch daemon over the store
+//   fgsim submit   --spec FILE [--wait]        send a spec to the daemon
+//   fgsim jobs     [--cancel ID]               list/cancel daemon submissions
+//   fgsim status   [--drain | --shutdown]      daemon counters and control
+//   fgsim store    stats --store DIR           store audit + usage, no daemon
 //
 // Exit codes (see tools/cli/cli.h): 0 ok, 1 experiment failure, 2 usage,
 // 3 I/O.
@@ -35,6 +40,11 @@ void usage() {
       "  spec      resolve and print a spec (--keys | --schema for tooling)\n"
       "  fuzz      differential scenario fuzzer + golden corpus maintainer\n"
       "  speed     simulator-speed tracker (BENCH_sim_speed.json)\n"
+      "  serve     batch experiment daemon (durable store + Unix socket)\n"
+      "  submit    send a spec to a running serve daemon\n"
+      "  jobs      list or cancel a serve daemon's submissions\n"
+      "  status    serve daemon counters (--drain / --shutdown)\n"
+      "  store     inspect a result store (stats: audit, objects, bytes)\n"
       "Run `fgsim <command> --help` for per-command options.\n"
       "Exit codes: 0 ok, 1 experiment failure, 2 usage error, 3 I/O error.");
 }
@@ -65,6 +75,21 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "speed") == 0) {
     return fg::cli::speed_main(sub_argc, sub_argv);
+  }
+  if (std::strcmp(cmd, "serve") == 0) {
+    return fg::cli::serve_main(sub_argc, sub_argv);
+  }
+  if (std::strcmp(cmd, "submit") == 0) {
+    return fg::cli::submit_main(sub_argc, sub_argv);
+  }
+  if (std::strcmp(cmd, "jobs") == 0) {
+    return fg::cli::jobs_main(sub_argc, sub_argv);
+  }
+  if (std::strcmp(cmd, "status") == 0) {
+    return fg::cli::status_main(sub_argc, sub_argv);
+  }
+  if (std::strcmp(cmd, "store") == 0) {
+    return fg::cli::store_main(sub_argc, sub_argv);
   }
   std::fprintf(stderr, "fgsim: unknown command '%s'\n", cmd);
   usage();
